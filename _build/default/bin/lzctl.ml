@@ -1,0 +1,115 @@
+(* lzctl — ad-hoc driver for the LightZone reproduction.
+
+     lzctl traps   [--platform carmel|cortex]
+     lzctl switch  [--platform ...] [--env host|guest] [--mech pan|ttbr|wp|lwc]
+                   [--domains N] [--iterations N]
+     lzctl pentest [--domains N]
+     lzctl profile [--platform ...] [--env ...]
+
+   The bench executable regenerates the full paper artifacts; lzctl is
+   for poking at one configuration at a time. *)
+
+open Cmdliner
+
+let platform_conv =
+  Arg.enum
+    [ ("carmel", Lz_cpu.Cost_model.carmel);
+      ("cortex", Lz_cpu.Cost_model.cortex_a55) ]
+
+let env_conv =
+  Arg.enum
+    [ ("host", Lz_eval.Switch_bench.Host);
+      ("guest", Lz_eval.Switch_bench.Guest) ]
+
+let mech_conv =
+  Arg.enum
+    [ ("pan", Lz_eval.Switch_bench.Lz_pan);
+      ("ttbr", Lz_eval.Switch_bench.Lz_ttbr);
+      ("wp", Lz_eval.Switch_bench.Wp_ioctl);
+      ("lwc", Lz_eval.Switch_bench.Lwc_switch) ]
+
+let platform =
+  Arg.(value & opt platform_conv Lz_cpu.Cost_model.cortex_a55
+       & info [ "platform"; "p" ] ~doc:"carmel or cortex")
+
+let env =
+  Arg.(value & opt env_conv Lz_eval.Switch_bench.Host
+       & info [ "env"; "e" ] ~doc:"host or guest")
+
+let traps_cmd =
+  let run cm =
+    Format.printf "Table 4 trap costs on %s:@." (Lz_cpu.Cost_model.name cm);
+    List.iter
+      (fun r ->
+        Format.printf "  %-50s %d%s@." r.Lz_eval.Trap_bench.label
+          r.Lz_eval.Trap_bench.lo
+          (if r.Lz_eval.Trap_bench.hi <> r.Lz_eval.Trap_bench.lo then
+             Printf.sprintf "~%d" r.Lz_eval.Trap_bench.hi
+           else ""))
+      (Lz_eval.Trap_bench.table cm)
+  in
+  Cmd.v (Cmd.info "traps" ~doc:"measure the Table 4 trap roundtrips")
+    Term.(const run $ platform)
+
+let switch_cmd =
+  let domains =
+    Arg.(value & opt int 8 & info [ "domains"; "d" ] ~doc:"domain count")
+  in
+  let iterations =
+    Arg.(value & opt int 2000 & info [ "iterations"; "n" ] ~doc:"switches")
+  in
+  let mech =
+    Arg.(value & opt mech_conv Lz_eval.Switch_bench.Lz_ttbr
+         & info [ "mech"; "m" ] ~doc:"pan, ttbr, wp or lwc")
+  in
+  let run cm env mech domains iterations =
+    let v =
+      Lz_eval.Switch_bench.measure cm ~env ~mechanism:mech ~domains
+        ~iterations ()
+    in
+    Format.printf "%.1f cycles per switch+access@." v
+  in
+  Cmd.v (Cmd.info "switch" ~doc:"measure one domain-switch configuration")
+    Term.(const run $ platform $ env $ mech $ domains $ iterations)
+
+let pentest_cmd =
+  let domains =
+    Arg.(value & opt int 128 & info [ "domains"; "d" ] ~doc:"domain count")
+  in
+  let run cm domains =
+    let rs = Lz_eval.Pentest.run_all ~domains cm in
+    List.iter
+      (fun r ->
+        Format.printf "[%s] %s (%s)@.    %s@."
+          (if r.Lz_eval.Pentest.prevented then "STOPPED" else "allowed")
+          r.Lz_eval.Pentest.attack r.Lz_eval.Pentest.mechanism
+          r.Lz_eval.Pentest.detail)
+      rs;
+    if Lz_eval.Pentest.all_prevented rs then
+      Format.printf "verdict: as expected@."
+    else begin
+      Format.printf "verdict: FAILURE@.";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "pentest" ~doc:"run the Section 7.2 penetration tests")
+    Term.(const run $ platform $ domains)
+
+let profile_cmd =
+  let run cm env =
+    List.iter
+      (fun m ->
+        Format.printf "%a@." Lz_workloads.Iso_profile.pp
+          (Lz_eval.Profiles.profile cm env m))
+      Lz_eval.Profiles.all_mechs
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"print measured isolation profiles for a configuration")
+    Term.(const run $ platform $ env)
+
+let () =
+  let info = Cmd.info "lzctl" ~doc:"LightZone reproduction driver" in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ traps_cmd; switch_cmd; pentest_cmd; profile_cmd ]))

@@ -1,0 +1,1 @@
+examples/mysql_protect.ml: Api Array Builder Format Insn Kernel Kmod Lightzone Lz_arm Lz_cpu Lz_kernel Machine Perm Proc Vma

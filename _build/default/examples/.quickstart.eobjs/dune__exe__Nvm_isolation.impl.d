@@ -1,0 +1,1 @@
+examples/nvm_isolation.ml: Api Array Bytes Char Format Iso_profile Kernel Kmod Lightzone Lz_cpu Lz_kernel Lz_mem Lz_workloads Machine Nvm_bench Perm String Vma

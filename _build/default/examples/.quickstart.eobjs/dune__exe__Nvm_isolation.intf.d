@@ -1,0 +1,1 @@
+examples/nvm_isolation.mli:

@@ -1,0 +1,1 @@
+examples/openssl_keys.ml: Aes Api Array Bytes Char Format Kernel Kmod Lightzone List Lz_cpu Lz_kernel Lz_mem Lz_workloads Machine Perm Printf String Vma

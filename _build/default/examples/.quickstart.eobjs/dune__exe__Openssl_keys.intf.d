@@ -1,0 +1,1 @@
+examples/openssl_keys.mli:

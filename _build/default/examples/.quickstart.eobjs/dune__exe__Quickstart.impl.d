@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Builder Bytes Format Insn Int64 Kernel Kmod Lightzone Lz_arm Lz_cpu Lz_kernel Machine Perm Vma

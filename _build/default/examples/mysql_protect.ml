@@ -1,0 +1,117 @@
+(* Multi-threaded database protection, as in the paper's MySQL
+   experiment (Section 9.2):
+
+   - each connection thread's *stack* is attached to its own page
+     table, so a compromised connection cannot scrape another
+     client's stack (privilege separation between clients);
+   - the MEMORY storage engine's in-memory data (the HP_PTRS block
+     heap) is PAN-protected and attached to all tables: only code
+     that explicitly clears PAN — the storage-engine entry points —
+     can touch it.
+
+   Run with: dune exec examples/mysql_protect.exe *)
+
+open Lz_arm
+open Lz_kernel
+open Lightzone
+
+let code_va = 0x400000
+let stacks_va = 0x600000 (* 4 KiB stack slice per connection *)
+let heap_va = 0x700000 (* the HP_PTRS region *)
+let n_conns = 4
+let stack_va = 0x7F0000000000
+
+let () =
+  Format.printf "MySQL-style protection: per-connection stacks + HP_PTRS@.@.";
+  let machine = Machine.create () in
+  let kernel = Kernel.create machine Kernel.Host_vhe in
+  let proc = Kernel.create_process kernel in
+  ignore (Kernel.map_anon kernel proc ~at:(stack_va - 0x10000) ~len:0x10000
+            Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:stacks_va ~len:(n_conns * 4096)
+            Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:heap_va ~len:0x4000 Vma.rw);
+
+  let t =
+    Api.lz_enter ~allow_scalable:true ~insn_san:1 ~entry:code_va
+      ~sp:stack_va kernel proc
+  in
+  (* Each connection thread: lz_alloc + gate + lz_prot(stack). *)
+  let conn_pgts =
+    Array.init n_conns (fun c ->
+        let pgt = Api.lz_alloc t in
+        Api.lz_map_gate_pgt t ~pgt ~gate:c;
+        Api.lz_prot t ~addr:(stacks_va + (c * 4096)) ~len:4096 ~pgt
+          ~perm:(Perm.read lor Perm.write);
+        pgt)
+  in
+  ignore conn_pgts;
+  (* HP_PTRS: PAN-protected, attached to all page tables. *)
+  Api.lz_prot t ~addr:heap_va ~len:0x4000 ~pgt:Perm.pgt_all
+    ~perm:(Perm.read lor Perm.write lor Perm.user);
+
+  (* Connection 0's "query": enter its stack domain through gate 0,
+     push a session secret onto the stack, then run storage-engine
+     code (PAN off) to store a row into the heap. *)
+  let b = Builder.create ~base:code_va in
+  Builder.switch_gate b ~gate:0;
+  Builder.mov_imm64 b 0 stacks_va;
+  Builder.emit b
+    [ Insn.Movz (1, 0xBEEF, 0); Insn.Str (1, 0, 16) ] (* session token *);
+  (* storage engine: ha_heap::write_row *)
+  Builder.set_pan b false;
+  Builder.mov_imm64 b 2 heap_va;
+  Builder.emit b [ Insn.Movz (3, 4242, 0); Insn.Str (3, 2, 0) ];
+  Builder.set_pan b true;
+  Builder.emit b [ Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  (match Api.run t with
+  | Kmod.Exited _ ->
+      Format.printf
+        "conn0 transaction committed (stack token + heap row written)@."
+  | o -> Format.printf "unexpected: %a@." Kmod.pp_outcome o);
+
+  (* Attack 1: connection 1 (its own gate) scrapes conn0's stack. *)
+  Format.printf "@.-- conn1 tries to read conn0's stack --@.";
+  Lz_cpu.Core.eret_from_el2 t.Kmod.core;
+  t.Kmod.proc.Proc.exit_code <- None;
+  let b2 = Builder.create ~base:0x410000 in
+  ignore (Kernel.map_anon kernel proc ~at:0x410000 ~len:4096 Vma.rx);
+  Builder.switch_gate b2 ~gate:1;
+  Builder.mov_imm64 b2 0 stacks_va (* conn0's stack! *);
+  Builder.emit b2 [ Insn.Ldr (1, 0, 16); Insn.Brk 0 ];
+  let insns, entries = Builder.finish b2 in
+  (* load without the VMA helper: program page already reserved *)
+  Proc.remove_vma_range proc ~start:0x410000 ~len:4096 |> ignore;
+  Kernel.load_program kernel proc ~va:0x410000 insns;
+  Api.register_entries t entries;
+  t.Kmod.core.Lz_cpu.Core.pc <- 0x410000;
+  (match Api.run t with
+  | Kmod.Terminated why -> Format.printf "stopped: %s@." why
+  | o -> Format.printf "UNEXPECTED: %a@." Kmod.pp_outcome o);
+
+  (* Attack 2: non-engine code touches HP_PTRS without clearing PAN.
+     Fresh process for a clean machine state. *)
+  Format.printf "@.-- parser code touches HP_PTRS with PAN set --@.";
+  let proc2 = Kernel.create_process kernel in
+  ignore (Kernel.map_anon kernel proc2 ~at:(stack_va - 0x10000) ~len:0x10000
+            Vma.rw);
+  ignore (Kernel.map_anon kernel proc2 ~at:heap_va ~len:0x4000 Vma.rw);
+  let t2 =
+    Api.lz_enter ~allow_scalable:false ~insn_san:2 ~entry:code_va
+      ~sp:stack_va kernel proc2
+  in
+  Api.lz_prot t2 ~addr:heap_va ~len:0x4000 ~pgt:Perm.pgt_all
+    ~perm:(Perm.read lor Perm.write lor Perm.user);
+  let b3 = Builder.create ~base:code_va in
+  (* Legitimate engine access first (PAN off), then the bug. *)
+  Builder.set_pan b3 false;
+  Builder.mov_imm64 b3 0 heap_va;
+  Builder.emit b3 [ Insn.Ldr (1, 0, 0) ];
+  Builder.set_pan b3 true;
+  Builder.emit b3 [ Insn.Ldr (2, 0, 8); Insn.Brk 0 ];
+  Api.load_and_register t2 b3 ~va:code_va;
+  (match Api.run t2 with
+  | Kmod.Terminated why -> Format.printf "stopped: %s@." why
+  | o -> Format.printf "UNEXPECTED: %a@." Kmod.pp_outcome o);
+  Format.printf "@.done.@."

@@ -1,0 +1,111 @@
+(* NVM data isolation, as in the paper's Section 9.3 (after Merr):
+   persistent-memory objects (emulated with DRAM buffers) are each
+   placed in their own domain, so a stray write in the application
+   can only corrupt the object whose domain is currently open —
+   "exposure time reduction" for persistent data.
+
+   This example uses 2 MiB buffers mapped with huge pages (level-2
+   blocks) and demonstrates:
+   1. a legal operation: open buffer 2's domain, search a string in
+      it (the paper's workload), close the domain;
+   2. a wild pointer writing into buffer 5 while buffer 2 is open:
+      with TTBR isolation the write kills the process instead of
+      silently corrupting persistent data.
+
+   Run with: dune exec examples/nvm_isolation.exe *)
+
+open Lz_kernel
+open Lightzone
+open Lz_workloads
+
+let code_va = 0x400000
+let bufs_va = 0x10000000
+let n_bufs = 8
+let buf_bytes = 2 * 1024 * 1024
+let stack_va = 0x7F0000000000
+
+let () =
+  Format.printf "NVM object isolation (Merr-style exposure reduction)@.@.";
+  let machine = Machine.create () in
+  let kernel = Kernel.create machine Kernel.Host_vhe in
+  let proc = Kernel.create_process kernel in
+  ignore (Kernel.map_anon kernel proc ~at:(stack_va - 0x10000) ~len:0x10000
+            Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:bufs_va ~len:(n_bufs * buf_bytes)
+            Vma.rw);
+
+  (* Fill buffer 2 with strings on the kernel side (the "NVM image"). *)
+  let payload =
+    Bytes.init 4096 (fun i ->
+        if i mod 64 = 63 then '\n' else Char.chr (97 + (i * 7 mod 26)))
+  in
+  Kernel.write_user kernel proc ~va:(bufs_va + (2 * buf_bytes)) payload;
+
+  let t =
+    Api.lz_enter ~allow_scalable:true ~insn_san:1 ~entry:code_va
+      ~sp:stack_va kernel proc
+  in
+  let pgts =
+    Array.init n_bufs (fun i ->
+        let pgt = Api.lz_alloc t in
+        Api.lz_map_gate_pgt t ~pgt ~gate:i;
+        Api.lz_prot t ~addr:(bufs_va + (i * buf_bytes)) ~len:buf_bytes ~pgt
+          ~perm:(Perm.read lor Perm.write);
+        pgt)
+  in
+  Format.printf "%d x 2 MiB buffers, one domain each@." n_bufs;
+
+  (* Legal: open buffer 2, read its data through the simulated MMU and
+     run the paper's substring-search operation on it. *)
+  Kmod.set_current_pgt t pgts.(2);
+  Kmod.prefault t ~va:(bufs_va + (2 * buf_bytes)) ~access:Lz_mem.Mmu.Read;
+  let got = Bytes.create 256 in
+  for i = 0 to 255 do
+    match
+      Lz_cpu.Core.read_mem t.Kmod.core ~width:1 (bufs_va + (2 * buf_bytes) + i)
+    with
+    | Ok c -> Bytes.set got i (Char.chr c)
+    | Error f ->
+        Format.printf "read failed: %a@." Lz_mem.Mmu.pp_fault f;
+        exit 1
+  done;
+  let needle = Bytes.sub_string got 10 6 in
+  let hit =
+    let hay = Bytes.to_string got in
+    let rec find i =
+      if i + 6 > String.length hay then -1
+      else if String.sub hay i 6 = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Format.printf "substring search in open domain: needle %S found at %d@."
+    needle hit;
+
+  (* Wild write: buffer 2 is open; the bug writes into buffer 5. *)
+  Format.printf "@.-- wild store into buffer 5 while buffer 2 is open --@.";
+  Kmod.prefault t ~va:(bufs_va + (5 * buf_bytes)) ~access:Lz_mem.Mmu.Write;
+  (match t.Kmod.terminated with
+  | Some why -> Format.printf "stopped before corruption: %s@." why
+  | None -> Format.printf "UNEXPECTED: wild write allowed@.");
+
+  (* Contrast with the NVM benchmark numbers. *)
+  Format.printf "@.benchmark flavour (16 buffers, measured profile):@.";
+  let iso =
+    { Iso_profile.name = "LightZone TTBR (example)";
+      domain_enter_cycles = 92.;
+      domain_exit_cycles = 92.;
+      syscall_cycles = 537.;
+      tlb_miss_extra_cycles = 180.;
+      ttbr_extra_miss_factor = 2.0;
+      max_domains = 65536 }
+  in
+  let r =
+    Nvm_bench.run Lz_cpu.Cost_model.cortex_a55 ~iso
+      { Nvm_bench.default_params with Nvm_bench.operations = 20_000 }
+  in
+  Format.printf
+    "per-op: %.0f cycles base, %.0f protected -> %.2f%% overhead (%d real matches)@."
+    r.Nvm_bench.cycles_per_op_base r.Nvm_bench.cycles_per_op_protected
+    r.Nvm_bench.overhead_pct r.Nvm_bench.hits;
+  Format.printf "@.done.@."

@@ -1,0 +1,146 @@
+(* Quickstart: the paper's Listing 1, line by line.
+
+   A process has two mutually distrusting parts. Each part's data goes
+   into its own TTBR domain (pgt0/pgt1 in the listing; here the ids
+   come from lz_alloc). Both parts share a cryptographic key that is
+   PAN-protected and attached to every page table (PGT_ALL + USER), so
+   a two-instruction PAN toggle grants access wherever the thread is.
+
+     lz_enter(true, 1);
+     pgt0 = lz_alloc(), pgt1 = lz_alloc();
+     lz_map_gate_pgt(pgt0, 0);
+     lz_map_gate_pgt(pgt1, 1);
+     lz_prot(data0, len, pgt0, READ | WRITE);
+     lz_prot(data1, len, pgt1, READ | WRITE);
+     lz_prot(key, len, PGT_ALL, READ | USER);
+     lz_switch_to_ttbr_gate(0);
+     data0 = 100;
+     set_pan(0); data0 = enc(data0, key); set_pan(1);
+     lz_switch_to_ttbr_gate(1);
+     data1 = 200;
+     set_pan(0); data1 = enc(data1, key); set_pan(1);
+
+   "enc" here is a one-instruction stand-in (eor with the key word) so
+   the whole program stays readable; see openssl_keys.ml for real
+   AES. Run with: dune exec examples/quickstart.exe *)
+
+open Lz_arm
+open Lz_kernel
+open Lightzone
+
+let code_va = 0x400000
+let data0_va = 0x600000
+let data1_va = 0x700000
+let key_va = 0x800000
+let stack_va = 0x7F0000000000
+
+let () =
+  Format.printf "LightZone quickstart (paper Listing 1)@.@.";
+
+  (* A host machine, kernel and an ordinary process. *)
+  let machine = Machine.create () in
+  let kernel = Kernel.create machine Kernel.Host_vhe in
+  let proc = Kernel.create_process kernel in
+  ignore (Kernel.map_anon kernel proc ~at:(stack_va - 0x10000) ~len:0x10000
+            Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:data0_va ~len:4096 Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:data1_va ~len:4096 Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:key_va ~len:4096 Vma.rw);
+  (* The shared key: some secret value in the key page. *)
+  let key_bytes = Bytes.create 8 in
+  Bytes.set_int64_le key_bytes 0 0x5EC2E7L;
+  Kernel.write_user kernel proc ~va:key_va key_bytes;
+
+  (* lz_enter(true, 1): scalable isolation + TTBR-mode sanitizer. *)
+  let t =
+    Api.lz_enter ~allow_scalable:true ~insn_san:1 ~entry:code_va
+      ~sp:stack_va kernel proc
+  in
+  (* pgt0 = lz_alloc(); pgt1 = lz_alloc(); *)
+  let pgt0 = Api.lz_alloc t in
+  let pgt1 = Api.lz_alloc t in
+  (* lz_map_gate_pgt(pgt0, 0); lz_map_gate_pgt(pgt1, 1); *)
+  Api.lz_map_gate_pgt t ~pgt:pgt0 ~gate:0;
+  Api.lz_map_gate_pgt t ~pgt:pgt1 ~gate:1;
+  (* lz_prot(data0/1, ...); lz_prot(key, PGT_ALL, READ | USER); *)
+  Api.lz_prot t ~addr:data0_va ~len:4096 ~pgt:pgt0
+    ~perm:(Perm.read lor Perm.write);
+  Api.lz_prot t ~addr:data1_va ~len:4096 ~pgt:pgt1
+    ~perm:(Perm.read lor Perm.write);
+  Api.lz_prot t ~addr:key_va ~len:4096 ~pgt:Perm.pgt_all
+    ~perm:(Perm.read lor Perm.user);
+
+  (* The program itself, built with the instruction builder. *)
+  let b = Builder.create ~base:code_va in
+  (* lz_switch_to_ttbr_gate(0); data0 = 100; *)
+  Builder.switch_gate b ~gate:0;
+  Builder.mov_imm64 b 0 data0_va;
+  Builder.emit b [ Insn.Movz (1, 100, 0); Insn.Str (1, 0, 0) ];
+  (* set_pan(0); data0 = enc(data0, key); set_pan(1); *)
+  Builder.set_pan b false;
+  Builder.mov_imm64 b 2 key_va;
+  Builder.emit b
+    [ Insn.Ldr (3, 2, 0);          (* x3 = key *)
+      Insn.Ldr (1, 0, 0);
+      Insn.Eor_reg (1, 1, 3);      (* enc *)
+      Insn.Str (1, 0, 0) ];
+  Builder.set_pan b true;
+  (* lz_switch_to_ttbr_gate(1); data1 = 200; *)
+  Builder.switch_gate b ~gate:1;
+  Builder.mov_imm64 b 0 data1_va;
+  Builder.emit b [ Insn.Movz (1, 200, 0); Insn.Str (1, 0, 0) ];
+  Builder.set_pan b false;
+  Builder.mov_imm64 b 2 key_va;
+  Builder.emit b
+    [ Insn.Ldr (3, 2, 0); Insn.Ldr (1, 0, 0); Insn.Eor_reg (1, 1, 3);
+      Insn.Str (1, 0, 0) ];
+  Builder.set_pan b true;
+  Builder.emit b [ Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+
+  (match Api.run t with
+  | Kmod.Exited _ -> Format.printf "process finished cleanly@."
+  | o -> Format.printf "unexpected outcome: %a@." Kmod.pp_outcome o);
+
+  (* Read the results back through the kernel. *)
+  let read64 va =
+    Bytes.get_int64_le (Kernel.read_user kernel proc ~va ~len:8) 0
+  in
+  Format.printf "data0 = 0x%Lx (100 ^ key)@." (read64 data0_va);
+  Format.printf "data1 = 0x%Lx (200 ^ key)@." (read64 data1_va);
+  assert (read64 data0_va = Int64.of_int (100 lxor 0x5EC2E7));
+  assert (read64 data1_va = Int64.of_int (200 lxor 0x5EC2E7));
+
+  Format.printf
+    "@.cycles: %d, traps: %d (faults %d, syscalls %d), table frames: %d@."
+    t.Kmod.core.Lz_cpu.Core.cycles t.Kmod.traps t.Kmod.fault_traps
+    t.Kmod.syscall_traps
+    (Kmod.table_memory_frames t);
+
+  (* Show the isolation actually isolates: a second run tries to read
+     data1 while holding pgt0. *)
+  Format.printf "@.-- now the attack: touch data1 from part 0 --@.";
+  let proc2 = Kernel.create_process kernel in
+  ignore (Kernel.map_anon kernel proc2 ~at:(stack_va - 0x10000) ~len:0x10000
+            Vma.rw);
+  ignore (Kernel.map_anon kernel proc2 ~at:data0_va ~len:4096 Vma.rw);
+  ignore (Kernel.map_anon kernel proc2 ~at:data1_va ~len:4096 Vma.rw);
+  let t2 =
+    Api.lz_enter ~allow_scalable:true ~insn_san:1 ~entry:code_va
+      ~sp:stack_va kernel proc2
+  in
+  let p0 = Api.lz_alloc t2 and p1 = Api.lz_alloc t2 in
+  Api.lz_map_gate_pgt t2 ~pgt:p0 ~gate:0;
+  Api.lz_map_gate_pgt t2 ~pgt:p1 ~gate:1;
+  Api.lz_prot t2 ~addr:data0_va ~len:4096 ~pgt:p0
+    ~perm:(Perm.read lor Perm.write);
+  Api.lz_prot t2 ~addr:data1_va ~len:4096 ~pgt:p1
+    ~perm:(Perm.read lor Perm.write);
+  let b2 = Builder.create ~base:code_va in
+  Builder.switch_gate b2 ~gate:0;
+  Builder.mov_imm64 b2 0 data1_va;
+  Builder.emit b2 [ Insn.Ldr (1, 0, 0); Insn.Brk 0 ];
+  Api.load_and_register t2 b2 ~va:code_va;
+  match Api.run t2 with
+  | Kmod.Terminated why -> Format.printf "LightZone: %s@." why
+  | o -> Format.printf "UNEXPECTED: %a@." Kmod.pp_outcome o

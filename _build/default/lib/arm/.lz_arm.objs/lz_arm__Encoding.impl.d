@@ -1,0 +1,1 @@
+lib/arm/encoding.ml: Bits Insn List Printf Sysreg

@@ -1,0 +1,1 @@
+lib/arm/encoding.mli: Insn

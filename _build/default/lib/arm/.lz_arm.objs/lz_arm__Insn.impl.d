@@ -1,0 +1,1 @@
+lib/arm/insn.ml: Format Sysreg

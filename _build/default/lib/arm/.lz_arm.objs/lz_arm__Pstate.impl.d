@@ -1,0 +1,1 @@
+lib/arm/pstate.ml: Bits Format Printf

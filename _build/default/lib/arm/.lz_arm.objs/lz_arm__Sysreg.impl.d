@@ -1,0 +1,1 @@
+lib/arm/sysreg.ml: Format Hashtbl List Option Pstate

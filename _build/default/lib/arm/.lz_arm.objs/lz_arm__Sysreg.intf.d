@@ -1,0 +1,1 @@
+lib/arm/sysreg.mli: Format Pstate

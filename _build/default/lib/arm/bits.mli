@@ -1,0 +1,34 @@
+(** Bit-field helpers over OCaml [int] values.
+
+    Addresses, page-table entries and instruction words are all carried
+    as native [int]s: 48-bit physical/virtual addresses and 55-bit PTE
+    attribute fields fit comfortably in OCaml's 63-bit integers, which
+    keeps the simulator allocation-free on its hot paths. *)
+
+val extract : int -> hi:int -> lo:int -> int
+(** [extract w ~hi ~lo] is bits [hi..lo] of [w], right-aligned.
+    Requires [0 <= lo <= hi <= 62]. *)
+
+val insert : int -> hi:int -> lo:int -> int -> int
+(** [insert w ~hi ~lo v] replaces bits [hi..lo] of [w] with the low
+    bits of [v]. *)
+
+val bit : int -> int -> bool
+(** [bit w i] is bit [i] of [w] as a boolean. *)
+
+val set_bit : int -> int -> bool -> int
+(** [set_bit w i b] sets or clears bit [i] of [w]. *)
+
+val mask : int -> int
+(** [mask n] is an [n]-bit mask of ones, [n <= 62]. *)
+
+val sign_extend : int -> width:int -> int
+(** [sign_extend v ~width] interprets the low [width] bits of [v] as a
+    two's-complement signed quantity. *)
+
+val align_down : int -> int -> int
+(** [align_down addr a] rounds [addr] down to a multiple of [a]
+    (a power of two). *)
+
+val is_aligned : int -> int -> bool
+(** [is_aligned addr a] tests whether [addr] is a multiple of [a]. *)

@@ -1,0 +1,269 @@
+open Insn
+
+let invalid fmt = Printf.ksprintf invalid_arg fmt
+
+let check_reg r =
+  if r < 0 || r > 31 then invalid "Encoding: register x%d" r
+
+let check_uimm name v width =
+  if v < 0 || v >= 1 lsl width then invalid "Encoding: %s=%d" name v
+
+(* Branch offsets are byte offsets that must be word-aligned and fit in
+   the instruction's signed immediate field. *)
+let check_branch_off off width =
+  if off land 3 <> 0 then invalid "Encoding: misaligned branch %d" off;
+  let words = off asr 2 in
+  let lim = 1 lsl (width - 1) in
+  if words < -lim || words >= lim then
+    invalid "Encoding: branch offset %d out of range" off;
+  words land Bits.mask width
+
+let sysreg_word ~l (enc : Sysreg.enc) rt =
+  0xD5000000 lor (l lsl 21) lor (enc.op0 lsl 19) lor (enc.op1 lsl 16)
+  lor (enc.crn lsl 12) lor (enc.crm lsl 8) lor (enc.op2 lsl 5) lor rt
+
+(* MSR (immediate): op0=0, CRn=4, CRm=imm4, Rt=31. *)
+let pstate_fields = [ (PAN, (0, 4)); (SPSel, (0, 5)); (UAO, (0, 3));
+                      (DAIFSet, (3, 6)); (DAIFClr, (3, 7)) ]
+
+let msr_pstate_word f imm =
+  let op1, op2 = List.assoc f pstate_fields in
+  0xD5000000 lor (op1 lsl 16) lor (4 lsl 12) lor ((imm land 0xF) lsl 8)
+  lor (op2 lsl 5) lor 31
+
+(* SYS: op0=1. *)
+let sys_word ~op1 ~crn ~crm ~op2 rt =
+  0xD5000000 lor (1 lsl 19) lor (op1 lsl 16) lor (crn lsl 12)
+  lor (crm lsl 8) lor (op2 lsl 5) lor rt
+
+let alu_imm base rd rn imm =
+  check_reg rd; check_reg rn; check_uimm "imm12" imm 12;
+  base lor (imm lsl 10) lor (rn lsl 5) lor rd
+
+let alu_reg base rd rn rm =
+  check_reg rd; check_reg rn; check_reg rm;
+  base lor (rm lsl 16) lor (rn lsl 5) lor rd
+
+let ls_unsigned base ~scale rt rn off =
+  check_reg rt; check_reg rn;
+  if off land ((1 lsl scale) - 1) <> 0 then
+    invalid "Encoding: unscaled offset %d" off;
+  let imm12 = off asr scale in
+  check_uimm "imm12" imm12 12;
+  base lor (imm12 lsl 10) lor (rn lsl 5) lor rt
+
+let ls_unpriv base rt rn off =
+  check_reg rt; check_reg rn;
+  if off < -256 || off > 255 then invalid "Encoding: imm9 %d" off;
+  base lor ((off land 0x1FF) lsl 12) lor (rn lsl 5) lor rt
+
+let encode = function
+  | Movz (rd, imm, sh) ->
+      check_reg rd; check_uimm "imm16" imm 16;
+      if sh land 15 <> 0 || sh > 48 then invalid "Encoding: movz shift";
+      0xD2800000 lor ((sh / 16) lsl 21) lor (imm lsl 5) lor rd
+  | Movk (rd, imm, sh) ->
+      check_reg rd; check_uimm "imm16" imm 16;
+      if sh land 15 <> 0 || sh > 48 then invalid "Encoding: movk shift";
+      0xF2800000 lor ((sh / 16) lsl 21) lor (imm lsl 5) lor rd
+  | Mov_reg (rd, rm) -> alu_reg 0xAA000000 rd 31 rm
+  | Add (rd, rn, Imm imm) -> alu_imm 0x91000000 rd rn imm
+  | Add (rd, rn, Reg rm) -> alu_reg 0x8B000000 rd rn rm
+  | Sub (rd, rn, Imm imm) -> alu_imm 0xD1000000 rd rn imm
+  | Sub (rd, rn, Reg rm) -> alu_reg 0xCB000000 rd rn rm
+  | Subs (rd, rn, Imm imm) -> alu_imm 0xF1000000 rd rn imm
+  | Subs (rd, rn, Reg rm) -> alu_reg 0xEB000000 rd rn rm
+  | And_reg (rd, rn, rm) -> alu_reg 0x8A000000 rd rn rm
+  | Orr_reg (rd, rn, rm) -> alu_reg 0xAA000000 rd rn rm
+  | Eor_reg (rd, rn, rm) -> alu_reg 0xCA000000 rd rn rm
+  | Lsl_imm (rd, rn, sh) ->
+      check_reg rd; check_reg rn;
+      if sh < 0 || sh > 63 then invalid "Encoding: lsl #%d" sh;
+      let immr = (64 - sh) land 63 and imms = 63 - sh in
+      0xD3400000 lor (immr lsl 16) lor (imms lsl 10) lor (rn lsl 5) lor rd
+  | Lsr_imm (rd, rn, sh) ->
+      check_reg rd; check_reg rn;
+      if sh < 0 || sh > 63 then invalid "Encoding: lsr #%d" sh;
+      0xD3400000 lor (sh lsl 16) lor (63 lsl 10) lor (rn lsl 5) lor rd
+  | Ldr (rt, rn, off) -> ls_unsigned 0xF9400000 ~scale:3 rt rn off
+  | Str (rt, rn, off) -> ls_unsigned 0xF9000000 ~scale:3 rt rn off
+  | Ldrb (rt, rn, off) -> ls_unsigned 0x39400000 ~scale:0 rt rn off
+  | Strb (rt, rn, off) -> ls_unsigned 0x39000000 ~scale:0 rt rn off
+  | Ldr32 (rt, rn, off) -> ls_unsigned 0xB9400000 ~scale:2 rt rn off
+  | Str32 (rt, rn, off) -> ls_unsigned 0xB9000000 ~scale:2 rt rn off
+  | Ldr_reg (rt, rn, rm) ->
+      check_reg rt; check_reg rn; check_reg rm;
+      0xF8606800 lor (rm lsl 16) lor (rn lsl 5) lor rt
+  | Str_reg (rt, rn, rm) ->
+      check_reg rt; check_reg rn; check_reg rm;
+      0xF8206800 lor (rm lsl 16) lor (rn lsl 5) lor rt
+  | Ldtr (rt, rn, off) -> ls_unpriv 0xF8400800 rt rn off
+  | Sttr (rt, rn, off) -> ls_unpriv 0xF8000800 rt rn off
+  | Ldtrb (rt, rn, off) -> ls_unpriv 0x38400800 rt rn off
+  | Sttrb (rt, rn, off) -> ls_unpriv 0x38000800 rt rn off
+  | B off -> 0x14000000 lor check_branch_off off 26
+  | Bl off -> 0x94000000 lor check_branch_off off 26
+  | Bcond (c, off) ->
+      0x54000000 lor (check_branch_off off 19 lsl 5) lor cond_number c
+  | Br r -> check_reg r; 0xD61F0000 lor (r lsl 5)
+  | Blr r -> check_reg r; 0xD63F0000 lor (r lsl 5)
+  | Ret r -> check_reg r; 0xD65F0000 lor (r lsl 5)
+  | Cbz (r, off) ->
+      check_reg r; 0xB4000000 lor (check_branch_off off 19 lsl 5) lor r
+  | Cbnz (r, off) ->
+      check_reg r; 0xB5000000 lor (check_branch_off off 19 lsl 5) lor r
+  | Svc imm -> check_uimm "imm16" imm 16; 0xD4000001 lor (imm lsl 5)
+  | Hvc imm -> check_uimm "imm16" imm 16; 0xD4000002 lor (imm lsl 5)
+  | Smc imm -> check_uimm "imm16" imm 16; 0xD4000003 lor (imm lsl 5)
+  | Brk imm -> check_uimm "imm16" imm 16; 0xD4200000 lor (imm lsl 5)
+  | Eret -> 0xD69F03E0
+  | Msr (r, rt) -> check_reg rt; sysreg_word ~l:0 (Sysreg.encoding r) rt
+  | Mrs (rt, r) -> check_reg rt; sysreg_word ~l:1 (Sysreg.encoding r) rt
+  | Msr_pstate (f, imm) -> msr_pstate_word f imm
+  | Isb -> 0xD5033FDF
+  | Dsb -> 0xD5033F9F
+  | Nop -> 0xD503201F
+  | Wfi -> 0xD503207F
+  | Tlbi_vmalle1 -> sys_word ~op1:0 ~crn:8 ~crm:7 ~op2:0 31
+  | Tlbi_aside1 r -> check_reg r; sys_word ~op1:0 ~crn:8 ~crm:7 ~op2:2 r
+  | At_s1e1r r -> check_reg r; sys_word ~op1:0 ~crn:7 ~crm:8 ~op2:0 r
+  | Dc_civac r -> check_reg r; sys_word ~op1:3 ~crn:7 ~crm:14 ~op2:1 r
+  | Ic_iallu -> sys_word ~op1:0 ~crn:7 ~crm:5 ~op2:0 31
+  | Udf w -> w land 0xFFFF
+
+let is_system_space w = Bits.extract w ~hi:31 ~lo:22 = 0b1101010100
+let sys_l w = Bits.extract w ~hi:21 ~lo:21
+let sys_op0 w = Bits.extract w ~hi:20 ~lo:19
+let sys_op1 w = Bits.extract w ~hi:18 ~lo:16
+let sys_crn w = Bits.extract w ~hi:15 ~lo:12
+let sys_crm w = Bits.extract w ~hi:11 ~lo:8
+let sys_op2 w = Bits.extract w ~hi:7 ~lo:5
+let sys_rt w = Bits.extract w ~hi:4 ~lo:0
+
+let branch_off w width = Bits.sign_extend w ~width * 4
+
+let decode_system w =
+  let rt = sys_rt w in
+  let op0 = sys_op0 w and op1 = sys_op1 w in
+  let crn = sys_crn w and crm = sys_crm w and op2 = sys_op2 w in
+  let l = sys_l w in
+  match (l, op0) with
+  | 0, 0 when crn = 4 ->
+      (* MSR (immediate). *)
+      let field =
+        List.find_opt (fun (_, (o1, o2)) -> o1 = op1 && o2 = op2)
+          pstate_fields
+      in
+      (match field with
+      | Some (f, _) when rt = 31 -> Msr_pstate (f, crm)
+      | _ -> Udf w)
+  | 0, 0 when crn = 3 && op1 = 3 && rt = 31 ->
+      (* Barriers. *)
+      if op2 = 6 then Isb else if op2 = 4 then Dsb else Udf w
+  | 0, 0 when crn = 2 && op1 = 3 && rt = 31 ->
+      (* Hints. *)
+      if crm = 0 && op2 = 0 then Nop
+      else if crm = 0 && op2 = 3 then Wfi
+      else Udf w
+  | 0, 1 -> (
+      (* SYS. *)
+      match (op1, crn, crm, op2) with
+      | 0, 8, 7, 0 -> Tlbi_vmalle1
+      | 0, 8, 7, 2 -> Tlbi_aside1 rt
+      | 0, 7, 8, 0 -> At_s1e1r rt
+      | 3, 7, 14, 1 -> Dc_civac rt
+      | 0, 7, 5, 0 when rt = 31 -> Ic_iallu
+      | _ -> Udf w)
+  | 0, (2 | 3) -> (
+      match Sysreg.of_encoding { op0; op1; crn; crm; op2 } with
+      | Some r -> Msr (r, rt)
+      | None -> Udf w)
+  | 1, (2 | 3) -> (
+      match Sysreg.of_encoding { op0; op1; crn; crm; op2 } with
+      | Some r -> Mrs (rt, r)
+      | None -> Udf w)
+  | _ -> Udf w
+
+let decode w =
+  let w = w land 0xFFFFFFFF in
+  let rd = w land 31 in
+  let rt = w land 31 in
+  let rn = Bits.extract w ~hi:9 ~lo:5 in
+  let rm = Bits.extract w ~hi:20 ~lo:16 in
+  if w = 0xD69F03E0 then Eret
+  else if is_system_space w then decode_system w
+  else if Bits.extract w ~hi:31 ~lo:26 = 0b000101 then
+    B (branch_off (Bits.extract w ~hi:25 ~lo:0) 26)
+  else if Bits.extract w ~hi:31 ~lo:26 = 0b100101 then
+    Bl (branch_off (Bits.extract w ~hi:25 ~lo:0) 26)
+  else
+    match Bits.extract w ~hi:31 ~lo:24 with
+    | 0xD2 when Bits.bit w 23 ->
+        Movz (rd, Bits.extract w ~hi:20 ~lo:5,
+              16 * Bits.extract w ~hi:22 ~lo:21)
+    | 0xD3 when Bits.extract w ~hi:31 ~lo:22 = 0x34D ->
+        (* UBFM: recognize the LSL/LSR idioms only. *)
+        let immr = Bits.extract w ~hi:21 ~lo:16 in
+        let imms = Bits.extract w ~hi:15 ~lo:10 in
+        if imms = 63 then Lsr_imm (rd, rn, immr)
+        else if (imms + 1) land 63 = immr then Lsl_imm (rd, rn, 63 - imms)
+        else Udf w
+    | 0xF2 when Bits.bit w 23 ->
+        Movk (rd, Bits.extract w ~hi:20 ~lo:5,
+              16 * Bits.extract w ~hi:22 ~lo:21)
+    | 0x91 -> Add (rd, rn, Imm (Bits.extract w ~hi:21 ~lo:10))
+    | 0xD1 -> Sub (rd, rn, Imm (Bits.extract w ~hi:21 ~lo:10))
+    | 0xF1 -> Subs (rd, rn, Imm (Bits.extract w ~hi:21 ~lo:10))
+    | 0x8B when Bits.extract w ~hi:15 ~lo:10 = 0 -> Add (rd, rn, Reg rm)
+    | 0xCB when Bits.extract w ~hi:15 ~lo:10 = 0 -> Sub (rd, rn, Reg rm)
+    | 0xEB when Bits.extract w ~hi:15 ~lo:10 = 0 -> Subs (rd, rn, Reg rm)
+    | 0x8A when Bits.extract w ~hi:15 ~lo:10 = 0 -> And_reg (rd, rn, rm)
+    | 0xAA when Bits.extract w ~hi:15 ~lo:10 = 0 ->
+        if rn = 31 then Mov_reg (rd, rm) else Orr_reg (rd, rn, rm)
+    | 0xCA when Bits.extract w ~hi:15 ~lo:10 = 0 -> Eor_reg (rd, rn, rm)
+    | 0xF9 ->
+        let off = Bits.extract w ~hi:21 ~lo:10 * 8 in
+        if Bits.bit w 22 then Ldr (rt, rn, off) else Str (rt, rn, off)
+    | 0x39 ->
+        let off = Bits.extract w ~hi:21 ~lo:10 in
+        if Bits.bit w 22 then Ldrb (rt, rn, off) else Strb (rt, rn, off)
+    | 0xB9 ->
+        let off = Bits.extract w ~hi:21 ~lo:10 * 4 in
+        if Bits.bit w 22 then Ldr32 (rt, rn, off) else Str32 (rt, rn, off)
+    | 0xF8 -> (
+        match Bits.extract w ~hi:23 ~lo:21, Bits.extract w ~hi:11 ~lo:10 with
+        | 3, 2 when Bits.extract w ~hi:15 ~lo:12 = 0b0110 ->
+            Ldr_reg (rt, rn, rm)
+        | 1, 2 when Bits.extract w ~hi:15 ~lo:12 = 0b0110 ->
+            Str_reg (rt, rn, rm)
+        | 2, 2 ->
+            Ldtr (rt, rn, Bits.sign_extend (Bits.extract w ~hi:20 ~lo:12) ~width:9)
+        | 0, 2 ->
+            Sttr (rt, rn, Bits.sign_extend (Bits.extract w ~hi:20 ~lo:12) ~width:9)
+        | _ -> Udf w)
+    | 0x38 -> (
+        match Bits.extract w ~hi:23 ~lo:21, Bits.extract w ~hi:11 ~lo:10 with
+        | 2, 2 ->
+            Ldtrb (rt, rn, Bits.sign_extend (Bits.extract w ~hi:20 ~lo:12) ~width:9)
+        | 0, 2 ->
+            Sttrb (rt, rn, Bits.sign_extend (Bits.extract w ~hi:20 ~lo:12) ~width:9)
+        | _ -> Udf w)
+    | 0x54 when w land 0x10 = 0 ->
+        Bcond (cond_of_number (w land 0xF),
+               branch_off (Bits.extract w ~hi:23 ~lo:5) 19)
+    | 0xB4 -> Cbz (rt, branch_off (Bits.extract w ~hi:23 ~lo:5) 19)
+    | 0xB5 -> Cbnz (rt, branch_off (Bits.extract w ~hi:23 ~lo:5) 19)
+    | 0xD4 -> (
+        match (Bits.extract w ~hi:23 ~lo:21, w land 0x1F) with
+        | 0, 1 -> Svc (Bits.extract w ~hi:20 ~lo:5)
+        | 0, 2 -> Hvc (Bits.extract w ~hi:20 ~lo:5)
+        | 0, 3 -> Smc (Bits.extract w ~hi:20 ~lo:5)
+        | 1, 0 -> Brk (Bits.extract w ~hi:20 ~lo:5)
+        | _ -> Udf w)
+    | 0xD6 -> (
+        match (Bits.extract w ~hi:23 ~lo:16, Bits.extract w ~hi:15 ~lo:10) with
+        | 0x1F, 0 when rd = 0 -> Br rn
+        | 0x3F, 0 when rd = 0 -> Blr rn
+        | 0x5F, 0 when rd = 0 -> Ret rn
+        | _ -> Udf w)
+    | _ -> Udf w

@@ -1,0 +1,34 @@
+(** Bit-exact AArch64 instruction encoding and decoding (subset).
+
+    Program memory holds raw 32-bit words, exactly as on silicon. The
+    instruction sanitizer therefore scans real bit patterns — the
+    fields named in the paper's Table 3 (op0 = bits 20..19, op1 =
+    18..16, CRn = 15..12, op2 = 7..5 within the system-instruction
+    space whose bits 31..22 are 0b1101010100) are the genuine
+    architectural positions. *)
+
+val encode : Insn.t -> int
+(** [encode i] is the 32-bit word for [i]. Raises [Invalid_argument]
+    when a field is out of range (e.g. an unencodable branch offset). *)
+
+val decode : int -> Insn.t
+(** [decode w] decodes [w]; unrecognized words decode to [Udf w], which
+    the core treats as an undefined-instruction exception carrying the
+    raw word. Total: never raises. *)
+
+(** {1 System-instruction field access}
+
+    Helpers shared with the sanitizer. *)
+
+val is_system_space : int -> bool
+(** Bits 31..22 equal 0b1101010100. *)
+
+val sys_l : int -> int
+(** Bit 21 — 1 for MRS/SYSL (reads), 0 for MSR/SYS (writes). *)
+
+val sys_op0 : int -> int
+val sys_op1 : int -> int
+val sys_crn : int -> int
+val sys_crm : int -> int
+val sys_op2 : int -> int
+val sys_rt : int -> int

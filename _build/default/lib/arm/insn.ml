@@ -1,0 +1,139 @@
+type reg = int
+
+type cond =
+  | EQ | NE | CS | CC | MI | PL | VS | VC
+  | HI | LS | GE | LT | GT | LE | AL
+
+type operand = Imm of int | Reg of reg
+
+type pstate_field = PAN | SPSel | DAIFSet | DAIFClr | UAO
+
+type t =
+  | Movz of reg * int * int
+  | Movk of reg * int * int
+  | Mov_reg of reg * reg
+  | Add of reg * reg * operand
+  | Sub of reg * reg * operand
+  | Subs of reg * reg * operand
+  | And_reg of reg * reg * reg
+  | Orr_reg of reg * reg * reg
+  | Eor_reg of reg * reg * reg
+  | Lsl_imm of reg * reg * int
+  | Lsr_imm of reg * reg * int
+  | Ldr of reg * reg * int
+  | Str of reg * reg * int
+  | Ldrb of reg * reg * int
+  | Strb of reg * reg * int
+  | Ldr32 of reg * reg * int
+  | Str32 of reg * reg * int
+  | Ldr_reg of reg * reg * reg
+  | Str_reg of reg * reg * reg
+  | Ldtr of reg * reg * int
+  | Sttr of reg * reg * int
+  | Ldtrb of reg * reg * int
+  | Sttrb of reg * reg * int
+  | B of int
+  | Bcond of cond * int
+  | Bl of int
+  | Br of reg
+  | Blr of reg
+  | Ret of reg
+  | Cbz of reg * int
+  | Cbnz of reg * int
+  | Svc of int
+  | Hvc of int
+  | Smc of int
+  | Brk of int
+  | Eret
+  | Msr of Sysreg.t * reg
+  | Mrs of reg * Sysreg.t
+  | Msr_pstate of pstate_field * int
+  | Isb
+  | Dsb
+  | Nop
+  | Tlbi_vmalle1
+  | Tlbi_aside1 of reg
+  | At_s1e1r of reg
+  | Dc_civac of reg
+  | Ic_iallu
+  | Wfi
+  | Udf of int
+
+let cond_number = function
+  | EQ -> 0 | NE -> 1 | CS -> 2 | CC -> 3 | MI -> 4 | PL -> 5
+  | VS -> 6 | VC -> 7 | HI -> 8 | LS -> 9 | GE -> 10 | LT -> 11
+  | GT -> 12 | LE -> 13 | AL -> 14
+
+let cond_of_number = function
+  | 0 -> EQ | 1 -> NE | 2 -> CS | 3 -> CC | 4 -> MI | 5 -> PL
+  | 6 -> VS | 7 -> VC | 8 -> HI | 9 -> LS | 10 -> GE | 11 -> LT
+  | 12 -> GT | 13 -> LE | _ -> AL
+
+let pp_operand ppf = function
+  | Imm i -> Format.fprintf ppf "#%d" i
+  | Reg r -> Format.fprintf ppf "x%d" r
+
+let pp_pstate_field ppf f =
+  Format.pp_print_string ppf
+    (match f with
+    | PAN -> "PAN"
+    | SPSel -> "SPSel"
+    | DAIFSet -> "DAIFSet"
+    | DAIFClr -> "DAIFClr"
+    | UAO -> "UAO")
+
+let pp ppf = function
+  | Movz (rd, imm, sh) -> Format.fprintf ppf "movz x%d, #%d, lsl #%d" rd imm sh
+  | Movk (rd, imm, sh) -> Format.fprintf ppf "movk x%d, #%d, lsl #%d" rd imm sh
+  | Mov_reg (rd, rm) -> Format.fprintf ppf "mov x%d, x%d" rd rm
+  | Add (rd, rn, op) -> Format.fprintf ppf "add x%d, x%d, %a" rd rn pp_operand op
+  | Sub (rd, rn, op) -> Format.fprintf ppf "sub x%d, x%d, %a" rd rn pp_operand op
+  | Subs (rd, rn, op) ->
+      Format.fprintf ppf "subs x%d, x%d, %a" rd rn pp_operand op
+  | And_reg (rd, rn, rm) -> Format.fprintf ppf "and x%d, x%d, x%d" rd rn rm
+  | Orr_reg (rd, rn, rm) -> Format.fprintf ppf "orr x%d, x%d, x%d" rd rn rm
+  | Eor_reg (rd, rn, rm) -> Format.fprintf ppf "eor x%d, x%d, x%d" rd rn rm
+  | Lsl_imm (rd, rn, sh) -> Format.fprintf ppf "lsl x%d, x%d, #%d" rd rn sh
+  | Lsr_imm (rd, rn, sh) -> Format.fprintf ppf "lsr x%d, x%d, #%d" rd rn sh
+  | Ldr (rt, rn, off) -> Format.fprintf ppf "ldr x%d, [x%d, #%d]" rt rn off
+  | Str (rt, rn, off) -> Format.fprintf ppf "str x%d, [x%d, #%d]" rt rn off
+  | Ldrb (rt, rn, off) -> Format.fprintf ppf "ldrb w%d, [x%d, #%d]" rt rn off
+  | Ldr32 (rt, rn, off) -> Format.fprintf ppf "ldr w%d, [x%d, #%d]" rt rn off
+  | Str32 (rt, rn, off) -> Format.fprintf ppf "str w%d, [x%d, #%d]" rt rn off
+  | Strb (rt, rn, off) -> Format.fprintf ppf "strb w%d, [x%d, #%d]" rt rn off
+  | Ldr_reg (rt, rn, rm) -> Format.fprintf ppf "ldr x%d, [x%d, x%d]" rt rn rm
+  | Str_reg (rt, rn, rm) -> Format.fprintf ppf "str x%d, [x%d, x%d]" rt rn rm
+  | Ldtr (rt, rn, off) -> Format.fprintf ppf "ldtr x%d, [x%d, #%d]" rt rn off
+  | Sttr (rt, rn, off) -> Format.fprintf ppf "sttr x%d, [x%d, #%d]" rt rn off
+  | Ldtrb (rt, rn, off) ->
+      Format.fprintf ppf "ldtrb w%d, [x%d, #%d]" rt rn off
+  | Sttrb (rt, rn, off) ->
+      Format.fprintf ppf "sttrb w%d, [x%d, #%d]" rt rn off
+  | B off -> Format.fprintf ppf "b .%+d" off
+  | Bcond (c, off) ->
+      Format.fprintf ppf "b.%d .%+d" (cond_number c) off
+  | Bl off -> Format.fprintf ppf "bl .%+d" off
+  | Br r -> Format.fprintf ppf "br x%d" r
+  | Blr r -> Format.fprintf ppf "blr x%d" r
+  | Ret r -> Format.fprintf ppf "ret x%d" r
+  | Cbz (r, off) -> Format.fprintf ppf "cbz x%d, .%+d" r off
+  | Cbnz (r, off) -> Format.fprintf ppf "cbnz x%d, .%+d" r off
+  | Svc imm -> Format.fprintf ppf "svc #%d" imm
+  | Hvc imm -> Format.fprintf ppf "hvc #%d" imm
+  | Smc imm -> Format.fprintf ppf "smc #%d" imm
+  | Brk imm -> Format.fprintf ppf "brk #%d" imm
+  | Eret -> Format.pp_print_string ppf "eret"
+  | Msr (r, rt) -> Format.fprintf ppf "msr %s, x%d" (Sysreg.name r) rt
+  | Mrs (rt, r) -> Format.fprintf ppf "mrs x%d, %s" rt (Sysreg.name r)
+  | Msr_pstate (f, imm) ->
+      Format.fprintf ppf "msr %a, #%d" pp_pstate_field f imm
+  | Isb -> Format.pp_print_string ppf "isb"
+  | Dsb -> Format.pp_print_string ppf "dsb sy"
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Tlbi_vmalle1 -> Format.pp_print_string ppf "tlbi vmalle1"
+  | Tlbi_aside1 r -> Format.fprintf ppf "tlbi aside1, x%d" r
+  | At_s1e1r r -> Format.fprintf ppf "at s1e1r, x%d" r
+  | Dc_civac r -> Format.fprintf ppf "dc civac, x%d" r
+  | Ic_iallu -> Format.pp_print_string ppf "ic iallu"
+  | Wfi -> Format.pp_print_string ppf "wfi"
+  | Udf w -> Format.fprintf ppf "udf #0x%x" w

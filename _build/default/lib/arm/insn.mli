@@ -1,0 +1,82 @@
+(** The simulated AArch64 instruction subset.
+
+    The subset covers everything LightZone's mechanisms touch: ordinary
+    and unprivileged loads/stores, the system-instruction space
+    (MSR/MRS, MSR-immediate for PSTATE.PAN, SYS cache/AT/TLBI ops,
+    barriers), exception generation and return, branches, and enough ALU
+    to write call gates, attack payloads and workload kernels.
+
+    Registers are integers 0..31; register 31 reads as XZR in ALU
+    contexts and as SP in load/store base and stack contexts, as in the
+    architecture. *)
+
+type reg = int
+
+type cond =
+  | EQ | NE | CS | CC | MI | PL | VS | VC
+  | HI | LS | GE | LT | GT | LE | AL
+
+type operand = Imm of int | Reg of reg
+
+(** PSTATE fields writable by MSR (immediate). *)
+type pstate_field = PAN | SPSel | DAIFSet | DAIFClr | UAO
+
+type t =
+  (* ALU *)
+  | Movz of reg * int * int  (** rd, imm16, shift in \{0,16,32,48\}. *)
+  | Movk of reg * int * int
+  | Mov_reg of reg * reg
+  | Add of reg * reg * operand
+  | Sub of reg * reg * operand
+  | Subs of reg * reg * operand  (** CMP is [Subs (31, rn, op)]. *)
+  | And_reg of reg * reg * reg
+  | Orr_reg of reg * reg * reg
+  | Eor_reg of reg * reg * reg
+  | Lsl_imm of reg * reg * int
+  | Lsr_imm of reg * reg * int
+  (* Loads / stores. Immediate offsets are byte offsets. *)
+  | Ldr of reg * reg * int
+  | Str of reg * reg * int
+  | Ldrb of reg * reg * int
+  | Strb of reg * reg * int
+  | Ldr32 of reg * reg * int  (** LDR Wt — 32-bit, zero-extending. *)
+  | Str32 of reg * reg * int
+  | Ldr_reg of reg * reg * reg  (** rt, \[rn, rm\]. *)
+  | Str_reg of reg * reg * reg
+  | Ldtr of reg * reg * int  (** unprivileged, 64-bit. *)
+  | Sttr of reg * reg * int
+  | Ldtrb of reg * reg * int
+  | Sttrb of reg * reg * int
+  (* Branches. Offsets are byte-relative to the branch itself. *)
+  | B of int
+  | Bcond of cond * int
+  | Bl of int
+  | Br of reg
+  | Blr of reg
+  | Ret of reg
+  | Cbz of reg * int
+  | Cbnz of reg * int
+  (* Exception generation / return *)
+  | Svc of int
+  | Hvc of int
+  | Smc of int
+  | Brk of int
+  | Eret
+  (* System *)
+  | Msr of Sysreg.t * reg
+  | Mrs of reg * Sysreg.t
+  | Msr_pstate of pstate_field * int
+  | Isb
+  | Dsb
+  | Nop
+  | Tlbi_vmalle1
+  | Tlbi_aside1 of reg
+  | At_s1e1r of reg
+  | Dc_civac of reg
+  | Ic_iallu
+  | Wfi
+  | Udf of int  (** permanently undefined (raw word kept for ESR). *)
+
+val cond_number : cond -> int
+val cond_of_number : int -> cond
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,210 @@
+type t =
+  | TTBR0_EL1
+  | TTBR1_EL1
+  | TCR_EL1
+  | SCTLR_EL1
+  | MAIR_EL1
+  | VBAR_EL1
+  | ESR_EL1
+  | ELR_EL1
+  | SPSR_EL1
+  | FAR_EL1
+  | SP_EL0
+  | SP_EL1
+  | CONTEXTIDR_EL1
+  | CPACR_EL1
+  | CNTKCTL_EL1
+  | TPIDR_EL0
+  | TPIDRRO_EL0
+  | CNTVCT_EL0
+  | CNTFRQ_EL0
+  | FPCR
+  | FPSR
+  | NZCV
+  | DAIF
+  | DBGWVR0_EL1 | DBGWVR1_EL1 | DBGWVR2_EL1 | DBGWVR3_EL1
+  | DBGWCR0_EL1 | DBGWCR1_EL1 | DBGWCR2_EL1 | DBGWCR3_EL1
+  | MDSCR_EL1
+  | HCR_EL2
+  | VTTBR_EL2
+  | VTCR_EL2
+  | TTBR0_EL2
+  | TCR_EL2
+  | SCTLR_EL2
+  | VBAR_EL2
+  | ESR_EL2
+  | ELR_EL2
+  | SPSR_EL2
+  | FAR_EL2
+  | HPFAR_EL2
+  | CPTR_EL2
+  | MDCR_EL2
+  | TPIDR_EL2
+  | CNTHCTL_EL2
+  | VPIDR_EL2
+  | VMPIDR_EL2
+
+type enc = { op0 : int; op1 : int; crn : int; crm : int; op2 : int }
+
+let enc op0 op1 crn crm op2 = { op0; op1; crn; crm; op2 }
+
+(* Encodings from the ARMv8-A system register index. *)
+let encoding = function
+  | TTBR0_EL1 -> enc 3 0 2 0 0
+  | TTBR1_EL1 -> enc 3 0 2 0 1
+  | TCR_EL1 -> enc 3 0 2 0 2
+  | SCTLR_EL1 -> enc 3 0 1 0 0
+  | MAIR_EL1 -> enc 3 0 10 2 0
+  | VBAR_EL1 -> enc 3 0 12 0 0
+  | ESR_EL1 -> enc 3 0 5 2 0
+  | ELR_EL1 -> enc 3 0 4 0 1
+  | SPSR_EL1 -> enc 3 0 4 0 0
+  | FAR_EL1 -> enc 3 0 6 0 0
+  | SP_EL0 -> enc 3 0 4 1 0
+  | SP_EL1 -> enc 3 4 4 1 0
+  | CONTEXTIDR_EL1 -> enc 3 0 13 0 1
+  | CPACR_EL1 -> enc 3 0 1 0 2
+  | CNTKCTL_EL1 -> enc 3 0 14 1 0
+  | TPIDR_EL0 -> enc 3 3 13 0 2
+  | TPIDRRO_EL0 -> enc 3 3 13 0 3
+  | CNTVCT_EL0 -> enc 3 3 14 0 2
+  | CNTFRQ_EL0 -> enc 3 3 14 0 0
+  | FPCR -> enc 3 3 4 4 0
+  | FPSR -> enc 3 3 4 4 1
+  | NZCV -> enc 3 3 4 2 0
+  | DAIF -> enc 3 3 4 2 1
+  | DBGWVR0_EL1 -> enc 2 0 0 0 6
+  | DBGWVR1_EL1 -> enc 2 0 0 1 6
+  | DBGWVR2_EL1 -> enc 2 0 0 2 6
+  | DBGWVR3_EL1 -> enc 2 0 0 3 6
+  | DBGWCR0_EL1 -> enc 2 0 0 0 7
+  | DBGWCR1_EL1 -> enc 2 0 0 1 7
+  | DBGWCR2_EL1 -> enc 2 0 0 2 7
+  | DBGWCR3_EL1 -> enc 2 0 0 3 7
+  | MDSCR_EL1 -> enc 2 0 0 2 2
+  | HCR_EL2 -> enc 3 4 1 1 0
+  | VTTBR_EL2 -> enc 3 4 2 1 0
+  | VTCR_EL2 -> enc 3 4 2 1 2
+  | TTBR0_EL2 -> enc 3 4 2 0 0
+  | TCR_EL2 -> enc 3 4 2 0 2
+  | SCTLR_EL2 -> enc 3 4 1 0 0
+  | VBAR_EL2 -> enc 3 4 12 0 0
+  | ESR_EL2 -> enc 3 4 5 2 0
+  | ELR_EL2 -> enc 3 4 4 0 1
+  | SPSR_EL2 -> enc 3 4 4 0 0
+  | FAR_EL2 -> enc 3 4 6 0 0
+  | HPFAR_EL2 -> enc 3 4 6 0 4
+  | CPTR_EL2 -> enc 3 4 1 1 2
+  | MDCR_EL2 -> enc 3 4 1 1 1
+  | TPIDR_EL2 -> enc 3 4 13 0 2
+  | CNTHCTL_EL2 -> enc 3 4 14 1 0
+  | VPIDR_EL2 -> enc 3 4 0 0 0
+  | VMPIDR_EL2 -> enc 3 4 0 0 5
+
+let all =
+  [ TTBR0_EL1; TTBR1_EL1; TCR_EL1; SCTLR_EL1; MAIR_EL1; VBAR_EL1;
+    ESR_EL1; ELR_EL1; SPSR_EL1; FAR_EL1; SP_EL0; SP_EL1; CONTEXTIDR_EL1;
+    CPACR_EL1; CNTKCTL_EL1; TPIDR_EL0; TPIDRRO_EL0; CNTVCT_EL0;
+    CNTFRQ_EL0; FPCR; FPSR; NZCV; DAIF; DBGWVR0_EL1; DBGWVR1_EL1;
+    DBGWVR2_EL1; DBGWVR3_EL1; DBGWCR0_EL1; DBGWCR1_EL1; DBGWCR2_EL1;
+    DBGWCR3_EL1; MDSCR_EL1; HCR_EL2; VTTBR_EL2; VTCR_EL2; TTBR0_EL2;
+    TCR_EL2; SCTLR_EL2; VBAR_EL2; ESR_EL2; ELR_EL2; SPSR_EL2; FAR_EL2;
+    HPFAR_EL2; CPTR_EL2; MDCR_EL2; TPIDR_EL2; CNTHCTL_EL2; VPIDR_EL2;
+    VMPIDR_EL2 ]
+
+(* The EL1 state a hypervisor context-switches on a world switch; this
+   is the set KVM saves/restores, which the Table 4 calibration counts. *)
+let el1_context =
+  [ TTBR0_EL1; TTBR1_EL1; TCR_EL1; SCTLR_EL1; MAIR_EL1; VBAR_EL1;
+    ESR_EL1; ELR_EL1; SPSR_EL1; FAR_EL1; SP_EL0; SP_EL1; CONTEXTIDR_EL1;
+    CPACR_EL1; CNTKCTL_EL1; TPIDR_EL0; TPIDRRO_EL0; MDSCR_EL1 ]
+
+let of_encoding e = List.find_opt (fun r -> encoding r = e) all
+
+let name = function
+  | TTBR0_EL1 -> "TTBR0_EL1"
+  | TTBR1_EL1 -> "TTBR1_EL1"
+  | TCR_EL1 -> "TCR_EL1"
+  | SCTLR_EL1 -> "SCTLR_EL1"
+  | MAIR_EL1 -> "MAIR_EL1"
+  | VBAR_EL1 -> "VBAR_EL1"
+  | ESR_EL1 -> "ESR_EL1"
+  | ELR_EL1 -> "ELR_EL1"
+  | SPSR_EL1 -> "SPSR_EL1"
+  | FAR_EL1 -> "FAR_EL1"
+  | SP_EL0 -> "SP_EL0"
+  | SP_EL1 -> "SP_EL1"
+  | CONTEXTIDR_EL1 -> "CONTEXTIDR_EL1"
+  | CPACR_EL1 -> "CPACR_EL1"
+  | CNTKCTL_EL1 -> "CNTKCTL_EL1"
+  | TPIDR_EL0 -> "TPIDR_EL0"
+  | TPIDRRO_EL0 -> "TPIDRRO_EL0"
+  | CNTVCT_EL0 -> "CNTVCT_EL0"
+  | CNTFRQ_EL0 -> "CNTFRQ_EL0"
+  | FPCR -> "FPCR"
+  | FPSR -> "FPSR"
+  | NZCV -> "NZCV"
+  | DAIF -> "DAIF"
+  | DBGWVR0_EL1 -> "DBGWVR0_EL1"
+  | DBGWVR1_EL1 -> "DBGWVR1_EL1"
+  | DBGWVR2_EL1 -> "DBGWVR2_EL1"
+  | DBGWVR3_EL1 -> "DBGWVR3_EL1"
+  | DBGWCR0_EL1 -> "DBGWCR0_EL1"
+  | DBGWCR1_EL1 -> "DBGWCR1_EL1"
+  | DBGWCR2_EL1 -> "DBGWCR2_EL1"
+  | DBGWCR3_EL1 -> "DBGWCR3_EL1"
+  | MDSCR_EL1 -> "MDSCR_EL1"
+  | HCR_EL2 -> "HCR_EL2"
+  | VTTBR_EL2 -> "VTTBR_EL2"
+  | VTCR_EL2 -> "VTCR_EL2"
+  | TTBR0_EL2 -> "TTBR0_EL2"
+  | TCR_EL2 -> "TCR_EL2"
+  | SCTLR_EL2 -> "SCTLR_EL2"
+  | VBAR_EL2 -> "VBAR_EL2"
+  | ESR_EL2 -> "ESR_EL2"
+  | ELR_EL2 -> "ELR_EL2"
+  | SPSR_EL2 -> "SPSR_EL2"
+  | FAR_EL2 -> "FAR_EL2"
+  | HPFAR_EL2 -> "HPFAR_EL2"
+  | CPTR_EL2 -> "CPTR_EL2"
+  | MDCR_EL2 -> "MDCR_EL2"
+  | TPIDR_EL2 -> "TPIDR_EL2"
+  | CNTHCTL_EL2 -> "CNTHCTL_EL2"
+  | VPIDR_EL2 -> "VPIDR_EL2"
+  | VMPIDR_EL2 -> "VMPIDR_EL2"
+
+let min_el r =
+  match (encoding r).op1 with
+  | 3 -> Pstate.EL0
+  | 4 -> Pstate.EL2
+  | _ -> Pstate.EL1
+
+type file = (t, int) Hashtbl.t
+
+let create_file () : file = Hashtbl.create 64
+
+let read (f : file) r = Option.value (Hashtbl.find_opt f r) ~default:0
+
+let write (f : file) r v = Hashtbl.replace f r v
+
+let copy_file (f : file) = Hashtbl.copy f
+
+let transfer ~src ~dst regs =
+  List.iter (fun r -> write dst r (read src r)) regs
+
+module Hcr = struct
+  let vm = 1 lsl 0
+  let swio = 1 lsl 1
+  let fmo = 1 lsl 3
+  let imo = 1 lsl 4
+  let amo = 1 lsl 5
+  let twi = 1 lsl 13
+  let tsc = 1 lsl 19
+  let ttlb = 1 lsl 25
+  let tvm = 1 lsl 26
+  let tge = 1 lsl 27
+  let trvm = 1 lsl 30
+  let e2h = 1 lsl 34
+end
+
+let pp ppf r = Format.pp_print_string ppf (name r)

@@ -1,0 +1,118 @@
+(** ARM64 system registers: names, MSR/MRS encodings and the register
+    file used by the simulated core.
+
+    The sanitizer (paper Table 3) classifies system instructions by the
+    raw (op0, op1, CRn, CRm, op2) encoding fields, so those encodings
+    are bit-exact for every register the simulator knows about. *)
+
+type t =
+  (* EL1 translation / control *)
+  | TTBR0_EL1
+  | TTBR1_EL1
+  | TCR_EL1
+  | SCTLR_EL1
+  | MAIR_EL1
+  | VBAR_EL1
+  | ESR_EL1
+  | ELR_EL1
+  | SPSR_EL1
+  | FAR_EL1
+  | SP_EL0
+  | SP_EL1
+  | CONTEXTIDR_EL1
+  | CPACR_EL1
+  | CNTKCTL_EL1
+  (* EL0-accessible *)
+  | TPIDR_EL0
+  | TPIDRRO_EL0
+  | CNTVCT_EL0
+  | CNTFRQ_EL0
+  | FPCR
+  | FPSR
+  | NZCV
+  | DAIF
+  (* Debug / watchpoints (used by the Watchpoint baseline) *)
+  | DBGWVR0_EL1 | DBGWVR1_EL1 | DBGWVR2_EL1 | DBGWVR3_EL1
+  | DBGWCR0_EL1 | DBGWCR1_EL1 | DBGWCR2_EL1 | DBGWCR3_EL1
+  | MDSCR_EL1
+  (* EL2 *)
+  | HCR_EL2
+  | VTTBR_EL2
+  | VTCR_EL2
+  | TTBR0_EL2
+  | TCR_EL2
+  | SCTLR_EL2
+  | VBAR_EL2
+  | ESR_EL2
+  | ELR_EL2
+  | SPSR_EL2
+  | FAR_EL2
+  | HPFAR_EL2
+  | CPTR_EL2
+  | MDCR_EL2
+  | TPIDR_EL2
+  | CNTHCTL_EL2
+  | VPIDR_EL2
+  | VMPIDR_EL2
+
+type enc = { op0 : int; op1 : int; crn : int; crm : int; op2 : int }
+(** MSR/MRS encoding fields of a system register. *)
+
+val encoding : t -> enc
+(** The architectural encoding of a register. *)
+
+val of_encoding : enc -> t option
+(** Reverse lookup; [None] for encodings the simulator does not model. *)
+
+val name : t -> string
+
+val min_el : t -> Pstate.el
+(** Lowest exception level allowed to access the register
+    architecturally (ignoring HCR_EL2 trap configuration). *)
+
+val all : t list
+(** Every modelled register, for iteration in context-switch code. *)
+
+val el1_context : t list
+(** The EL1 register set a hypervisor must context-switch between a VM
+    and its host on a world switch (the "kernel-mode system registers"
+    of paper Section 5.2.1). *)
+
+(** {1 Register file} *)
+
+type file
+(** A bank of system-register values. Each simulated core has one; a
+    VM's saved vCPU context is another. *)
+
+val create_file : unit -> file
+val read : file -> t -> int
+val write : file -> t -> int -> unit
+val copy_file : file -> file
+val transfer : src:file -> dst:file -> t list -> unit
+(** [transfer ~src ~dst regs] copies each register in [regs]. *)
+
+(** {1 HCR_EL2 bits}
+
+    Hypervisor configuration bits used by LightZone (paper Sections 2.1
+    and 5.1.1). *)
+
+module Hcr : sig
+  (* Bit meanings: vm = stage-2 translation enable; fmo/imo = virtual
+     FIQ/IRQ routing; tsc = trap SMC; twi = trap WFI; tvm/trvm = trap
+     writes/reads of stage-1 translation registers; ttlb = trap TLB
+     maintenance; tge = trap general exceptions (VHE host); e2h = VHE. *)
+  val vm : int
+  val swio : int
+  val fmo : int
+  val imo : int
+  val amo : int
+  val tsc : int
+  val twi : int
+  val tvm : int
+  val ttlb : int
+  val trvm : int
+  val tge : int
+  val e2h : int
+end
+
+val pp : Format.formatter -> t -> unit

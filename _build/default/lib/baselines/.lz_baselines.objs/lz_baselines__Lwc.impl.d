@@ -1,0 +1,1 @@
+lib/baselines/lwc.ml: Bits Core Cost_model Kernel List Lz_arm Lz_cpu Lz_kernel Lz_mem Machine Mmu Printf Proc Pstate Stage1 Sysreg

@@ -1,0 +1,1 @@
+lib/baselines/lwc.mli: Lz_kernel

@@ -1,0 +1,1 @@
+lib/baselines/panic.ml: Bits Core Format Kernel List Lz_arm Lz_cpu Lz_kernel Lz_mem Machine Mmu Printf Proc Pstate Pte Stage1 Sysreg

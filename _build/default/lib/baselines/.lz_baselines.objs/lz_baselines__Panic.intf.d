@@ -1,0 +1,1 @@
+lib/baselines/panic.mli: Lz_cpu Lz_kernel

@@ -1,0 +1,1 @@
+lib/baselines/watchpoint.ml: Array Core Cost_model Kernel List Lz_arm Lz_cpu Lz_kernel Machine Proc Sysreg

@@ -1,0 +1,1 @@
+lib/baselines/watchpoint.mli: Lz_cpu Lz_kernel

@@ -1,0 +1,104 @@
+open Lz_arm
+open Lz_mem
+open Lz_cpu
+open Lz_kernel
+
+type t = { kernel : Kernel.t; proc : Proc.t; core : Core.t }
+
+type outcome =
+  | Exited of int
+  | Faulted of string
+  | Kernel_corrupted of string
+
+(* EL0 -> EL1 permission reinterpretation: pages become kernel pages;
+   user-executability becomes privileged executability. *)
+let elevate_attrs (a : Pte.s1_attrs) =
+  { a with Pte.user = false; pxn = a.uxn; uxn = true }
+
+let elevate_existing phys ~root =
+  let updates = ref [] in
+  Stage1.iter_pages phys ~root (fun ~va ~pte ~level ->
+      if level = 3 then
+        updates := (va, elevate_attrs (Pte.s1_attrs pte)) :: !updates);
+  List.iter
+    (fun (va, attrs) -> ignore (Stage1.set_attrs phys ~root ~va attrs))
+    !updates
+
+let enter ~entry ~sp kernel (proc : Proc.t) =
+  let machine = kernel.Kernel.machine in
+  let core = Machine.new_core ~route_el1_to_harness:true machine Pstate.EL1 in
+  Sysreg.write core.Core.sys Sysreg.TTBR0_EL1
+    (Mmu.ttbr_value ~root:proc.Proc.root ~asid:proc.Proc.asid);
+  (* No VM, no stage 2, no trap filters: HCR_EL2 is left at the host
+     defaults — the PANIC design point. *)
+  elevate_existing machine.Machine.phys ~root:proc.Proc.root;
+  proc.Proc.on_map <-
+    Some
+      (fun ~va ~pa:_ ~prot:_ ->
+        match Stage1.walk machine.Machine.phys ~root:proc.Proc.root ~va with
+        | Ok w ->
+            ignore
+              (Stage1.set_attrs machine.Machine.phys ~root:proc.Proc.root
+                 ~va (elevate_attrs w.Stage1.attrs))
+        | Error _ -> ());
+  core.Core.pc <- entry;
+  Core.set_sp core sp;
+  { kernel; proc; core }
+
+let alias_map t ~va ~target_va ~writable =
+  let phys = t.kernel.Kernel.machine.Machine.phys in
+  Kernel.fault_in_page t.kernel t.proc ~va:target_va;
+  match Stage1.walk phys ~root:t.proc.Proc.root ~va:target_va with
+  | Error _ -> invalid_arg "Panic.alias_map: target not mapped"
+  | Ok w ->
+      Stage1.map_page phys ~root:t.proc.Proc.root ~va
+        ~pa:(Bits.align_down w.Stage1.pa 4096)
+        { Pte.user = false; read_only = not writable; uxn = true;
+          pxn = writable; ng = true }
+
+let corruption t =
+  let ttbr0 = Sysreg.read t.core.Core.sys Sysreg.TTBR0_EL1 in
+  if Mmu.ttbr_root ttbr0 <> t.proc.Proc.root then
+    Some
+      (Printf.sprintf
+         "TTBR0_EL1 hijacked: root 0x%x is not the process table 0x%x"
+         (Mmu.ttbr_root ttbr0) t.proc.Proc.root)
+  else if Sysreg.read t.core.Core.sys Sysreg.VBAR_EL1 <> 0 then
+    Some "VBAR_EL1 overwritten by the process"
+  else None
+
+let run ?(max_insns = 10_000_000) t =
+  let budget = ref max_insns in
+  let rec loop () =
+    if !budget <= 0 then Faulted "instruction limit"
+    else begin
+      let before = t.core.Core.insns in
+      let stop = Core.run ~max_insns:!budget t.core in
+      budget := !budget - (t.core.Core.insns - before);
+      match corruption t with
+      | Some why -> Kernel_corrupted why
+      | None -> (
+          match stop with
+          | Core.Limit -> Faulted "instruction limit"
+          | Core.Trap_el1 (Core.Ec_brk code) -> Exited code
+          | Core.Trap_el1 cls -> (
+              match
+                Kernel.service_trap t.kernel t.proc t.core cls
+                  ~at:Pstate.EL1
+              with
+              | `Stop (Kernel.Exited c) -> Exited c
+              | `Stop (Kernel.Segv why) -> Faulted why
+              | `Stop Kernel.Limit_reached -> Faulted "limit"
+              | `Continue -> (
+                  match t.proc.Proc.exit_code with
+                  | Some c -> Exited c
+                  | None ->
+                      Core.eret_from_el1 t.core;
+                      loop ()))
+          | Core.Trap_el2 cls ->
+              Faulted
+                (Format.asprintf "unexpected EL2 trap: %a" Core.pp_stop
+                   (Core.Trap_el2 cls)))
+    end
+  in
+  loop ()

@@ -1,0 +1,42 @@
+(** PANIC-style PAN-assisted isolation *without* virtualization
+    (Xu et al., CCS'23) — the insecure design point the paper's
+    Section 3.2 dissects.
+
+    PANIC elevates the process to EL1 directly on the host kernel: no
+    separate VM, no stage-2 backstop, no instruction sanitizer. The
+    fatal flaw reproduced here: a malicious process maps one physical
+    frame at two virtual addresses — one writable, one executable —
+    writes privileged instructions through the writable alias, and
+    executes them through the executable one. At EL1 those
+    instructions run with full kernel privilege (e.g. rewriting
+    TTBR0_EL1 to walk arbitrary physical memory), corrupting the OS.
+
+    The security test suite demonstrates that the same attack against
+    LightZone is stopped twice over: by the sanitizer (the write flips
+    the frame to non-executable) and by stage-2 W⊕X. *)
+
+type t = {
+  kernel : Lz_kernel.Kernel.t;
+  proc : Lz_kernel.Proc.t;
+  core : Lz_cpu.Core.t;
+}
+
+type outcome =
+  | Exited of int
+  | Faulted of string
+  | Kernel_corrupted of string
+      (** the process executed a privileged operation that altered
+          host kernel state — the PANIC security failure. *)
+
+val enter :
+  entry:int -> sp:int -> Lz_kernel.Kernel.t -> Lz_kernel.Proc.t -> t
+(** Elevate the process to EL1 sharing the host's translation regime:
+    its Linux-managed page table is used as-is at EL1 (permissions
+    reinterpreted), with PAN isolation available but no VM around it. *)
+
+val alias_map : t -> va:int -> target_va:int -> writable:bool -> unit
+(** Map [va] as a second view of the frame backing [target_va] — the
+    W+X aliasing primitive the attack needs (PANIC cannot prevent a
+    process from arranging this via mmap). *)
+
+val run : ?max_insns:int -> t -> outcome

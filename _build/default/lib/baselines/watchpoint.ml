@@ -1,0 +1,105 @@
+open Lz_arm
+open Lz_cpu
+open Lz_kernel
+
+type t = {
+  kernel : Kernel.t;
+  proc : Proc.t;
+  base : int;
+  slot_bytes : int;
+  n_slots : int;
+  mutable switches : int;
+  mutable denials : int;
+}
+
+let ioctl_nr = 0x2329 (* arbitrary unused syscall number *)
+
+let vr_regs =
+  [| Sysreg.DBGWVR0_EL1; Sysreg.DBGWVR1_EL1; Sysreg.DBGWVR2_EL1;
+     Sysreg.DBGWVR3_EL1 |]
+
+let cr_regs =
+  [| Sysreg.DBGWCR0_EL1; Sysreg.DBGWCR1_EL1; Sysreg.DBGWCR2_EL1;
+     Sysreg.DBGWCR3_EL1 |]
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let slot_va t d = t.base + (d * t.slot_bytes)
+
+(* Watch ranges covering every slot except [d]: binary decomposition
+   over the slot array (sibling half, quarter, ..., down to d's
+   sibling slot). *)
+let ranges_excluding t d =
+  let rec go lo size acc =
+    (* [lo, lo+size) contains d; watch its sibling half. *)
+    if size = 1 then acc
+    else
+      let half = size / 2 in
+      let lower_half = d < lo + half in
+      let sib_lo = if lower_half then lo + half else lo in
+      let next_lo = if lower_half then lo else lo + half in
+      go next_lo half ((sib_lo, half) :: acc)
+  in
+  let pow2 =
+    let rec up n = if n >= t.n_slots then n else up (n * 2) in
+    up 1
+  in
+  (* Slots beyond n_slots do not exist; ranges covering them are
+     harmless (nothing is mapped there). *)
+  go 0 pow2 []
+
+let program_watchpoints t (core : Core.t) ~allow =
+  let at =
+    match t.kernel.Kernel.mode with
+    | Kernel.Host_vhe -> Lz_arm.Pstate.EL2
+    | Kernel.Guest -> Lz_arm.Pstate.EL1
+  in
+  let ranges =
+    match allow with
+    | None -> [ (0, t.n_slots) ]
+    | Some d -> ranges_excluding t d
+  in
+  let set i (slot, slots) =
+    let addr = slot_va t slot in
+    let bytes = slots * t.slot_bytes in
+    Core.charge_sysreg core ~at vr_regs.(i);
+    Sysreg.write core.Core.sys vr_regs.(i) addr;
+    Core.charge_sysreg core ~at cr_regs.(i);
+    Sysreg.write core.Core.sys cr_regs.(i) ((log2 bytes lsl 24) lor 1)
+  in
+  List.iteri set ranges;
+  (* The prototype rewrites all four pairs on every ioctl ("updates
+     four pairs of watchpoint registers"), so disabled pairs cost a
+     VR and a CR write too. *)
+  for i = List.length ranges to 3 do
+    Core.charge_sysreg core ~at vr_regs.(i);
+    Sysreg.write core.Core.sys vr_regs.(i) 0;
+    Core.charge_sysreg core ~at cr_regs.(i);
+    Sysreg.write core.Core.sys cr_regs.(i) 0
+  done
+
+let create kernel proc ~base ~slot_bytes ~n_slots =
+  if n_slots > 16 then invalid_arg "Watchpoint.create: at most 16 domains";
+  if slot_bytes land (slot_bytes - 1) <> 0 then
+    invalid_arg "Watchpoint.create: slot size must be a power of two";
+  let t =
+    { kernel; proc; base; slot_bytes; n_slots; switches = 0; denials = 0 }
+  in
+  let handler k (_ : Proc.t) core cls =
+    match cls with
+    | Core.Ec_svc _ when Core.reg core 8 = ioctl_nr ->
+        t.switches <- t.switches + 1;
+        Core.charge core k.Kernel.machine.Machine.cost.Cost_model.dispatch;
+        let d = Core.reg core 0 in
+        program_watchpoints t core ~allow:(if d < 0 then None else Some d);
+        Core.set_reg core 0 0;
+        true
+    | Core.Ec_watchpoint _ ->
+        t.denials <- t.denials + 1;
+        false (* fall through: default handling terminates the process *)
+    | _ -> false
+  in
+  kernel.Kernel.custom_trap <- Some handler;
+  t

@@ -1,0 +1,38 @@
+(** The ioctl-based Watchpoint comparison prototype (paper Section 8,
+    "Performance Comparison"; the approach of Jang & Kang, DAC'19).
+
+    Up to 16 protected domains live in a contiguous, power-of-two-
+    aligned slot array. All slots are watched by default. To enter
+    domain [d], the process issues an ioctl; the kernel reprograms the
+    four watchpoint register pairs so that every slot *except* [d]'s
+    is covered — a binary decomposition: the sibling half, quarter,
+    pair and slot of [d]'s position, which is why 4 mask-based
+    watchpoint pairs suffice for 16 slots and also why the layout
+    constraint exists. Every domain switch costs a full user→kernel
+    trap plus eight watchpoint-register writes. *)
+
+type t = {
+  kernel : Lz_kernel.Kernel.t;
+  proc : Lz_kernel.Proc.t;
+  base : int;        (** start of the slot array (aligned). *)
+  slot_bytes : int;  (** power of two. *)
+  n_slots : int;     (** <= 16. *)
+  mutable switches : int;
+  mutable denials : int;
+}
+
+val ioctl_nr : int
+(** Syscall number of the switch ioctl (x0 = domain index, or -1 to
+    leave all domains protected). *)
+
+val create :
+  Lz_kernel.Kernel.t -> Lz_kernel.Proc.t -> base:int -> slot_bytes:int ->
+  n_slots:int -> t
+(** Register the prototype's trap handler on the kernel and watch all
+    slots. The caller must have VMAs covering the slot array. *)
+
+val program_watchpoints : t -> Lz_cpu.Core.t -> allow:int option -> unit
+(** Kernel-side: reprogram the 4 pairs (charging register-write
+    costs). [allow = Some d] exposes slot [d]; [None] protects all. *)
+
+val slot_va : t -> int -> int

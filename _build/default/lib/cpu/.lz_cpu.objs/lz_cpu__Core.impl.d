@@ -1,0 +1,1 @@
+lib/cpu/core.ml: Array Bits Cost_model Encoding Format Insn List Lz_arm Lz_mem Mmu Phys Pstate Sysreg Tlb

@@ -1,0 +1,1 @@
+lib/cpu/core.mli: Cost_model Format Lz_arm Lz_mem

@@ -1,0 +1,1 @@
+lib/cpu/cost_model.ml: Lz_arm Pstate Sysreg

@@ -1,0 +1,548 @@
+open Lz_arm
+open Lz_mem
+
+type exception_class =
+  | Ec_svc of int
+  | Ec_hvc of int
+  | Ec_smc of int
+  | Ec_brk of int
+  | Ec_dabort of Mmu.fault
+  | Ec_iabort of Mmu.fault
+  | Ec_undef of int
+  | Ec_sysreg_trap of Insn.t
+  | Ec_wfi
+  | Ec_watchpoint of int
+
+type stop =
+  | Trap_el2 of exception_class
+  | Trap_el1 of exception_class
+  | Limit
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  mutable sp_el0 : int;
+  mutable sp_el1 : int;
+  pstate : Pstate.t;
+  sys : Sysreg.file;
+  phys : Phys.t;
+  tlb : Tlb.t;
+  cost : Cost_model.t;
+  mutable cycles : int;
+  mutable insns : int;
+  mutable route_el1_to_harness : bool;
+}
+
+let create ?(route_el1_to_harness = true) phys tlb cost el =
+  { regs = Array.make 31 0;
+    pc = 0;
+    sp_el0 = 0;
+    sp_el1 = 0;
+    pstate = Pstate.make el;
+    sys = Sysreg.create_file ();
+    phys;
+    tlb;
+    cost;
+    cycles = 0;
+    insns = 0;
+    route_el1_to_harness }
+
+let charge t c = t.cycles <- t.cycles + c
+
+let charge_sysreg t ~at reg = charge t (Cost_model.sysreg_access t.cost ~at reg)
+
+let reg t i = if i = 31 then 0 else t.regs.(i)
+
+let set_reg t i v = if i <> 31 then t.regs.(i) <- v
+
+let sp t =
+  if not t.pstate.sp_sel then t.sp_el0
+  else match t.pstate.el with
+    | Pstate.EL0 -> t.sp_el0
+    | Pstate.EL1 | Pstate.EL2 -> t.sp_el1
+
+let set_sp t v =
+  if not t.pstate.sp_sel then t.sp_el0 <- v
+  else match t.pstate.el with
+    | Pstate.EL0 -> t.sp_el0 <- v
+    | Pstate.EL1 | Pstate.EL2 -> t.sp_el1 <- v
+
+(* Base register 31 means SP in address contexts. *)
+let base_reg t i = if i = 31 then sp t else t.regs.(i)
+
+let hcr t = Sysreg.read t.sys Sysreg.HCR_EL2
+
+let stage2_active t = hcr t land Sysreg.Hcr.vm <> 0
+
+let mmu_ctx t ~unpriv =
+  let vttbr = Sysreg.read t.sys Sysreg.VTTBR_EL2 in
+  { Mmu.ttbr0 = Sysreg.read t.sys Sysreg.TTBR0_EL1;
+    ttbr1 = Sysreg.read t.sys Sysreg.TTBR1_EL1;
+    vmid = (if stage2_active t then Mmu.ttbr_asid vttbr else 0);
+    s2_root = (if stage2_active t then Some (Mmu.ttbr_root vttbr) else None);
+    el = t.pstate.el;
+    pan = t.pstate.pan;
+    unpriv }
+
+let translate t ~unpriv access ~va =
+  match Mmu.translate t.phys t.tlb (mmu_ctx t ~unpriv) access ~va with
+  | Ok ok ->
+      if not ok.tlb_hit then charge t (ok.walk_reads * t.cost.pte_read);
+      Ok ok.pa
+  | Error f -> Error f
+
+let read_mem t ?(unpriv = false) ~width va =
+  match translate t ~unpriv Mmu.Read ~va with
+  | Error f -> Error f
+  | Ok pa ->
+      charge t t.cost.mem_access;
+      Ok (match width with
+          | 1 -> Phys.read8 t.phys pa
+          | 4 -> Phys.read32 t.phys pa
+          | 8 -> Phys.read64 t.phys pa
+          | _ -> invalid_arg "Core.read_mem: width")
+
+let write_mem t ?(unpriv = false) ~width va v =
+  match translate t ~unpriv Mmu.Write ~va with
+  | Error f -> Error f
+  | Ok pa ->
+      charge t t.cost.mem_access;
+      (match width with
+      | 1 -> Phys.write8 t.phys pa v
+      | 4 -> Phys.write32 t.phys pa v
+      | 8 -> Phys.write64 t.phys pa v
+      | _ -> invalid_arg "Core.write_mem: width");
+      Ok ()
+
+(* Watchpoint match: WVR holds the base address, WCR bit 0 enables,
+   WCR bits 28..24 hold MASK (the watched range is 2^MASK bytes). *)
+let watchpoint_hit t va =
+  let pairs =
+    [ (Sysreg.DBGWVR0_EL1, Sysreg.DBGWCR0_EL1);
+      (Sysreg.DBGWVR1_EL1, Sysreg.DBGWCR1_EL1);
+      (Sysreg.DBGWVR2_EL1, Sysreg.DBGWCR2_EL1);
+      (Sysreg.DBGWVR3_EL1, Sysreg.DBGWCR3_EL1) ]
+  in
+  List.exists
+    (fun (vr, cr) ->
+      let c = Sysreg.read t.sys cr in
+      Bits.bit c 0
+      &&
+      let m = Bits.extract c ~hi:28 ~lo:24 in
+      let base = Sysreg.read t.sys vr in
+      let size = if m = 0 then 8 else 1 lsl m in
+      va >= base && va < base + size)
+    pairs
+
+let esr_of_class = function
+  | Ec_svc imm -> (0x15 lsl 26) lor imm
+  | Ec_hvc imm -> (0x16 lsl 26) lor imm
+  | Ec_smc imm -> (0x17 lsl 26) lor imm
+  | Ec_brk imm -> (0x3C lsl 26) lor imm
+  | Ec_dabort f ->
+      let dfsc =
+        match f.kind with
+        | Mmu.Translation -> 0b000100 + f.level
+        | Mmu.Permission -> 0b001100 + f.level
+      in
+      let wnr = if f.access = Mmu.Write then 1 lsl 6 else 0 in
+      let s2 = if f.stage = 2 then 1 lsl 7 else 0 in
+      (0x24 lsl 26) lor dfsc lor wnr lor s2
+  | Ec_iabort f ->
+      let ifsc =
+        match f.kind with
+        | Mmu.Translation -> 0b000100 + f.level
+        | Mmu.Permission -> 0b001100 + f.level
+      in
+      let s2 = if f.stage = 2 then 1 lsl 7 else 0 in
+      (0x20 lsl 26) lor ifsc lor s2
+  | Ec_undef _ -> 0
+  | Ec_sysreg_trap _ -> 0x18 lsl 26
+  | Ec_wfi -> 0x01 lsl 26
+  | Ec_watchpoint _ -> 0x34 lsl 26
+
+let fault_of_class = function
+  | Ec_dabort f | Ec_iabort f -> Some f
+  | _ -> None
+
+let take_exception_to_el2 t cls =
+  let from = t.pstate.el in
+  Sysreg.write t.sys Sysreg.ESR_EL2 (esr_of_class cls);
+  Sysreg.write t.sys Sysreg.SPSR_EL2 (Pstate.to_spsr t.pstate);
+  (match fault_of_class cls with
+  | Some f ->
+      Sysreg.write t.sys Sysreg.FAR_EL2 f.va;
+      if f.stage = 2 then Sysreg.write t.sys Sysreg.HPFAR_EL2 f.ipa
+  | None -> ());
+  (match cls with
+  | Ec_watchpoint va -> Sysreg.write t.sys Sysreg.FAR_EL2 va
+  | _ -> ());
+  t.pstate.el <- Pstate.EL2;
+  t.pstate.sp_sel <- true;
+  charge t
+    (if from = Pstate.EL0 then t.cost.exc_entry_el2_from_el0
+     else t.cost.exc_entry_el2_from_el1)
+
+let take_exception_to_el1 t cls ~ret =
+  let from = t.pstate.el in
+  Sysreg.write t.sys Sysreg.ESR_EL1 (esr_of_class cls);
+  Sysreg.write t.sys Sysreg.ELR_EL1 ret;
+  Sysreg.write t.sys Sysreg.SPSR_EL1 (Pstate.to_spsr t.pstate);
+  (match fault_of_class cls with
+  | Some f -> Sysreg.write t.sys Sysreg.FAR_EL1 f.va
+  | None -> ());
+  (match cls with
+  | Ec_watchpoint va -> Sysreg.write t.sys Sysreg.FAR_EL1 va
+  | _ -> ());
+  t.pstate.el <- Pstate.EL1;
+  t.pstate.sp_sel <- true;
+  charge t t.cost.exc_entry_el1;
+  (* Vector offset: 0x200 for current-EL-with-SPx, 0x400 from EL0. *)
+  let vbar = Sysreg.read t.sys Sysreg.VBAR_EL1 in
+  t.pc <- vbar + if from = Pstate.EL0 then 0x400 else 0x200
+
+let eret_from_el2 t =
+  t.pc <- Sysreg.read t.sys Sysreg.ELR_EL2;
+  Pstate.of_spsr t.pstate (Sysreg.read t.sys Sysreg.SPSR_EL2);
+  charge t t.cost.eret_el2
+
+let eret_from_el1 t =
+  t.pc <- Sysreg.read t.sys Sysreg.ELR_EL1;
+  Pstate.of_spsr t.pstate (Sysreg.read t.sys Sysreg.SPSR_EL1);
+  charge t t.cost.eret_el1
+
+(* Exception routing: decides who handles an exception, performs the
+   architectural entry, and reports whether the harness takes over. *)
+let deliver t cls ~ret =
+  let to_el2 () =
+    Sysreg.write t.sys Sysreg.ELR_EL2 ret;
+    take_exception_to_el2 t cls;
+    Some (Trap_el2 cls)
+  in
+  let to_el1 () =
+    if t.route_el1_to_harness then begin
+      take_exception_to_el1 t cls ~ret;
+      Some (Trap_el1 cls)
+    end
+    else begin
+      take_exception_to_el1 t cls ~ret;
+      None
+    end
+  in
+  let tge = hcr t land Sysreg.Hcr.tge <> 0 in
+  match cls with
+  | Ec_hvc _ | Ec_smc _ | Ec_sysreg_trap _ | Ec_wfi -> to_el2 ()
+  | Ec_dabort f | Ec_iabort f when f.stage = 2 -> to_el2 ()
+  | _ -> if t.pstate.el = Pstate.EL0 && tge then to_el2 () else to_el1 ()
+
+let stage1_trap_regs =
+  [ Sysreg.TTBR0_EL1; Sysreg.TTBR1_EL1; Sysreg.TCR_EL1; Sysreg.SCTLR_EL1;
+    Sysreg.MAIR_EL1; Sysreg.CONTEXTIDR_EL1 ]
+
+exception Exc of exception_class * int (* class, return address *)
+
+let cond_holds (p : Pstate.t) = function
+  | Insn.EQ -> p.z
+  | Insn.NE -> not p.z
+  | Insn.CS -> p.c
+  | Insn.CC -> not p.c
+  | Insn.MI -> p.n
+  | Insn.PL -> not p.n
+  | Insn.VS -> p.v
+  | Insn.VC -> not p.v
+  | Insn.HI -> p.c && not p.z
+  | Insn.LS -> not p.c || p.z
+  | Insn.GE -> p.n = p.v
+  | Insn.LT -> p.n <> p.v
+  | Insn.GT -> (not p.z) && p.n = p.v
+  | Insn.LE -> p.z || p.n <> p.v
+  | Insn.AL -> true
+
+let operand_value t = function
+  | Insn.Imm i -> i
+  | Insn.Reg r -> reg t r
+
+(* All arithmetic is on OCaml's 63-bit ints; the simulated software
+   (gates, kernels, workloads) never relies on bits 62-63. *)
+let exec_alu t insn =
+  charge t t.cost.insn_base;
+  match insn with
+  | Insn.Movz (rd, imm, sh) -> set_reg t rd (imm lsl sh)
+  | Insn.Movk (rd, imm, sh) ->
+      let old = reg t rd in
+      set_reg t rd (Bits.insert old ~hi:(min 62 (sh + 15)) ~lo:sh imm)
+  | Insn.Mov_reg (rd, rm) -> set_reg t rd (reg t rm)
+  | Insn.Add (rd, rn, op) -> set_reg t rd (reg t rn + operand_value t op)
+  | Insn.Sub (rd, rn, op) -> set_reg t rd (reg t rn - operand_value t op)
+  | Insn.Subs (rd, rn, op) ->
+      let a = reg t rn and b = operand_value t op in
+      let r = a - b in
+      set_reg t rd r;
+      t.pstate.n <- r < 0;
+      t.pstate.z <- r = 0;
+      (* C is the no-borrow flag of the unsigned comparison. *)
+      t.pstate.c <- (a land max_int) >= (b land max_int);
+      t.pstate.v <- false
+  | Insn.And_reg (rd, rn, rm) -> set_reg t rd (reg t rn land reg t rm)
+  | Insn.Orr_reg (rd, rn, rm) -> set_reg t rd (reg t rn lor reg t rm)
+  | Insn.Eor_reg (rd, rn, rm) -> set_reg t rd (reg t rn lxor reg t rm)
+  | Insn.Lsl_imm (rd, rn, sh) -> set_reg t rd (reg t rn lsl sh)
+  | Insn.Lsr_imm (rd, rn, sh) ->
+      set_reg t rd ((reg t rn land max_int) lsr sh)
+  | _ -> assert false
+
+(* System-register access checks: privilege and HCR trap bits. *)
+let check_sysreg_access t insn r ~is_write ~ret =
+  let el = t.pstate.el in
+  let need = Sysreg.min_el r in
+  if Pstate.el_number el < Pstate.el_number need then
+    raise (Exc (Ec_undef (Encoding.encode insn), ret));
+  if el = Pstate.EL1 then begin
+    let h = hcr t in
+    let trapped =
+      (is_write && h land Sysreg.Hcr.tvm <> 0
+       && List.mem r stage1_trap_regs)
+      || ((not is_write) && h land Sysreg.Hcr.trvm <> 0
+          && List.mem r stage1_trap_regs)
+    in
+    if trapped then raise (Exc (Ec_sysreg_trap insn, ret))
+  end
+
+let exec_sysreg t insn ~ret =
+  match insn with
+  | Insn.Msr (r, rt) -> (
+      check_sysreg_access t insn r ~is_write:true ~ret;
+      charge_sysreg t ~at:t.pstate.el r;
+      match r with
+      | Sysreg.NZCV -> Pstate.set_nzcv t.pstate (reg t rt lsr 28)
+      | Sysreg.DAIF -> t.pstate.daif <- (reg t rt lsr 6) land 0xF
+      | Sysreg.SP_EL0 -> t.sp_el0 <- reg t rt
+      | r -> Sysreg.write t.sys r (reg t rt))
+  | Insn.Mrs (rt, r) -> (
+      check_sysreg_access t insn r ~is_write:false ~ret;
+      charge_sysreg t ~at:t.pstate.el r;
+      match r with
+      | Sysreg.NZCV -> set_reg t rt (Pstate.nzcv t.pstate lsl 28)
+      | Sysreg.DAIF -> set_reg t rt (t.pstate.daif lsl 6)
+      | Sysreg.SP_EL0 -> set_reg t rt t.sp_el0
+      | Sysreg.CNTVCT_EL0 -> set_reg t rt t.cycles
+      | r -> set_reg t rt (Sysreg.read t.sys r))
+  | Insn.Msr_pstate (f, imm) -> (
+      (match f with
+      | Insn.PAN | Insn.SPSel | Insn.UAO ->
+          if t.pstate.el = Pstate.EL0 then
+            raise (Exc (Ec_undef (Encoding.encode insn), ret))
+      | Insn.DAIFSet | Insn.DAIFClr -> ());
+      charge t t.cost.pan_toggle;
+      match f with
+      | Insn.PAN -> t.pstate.pan <- imm land 1 = 1
+      | Insn.SPSel -> t.pstate.sp_sel <- imm land 1 = 1
+      | Insn.UAO -> ()
+      | Insn.DAIFSet -> t.pstate.daif <- t.pstate.daif lor imm
+      | Insn.DAIFClr -> t.pstate.daif <- t.pstate.daif land lnot imm)
+  | _ -> assert false
+
+let current_vmid t =
+  if stage2_active t then Mmu.ttbr_asid (Sysreg.read t.sys Sysreg.VTTBR_EL2)
+  else 0
+
+let exec_tlbi t insn ~ret =
+  if t.pstate.el = Pstate.EL0 then
+    raise (Exc (Ec_undef (Encoding.encode insn), ret));
+  if t.pstate.el = Pstate.EL1 && hcr t land Sysreg.Hcr.ttlb <> 0 then
+    raise (Exc (Ec_sysreg_trap insn, ret));
+  charge t t.cost.tlbi;
+  match insn with
+  | Insn.Tlbi_vmalle1 -> Tlb.flush_vmid t.tlb (current_vmid t)
+  | Insn.Tlbi_aside1 r ->
+      let asid = (reg t r lsr 48) land 0x3FFF in
+      Tlb.flush_asid t.tlb ~vmid:(current_vmid t) ~asid
+  | _ -> assert false
+
+let data_access t ~is_store ~width ~unpriv ~va ~ret k =
+  if t.pstate.el <> Pstate.EL2 && watchpoint_hit t va then
+    raise (Exc (Ec_watchpoint va, ret));
+  let access = if is_store then Mmu.Write else Mmu.Read in
+  match translate t ~unpriv access ~va with
+  | Error f -> raise (Exc (Ec_dabort f, ret))
+  | Ok pa ->
+      charge t t.cost.mem_access;
+      k pa;
+      ignore width
+
+let exec t insn ~pc_cur ~next =
+  let ret_here = pc_cur and ret_next = next in
+  (match insn with
+  | Insn.Movz _ | Insn.Movk _ | Insn.Mov_reg _ | Insn.Add _ | Insn.Sub _
+  | Insn.Subs _ | Insn.And_reg _ | Insn.Orr_reg _ | Insn.Eor_reg _
+  | Insn.Lsl_imm _ | Insn.Lsr_imm _ ->
+      exec_alu t insn;
+      t.pc <- next
+  | Insn.Ldr (rt, rn, off) ->
+      data_access t ~is_store:false ~width:8 ~unpriv:false
+        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
+          set_reg t rt (Phys.read64 t.phys pa));
+      t.pc <- next
+  | Insn.Str (rt, rn, off) ->
+      data_access t ~is_store:true ~width:8 ~unpriv:false
+        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
+          Phys.write64 t.phys pa (reg t rt));
+      t.pc <- next
+  | Insn.Ldrb (rt, rn, off) ->
+      data_access t ~is_store:false ~width:1 ~unpriv:false
+        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
+          set_reg t rt (Phys.read8 t.phys pa));
+      t.pc <- next
+  | Insn.Ldr32 (rt, rn, off) ->
+      data_access t ~is_store:false ~width:4 ~unpriv:false
+        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
+          set_reg t rt (Phys.read32 t.phys pa));
+      t.pc <- next
+  | Insn.Str32 (rt, rn, off) ->
+      data_access t ~is_store:true ~width:4 ~unpriv:false
+        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
+          Phys.write32 t.phys pa (reg t rt land 0xFFFFFFFF));
+      t.pc <- next
+  | Insn.Strb (rt, rn, off) ->
+      data_access t ~is_store:true ~width:1 ~unpriv:false
+        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
+          Phys.write8 t.phys pa (reg t rt));
+      t.pc <- next
+  | Insn.Ldr_reg (rt, rn, rm) ->
+      data_access t ~is_store:false ~width:8 ~unpriv:false
+        ~va:(base_reg t rn + reg t rm) ~ret:ret_here (fun pa ->
+          set_reg t rt (Phys.read64 t.phys pa));
+      t.pc <- next
+  | Insn.Str_reg (rt, rn, rm) ->
+      data_access t ~is_store:true ~width:8 ~unpriv:false
+        ~va:(base_reg t rn + reg t rm) ~ret:ret_here (fun pa ->
+          Phys.write64 t.phys pa (reg t rt));
+      t.pc <- next
+  | Insn.Ldtr (rt, rn, off) ->
+      data_access t ~is_store:false ~width:8 ~unpriv:true
+        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
+          set_reg t rt (Phys.read64 t.phys pa));
+      t.pc <- next
+  | Insn.Sttr (rt, rn, off) ->
+      data_access t ~is_store:true ~width:8 ~unpriv:true
+        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
+          Phys.write64 t.phys pa (reg t rt));
+      t.pc <- next
+  | Insn.Ldtrb (rt, rn, off) ->
+      data_access t ~is_store:false ~width:1 ~unpriv:true
+        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
+          set_reg t rt (Phys.read8 t.phys pa));
+      t.pc <- next
+  | Insn.Sttrb (rt, rn, off) ->
+      data_access t ~is_store:true ~width:1 ~unpriv:true
+        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
+          Phys.write8 t.phys pa (reg t rt));
+      t.pc <- next
+  | Insn.B off ->
+      charge t t.cost.insn_base;
+      t.pc <- pc_cur + off
+  | Insn.Bcond (c, off) ->
+      charge t t.cost.insn_base;
+      t.pc <- (if cond_holds t.pstate c then pc_cur + off else next)
+  | Insn.Bl off ->
+      charge t t.cost.insn_base;
+      set_reg t 30 next;
+      t.pc <- pc_cur + off
+  | Insn.Br r ->
+      charge t t.cost.insn_base;
+      t.pc <- reg t r
+  | Insn.Blr r ->
+      charge t t.cost.insn_base;
+      set_reg t 30 next;
+      t.pc <- reg t r
+  | Insn.Ret r ->
+      charge t t.cost.insn_base;
+      t.pc <- reg t r
+  | Insn.Cbz (r, off) ->
+      charge t t.cost.insn_base;
+      t.pc <- (if reg t r = 0 then pc_cur + off else next)
+  | Insn.Cbnz (r, off) ->
+      charge t t.cost.insn_base;
+      t.pc <- (if reg t r <> 0 then pc_cur + off else next)
+  | Insn.Svc imm -> raise (Exc (Ec_svc imm, ret_next))
+  | Insn.Hvc imm ->
+      if t.pstate.el = Pstate.EL0 then
+        raise (Exc (Ec_undef (Encoding.encode insn), ret_here))
+      else raise (Exc (Ec_hvc imm, ret_next))
+  | Insn.Smc imm ->
+      if t.pstate.el = Pstate.EL0 then
+        raise (Exc (Ec_undef (Encoding.encode insn), ret_here))
+      else raise (Exc (Ec_smc imm, ret_next))
+  | Insn.Brk imm -> raise (Exc (Ec_brk imm, ret_here))
+  | Insn.Eret ->
+      if t.pstate.el <> Pstate.EL1 then
+        raise (Exc (Ec_undef (Encoding.encode insn), ret_here))
+      else eret_from_el1 t
+  | Insn.Msr _ | Insn.Mrs _ | Insn.Msr_pstate _ ->
+      exec_sysreg t insn ~ret:ret_here;
+      t.pc <- next
+  | Insn.Isb ->
+      charge t t.cost.isb;
+      t.pc <- next
+  | Insn.Dsb ->
+      charge t t.cost.dsb;
+      t.pc <- next
+  | Insn.Nop ->
+      charge t t.cost.insn_base;
+      t.pc <- next
+  | Insn.Tlbi_vmalle1 | Insn.Tlbi_aside1 _ ->
+      exec_tlbi t insn ~ret:ret_here;
+      t.pc <- next
+  | Insn.At_s1e1r _ | Insn.Dc_civac _ | Insn.Ic_iallu ->
+      if t.pstate.el = Pstate.EL0 then
+        raise (Exc (Ec_undef (Encoding.encode insn), ret_here))
+      else begin
+        charge t t.cost.dsb;
+        t.pc <- next
+      end
+  | Insn.Wfi ->
+      if t.pstate.el <> Pstate.EL2 && hcr t land Sysreg.Hcr.twi <> 0 then
+        raise (Exc (Ec_wfi, ret_next))
+      else begin
+        charge t t.cost.insn_base;
+        t.pc <- next
+      end
+  | Insn.Udf w -> raise (Exc (Ec_undef w, ret_here)))
+
+let step t =
+  let pc_cur = t.pc in
+  let next = pc_cur + 4 in
+  t.insns <- t.insns + 1;
+  charge t t.cost.insn_base;
+  try
+    match translate t ~unpriv:false Mmu.Exec ~va:pc_cur with
+    | Error f -> deliver t (Ec_iabort f) ~ret:pc_cur
+    | Ok pa ->
+        let insn = Encoding.decode (Phys.read32 t.phys pa) in
+        exec t insn ~pc_cur ~next;
+        None
+  with Exc (cls, ret) -> deliver t cls ~ret
+
+let run ?(max_insns = 10_000_000) t =
+  let rec loop budget =
+    if budget <= 0 then Limit
+    else match step t with None -> loop (budget - 1) | Some s -> s
+  in
+  loop max_insns
+
+let pp_class ppf = function
+  | Ec_svc i -> Format.fprintf ppf "svc #%d" i
+  | Ec_hvc i -> Format.fprintf ppf "hvc #%d" i
+  | Ec_smc i -> Format.fprintf ppf "smc #%d" i
+  | Ec_brk i -> Format.fprintf ppf "brk #%d" i
+  | Ec_dabort f -> Format.fprintf ppf "dabort: %a" Mmu.pp_fault f
+  | Ec_iabort f -> Format.fprintf ppf "iabort: %a" Mmu.pp_fault f
+  | Ec_undef w -> Format.fprintf ppf "undef 0x%08x" w
+  | Ec_sysreg_trap i -> Format.fprintf ppf "sysreg trap: %a" Insn.pp i
+  | Ec_wfi -> Format.pp_print_string ppf "wfi"
+  | Ec_watchpoint va -> Format.fprintf ppf "watchpoint va=0x%x" va
+
+let pp_stop ppf = function
+  | Trap_el2 c -> Format.fprintf ppf "trap->EL2 (%a)" pp_class c
+  | Trap_el1 c -> Format.fprintf ppf "trap->EL1 (%a)" pp_class c
+  | Limit -> Format.pp_print_string ppf "instruction limit"

@@ -1,0 +1,107 @@
+(** Simulated ARM64 core.
+
+    The core executes simulated instructions at EL0/EL1; software that
+    architecturally runs at EL2 (the VHE host kernel, KVM, LightZone
+    Lowvisor) — and, for ordinary guest processes, the guest kernel at
+    EL1 — is modelled in OCaml. Whenever an exception routes to a level
+    handled in OCaml, {!run} stops and reports the exception; the OCaml
+    handler manipulates the core (registers, system registers, page
+    tables, cycle charges) and resumes it.
+
+    Exceptions that target EL1 can instead be delivered architecturally
+    into simulated code ([route_el1_to_harness = false]): LightZone
+    processes run at EL1 with a small simulated vector stub that
+    forwards traps to the kernel module via HVC, exactly as the paper's
+    user-space API library does (Section 5.1.3). *)
+
+type exception_class =
+  | Ec_svc of int
+  | Ec_hvc of int
+  | Ec_smc of int
+  | Ec_brk of int
+  | Ec_dabort of Lz_mem.Mmu.fault
+  | Ec_iabort of Lz_mem.Mmu.fault
+  | Ec_undef of int  (** raw instruction word. *)
+  | Ec_sysreg_trap of Lz_arm.Insn.t  (** MSR/MRS/TLBI trapped by HCR. *)
+  | Ec_wfi
+  | Ec_watchpoint of int  (** faulting data address. *)
+
+type stop =
+  | Trap_el2 of exception_class
+  | Trap_el1 of exception_class
+      (** only when [route_el1_to_harness] is true. *)
+  | Limit  (** instruction budget exhausted. *)
+
+type t = {
+  regs : int array;  (** x0..x30. *)
+  mutable pc : int;
+  mutable sp_el0 : int;
+  mutable sp_el1 : int;
+  pstate : Lz_arm.Pstate.t;
+  sys : Lz_arm.Sysreg.file;
+  phys : Lz_mem.Phys.t;
+  tlb : Lz_mem.Tlb.t;
+  cost : Cost_model.t;
+  mutable cycles : int;
+  mutable insns : int;
+  mutable route_el1_to_harness : bool;
+}
+
+val create :
+  ?route_el1_to_harness:bool ->
+  Lz_mem.Phys.t -> Lz_mem.Tlb.t -> Cost_model.t -> Lz_arm.Pstate.el -> t
+
+val charge : t -> int -> unit
+(** Add cycles (used by OCaml-modelled kernel/hypervisor work). *)
+
+val charge_sysreg : t -> at:Lz_arm.Pstate.el -> Lz_arm.Sysreg.t -> unit
+(** Charge one system-register access performed by OCaml-modelled
+    software running at [at]. *)
+
+val reg : t -> int -> int
+(** Read x0..x30; register 31 reads as zero. *)
+
+val set_reg : t -> int -> int -> unit
+(** Write x0..x30; writes to 31 are discarded. *)
+
+val sp : t -> int
+(** Current stack pointer per PSTATE.SPSel and EL. *)
+
+val set_sp : t -> int -> unit
+
+val mmu_ctx : t -> unpriv:bool -> Lz_mem.Mmu.ctx
+(** Translation context from current architectural state. *)
+
+val read_mem :
+  t -> ?unpriv:bool -> width:int -> int -> (int, Lz_mem.Mmu.fault) result
+(** Simulated data read at the current privilege (charges cycles). *)
+
+val write_mem :
+  t -> ?unpriv:bool -> width:int -> int -> int ->
+  (unit, Lz_mem.Mmu.fault) result
+
+val step : t -> stop option
+(** Execute one instruction; [None] when execution simply continues. *)
+
+val run : ?max_insns:int -> t -> stop
+(** Run until an OCaml-handled trap or the instruction budget
+    (default 10,000,000) runs out. *)
+
+val take_exception_to_el2 : t -> exception_class -> unit
+(** Perform the architectural part of exception entry to EL2 (ELR,
+    SPSR, ESR, PSTATE) and charge its cost. Exposed so OCaml EL2
+    handlers see faithful banked state; called internally by {!step}. *)
+
+val eret_from_el2 : t -> unit
+(** Return from an OCaml EL2 handler to the state saved in
+    ELR_EL2/SPSR_EL2 (charges the ERET cost). *)
+
+val eret_from_el1 : t -> unit
+(** Return to the state saved in ELR_EL1/SPSR_EL1 — used by the OCaml
+    guest-kernel model after a [Trap_el1]. *)
+
+val esr_of_class : exception_class -> int
+(** Encode an exception class into an ESR-like syndrome word (EC in
+    bits 31..26, ISS below), as the vector stubs and handlers see. *)
+
+val pp_stop : Format.formatter -> stop -> unit

@@ -1,0 +1,1 @@
+lib/eval/ablation.ml: Cost_model Lightzone List Lz_arm Lz_cpu Switch_bench Trap_bench

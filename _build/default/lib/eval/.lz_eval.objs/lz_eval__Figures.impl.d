@@ -1,0 +1,1 @@
+lib/eval/figures.ml: List Lz_cpu Lz_workloads Mysql_sim Nginx_sim Nvm_bench Profiles Switch_bench

@@ -1,0 +1,1 @@
+lib/eval/figures.mli: Lz_cpu Profiles Switch_bench

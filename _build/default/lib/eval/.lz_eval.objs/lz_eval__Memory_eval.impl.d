@@ -1,0 +1,1 @@
+lib/eval/memory_eval.ml: Api Gate Kernel Kmod Lightzone List Lz_kernel Lz_mem Machine Perm Vma

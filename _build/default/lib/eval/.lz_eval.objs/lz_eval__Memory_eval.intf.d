@@ -1,0 +1,1 @@
+lib/eval/memory_eval.mli: Lz_cpu

@@ -1,0 +1,1 @@
+lib/eval/profiles.ml: Cost_model Hashtbl Iso_profile Lz_cpu Lz_workloads Printf Switch_bench Trap_bench

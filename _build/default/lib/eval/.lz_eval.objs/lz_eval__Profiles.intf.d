@@ -1,0 +1,1 @@
+lib/eval/profiles.mli: Lz_cpu Lz_workloads Switch_bench

@@ -1,0 +1,1 @@
+lib/eval/switch_bench.ml: Api Builder Bytes Core Cost_model Format Insn Int64 Kernel Kmod Lightzone List Lowvisor Lz_arm Lz_baselines Lz_cpu Lz_hyp Lz_kernel Machine Perm Random Vma

@@ -1,0 +1,1 @@
+lib/eval/switch_bench.mli: Lz_cpu

@@ -1,0 +1,1 @@
+lib/eval/table1.ml: Lz_baselines

@@ -1,0 +1,1 @@
+lib/eval/trap_bench.ml: Api Builder Core Cost_model Encoding Format Gate Insn Kernel Kmod Lightzone List Lowvisor Lz_arm Lz_cpu Lz_hyp Lz_kernel Lz_mem Machine Pstate Sysreg Vma

@@ -1,0 +1,1 @@
+lib/eval/trap_bench.mli: Lz_cpu

@@ -1,0 +1,101 @@
+open Lz_cpu
+
+type row = {
+  what : string;
+  with_opt : float;
+  without_opt : float;
+  unit_ : string;
+}
+
+(* Without the Section 5.2.1 retention optimization every LightZone
+   trap switches HCR_EL2 and VTTBR_EL2 both ways, like a conventional
+   VM exit does. *)
+let trap_retention cm =
+  let with_opt = float_of_int (Trap_bench.lz_to_host_el2 cm) in
+  let without_opt =
+    with_opt
+    +. (2. *. float_of_int cm.Cost_model.hcr_write)
+    +. (2. *. float_of_int cm.Cost_model.vttbr_write)
+  in
+  { what = "LightZone host trap (retain vs switch HCR/VTTBR, 5.2.1)";
+    with_opt; without_opt; unit_ = "cycles/trap" }
+
+(* The gate's check phase: phase 2 re-materializes the table pointers
+   and re-queries both tables. Composed from the same primitives the
+   measured gate executes (instruction count from Gate.gate_code). *)
+let gate_check_phase cm =
+  let full =
+    Switch_bench.measure cm ~env:Switch_bench.Host
+      ~mechanism:Switch_bench.Lz_ttbr ~domains:8 ~iterations:1_000 ()
+  in
+  let code = Lightzone.Gate.gate_code ~gate_id:0 in
+  (* Phase 2 = everything after the ISB: count its instructions and
+     loads. *)
+  let rec after_isb = function
+    | Lz_arm.Insn.Isb :: rest -> rest
+    | _ :: rest -> after_isb rest
+    | [] -> []
+  in
+  let phase2 = after_isb code in
+  let loads =
+    List.length
+      (List.filter
+         (function
+           | Lz_arm.Insn.Ldr _ | Lz_arm.Insn.Ldr_reg _ -> true
+           | _ -> false)
+         phase2)
+  in
+  let sysregs =
+    List.length
+      (List.filter
+         (function Lz_arm.Insn.Mrs _ -> true | _ -> false)
+         phase2)
+  in
+  let phase2_cost =
+    float_of_int
+      ((List.length phase2 * cm.Cost_model.insn_base)
+      + (loads * cm.Cost_model.mem_access)
+      + (sysregs * cm.Cost_model.sysreg_el1_at_el1))
+  in
+  { what = "TTBR switch (checked gate vs unchecked switch, 6.2)";
+    with_opt = full;
+    without_opt = full -. phase2_cost;
+    unit_ = "cycles/switch" }
+
+(* Stage-2 nesting: page-walk reads with and without the second
+   stage (19 vs 4 descriptor fetches on a 4-level walk). *)
+let stage2_walk cm =
+  let one_stage = float_of_int (4 * cm.Cost_model.pte_read) in
+  let two_stage = float_of_int (19 * cm.Cost_model.pte_read) in
+  { what = "TLB-miss page walk (single-stage vs stage-2/fake-phys, 5.1.2)";
+    with_opt = two_stage;
+    without_opt = one_stage;
+    unit_ = "cycles/miss" }
+
+(* PAN versus TTBR for a two-domain split: the efficiency/scalability
+   trade-off of Section 4.1.2. *)
+let pan_vs_ttbr cm =
+  let pan =
+    Switch_bench.measure cm ~env:Switch_bench.Host
+      ~mechanism:Switch_bench.Lz_pan ~domains:1 ~iterations:1_000 ()
+  in
+  let ttbr =
+    Switch_bench.measure cm ~env:Switch_bench.Host
+      ~mechanism:Switch_bench.Lz_ttbr ~domains:2 ~iterations:1_000 ()
+  in
+  { what = "two-domain switch (PAN vs TTBR mechanism, 4.1.2)";
+    with_opt = pan; without_opt = ttbr; unit_ = "cycles/switch" }
+
+(* The Section 10 worst case: an application that does nothing but
+   short syscalls (a getpid storm). The LightZone "tax" is the per-
+   syscall delta versus a plain host process; on Carmel it is negative
+   because the retention optimization makes LightZone faster. *)
+let syscall_storm cm =
+  let host = float_of_int (Trap_bench.host_user_to_el2 cm) in
+  let lz = float_of_int (Trap_bench.lz_to_host_el2 cm) in
+  { what = "getpid-storm syscall cost (plain process vs LightZone, 10)";
+    with_opt = lz; without_opt = host; unit_ = "cycles/syscall" }
+
+let rows cm =
+  [ trap_retention cm; gate_check_phase cm; stage2_walk cm; pan_vs_ttbr cm;
+    syscall_storm cm ]

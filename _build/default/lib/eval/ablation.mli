@@ -1,0 +1,21 @@
+(** Ablation measurements for the design choices the paper motivates:
+
+    - Section 5.2.1 — conditionally *retaining* HCR_EL2/VTTBR_EL2
+      across LightZone traps instead of switching them every time;
+    - Section 6.2 — the call gate's check phase (what the gate would
+      cost without re-validation — the insecure strawman);
+    - Section 5.1.2 — the stage-2 / fake-physical layer's page-walk
+      overhead versus running single-stage.
+
+    Each row reports "with" (the shipped design, measured) and
+    "without" (the naive alternative: measured where possible,
+    composed from the same calibrated primitives otherwise). *)
+
+type row = {
+  what : string;
+  with_opt : float;
+  without_opt : float;
+  unit_ : string;
+}
+
+val rows : Lz_cpu.Cost_model.t -> row list

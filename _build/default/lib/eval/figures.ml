@@ -1,0 +1,123 @@
+open Lz_workloads
+
+type setting = {
+  cm : Lz_cpu.Cost_model.t;
+  env : Switch_bench.env;
+  label : string;
+}
+
+let settings =
+  [ { cm = Lz_cpu.Cost_model.carmel; env = Switch_bench.Host;
+      label = "Carmel Host" };
+    { cm = Lz_cpu.Cost_model.carmel; env = Switch_bench.Guest;
+      label = "Carmel Guest" };
+    { cm = Lz_cpu.Cost_model.cortex_a55; env = Switch_bench.Host;
+      label = "Cortex Host" };
+    { cm = Lz_cpu.Cost_model.cortex_a55; env = Switch_bench.Guest;
+      label = "Cortex Guest" } ]
+
+type series = {
+  mech : Profiles.mech;
+  points : (int * float) list;
+  loss_pct : float;
+}
+
+let loss ~orig ~v = (orig -. v) /. orig *. 100.
+
+let fig3 ?(requests = 2_000) s =
+  let concurrencies = [ 1; 2; 4; 8; 16; 32 ] in
+  let run mech c =
+    let iso = Profiles.profile s.cm s.env mech in
+    let p = { Nginx_sim.default_params with
+              Nginx_sim.requests; concurrency = c } in
+    (Nginx_sim.run s.cm ~iso p).Nginx_sim.throughput_rps
+  in
+  let ref_c = 8 in
+  let orig_ref = run Profiles.Orig ref_c in
+  List.map
+    (fun mech ->
+      { mech;
+        points = List.map (fun c -> (c, run mech c)) concurrencies;
+        loss_pct = loss ~orig:orig_ref ~v:(run mech ref_c) })
+    Profiles.all_mechs
+
+let fig4 ?(transactions = 2_000) s =
+  let thread_counts = [ 1; 2; 4; 8; 16; 32 ] in
+  let run mech th =
+    let iso = Profiles.profile s.cm s.env mech in
+    let p = { Mysql_sim.default_params with
+              Mysql_sim.transactions; threads = th } in
+    (Mysql_sim.run s.cm ~iso p).Mysql_sim.throughput_tps
+  in
+  let ref_t = 8 in
+  let orig_ref = run Profiles.Orig ref_t in
+  List.map
+    (fun mech ->
+      { mech;
+        points = List.map (fun th -> (th, run mech th)) thread_counts;
+        loss_pct = loss ~orig:orig_ref ~v:(run mech ref_t) })
+    Profiles.all_mechs
+
+let fig5 ?(operations = 100_000) s =
+  let buffer_counts = [ 1; 2; 4; 8; 16; 32; 64; 128 ] in
+  let run mech n =
+    let iso = Profiles.profile s.cm s.env mech in
+    let p = { Nvm_bench.default_params with
+              Nvm_bench.buffers = n; operations } in
+    (Nvm_bench.run s.cm ~iso p).Nvm_bench.overhead_pct
+  in
+  (* Overhead is already relative to the unprotected run; the
+     "original" series is identically zero and omitted. PAN puts all
+     buffers into one protected domain, so its overhead does not
+     depend on the count. Watchpoint cannot go beyond 16. *)
+  List.filter_map
+    (fun mech ->
+      if mech = Profiles.Orig then None
+      else
+        let pts =
+          List.filter_map
+            (fun n ->
+              if mech = Profiles.Wp && n > 16 then None
+              else Some (n, run mech n))
+            buffer_counts
+        in
+        Some { mech; points = pts; loss_pct = run mech 16 })
+    Profiles.all_mechs
+
+let paper_fig3_loss =
+  [ ("Cortex Host",
+     [ (Profiles.Lz_pan, 0.91); (Profiles.Lz_ttbr, 3.01);
+       (Profiles.Wp, 6.14); (Profiles.Lwc, 13.71) ]);
+    ("Cortex Guest",
+     [ (Profiles.Lz_pan, 1.98); (Profiles.Lz_ttbr, 2.03);
+       (Profiles.Wp, 6.04); (Profiles.Lwc, 21.24) ]);
+    ("Carmel Host",
+     [ (Profiles.Lz_pan, 1.35); (Profiles.Lz_ttbr, 5.65);
+       (Profiles.Wp, 45.46); (Profiles.Lwc, 59.03) ]);
+    ("Carmel Guest",
+     [ (Profiles.Lz_pan, 25.24); (Profiles.Lz_ttbr, 26.91);
+       (Profiles.Wp, 23.58); (Profiles.Lwc, 26.65) ]) ]
+
+let paper_fig4_loss =
+  [ ("Cortex Host",
+     [ (Profiles.Lz_pan, 1.0); (Profiles.Lz_ttbr, 2.84);
+       (Profiles.Wp, 2.34); (Profiles.Lwc, 12.76) ]);
+    ("Cortex Guest",
+     [ (Profiles.Lz_pan, 1.0); (Profiles.Lz_ttbr, 2.35);
+       (Profiles.Wp, 1.18); (Profiles.Lwc, 5.47) ]);
+    ("Carmel Host",
+     [ (Profiles.Lz_pan, 0.5); (Profiles.Lz_ttbr, 3.79);
+       (Profiles.Wp, 8.35); (Profiles.Lwc, 11.80) ]);
+    ("Carmel Guest",
+     [ (Profiles.Lz_pan, 10.0); (Profiles.Lz_ttbr, 10.0);
+       (Profiles.Wp, 10.0); (Profiles.Lwc, 10.0) ]) ]
+
+let paper_fig5_loss =
+  [ ("Cortex Host",
+     [ (Profiles.Lz_pan, 0.26); (Profiles.Lz_ttbr, 1.81) ]);
+    ("Cortex Guest",
+     [ (Profiles.Lz_pan, 0.20); (Profiles.Lz_ttbr, 3.76) ]);
+    ("Carmel Host",
+     [ (Profiles.Lz_pan, 1.75); (Profiles.Lz_ttbr, 12.92) ]);
+    ("Carmel Guest",
+     [ (Profiles.Lz_pan, 4.39); (Profiles.Lz_ttbr, 16.64) ]) ]

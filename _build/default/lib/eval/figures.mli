@@ -1,0 +1,39 @@
+(** Figures 3, 4 and 5: the application benchmarks.
+
+    Each figure function returns, per (platform, environment), the
+    mechanism series the paper plots, produced by running the real
+    workload models over measured isolation profiles. Figures report
+    throughput (3, 4) or overhead percentages (5); [loss_pct] gives
+    the summary number the paper quotes in prose. *)
+
+type setting = {
+  cm : Lz_cpu.Cost_model.t;
+  env : Switch_bench.env;
+  label : string;  (** e.g. "Carmel Host". *)
+}
+
+val settings : setting list
+(** Carmel/Cortex x Host/Guest — the four panels of each figure. *)
+
+type series = {
+  mech : Profiles.mech;
+  points : (int * float) list;  (** x (sweep value) -> y. *)
+  loss_pct : float;  (** throughput loss (or overhead) vs original at
+                         the reference sweep point. *)
+}
+
+val fig3 : ?requests:int -> setting -> series list
+(** Nginx throughput vs concurrent clients (1 worker, 1 KiB file). *)
+
+val fig4 : ?transactions:int -> setting -> series list
+(** MySQL throughput vs client threads (10 tables x 10k records). *)
+
+val fig5 : ?operations:int -> setting -> series list
+(** NVM data-structure overhead (%) vs number of 2 MiB buffers.
+    PAN places all buffers in one domain; TTBR gives each its own. *)
+
+val paper_fig3_loss : (string * (Profiles.mech * float) list) list
+(** The throughput-loss percentages quoted in Section 9.1. *)
+
+val paper_fig4_loss : (string * (Profiles.mech * float) list) list
+val paper_fig5_loss : (string * (Profiles.mech * float) list) list

@@ -1,0 +1,95 @@
+open Lz_cpu
+open Lz_workloads
+
+type mech = Orig | Lz_pan | Lz_ttbr | Wp | Lwc
+
+let all_mechs = [ Orig; Lz_pan; Lz_ttbr; Wp; Lwc ]
+
+let mech_name = function
+  | Orig -> "original"
+  | Lz_pan -> "LightZone PAN"
+  | Lz_ttbr -> "LightZone TTBR"
+  | Wp -> "Watchpoint"
+  | Lwc -> "lwC"
+
+let cache : (string, Iso_profile.t) Hashtbl.t = Hashtbl.create 32
+
+let clear_cache () = Hashtbl.reset cache
+
+let key cm env mech =
+  Printf.sprintf "%s/%s/%s" (Cost_model.name cm)
+    (match env with Switch_bench.Host -> "host" | Switch_bench.Guest -> "guest")
+    (mech_name mech)
+
+(* Extra page-walk work per TLB miss under stage-2 nesting: a two-
+   stage walk fetches 19 descriptors where a one-stage walk fetches 4
+   (Section 10's stage-2 paging overhead). *)
+let tlb_extra cm = float_of_int ((19 - 4) * cm.Cost_model.pte_read)
+
+let vanilla_syscall cm env =
+  match env with
+  | Switch_bench.Host -> float_of_int (Trap_bench.host_user_to_el2 cm)
+  | Switch_bench.Guest -> float_of_int (Trap_bench.guest_user_to_el1 cm)
+
+let lz_syscall cm env =
+  match env with
+  | Switch_bench.Host -> float_of_int (Trap_bench.lz_to_host_el2 cm)
+  | Switch_bench.Guest ->
+      float_of_int (fst (Trap_bench.lz_to_guest_kernel cm))
+
+let iterations = 1_000
+
+let build cm env mech =
+  let switch m d =
+    Switch_bench.measure cm ~env ~mechanism:m ~domains:d ~iterations ()
+  in
+  match mech with
+  | Orig ->
+      Iso_profile.vanilla ~syscall_cycles:(vanilla_syscall cm env)
+  | Lz_pan ->
+      let pair = switch Switch_bench.Lz_pan 1 in
+      { Iso_profile.name = mech_name mech;
+        domain_enter_cycles = pair /. 2.;
+        domain_exit_cycles = pair /. 2.;
+        syscall_cycles = lz_syscall cm env;
+        tlb_miss_extra_cycles = tlb_extra cm;
+        ttbr_extra_miss_factor = 1.0;
+        max_domains = 2 }
+  | Lz_ttbr ->
+      let g = switch Switch_bench.Lz_ttbr 32 in
+      { Iso_profile.name = mech_name mech;
+        domain_enter_cycles = g;
+        domain_exit_cycles = g;
+        syscall_cycles = lz_syscall cm env;
+        tlb_miss_extra_cycles = tlb_extra cm;
+        (* protected pages are per-ASID (non-global): roughly twice
+           the miss traffic of the PAN single-table layout *)
+        ttbr_extra_miss_factor = 2.0;
+        max_domains = 65536 }
+  | Wp ->
+      let w = switch Switch_bench.Wp_ioctl 8 in
+      { Iso_profile.name = mech_name mech;
+        domain_enter_cycles = w;
+        domain_exit_cycles = w;
+        syscall_cycles = vanilla_syscall cm env;
+        tlb_miss_extra_cycles = 0.;
+        ttbr_extra_miss_factor = 1.0;
+        max_domains = 16 }
+  | Lwc ->
+      let l = switch Switch_bench.Lwc_switch 8 in
+      { Iso_profile.name = mech_name mech;
+        domain_enter_cycles = l;
+        domain_exit_cycles = l;
+        syscall_cycles = vanilla_syscall cm env;
+        tlb_miss_extra_cycles = 0.;
+        ttbr_extra_miss_factor = 1.0;
+        max_domains = -1 }
+
+let profile cm env mech =
+  let k = key cm env mech in
+  match Hashtbl.find_opt cache k with
+  | Some p -> p
+  | None ->
+      let p = build cm env mech in
+      Hashtbl.replace cache k p;
+      p

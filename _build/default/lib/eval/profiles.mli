@@ -1,0 +1,18 @@
+(** Measured isolation profiles.
+
+    Bridges the microbenchmarks to the application models: every
+    number in a profile comes from running the real mechanism on the
+    simulator ({!Trap_bench} syscall paths, {!Switch_bench} domain
+    switches). Profiles are memoized per (platform, environment,
+    mechanism) because the measurements are not free. *)
+
+type mech = Orig | Lz_pan | Lz_ttbr | Wp | Lwc
+
+val all_mechs : mech list
+val mech_name : mech -> string
+
+val profile :
+  Lz_cpu.Cost_model.t -> Switch_bench.env -> mech ->
+  Lz_workloads.Iso_profile.t
+
+val clear_cache : unit -> unit

@@ -1,0 +1,255 @@
+open Lz_arm
+open Lz_cpu
+open Lz_kernel
+open Lightzone
+
+type env = Host | Guest
+
+type mechanism = Lz_pan | Lz_ttbr | Wp_ioctl | Lwc_switch
+
+(* Internal: the same program with unprotected accesses and no switch
+   instructions — the loop-harness baseline subtracted from every
+   measurement so results mean "switch + access", as in the paper. *)
+type mech_or_base = Mech of mechanism | Base_access
+
+let code_va = 0x400000
+let funcs_va = 0x420000
+let arr_va = 0x500000
+let domains_va = 0x600000
+let stack_va = 0x7F0000000000
+
+let func_stride_insns = 16
+
+(* Main loop: x19 = index array, x20 = i, x21 = n, x22 = funcs base,
+   x23 = scratch. Each iteration loads the next domain index, computes
+   the access function's address and calls it. *)
+let emit_main_loop b ~n =
+  Builder.mov_imm64 b 19 arr_va;
+  Builder.emit b [ Insn.Movz (20, 0, 0) ];
+  Builder.emit b
+    [ Insn.Movz (21, n land 0xFFFF, 0);
+      Insn.Movk (21, (n lsr 16) land 0xFFFF, 16) ];
+  Builder.mov_imm64 b 22 funcs_va;
+  let loop = Builder.here b in
+  Builder.emit b
+    [ Insn.Lsl_imm (23, 20, 3);
+      Insn.Ldr_reg (0, 19, 23);
+      Insn.Lsl_imm (0, 0, 6);  (* x64-byte function stride *)
+      Insn.Add (0, 22, Insn.Reg 0);
+      Insn.Blr 0;
+      Insn.Add (20, 20, Insn.Imm 1);
+      Insn.Subs (31, 20, Insn.Reg 21) ];
+  Builder.emit b [ Insn.Bcond (Insn.NE, loop - Builder.here b) ];
+  Builder.emit b [ Insn.Brk 0 ]
+
+let pad_to b va =
+  while Builder.here b < va do
+    Builder.emit b [ Insn.Nop ]
+  done
+
+let pad_func b start =
+  while Builder.here b - start < 4 * func_stride_insns do
+    Builder.emit b [ Insn.Nop ]
+  done
+
+(* Access function for domain [d] under each mechanism. All clobber
+   x24 (saved lr), x0, x1 and the gate registers. *)
+let emit_func b ~mech ~d =
+  let start = Builder.here b in
+  let dva = domains_va + (d * 4096) in
+  (match mech with
+  | Base_access ->
+      Builder.emit b [ Insn.Mov_reg (24, 30) ];
+      Builder.mov_imm64 b 0 dva;
+      Builder.emit b [ Insn.Ldr (1, 0, 0); Insn.Mov_reg (30, 24); Insn.Ret 30 ]
+  | Mech Lz_ttbr ->
+      Builder.emit b [ Insn.Mov_reg (24, 30) ];
+      Builder.switch_gate b ~gate:d;
+      Builder.mov_imm64 b 0 dva;
+      Builder.emit b [ Insn.Ldr (1, 0, 0); Insn.Mov_reg (30, 24); Insn.Ret 30 ]
+  | Mech Lz_pan ->
+      Builder.set_pan b false;
+      Builder.mov_imm64 b 0 dva;
+      Builder.emit b [ Insn.Ldr (1, 0, 0) ];
+      Builder.set_pan b true;
+      Builder.emit b [ Insn.Ret 30 ]
+  | Mech Wp_ioctl ->
+      Builder.emit b
+        [ Insn.Movz (8, Lz_baselines.Watchpoint.ioctl_nr, 0);
+          Insn.Movz (0, d, 0); Insn.Svc 0 ];
+      Builder.mov_imm64 b 0 dva;
+      Builder.emit b [ Insn.Ldr (1, 0, 0); Insn.Ret 30 ]
+  | Mech Lwc_switch ->
+      Builder.emit b
+        [ Insn.Movz (8, Lz_baselines.Lwc.lwswitch_nr, 0);
+          Insn.Movz (0, d, 0); Insn.Svc 0 ];
+      Builder.mov_imm64 b 0 dva;
+      Builder.emit b [ Insn.Ldr (1, 0, 0); Insn.Ret 30 ]);
+  pad_func b start
+
+let build_program ~mech ~domains ~n =
+  let b = Builder.create ~base:code_va in
+  emit_main_loop b ~n;
+  pad_to b funcs_va;
+  for d = 0 to domains - 1 do
+    emit_func b ~mech ~d
+  done;
+  b
+
+let write_indices kernel proc ~domains ~n =
+  let prng = Random.State.make [| 0x7735; domains |] in
+  let buf = Bytes.create (8 * n) in
+  for i = 0 to n - 1 do
+    Bytes.set_int64_le buf (8 * i)
+      (Int64.of_int (Random.State.int prng domains))
+  done;
+  Kernel.write_user kernel proc ~va:arr_va buf
+
+let setup_proc kernel ~domains ~n =
+  let proc = Kernel.create_process kernel in
+  ignore (Kernel.map_anon kernel proc ~at:(stack_va - 0x10000) ~len:0x10000
+            Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:arr_va ~len:(8 * n + 4096) Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:domains_va
+            ~len:(domains * 4096) Vma.rw);
+  write_indices kernel proc ~domains ~n;
+  proc
+
+(* ------------------------------------------------------------------ *)
+(* LightZone measurement *)
+
+let run_lz cm ~env ~mech ~domains ~n =
+  let machine = Machine.create ~cost:cm () in
+  let kernel, backend =
+    match env with
+    | Host -> (Kernel.create machine Kernel.Host_vhe, Kmod.Host)
+    | Guest ->
+        let hyp = Lz_hyp.Hypervisor.create machine in
+        let vm = Lz_hyp.Hypervisor.create_vm hyp in
+        let gk = Lz_hyp.Hypervisor.make_guest_kernel hyp vm in
+        (gk, Kmod.Guest (Lowvisor.create hyp vm))
+  in
+  let proc = setup_proc kernel ~domains ~n in
+  let scalable = mech = Mech Lz_ttbr in
+  let t =
+    Api.lz_enter ~backend ~allow_scalable:scalable
+      ~insn_san:(if scalable then 1 else 2)
+      ~entry:code_va ~sp:stack_va kernel proc
+  in
+  (match mech with
+  | Mech Lz_ttbr ->
+      for d = 0 to domains - 1 do
+        let pgt = Api.lz_alloc t in
+        Api.lz_map_gate_pgt t ~pgt ~gate:d;
+        Api.lz_prot t ~addr:(domains_va + (d * 4096)) ~len:4096 ~pgt
+          ~perm:(Perm.read lor Perm.write)
+      done
+  | Mech Lz_pan | Base_access -> (
+      match mech with
+      | Mech Lz_pan ->
+          Api.lz_prot t ~addr:domains_va ~len:(domains * 4096)
+            ~pgt:Perm.pgt_all
+            ~perm:(Perm.read lor Perm.write lor Perm.user)
+      | _ -> ())
+  | _ -> assert false);
+  let b = build_program ~mech ~domains ~n in
+  Api.load_and_register t b ~va:code_va;
+  match Api.run ~max_insns:(200_000_000) t with
+  | Kmod.Exited _ -> t.Kmod.core.Core.cycles
+  | o -> failwith (Format.asprintf "switch bench (lz): %a" Kmod.pp_outcome o)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline (EL0 process) measurement *)
+
+let run_el0 cm ~env ~mech ~domains ~n =
+  let machine = Machine.create ~cost:cm () in
+  let kernel, run_process =
+    match env with
+    | Host ->
+        let k = Kernel.create machine Kernel.Host_vhe in
+        (k, fun proc core -> Kernel.run k proc core)
+    | Guest ->
+        let hyp = Lz_hyp.Hypervisor.create machine in
+        let vm = Lz_hyp.Hypervisor.create_vm hyp in
+        let gk = Lz_hyp.Hypervisor.make_guest_kernel hyp vm in
+        (gk, fun proc core ->
+            Lz_hyp.Hypervisor.run_guest_process hyp vm gk proc core)
+  in
+  let proc = setup_proc kernel ~domains ~n in
+  (match mech with
+  | Base_access -> ()
+  | Mech Wp_ioctl ->
+      ignore
+        (Lz_baselines.Watchpoint.create kernel proc ~base:domains_va
+           ~slot_bytes:4096 ~n_slots:domains)
+  | Mech Lwc_switch ->
+      let lwc = Lz_baselines.Lwc.create kernel proc in
+      (* Populate the domains, then one context per domain. *)
+      Kernel.populate kernel proc ~start:domains_va ~len:(domains * 4096);
+      for d = 0 to domains - 1 do
+        ignore
+          (Lz_baselines.Lwc.new_context lwc
+             ~domain:(Some (domains_va + (d * 4096), 4096)))
+      done
+  | _ -> assert false);
+  let b = build_program ~mech ~domains ~n in
+  let insns, _ = Builder.finish b in
+  Kernel.load_program kernel proc ~va:code_va insns;
+  let core = Kernel.new_user_core kernel proc ~entry:code_va ~sp:stack_va in
+  match run_process proc core with
+  | Kernel.Exited _ -> core.Core.cycles
+  | Kernel.Segv why -> failwith ("switch bench (el0): " ^ why)
+  | Kernel.Limit_reached -> failwith "switch bench (el0): limit"
+
+let measure cm ~env ~mechanism ~domains ?(iterations = 2_000) () =
+  (* The harness baseline (same loop, unprotected access, no switch)
+     runs in the same environment as the mechanism — inside a
+     LightZone process for LightZone mechanisms, as a plain process
+     for the EL0 baselines — and is subtracted, leaving "switch +
+     access", the paper's metric (the access is added back). Slope
+     between a half-length and the full run removes setup and warm-up
+     (demand paging, sanitizer scans, compulsory TLB misses). *)
+  let in_lz = match mechanism with Lz_pan | Lz_ttbr -> true | _ -> false in
+  let run mech n =
+    if in_lz then run_lz cm ~env ~mech ~domains ~n
+    else run_el0 cm ~env ~mech ~domains ~n
+  in
+  let slope mech =
+    let n1 = max 64 (iterations / 2) in
+    let c1 = run mech n1 and c2 = run mech iterations in
+    float_of_int (c2 - c1) /. float_of_int (iterations - n1)
+  in
+  slope (Mech mechanism) -. slope Base_access
+  +. float_of_int cm.Cost_model.mem_access
+
+let table5 ?iterations cm env =
+  let counts = [ 1; 2; 3; 32; 64; 128 ] in
+  List.map
+    (fun d ->
+      let wp =
+        if d <= 16 then
+          Some (measure cm ~env ~mechanism:Wp_ioctl ~domains:d ?iterations ())
+        else None
+      in
+      let lz =
+        if d = 1 then
+          Some (measure cm ~env ~mechanism:Lz_pan ~domains:1 ?iterations ())
+        else
+          Some (measure cm ~env ~mechanism:Lz_ttbr ~domains:d ?iterations ())
+      in
+      (d, wp, lz))
+    counts
+
+let paper_table5 =
+  [ ("Carmel Host",
+     [ (1, Some 6759., Some 22.); (2, Some 6787., Some 477.);
+       (3, Some 6944., Some 483.); (32, None, Some 469.);
+       (64, None, Some 485.); (128, None, Some 490.) ]);
+    ("Carmel Guest",
+     [ (1, Some 2710., Some 22.); (2, Some 2733., Some 495.);
+       (3, Some 2721., Some 494.); (32, None, Some 484.);
+       (64, None, Some 498.); (128, None, Some 507.) ]);
+    ("Cortex",
+     [ (1, Some 915., Some 11.); (2, Some 930., Some 59.);
+       (3, Some 927., Some 57.); (32, None, Some 64.);
+       (64, None, Some 74.); (128, None, Some 82.) ]) ]

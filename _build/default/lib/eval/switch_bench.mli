@@ -1,0 +1,32 @@
+(** Table 5 — average cycles per domain switch (with secure call gate)
+    for varying numbers of protected domains, plus the lwC and
+    Watchpoint comparison switches the figures need.
+
+    The measurement program is the paper's: create N 4 KiB domains,
+    attach each to its own page table, then randomly switch between
+    the page tables and access 8 bytes of the current domain,
+    repeating [iterations] times. The program really runs on the
+    simulated core — every switch passes through the emitted gate
+    instructions (or PAN toggles / ioctls / lwSwitches), every access
+    goes through the two-stage MMU and the TLB. *)
+
+type env = Host | Guest
+
+type mechanism = Lz_pan | Lz_ttbr | Wp_ioctl | Lwc_switch
+
+val measure :
+  Lz_cpu.Cost_model.t -> env:env -> mechanism:mechanism -> domains:int ->
+  ?iterations:int -> unit -> float
+(** Average cycles per switch+access. [iterations] defaults to 2,000
+    (the paper uses 10,000; the average is stable well before that —
+    the full count is used by the bench executable). *)
+
+val table5 :
+  ?iterations:int -> Lz_cpu.Cost_model.t -> env ->
+  (int * float option * float option) list
+(** Rows for one platform+environment: domain count, Watchpoint
+    cycles (None beyond its 16-domain limit), LightZone cycles (PAN
+    for 1 domain, TTBR beyond — the paper's column layout). *)
+
+val paper_table5 : (string * (int * float option * float option) list) list
+(** Paper values keyed by "Carmel Host" / "Carmel Guest" / "Cortex". *)

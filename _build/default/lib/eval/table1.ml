@@ -1,0 +1,73 @@
+type framework = {
+  name : string;
+  scalability : string;
+  scalable : bool;
+  efficient : string;
+  secure : bool;
+  pcb : string;
+}
+
+let rows () =
+  let sfi_full = Lz_baselines.Sfi.properties Lz_baselines.Sfi.Classic_full in
+  let sfi_store = Lz_baselines.Sfi.properties Lz_baselines.Sfi.Store_only in
+  let lfi = Lz_baselines.Sfi.properties Lz_baselines.Sfi.Lfi in
+  ignore sfi_full;
+  [ { name = "Watchpoint";
+      scalability = "16";
+      scalable = false;
+      efficient = "mediocre (trap per switch)";
+      secure = true;
+      pcb = "yes" };
+    { name = "PANIC";
+      scalability = "2";
+      scalable = false;
+      efficient = "yes";
+      secure = false;  (* W+X aliasing attack, demonstrated in the
+                          penetration tests *)
+      pcb = "yes" };
+    { name = "Capacity";
+      scalability = "16";
+      scalable = false;
+      efficient = "no (tag maintenance + kernel traps)";
+      secure = true;
+      pcb = "no" };
+    { name = "LFI";
+      scalability =
+        (match lfi.Lz_baselines.Sfi.max_domains with
+        | `Bounded n -> string_of_int n
+        | _ -> "?");
+      scalable = true;
+      efficient = "mediocre (~7% compile-time instrumentation)";
+      secure = true;
+      pcb = (if lfi.Lz_baselines.Sfi.isolates_precompiled then "yes" else "no") };
+    { name = "LightZone (this)";
+      scalability = "65536";
+      scalable = true;
+      efficient = "yes (22/11-cycle PAN, sub-500-cycle TTBR switches)";
+      secure = true;
+      pcb = "yes" };
+    { name = "SFI (load+store)";
+      scalability = "design-dependent";
+      scalable = true;
+      efficient = "no (>20%)";
+      secure = true;
+      pcb = "depends on binary rewriting" };
+    { name = "SFI without sandboxing loads";
+      scalability = "design-dependent";
+      scalable = true;
+      efficient = "mediocre (5-15%)";
+      secure = not (Lz_baselines.Sfi.leaks_reads Lz_baselines.Sfi.Store_only)
+               && sfi_store.Lz_baselines.Sfi.sandboxes_loads;
+      pcb = "depends" };
+    { name = "TDI";
+      scalability = "# of data types";
+      scalable = false;
+      efficient = "mediocre (5-10%)";
+      secure = true;
+      pcb = "no" };
+    { name = "lwC";
+      scalability = "unbounded";
+      scalable = true;
+      efficient = "no (context switch per transition)";
+      secure = true;
+      pcb = "yes" } ]

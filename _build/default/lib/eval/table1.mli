@@ -1,0 +1,15 @@
+(** Table 1 — qualitative comparison of in-process isolation
+    frameworks for ARM64. Properties are derived from the implemented
+    modules where possible (max domains, trap-free switching, the
+    ability to confine pre-compiled binaries), not hardcoded prose. *)
+
+type framework = {
+  name : string;
+  scalability : string;   (** max domain count, as the paper prints. *)
+  scalable : bool;
+  efficient : string;     (** "yes" / "no" / "mediocre". *)
+  secure : bool;
+  pcb : string;           (** pre-compiled binaries: yes/no/depends. *)
+}
+
+val rows : unit -> framework list

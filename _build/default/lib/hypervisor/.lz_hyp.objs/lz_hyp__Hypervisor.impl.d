@@ -1,0 +1,1 @@
+lib/hypervisor/hypervisor.ml: Bits Core Cost_model Format Kernel List Lz_arm Lz_cpu Lz_kernel Lz_mem Machine Mmu Phys Proc Pstate Stage2 Sysreg Vm

@@ -1,0 +1,1 @@
+lib/hypervisor/hypervisor.mli: Lz_cpu Lz_kernel Lz_mem Vm

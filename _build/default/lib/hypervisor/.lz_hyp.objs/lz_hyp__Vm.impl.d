@@ -1,0 +1,1 @@
+lib/hypervisor/vm.ml: Lz_arm Lz_kernel Lz_mem

@@ -1,0 +1,1 @@
+lib/hypervisor/vm.mli: Lz_arm Lz_kernel

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Bits Buffer Bytes Core Cost_model Encoding Format Insn Int32 List Lz_arm Lz_cpu Lz_mem Machine Mmu Phys Printf Proc Pstate Pte Stage1 Sysreg Tlb Vma

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Bytes Lz_arm Lz_cpu Lz_mem Machine Proc Vma

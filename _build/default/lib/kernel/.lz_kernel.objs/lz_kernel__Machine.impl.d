@@ -1,0 +1,1 @@
+lib/kernel/machine.ml: Lz_cpu Lz_mem

@@ -1,0 +1,1 @@
+lib/kernel/machine.mli: Lz_arm Lz_cpu Lz_mem

@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Buffer Format List Lz_mem Machine Vma

@@ -1,0 +1,1 @@
+lib/kernel/proc.mli: Buffer Format Machine Vma

@@ -1,0 +1,1 @@
+lib/kernel/vma.ml: Format Lz_arm

@@ -1,0 +1,14 @@
+type t = {
+  phys : Lz_mem.Phys.t;
+  tlb : Lz_mem.Tlb.t;
+  cost : Lz_cpu.Cost_model.t;
+}
+
+let create ?(cost = Lz_cpu.Cost_model.cortex_a55) ?(mem_mib = 512)
+    ?(tlb_capacity = 120) () =
+  { phys = Lz_mem.Phys.create ~size_mib:mem_mib ();
+    tlb = Lz_mem.Tlb.create ~capacity:tlb_capacity ();
+    cost }
+
+let new_core ?route_el1_to_harness t el =
+  Lz_cpu.Core.create ?route_el1_to_harness t.phys t.tlb t.cost el

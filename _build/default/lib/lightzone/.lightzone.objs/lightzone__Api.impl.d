@@ -1,0 +1,1 @@
+lib/lightzone/api.ml: Buffer Builder Kmod List Lz_kernel Printf Sanitizer

@@ -1,0 +1,1 @@
+lib/lightzone/api.mli: Builder Kmod Lz_kernel Perm

@@ -1,0 +1,1 @@
+lib/lightzone/builder.ml: Gate List Lz_arm

@@ -1,0 +1,1 @@
+lib/lightzone/builder.mli: Lz_arm

@@ -1,0 +1,1 @@
+lib/lightzone/fake_phys.ml: Hashtbl Lz_arm

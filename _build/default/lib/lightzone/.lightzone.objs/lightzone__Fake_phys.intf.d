@@ -1,0 +1,1 @@
+lib/lightzone/fake_phys.mli:

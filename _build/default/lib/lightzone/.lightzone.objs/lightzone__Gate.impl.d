@@ -1,0 +1,1 @@
+lib/lightzone/gate.ml: Insn List Lz_arm Lz_mem Sysreg

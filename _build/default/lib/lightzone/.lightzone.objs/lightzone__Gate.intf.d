@@ -1,0 +1,1 @@
+lib/lightzone/gate.mli: Lz_arm Lz_mem

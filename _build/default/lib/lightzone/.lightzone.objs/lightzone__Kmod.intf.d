@@ -1,0 +1,1 @@
+lib/lightzone/kmod.mli: Fake_phys Format Hashtbl Lowvisor Lz_cpu Lz_kernel Lz_mem Lz_table Perm Sanitizer

@@ -1,0 +1,1 @@
+lib/lightzone/lowvisor.ml: Core Cost_model List Lz_arm Lz_cpu Lz_hyp Pstate Sysreg

@@ -1,0 +1,1 @@
+lib/lightzone/lowvisor.mli: Lz_arm Lz_cpu Lz_hyp

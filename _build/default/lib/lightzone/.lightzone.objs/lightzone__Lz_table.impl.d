@@ -1,0 +1,1 @@
+lib/lightzone/lz_table.ml: Fake_phys Lz_mem Mmu Phys Pte Stage2

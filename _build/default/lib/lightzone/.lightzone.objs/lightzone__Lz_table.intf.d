@@ -1,0 +1,1 @@
+lib/lightzone/lz_table.mli: Fake_phys Lz_mem

@@ -1,0 +1,1 @@
+lib/lightzone/perm.mli: Format

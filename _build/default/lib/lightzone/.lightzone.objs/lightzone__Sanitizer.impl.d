@@ -1,0 +1,1 @@
+lib/lightzone/sanitizer.ml: Encoding Format Lz_arm Lz_mem Sysreg

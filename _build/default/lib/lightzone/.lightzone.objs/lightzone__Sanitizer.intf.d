@@ -1,0 +1,1 @@
+lib/lightzone/sanitizer.mli: Format Lz_mem

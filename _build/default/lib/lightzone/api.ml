@@ -1,0 +1,37 @@
+type t = Kmod.t
+
+(* LightZone virtual environments get VMIDs from a dedicated range so
+   they never collide with ordinary KVM guests (which start at 1). *)
+let next_vmid = ref 0x100
+
+let lz_enter ?backend ~allow_scalable ~insn_san ~entry ~sp kernel proc =
+  let san_mode =
+    match insn_san with
+    | 1 -> Sanitizer.Ttbr_mode
+    | 2 -> Sanitizer.Pan_mode
+    | n -> invalid_arg (Printf.sprintf "lz_enter: insn_san = %d" n)
+  in
+  if insn_san = 1 && not allow_scalable then
+    invalid_arg "lz_enter: TTBR sanitization requires allow_scalable";
+  let vmid = !next_vmid in
+  incr next_vmid;
+  Kmod.enter ?backend ~allow_scalable ~san_mode ~vmid ~entry ~sp kernel proc
+
+let lz_alloc = Kmod.lz_alloc
+let lz_free = Kmod.lz_free
+let lz_prot = Kmod.lz_prot
+let lz_map_gate_pgt = Kmod.lz_map_gate_pgt
+
+let register_entries t entries =
+  List.iter
+    (fun (gate, entry) -> Kmod.register_gate_entry t ~gate ~entry)
+    entries
+
+let load_and_register t builder ~va =
+  let insns, entries = Builder.finish builder in
+  Lz_kernel.Kernel.load_program t.Kmod.kernel t.Kmod.proc ~va insns;
+  register_entries t entries
+
+let run = Kmod.run
+
+let output t = Buffer.contents t.Kmod.proc.Lz_kernel.Proc.output

@@ -1,0 +1,45 @@
+(** The LightZone user-facing API (paper Table 2).
+
+    A thin veneer over {!Kmod} with the paper's names and conventions:
+
+    {v
+    int  lz_enter(bool allow_scalable, int insn_san);
+    int  lz_alloc(void);
+    int  lz_free(int pgt);
+    int  lz_prot(void *addr, u64 len, int pgt, int perm);
+    int  lz_map_gate_pgt(int pgt, int gate);
+    #define lz_switch_to_ttbr_gate(gate)   // Builder.switch_gate
+    v}
+
+    [insn_san] selects the sanitizer policy: [1] = the TTBR-based
+    column of Table 3, [2] = the PAN-based column. *)
+
+type t = Kmod.t
+
+val lz_enter :
+  ?backend:Kmod.backend ->
+  allow_scalable:bool ->
+  insn_san:int ->
+  entry:int ->
+  sp:int ->
+  Lz_kernel.Kernel.t -> Lz_kernel.Proc.t -> t
+(** Enter LightZone. VMIDs for LightZone virtual environments are
+    allocated internally. Raises [Invalid_argument] if [insn_san] is
+    not 1 or 2, or if [insn_san = 1] with [allow_scalable = false]. *)
+
+val lz_alloc : t -> int
+val lz_free : t -> int -> unit
+val lz_prot : t -> addr:int -> len:int -> pgt:int -> perm:Perm.t -> unit
+val lz_map_gate_pgt : t -> pgt:int -> gate:int -> unit
+
+val register_entries : t -> (int * int) list -> unit
+(** Register the gate entries a {!Builder} recorded. *)
+
+val load_and_register : t -> Builder.t -> va:int -> unit
+(** Load a built program into the process image at [va] and register
+    its gate entries. *)
+
+val run : ?max_insns:int -> t -> Kmod.outcome
+
+val output : t -> string
+(** Bytes the process wrote to stdout. *)

@@ -1,0 +1,38 @@
+type mode = Identity | Sequential
+
+type t = {
+  mode : mode;
+  mutable next : int;
+  fwd : (int, int) Hashtbl.t;  (* real frame -> fake frame *)
+  rev : (int, int) Hashtbl.t;
+}
+
+let create mode =
+  { mode; next = 0x1000; fwd = Hashtbl.create 64; rev = Hashtbl.create 64 }
+
+let assign t ~real =
+  let real = Lz_arm.Bits.align_down real 4096 in
+  match t.mode with
+  | Identity -> real
+  | Sequential -> (
+      match Hashtbl.find_opt t.fwd real with
+      | Some fake -> fake
+      | None ->
+          let fake = t.next in
+          t.next <- t.next + 4096;
+          Hashtbl.add t.fwd real fake;
+          Hashtbl.add t.rev fake real;
+          fake)
+
+let real_of_fake t fake =
+  match t.mode with
+  | Identity -> Some fake
+  | Sequential -> Hashtbl.find_opt t.rev (Lz_arm.Bits.align_down fake 4096)
+
+let fake_of_real t real =
+  match t.mode with
+  | Identity -> Some real
+  | Sequential -> Hashtbl.find_opt t.fwd (Lz_arm.Bits.align_down real 4096)
+
+let assigned t =
+  match t.mode with Identity -> 0 | Sequential -> Hashtbl.length t.fwd

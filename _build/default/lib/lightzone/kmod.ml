@@ -1,0 +1,733 @@
+open Lz_arm
+open Lz_mem
+open Lz_cpu
+open Lz_kernel
+
+type backend = Host | Guest of Lowvisor.t
+
+type outcome = Exited of int | Terminated of string | Limit_reached
+
+(* Protection registry entry for one virtual page. *)
+type page_prot = {
+  mutable pgt_ids : int list;  (* page tables the domain is attached to *)
+  mutable perm : Perm.t;
+  mutable pan : bool;          (* user-page overlay: PAN-protected *)
+}
+
+type t = {
+  kernel : Kernel.t;
+  proc : Proc.t;
+  core : Core.t;
+  machine : Machine.t;
+  backend : backend;
+  scalable : bool;
+  san_mode : Sanitizer.mode;
+  vmid : int;
+  s2_root : int;
+  fake : Fake_phys.t;
+  ttbr1 : Lz_table.t;
+  gatetab_pa : int;
+  ttbrtab_pa : int;
+  pgts : (int, Lz_table.t) Hashtbl.t;
+  mutable next_pgt : int;
+  mutable next_asid : int;
+  mutable terminated : string option;
+  mutable traps : int;
+  mutable syscall_traps : int;
+  mutable fault_traps : int;
+}
+
+(* Extra per-module state kept out of the public record. *)
+type signal_frame = { saved_elr : int; saved_spsr : int; saved_ttbr0 : int }
+
+type shadow = {
+  prot : (int, page_prot) Hashtbl.t;       (* va page -> protection *)
+  mapped_in : (int, int list ref) Hashtbl.t;  (* va page -> pgt ids *)
+  exec_frames : (int, unit) Hashtbl.t;     (* fake ipa -> sanitized+X *)
+  frame_vas : (int, int list ref) Hashtbl.t;  (* fake ipa -> va pages *)
+  mutable sig_pending : int list;          (* handler addresses *)
+  mutable sig_stack : signal_frame list;   (* live signal contexts *)
+}
+
+let shadows : (int, shadow) Hashtbl.t = Hashtbl.create 8
+(* keyed by vmid — one LightZone process per VM. *)
+
+let shadow_of t = Hashtbl.find shadows t.vmid
+
+let cost t = t.machine.Machine.cost
+
+let s2_r = Stage2.{ read = true; write = false; exec = false }
+let s2_rw = Stage2.{ read = true; write = true; exec = false }
+let s2_rx = Stage2.{ read = true; write = false; exec = true }
+
+let terminate t reason =
+  if t.terminated = None then t.terminated <- Some reason;
+  if t.proc.Proc.killed = None then t.proc.Proc.killed <- Some reason
+
+(* ------------------------------------------------------------------ *)
+(* Construction of the TTBR1 region *)
+
+let write_insns phys pa insns =
+  List.iteri
+    (fun i insn -> Phys.write32 phys (pa + (4 * i)) (Encoding.encode insn))
+    insns
+
+let ro_code_attrs =
+  { Pte.user = false; read_only = true; uxn = true; pxn = false; ng = false }
+
+let ro_data_attrs =
+  { Pte.user = false; read_only = true; uxn = true; pxn = true; ng = false }
+
+let map_module_page t ~va ~real ~code =
+  let fake = Fake_phys.assign t.fake ~real in
+  Stage2.map_page t.machine.Machine.phys ~root:t.s2_root ~ipa:fake ~pa:real
+    (if code then s2_rx else s2_r);
+  Lz_table.map_page t.ttbr1 ~va ~fake_pa:fake
+    (if code then ro_code_attrs else ro_data_attrs)
+
+let build_ttbr1_region t =
+  let phys = t.machine.Machine.phys in
+  (* Vector stub: hvc #1 at each synchronous vector offset. *)
+  let stub = Phys.alloc_frame phys in
+  List.iter
+    (fun off -> write_insns phys (stub + off) (Gate.stub_insns_at off))
+    [ 0x000; 0x200; 0x400; 0x600 ];
+  map_module_page t ~va:Gate.stub_base ~real:stub ~code:true;
+  (* Call gates: Gate.max_gates gates, gate_stride bytes apart. *)
+  let gate_bytes = Gate.max_gates * Gate.gate_stride in
+  let gate_pages = gate_bytes / 4096 in
+  let gate_area = Phys.alloc_frames phys gate_pages in
+  for g = 0 to Gate.max_gates - 1 do
+    write_insns phys (gate_area + (g * Gate.gate_stride)) (Gate.gate_code ~gate_id:g)
+  done;
+  for i = 0 to gate_pages - 1 do
+    map_module_page t ~va:(Gate.gate_base + (i * 4096))
+      ~real:(gate_area + (i * 4096)) ~code:true
+  done;
+  (* GateTab and TTBRTab: read-only data. *)
+  let gatetab = Phys.alloc_frame phys in
+  let ttbrtab = Phys.alloc_frame phys in
+  map_module_page t ~va:Gate.gatetab_base ~real:gatetab ~code:false;
+  map_module_page t ~va:Gate.ttbrtab_base ~real:ttbrtab ~code:false;
+  (gatetab, ttbrtab)
+
+(* ------------------------------------------------------------------ *)
+(* Page tables *)
+
+let new_pgt t =
+  let id = t.next_pgt in
+  t.next_pgt <- id + 1;
+  let asid = t.next_asid in
+  t.next_asid <- asid + 1;
+  let tbl =
+    Lz_table.create t.machine.Machine.phys t.fake ~s2_root:t.s2_root ~id
+      ~asid
+  in
+  Hashtbl.replace t.pgts id tbl;
+  Gate.set_ttbr t.machine.Machine.phys ~ttbrtab_pa:t.ttbrtab_pa ~pgt:id
+    ~ttbr:(Lz_table.ttbr tbl);
+  id
+
+let pgt_ttbr t id = Lz_table.ttbr (Hashtbl.find t.pgts id)
+
+let current_pgt t =
+  let ttbr0 = Sysreg.read t.core.Core.sys Sysreg.TTBR0_EL1 in
+  Hashtbl.fold
+    (fun id tbl acc -> if Lz_table.ttbr tbl = ttbr0 then Some (id, tbl) else acc)
+    t.pgts None
+
+let unmap_everywhere t ~va =
+  let sh = shadow_of t in
+  let page = Bits.align_down va 4096 in
+  (match Hashtbl.find_opt sh.mapped_in page with
+  | Some ids ->
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt t.pgts id with
+          | Some tbl -> Lz_table.unmap tbl ~va:page
+          | None -> ())
+        !ids;
+      ids := []
+  | None -> ());
+  Tlb.flush_va t.machine.Machine.tlb ~vmid:t.vmid ~va:page
+
+let note_mapping t ~va ~pgt_id ~fake =
+  let sh = shadow_of t in
+  let page = Bits.align_down va 4096 in
+  let ids =
+    match Hashtbl.find_opt sh.mapped_in page with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace sh.mapped_in page r;
+        r
+  in
+  if not (List.mem pgt_id !ids) then ids := pgt_id :: !ids;
+  let vas =
+    match Hashtbl.find_opt sh.frame_vas fake with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace sh.frame_vas fake r;
+        r
+  in
+  if not (List.mem page !vas) then vas := page :: !vas
+
+(* ------------------------------------------------------------------ *)
+(* Entering LightZone *)
+
+let table_memory_frames t =
+  Hashtbl.fold (fun _ tbl acc -> acc + tbl.Lz_table.table_frames) t.pgts
+    t.ttbr1.Lz_table.table_frames
+
+let enter ?(backend = Host) ~allow_scalable ~san_mode ~vmid ~entry ~sp kernel
+    (proc : Proc.t) =
+  let machine = kernel.Kernel.machine in
+  let phys = machine.Machine.phys in
+  let s2_root = Stage2.create_root phys in
+  let fake =
+    Fake_phys.create
+      (if allow_scalable then Fake_phys.Sequential else Fake_phys.Identity)
+  in
+  let ttbr1 = Lz_table.create phys fake ~s2_root ~id:(-1) ~asid:0 in
+  let core =
+    Machine.new_core ~route_el1_to_harness:false machine Pstate.EL1
+  in
+  let t =
+    { kernel; proc; core; machine; backend;
+      scalable = allow_scalable; san_mode; vmid; s2_root; fake; ttbr1;
+      gatetab_pa = 0; ttbrtab_pa = 0;
+      pgts = Hashtbl.create 16; next_pgt = 0; next_asid = 1;
+      terminated = None; traps = 0; syscall_traps = 0; fault_traps = 0 }
+  in
+  Hashtbl.replace shadows vmid
+    { prot = Hashtbl.create 64; mapped_in = Hashtbl.create 256;
+      exec_frames = Hashtbl.create 64; frame_vas = Hashtbl.create 256;
+      sig_pending = []; sig_stack = [] };
+  let gatetab_pa, ttbrtab_pa = build_ttbr1_region t in
+  let t = { t with gatetab_pa; ttbrtab_pa } in
+  let pgt0 = new_pgt t in
+  assert (pgt0 = 0);
+  (* Configure the virtual environment. *)
+  let hcr =
+    Sysreg.Hcr.vm lor Sysreg.Hcr.twi
+    lor (if allow_scalable then 0 else Sysreg.Hcr.tvm lor Sysreg.Hcr.trvm)
+  in
+  Sysreg.write core.Core.sys Sysreg.HCR_EL2 hcr;
+  Sysreg.write core.Core.sys Sysreg.VTTBR_EL2
+    (Mmu.ttbr_value ~root:s2_root ~asid:vmid);
+  Sysreg.write core.Core.sys Sysreg.TTBR1_EL1 (Lz_table.ttbr ttbr1);
+  Sysreg.write core.Core.sys Sysreg.TTBR0_EL1 (pgt_ttbr t 0);
+  Sysreg.write core.Core.sys Sysreg.VBAR_EL1 Gate.stub_base;
+  core.Core.pc <- entry;
+  Core.set_sp core sp;
+  (* Keep LightZone views in sync with the Linux-managed tables
+     (Section 5.1.2: "synchronized with the kernel-managed page
+     tables"). *)
+  proc.Proc.on_unmap <- Some (fun ~va -> unmap_everywhere t ~va);
+  proc.Proc.on_protect <- Some (fun ~va ~prot:_ -> unmap_everywhere t ~va);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 API, module side *)
+
+let lz_alloc t =
+  if not t.scalable then
+    invalid_arg "lz_alloc: process entered without allow_scalable";
+  new_pgt t
+
+let lz_free t id =
+  if id = 0 then invalid_arg "lz_free: pgt 0 cannot be freed";
+  match Hashtbl.find_opt t.pgts id with
+  | None -> invalid_arg "lz_free: unknown page table"
+  | Some tbl ->
+      Hashtbl.remove t.pgts id;
+      Gate.set_ttbr t.machine.Machine.phys ~ttbrtab_pa:t.ttbrtab_pa ~pgt:id
+        ~ttbr:0;
+      Tlb.flush_asid t.machine.Machine.tlb ~vmid:t.vmid
+        ~asid:tbl.Lz_table.asid;
+      Lz_table.destroy tbl
+
+let lz_prot t ~addr ~len ~pgt ~perm =
+  if not (Bits.is_aligned addr 4096) then invalid_arg "lz_prot: unaligned";
+  let sh = shadow_of t in
+  let pages = (len + 4095) / 4096 in
+  for i = 0 to pages - 1 do
+    let page = addr + (i * 4096) in
+    let record =
+      match Hashtbl.find_opt sh.prot page with
+      | Some r -> r
+      | None ->
+          let r = { pgt_ids = []; perm = 0; pan = false } in
+          Hashtbl.replace sh.prot page r;
+          r
+    in
+    if pgt = Perm.pgt_all || Perm.has perm Perm.user then begin
+      record.pan <- true;
+      record.perm <- perm
+    end
+    else begin
+      if not (Hashtbl.mem t.pgts pgt) then
+        invalid_arg "lz_prot: unknown page table";
+      if not (List.mem pgt record.pgt_ids) then
+        record.pgt_ids <- pgt :: record.pgt_ids;
+      record.perm <- perm
+    end;
+    (* Force re-faulting under the new policy. *)
+    unmap_everywhere t ~va:page
+  done
+
+let lz_map_gate_pgt t ~pgt ~gate =
+  if not (Hashtbl.mem t.pgts pgt) then
+    invalid_arg "lz_map_gate_pgt: unknown page table";
+  Gate.set_gate_pgt t.machine.Machine.phys ~gatetab_pa:t.gatetab_pa ~gate
+    ~pgt
+
+let register_gate_entry t ~gate ~entry =
+  Gate.set_gate_entry t.machine.Machine.phys ~gatetab_pa:t.gatetab_pa ~gate
+    ~entry
+
+(* ------------------------------------------------------------------ *)
+(* Fault handling *)
+
+let linux_backing t ~va =
+  match Proc.find_vma t.proc va with
+  | None -> None
+  | Some vma ->
+      Kernel.fault_in_page t.kernel t.proc ~va;
+      (match Proc.mapped_pa t.proc ~va with
+      | Some pa -> Some (vma, Bits.align_down pa 4096)
+      | None -> None)
+
+(* Map an unprotected page into [tbl] per the Linux VMA, applying the
+   EL0->EL1 permission transformation (UXN drives PXN; pages become
+   kernel pages; unprotected pages are global). *)
+let map_unprotected t (pgt_id, tbl) ~page ~(vma : Vma.t) ~fake ~exec =
+  let attrs =
+    if exec then ro_code_attrs
+    else
+      { Pte.user = false; read_only = not vma.Vma.prot.Vma.w; uxn = true;
+        pxn = true; ng = false }
+  in
+  let attrs = { attrs with Pte.ng = false } in
+  Lz_table.map_page tbl ~va:page ~fake_pa:fake attrs;
+  note_mapping t ~va:page ~pgt_id ~fake
+
+let sanitize_and_make_exec t ~page ~real ~fake =
+  let sh = shadow_of t in
+  (* Break-before-make: drop every mapping of the frame first. *)
+  (match Hashtbl.find_opt sh.frame_vas fake with
+  | Some vas -> List.iter (fun va -> unmap_everywhere t ~va) !vas
+  | None -> ());
+  match Sanitizer.scan_page t.san_mode t.machine.Machine.phys ~pa:real with
+  | Error (off, w, why) ->
+      terminate t
+        (Printf.sprintf
+           "sanitizer: sensitive instruction 0x%08x at 0x%x (%s)" w
+           (page + off) why);
+      false
+  | Ok () ->
+      Hashtbl.replace sh.exec_frames fake ();
+      Stage2.map_page t.machine.Machine.phys ~root:t.s2_root ~ipa:fake
+        ~pa:real s2_rx;
+      true
+
+let make_frame_writable t ~fake =
+  let sh = shadow_of t in
+  (match Hashtbl.find_opt sh.frame_vas fake with
+  | Some vas -> List.iter (fun va -> unmap_everywhere t ~va) !vas
+  | None -> ());
+  Hashtbl.remove sh.exec_frames fake;
+  match Fake_phys.real_of_fake t.fake fake with
+  | Some real ->
+      Stage2.map_page t.machine.Machine.phys ~root:t.s2_root ~ipa:fake
+        ~pa:real s2_rw
+  | None -> ignore (Stage2.set_perms t.machine.Machine.phys ~root:t.s2_root ~ipa:fake s2_rw)
+
+(* Demand map one page in the current page table. [access] is what
+   the process attempted. *)
+let handle_lz_fault t ~va ~(access : Mmu.access) ~perm_fault =
+  t.fault_traps <- t.fault_traps + 1;
+  let sh = shadow_of t in
+  let page = Bits.align_down va 4096 in
+  if Bits.bit va 47 then
+    terminate t
+      (Printf.sprintf "illegal %s access to the module region at 0x%x"
+         (match access with Mmu.Read -> "read" | Mmu.Write -> "write"
+          | Mmu.Exec -> "exec")
+         va)
+  else
+    match current_pgt t with
+    | None -> terminate t "TTBR0 does not name a LightZone page table"
+    | Some (pgt_id, tbl) -> (
+        match Hashtbl.find_opt sh.prot page with
+        | Some r when r.pan -> (
+            if perm_fault then
+              terminate t
+                (Printf.sprintf "PAN violation: access to 0x%x with PAN set"
+                   va)
+            else
+              match linux_backing t ~va with
+              | None -> terminate t "protected page has no backing VMA"
+              | Some (_vma, real) ->
+                  let fake = Fake_phys.assign t.fake ~real in
+                  Stage2.map_page t.machine.Machine.phys ~root:t.s2_root
+                    ~ipa:fake ~pa:real s2_rw;
+                  (* PAN-protected pages are user pages, non-global. *)
+                  Lz_table.map_page tbl ~va:page ~fake_pa:fake
+                    { Pte.user = true;
+                      read_only = not (Perm.has r.perm Perm.write);
+                      uxn = true; pxn = true; ng = true };
+                  note_mapping t ~va:page ~pgt_id ~fake)
+        | Some r ->
+            if not (List.mem pgt_id r.pgt_ids) then
+              terminate t
+                (Printf.sprintf
+                   "unauthorized access to protected domain at 0x%x (pgt %d)"
+                   va pgt_id)
+            else if
+              (access = Mmu.Write && not (Perm.has r.perm Perm.write))
+              || (access = Mmu.Read && not (Perm.has r.perm Perm.read))
+              || (access = Mmu.Exec && not (Perm.has r.perm Perm.exec))
+            then
+              terminate t
+                (Printf.sprintf "permission overlay denies %s at 0x%x"
+                   (match access with Mmu.Read -> "read" | Mmu.Write -> "write"
+                    | Mmu.Exec -> "exec")
+                   va)
+            else (
+              match linux_backing t ~va with
+              | None -> terminate t "protected page has no backing VMA"
+              | Some (vma, real) ->
+                  let fake = Fake_phys.assign t.fake ~real in
+                  if access = Mmu.Exec then begin
+                    if sanitize_and_make_exec t ~page ~real ~fake then begin
+                      Lz_table.map_page tbl ~va:page ~fake_pa:fake
+                        { ro_code_attrs with Pte.ng = true };
+                      note_mapping t ~va:page ~pgt_id ~fake
+                    end
+                  end
+                  else begin
+                    if not (Hashtbl.mem sh.exec_frames fake) then
+                      Stage2.map_page t.machine.Machine.phys ~root:t.s2_root
+                        ~ipa:fake ~pa:real s2_rw;
+                    (* Least permission: intersect overlay with VMA. *)
+                    let writable =
+                      Perm.has r.perm Perm.write && vma.Vma.prot.Vma.w
+                    in
+                    Lz_table.map_page tbl ~va:page ~fake_pa:fake
+                      { Pte.user = false; read_only = not writable;
+                        uxn = true; pxn = true; ng = true };
+                    note_mapping t ~va:page ~pgt_id ~fake
+                  end)
+        | None -> (
+            (* Unprotected page: mirror the Linux mapping. *)
+            match linux_backing t ~va with
+            | None ->
+                terminate t
+                  (Printf.sprintf "segmentation fault at 0x%x (no VMA)" va)
+            | Some (vma, real) ->
+                let fake = Fake_phys.assign t.fake ~real in
+                let frame_is_exec = Hashtbl.mem sh.exec_frames fake in
+                if access = Mmu.Exec then begin
+                  if not vma.Vma.prot.Vma.x then
+                    terminate t
+                      (Printf.sprintf "exec of non-executable page 0x%x" va)
+                  else if frame_is_exec then
+                    map_unprotected t (pgt_id, tbl) ~page ~vma ~fake
+                      ~exec:true
+                  else if sanitize_and_make_exec t ~page ~real ~fake then
+                    map_unprotected t (pgt_id, tbl) ~page ~vma ~fake
+                      ~exec:true
+                end
+                else if access = Mmu.Write && frame_is_exec then
+                  if vma.Vma.prot.Vma.w then begin
+                    (* JIT W<->X flip: revoke exec, grant write. *)
+                    make_frame_writable t ~fake;
+                    map_unprotected t (pgt_id, tbl) ~page ~vma ~fake
+                      ~exec:false
+                  end
+                  else
+                    terminate t
+                      (Printf.sprintf "write to executable page 0x%x" va)
+                else begin
+                  if not frame_is_exec then
+                    Stage2.map_page t.machine.Machine.phys ~root:t.s2_root
+                      ~ipa:fake ~pa:real s2_rw;
+                  map_unprotected t (pgt_id, tbl) ~page ~vma ~fake
+                    ~exec:false
+                end))
+
+(* ------------------------------------------------------------------ *)
+(* Trap servicing *)
+
+let parse_esr esr =
+  let ec = esr lsr 26 in
+  let iss = esr land 0x1FFFFFF in
+  match ec with
+  | 0x15 -> `Svc (iss land 0xFFFF)
+  | 0x20 | 0x21 -> `Iabort (iss land 0x3F)
+  | 0x24 | 0x25 -> `Dabort (iss land 0x3F, Bits.bit esr 6)
+  | 0x3C -> `Brk (iss land 0xFFFF)
+  | 0x00 -> `Undef
+  | 0x18 -> `Sysreg
+  | 0x34 | 0x35 -> `Watchpoint
+  | ec -> `Other ec
+
+let dfsc_is_permission dfsc = dfsc land 0b111100 = 0b001100
+
+(* Syscalls that force the kernel into host context (uaccess or TLB
+   maintenance): HCR_EL2 and VTTBR_EL2 are updated around them —
+   everywhere else they retain the LightZone process's values
+   (Section 5.2.1). *)
+let needs_host_ctx nr =
+  nr = Kernel.Nr.write || nr = Kernel.Nr.munmap || nr = Kernel.Nr.mprotect
+
+let charge_host_ctx_switch t =
+  let c = cost t in
+  Core.charge t.core (2 * c.Cost_model.hcr_write);
+  Core.charge t.core (2 * c.Cost_model.vttbr_write)
+
+let charge_prefix t =
+  let c = cost t in
+  (match t.backend with
+  | Host ->
+      Core.charge t.core c.Cost_model.gp_save;
+      Core.charge_sysreg t.core ~at:Pstate.EL2 Sysreg.ESR_EL2;
+      Core.charge t.core c.Cost_model.lz_forward
+  | Guest lv ->
+      Lowvisor.charge_forward_in lv t.core;
+      Core.charge_sysreg t.core ~at:Pstate.EL1 Sysreg.ESR_EL1;
+      Core.charge t.core c.Cost_model.lz_forward)
+
+let charge_suffix t =
+  let c = cost t in
+  match t.backend with
+  | Host ->
+      Core.charge t.core c.Cost_model.gp_restore;
+      Core.charge t.core c.Cost_model.trap_pollution
+  | Guest lv ->
+      Core.charge t.core c.Cost_model.trap_pollution;
+      Lowvisor.charge_forward_out lv t.core
+
+let do_forwarded_syscall t =
+  t.syscall_traps <- t.syscall_traps + 1;
+  let nr = Core.reg t.core 8 in
+  (match t.backend with
+  | Host -> if needs_host_ctx nr then charge_host_ctx_switch t
+  | Guest _ -> ());
+  Kernel.do_syscall t.kernel t.proc t.core
+
+(* An exception forwarded by the EL1 vector stub: the original
+   syndrome is in ESR_EL1/FAR_EL1/ELR_EL1. After handling we return
+   straight to the interrupted context. *)
+let handle_forwarded t =
+  let esr = Sysreg.read t.core.Core.sys Sysreg.ESR_EL1 in
+  let far = Sysreg.read t.core.Core.sys Sysreg.FAR_EL1 in
+  (match parse_esr esr with
+  | `Svc _ -> do_forwarded_syscall t
+  | `Iabort dfsc ->
+      handle_lz_fault t ~va:far ~access:Mmu.Exec
+        ~perm_fault:(dfsc_is_permission dfsc)
+  | `Dabort (dfsc, write) ->
+      let access = if write then Mmu.Write else Mmu.Read in
+      let perm_fault = dfsc_is_permission dfsc in
+      (* A stage-1 permission fault on a frame we made execute-only is
+         the JIT write path, not a violation; handle_lz_fault decides. *)
+      if perm_fault then begin
+        let sh = shadow_of t in
+        let page = Bits.align_down far 4096 in
+        let jit_flip =
+          write
+          && (match Hashtbl.find_opt sh.prot page with
+             | Some _ -> false
+             | None -> (
+                 match Proc.find_vma t.proc far with
+                 | Some vma -> vma.Vma.prot.Vma.w
+                 | None -> false))
+        in
+        if jit_flip then handle_lz_fault t ~va:far ~access ~perm_fault:false
+        else handle_lz_fault t ~va:far ~access ~perm_fault:true
+      end
+      else handle_lz_fault t ~va:far ~access ~perm_fault:false
+  | `Brk code ->
+      if code = Gate.violation_brk then
+        terminate t "call gate violation (illegal TTBR0 or entry)"
+      else t.proc.Proc.exit_code <- Some code
+  | `Undef -> terminate t "undefined or sensitive instruction executed"
+  | `Sysreg -> terminate t "trapped privileged system access"
+  | `Watchpoint -> terminate t "unexpected debug exception"
+  | `Other ec ->
+      terminate t (Printf.sprintf "unhandled forwarded exception EC=0x%x" ec));
+  (* Return to the interrupted instruction (or past the SVC/BRK). *)
+  Sysreg.write t.core.Core.sys Sysreg.ELR_EL2
+    (Sysreg.read t.core.Core.sys Sysreg.ELR_EL1);
+  Sysreg.write t.core.Core.sys Sysreg.SPSR_EL2
+    (Sysreg.read t.core.Core.sys Sysreg.SPSR_EL1)
+
+let handle_s2_abort t (f : Mmu.fault) ~exec =
+  t.fault_traps <- t.fault_traps + 1;
+  let sh = shadow_of t in
+  match f.Mmu.kind with
+  | Mmu.Translation ->
+      terminate t
+        (Printf.sprintf "stage-2 violation: access to unmapped IPA 0x%x"
+           f.Mmu.ipa)
+  | Mmu.Permission ->
+      let fake = Bits.align_down f.Mmu.ipa 4096 in
+      if exec then begin
+        (* Exec of a frame stage-2 marked non-executable: W^X. *)
+        match Fake_phys.real_of_fake t.fake fake with
+        | None -> terminate t "stage-2 exec violation on unknown frame"
+        | Some real ->
+            ignore
+              (sanitize_and_make_exec t ~page:(Bits.align_down f.Mmu.va 4096)
+                 ~real ~fake)
+      end
+      else if
+        f.Mmu.access = Mmu.Write
+        && Hashtbl.mem sh.exec_frames fake
+        && (match Proc.find_vma t.proc f.Mmu.va with
+           | Some vma -> vma.Vma.prot.Vma.w
+           | None -> false)
+      then make_frame_writable t ~fake
+      else
+        terminate t
+          (Printf.sprintf "stage-2 permission violation at IPA 0x%x"
+             f.Mmu.ipa)
+
+(* Threads share all process-level state (the hashtables and the
+   shadow registry are physically shared by the record copy); only the
+   core — registers, PSTATE.PAN, TTBR0 — is per-thread, exactly the
+   per-thread state the paper's domain model assigns. Termination is
+   propagated through the shared [proc]. *)
+let new_thread t ~entry ~sp =
+  let core =
+    Machine.new_core ~route_el1_to_harness:false t.machine Pstate.EL1
+  in
+  Sysreg.transfer ~src:t.core.Core.sys ~dst:core.Core.sys
+    [ Sysreg.HCR_EL2; Sysreg.VTTBR_EL2; Sysreg.TTBR1_EL1; Sysreg.VBAR_EL1 ];
+  Sysreg.write core.Core.sys Sysreg.TTBR0_EL1 (pgt_ttbr t 0);
+  core.Core.pc <- entry;
+  Core.set_sp core sp;
+  { t with core }
+
+let queue_signal t ~handler =
+  let sh = shadow_of t in
+  sh.sig_pending <- sh.sig_pending @ [ handler ]
+
+let pending_signals t = List.length (shadow_of t).sig_pending
+
+(* Signal delivery at a trap boundary: capture the interrupted
+   context — PC, PSTATE (with its PAN bit) and TTBR0 (Section 6) —
+   into a kernel-managed frame, then aim the ERET at the handler in
+   the default page table with PAN set. *)
+let maybe_deliver_signal t =
+  let sh = shadow_of t in
+  match sh.sig_pending with
+  | [] -> ()
+  | handler :: rest ->
+      sh.sig_pending <- rest;
+      let sys = t.core.Core.sys in
+      let frame =
+        { saved_elr = Sysreg.read sys Sysreg.ELR_EL2;
+          saved_spsr = Sysreg.read sys Sysreg.SPSR_EL2;
+          saved_ttbr0 = Sysreg.read sys Sysreg.TTBR0_EL1 }
+      in
+      sh.sig_stack <- frame :: sh.sig_stack;
+      Sysreg.write sys Sysreg.ELR_EL2 handler;
+      let handler_pstate = Pstate.make Pstate.EL1 in
+      handler_pstate.Pstate.pan <- true;
+      Sysreg.write sys Sysreg.SPSR_EL2 (Pstate.to_spsr handler_pstate);
+      Sysreg.write sys Sysreg.TTBR0_EL1 (pgt_ttbr t 0);
+      (* The kernel writes the frame and switches the context. *)
+      Core.charge t.core (2 * (cost t).Cost_model.mem_access);
+      Core.charge_sysreg t.core ~at:Pstate.EL2 Sysreg.TTBR0_EL1
+
+let do_sigreturn t =
+  let sh = shadow_of t in
+  match sh.sig_stack with
+  | [] -> terminate t "sigreturn without a signal frame"
+  | frame :: rest ->
+      sh.sig_stack <- rest;
+      let sys = t.core.Core.sys in
+      Sysreg.write sys Sysreg.ELR_EL2 frame.saved_elr;
+      Sysreg.write sys Sysreg.SPSR_EL2 frame.saved_spsr;
+      Sysreg.write sys Sysreg.TTBR0_EL1 frame.saved_ttbr0;
+      Core.charge_sysreg t.core ~at:Pstate.EL2 Sysreg.TTBR0_EL1
+
+
+(* ------------------------------------------------------------------ *)
+(* Run loop *)
+
+let run ?(max_insns = 50_000_000) t =
+  let budget = ref max_insns in
+  let rec loop () =
+    match (t.terminated, t.proc.Proc.killed) with
+    | Some reason, _ | None, Some reason -> Terminated reason
+    | None, None ->
+        if !budget <= 0 then Limit_reached
+        else begin
+          let before = t.core.Core.insns in
+          let stop = Core.run ~max_insns:!budget t.core in
+          budget := !budget - (t.core.Core.insns - before);
+          t.traps <- t.traps + 1;
+          match stop with
+          | Core.Limit -> Limit_reached
+          | Core.Trap_el1 _ ->
+              (* Unreachable: the stub handles EL1 vectors. *)
+              Terminated "unexpected harness-routed EL1 trap"
+          | Core.Trap_el2 cls -> (
+              if Sys.getenv_opt "LZ_DEBUG" <> None then
+                Format.eprintf "[lz] trap: %a (pc=0x%x)@." Core.pp_stop
+                  (Core.Trap_el2 cls) t.core.Core.pc;
+              charge_prefix t;
+              (match cls with
+              | Core.Ec_hvc n when n = Gate.hvc_syscall ->
+                  do_forwarded_syscall t
+              | Core.Ec_hvc n when n = Gate.hvc_exception ->
+                  handle_forwarded t
+              | Core.Ec_hvc n when n = Gate.hvc_sigreturn ->
+                  do_sigreturn t
+              | Core.Ec_hvc n ->
+                  terminate t (Printf.sprintf "unknown hypercall #%d" n)
+              | Core.Ec_dabort f when f.Mmu.stage = 2 ->
+                  handle_s2_abort t f ~exec:false
+              | Core.Ec_iabort f when f.Mmu.stage = 2 ->
+                  handle_s2_abort t f ~exec:true
+              | Core.Ec_dabort _ | Core.Ec_iabort _ ->
+                  terminate t "stage-1 abort escaped the vector stub"
+              | Core.Ec_sysreg_trap insn ->
+                  terminate t
+                    (Format.asprintf "trapped sensitive operation: %a"
+                       Insn.pp insn)
+              | Core.Ec_wfi -> ()
+              | Core.Ec_svc _ ->
+                  terminate t "svc reached EL2 unexpectedly"
+              | Core.Ec_smc _ -> terminate t "smc is not allowed"
+              | Core.Ec_brk code -> t.proc.Proc.exit_code <- Some code
+              | Core.Ec_undef _ ->
+                  terminate t "undefined instruction at EL2 boundary"
+              | Core.Ec_watchpoint _ ->
+                  terminate t "unexpected watchpoint exception");
+              charge_suffix t;
+              match (t.terminated, t.proc.Proc.exit_code) with
+              | Some reason, _ -> Terminated reason
+              | None, Some code -> Exited code
+              | None, None ->
+                  maybe_deliver_signal t;
+                  Core.eret_from_el2 t.core;
+                  loop ())
+        end
+  in
+  loop ()
+
+let set_current_pgt t id =
+  Sysreg.write t.core.Core.sys Sysreg.TTBR0_EL1 (pgt_ttbr t id)
+
+let prefault t ~va ~access = handle_lz_fault t ~va ~access ~perm_fault:false
+
+let pp_outcome ppf = function
+  | Exited code -> Format.fprintf ppf "exited %d" code
+  | Terminated reason -> Format.fprintf ppf "terminated: %s" reason
+  | Limit_reached -> Format.pp_print_string ppf "instruction limit"

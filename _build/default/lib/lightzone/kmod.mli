@@ -1,0 +1,128 @@
+(** The LightZone kernel module: kernel-mode process management
+    (paper Section 5) and in-process isolation enforcement (Section 6).
+
+    A LightZone process runs at EL1 of its own VM. The module owns:
+
+    - the process's stage-2 tree (identity for PAN-only processes,
+      fake-physical for scalable ones) — the backstop that keeps a
+      kernel-mode process inside its VM whatever it does to TTBR0;
+    - the TTBR1 region: exception-vector stub, 256 pre-emitted call
+      gates, GateTab and TTBRTab (read-only to the process);
+    - one {!Lz_table} per lz_alloc'd page table, plus pgt 0 (the
+      default table every unprotected page demand-faults into);
+    - the protection registry ([lz_prot] state) and the W⊕X /
+      sanitizer state per physical frame.
+
+    Traps reach the module in two ways, both via EL2: direct HVCs
+    (syscall forwarding, vector-stub exception forwarding) and
+    stage-2 aborts. The [Host] backend charges the host-kernel trap
+    costs with the Section 5.2.1 register-retention optimization; the
+    [Guest] backend charges the Lowvisor nested-forwarding path. *)
+
+type backend = Host | Guest of Lowvisor.t
+
+type outcome =
+  | Exited of int
+  | Terminated of string  (** isolation violation detected. *)
+  | Limit_reached
+
+type t = {
+  kernel : Lz_kernel.Kernel.t;
+  proc : Lz_kernel.Proc.t;
+  core : Lz_cpu.Core.t;
+  machine : Lz_kernel.Machine.t;
+  backend : backend;
+  scalable : bool;
+  san_mode : Sanitizer.mode;
+  vmid : int;
+  s2_root : int;
+  fake : Fake_phys.t;
+  ttbr1 : Lz_table.t;
+  gatetab_pa : int;
+  ttbrtab_pa : int;
+  pgts : (int, Lz_table.t) Hashtbl.t;
+  mutable next_pgt : int;
+  mutable next_asid : int;
+  mutable terminated : string option;
+  mutable traps : int;
+  mutable syscall_traps : int;
+  mutable fault_traps : int;
+}
+
+val enter :
+  ?backend:backend ->
+  allow_scalable:bool ->
+  san_mode:Sanitizer.mode ->
+  vmid:int ->
+  entry:int ->
+  sp:int ->
+  Lz_kernel.Kernel.t -> Lz_kernel.Proc.t -> t
+(** Put [proc] into LightZone: build the VM, the TTBR1 region and
+    pgt 0, and return the module handle whose [core] is ready to run
+    at EL1 from [entry]. The paper's [lz_enter]. *)
+
+(** {1 The Table 2 API, module side} *)
+
+val lz_alloc : t -> int
+(** Allocate a stage-1 page table; returns its identifier. *)
+
+val lz_free : t -> int -> unit
+
+val lz_prot : t -> addr:int -> len:int -> pgt:int -> perm:Perm.t -> unit
+(** Attach a page-aligned region to a page table with a permission
+    overlay. [pgt = Perm.pgt_all] with [Perm.user] set = PAN-protected
+    domain attached to every table. *)
+
+val lz_map_gate_pgt : t -> pgt:int -> gate:int -> unit
+
+val register_gate_entry : t -> gate:int -> entry:int -> unit
+(** Record the legitimate entry (the return address of a
+    [lz_switch_to_ttbr_gate] site) in GateTab. *)
+
+(** {1 Running} *)
+
+val run : ?max_insns:int -> t -> outcome
+
+val set_current_pgt : t -> int -> unit
+(** Point TTBR0 at a page table without passing through a gate —
+    kernel-module-side helper for accounting and tests. *)
+
+val prefault : t -> va:int -> access:Lz_mem.Mmu.access -> unit
+(** Run the demand-fault handler for [va] in the current page table,
+    as if the process had touched it (steady-state accounting). *)
+
+(** {1 Signals (paper Section 6)}
+
+    "PAN and TTBR0 are added in the signal contexts of the kernel for
+    correct signal handling": when a signal interrupts a LightZone
+    process, the kernel-managed signal frame captures the interrupted
+    PC, PSTATE (including PAN) and TTBR0_EL1; the handler starts in
+    the default page table with PAN set, and [hvc #2] (sigreturn)
+    restores the interrupted context exactly — open domains stay open
+    across signals, and a handler cannot inherit them. *)
+
+val new_thread : t -> entry:int -> sp:int -> t
+(** A new thread of the same LightZone process (paper Table 2:
+    lz_enter covers "the calling thread and its forked new threads").
+    The returned handle shares every piece of process state — page
+    tables, stage 2, protection registry, gate tables, the Linux
+    process — but owns its architectural context: its own core with
+    its own TTBR0 (starting in pgt 0) and its own PSTATE.PAN. Run it
+    with {!run} like the main handle; a violation on any thread
+    terminates the (shared) process. *)
+
+val queue_signal : t -> handler:int -> unit
+(** Deliver a signal at the next trap boundary: the handler (a
+    function in the process image ending in [hvc #2]) runs with
+    TTBR0 = pgt 0 and PAN = 1. *)
+
+val pending_signals : t -> int
+
+val pgt_ttbr : t -> int -> int
+(** TTBR value of a page table (what TTBRTab holds) — for tests. *)
+
+val table_memory_frames : t -> int
+(** Frames consumed by LightZone page tables (memory-overhead
+    accounting, Section 9). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

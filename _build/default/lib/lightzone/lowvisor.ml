@@ -1,0 +1,63 @@
+open Lz_arm
+open Lz_cpu
+
+type t = {
+  hyp : Lz_hyp.Hypervisor.t;
+  vm : Lz_hyp.Vm.t;
+  mutable repoint_pending : bool;
+  mutable forwards : int;
+  mutable repoints : int;
+}
+
+let create hyp vm = { hyp; vm; repoint_pending = true; forwards = 0;
+                      repoints = 0 }
+
+let notify_schedule t = t.repoint_pending <- true
+
+(* Both the guest kernel and the guest LightZone process actively use
+   these with different values; everything else is either shared
+   (counters, timers, FP) or deferred through the shared register
+   page. *)
+let partial_switch_regs =
+  [ Sysreg.TTBR0_EL1; Sysreg.TTBR1_EL1; Sysreg.TCR_EL1; Sysreg.SCTLR_EL1;
+    Sysreg.VBAR_EL1; Sysreg.CONTEXTIDR_EL1; Sysreg.SP_EL1; Sysreg.MAIR_EL1;
+    Sysreg.CPACR_EL1; Sysreg.CNTKCTL_EL1 ]
+
+(* One direction of the partial switch: save one context (sysreg read
+   + memory write each) and load the other (memory read + sysreg
+   write). *)
+let charge_partial_switch (core : Core.t) =
+  let c = core.Core.cost in
+  List.iter
+    (fun r ->
+      Core.charge_sysreg core ~at:Pstate.EL2 r;
+      Core.charge core c.Cost_model.mem_access;
+      Core.charge core c.Cost_model.mem_access;
+      Core.charge_sysreg core ~at:Pstate.EL2 r)
+    partial_switch_regs
+
+let charge_forward_in t (core : Core.t) =
+  let c = core.Core.cost in
+  t.forwards <- t.forwards + 1;
+  if t.repoint_pending then begin
+    t.repoint_pending <- false;
+    t.repoints <- t.repoints + 1;
+    Core.charge core c.Cost_model.nested_repoint
+  end;
+  charge_partial_switch core;
+  Core.charge_sysreg core ~at:Pstate.EL2 Sysreg.VTTBR_EL2;
+  (* Context of the LightZone process goes straight to the shared
+     pt_regs page — one GP save for the whole roundtrip. *)
+  Core.charge core c.Cost_model.gp_save;
+  Core.charge core c.Cost_model.nested_extra;
+  (* ERET into the guest kernel's handler. *)
+  Core.charge core c.Cost_model.eret_el2
+
+let charge_forward_out t (core : Core.t) =
+  let c = core.Core.cost in
+  ignore t;
+  (* The guest kernel returns to the Lowvisor via HVC. *)
+  Core.charge core c.Cost_model.exc_entry_el2_from_el1;
+  charge_partial_switch core;
+  Core.charge_sysreg core ~at:Pstate.EL2 Sysreg.VTTBR_EL2;
+  Core.charge core c.Cost_model.gp_restore

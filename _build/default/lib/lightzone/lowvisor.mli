@@ -1,0 +1,52 @@
+(** LightZone Lowvisor: the EL2 patch that lets *guest* kernels host
+    kernel-mode processes (paper Sections 4.1.1 and 5.2.2).
+
+    When a guest LightZone process traps, the processor arrives at EL2
+    and the Lowvisor forwards the trap into the guest kernel. The
+    naive path would be a full nested-VM switch; the Lowvisor instead
+    applies three optimizations the paper describes:
+
+    - NEVE-style deferral: guest-kernel accesses to the LightZone
+      process's system registers go through a shared per-core page
+      instead of trapping (modelled as memory accesses, not
+      system-register costs);
+    - a shared [pt_regs] page between Lowvisor and guest kernel, so
+      the process context is saved once, not twice (one GP save for
+      the roundtrip instead of two);
+    - shared system resources (FP state, timers, counters, interrupt
+      state) are not switched at all — only a small partial set of
+      EL1 registers moves, plus VTTBR_EL2.
+
+    After a scheduling event the pointer to the current thread's
+    shared context must be re-located, which makes the forwarding cost
+    fluctuate (Table 4 reports 29,020–32,881 cycles on Carmel). *)
+
+type t = {
+  hyp : Lz_hyp.Hypervisor.t;
+  vm : Lz_hyp.Vm.t;  (** the guest VM whose kernel hosts the process. *)
+  mutable repoint_pending : bool;
+  mutable forwards : int;
+  mutable repoints : int;
+}
+
+val create : Lz_hyp.Hypervisor.t -> Lz_hyp.Vm.t -> t
+
+val notify_schedule : t -> unit
+(** A scheduling event occurred in the guest: the next forwarded trap
+    pays the pt_regs re-location cost. *)
+
+val partial_switch_regs : Lz_arm.Sysreg.t list
+(** The EL1 registers the Lowvisor moves between the LightZone process
+    and the guest kernel (both use them with different values; the
+    rest is shared or deferred). *)
+
+val charge_forward_in : t -> Lz_cpu.Core.t -> unit
+(** Cycle charges from the EL2 arrival (already charged by the core)
+    up to the guest kernel starting its handler: partial context
+    switch to the kernel, VTTBR update, shared-page context save, and
+    the ERET into the guest kernel. *)
+
+val charge_forward_out : t -> Lz_cpu.Core.t -> unit
+(** Charges for the way back: the guest kernel's HVC return to EL2 and
+    the partial switch back to the LightZone process (the final ERET
+    is charged by the caller's [Core.eret_from_el2]). *)

@@ -1,0 +1,75 @@
+open Lz_arm
+
+type mode = Ttbr_mode | Pan_mode
+
+type verdict = Allowed | Gate_only | Forbidden of string
+
+let eret_word = 0xD69F03E0
+
+(* Unprivileged load/store: size(2) 111 0 00 opc(2) 0 imm9 10 Rn Rt.
+   Mask out size, opc, imm9, registers. *)
+let is_unpriv_ls w =
+  w land 0x3F200C00 = 0x38000800
+
+let ttbr0_enc = Sysreg.encoding Sysreg.TTBR0_EL1
+
+let classify_system mode w =
+  let op0 = Encoding.sys_op0 w in
+  let op1 = Encoding.sys_op1 w in
+  let crn = Encoding.sys_crn w in
+  let crm = Encoding.sys_crm w in
+  let op2 = Encoding.sys_op2 w in
+  match op0 with
+  | 0 when crn = 4 ->
+      (* MSR (immediate). PAN: op1=0, op2=0b100. *)
+      if op1 = 0 && op2 = 4 then Allowed
+      else Forbidden "MSR(imm) to a PSTATE field other than PAN"
+  | 0 -> Allowed (* hints, barriers *)
+  | 1 ->
+      if crn = 7 then Forbidden "cache/AT maintenance (op0=1, CRn=7)"
+      else Allowed (* TLBI etc.: monitored by HCR_EL2 trap bits *)
+  | 2 -> Allowed (* debug registers: monitored by MDCR_EL2 *)
+  | _ ->
+      (* op0 = 3: MSR/MRS register forms. *)
+      if crn = 4 then
+        (* Only NZCV / FPCR / FPSR (all op1=3, CRn=4, CRm=2 or 4). *)
+        if op1 = 3 && (crm = 2 || crm = 4) then Allowed
+        else Forbidden "access to SPSR/ELR/SP-class register (CRn=4)"
+      else if op1 = 3 then Allowed (* EL0-accessible registers *)
+      else if
+        op0 = ttbr0_enc.Sysreg.op0 && op1 = ttbr0_enc.Sysreg.op1
+        && crn = ttbr0_enc.Sysreg.crn && crm = ttbr0_enc.Sysreg.crm
+        && op2 = ttbr0_enc.Sysreg.op2
+      then
+        match mode with
+        | Ttbr_mode -> Gate_only
+        | Pan_mode -> Forbidden "TTBR0_EL1 access under PAN-based isolation"
+      else Forbidden "privileged system-register access"
+
+let classify mode w =
+  let w = w land 0xFFFFFFFF in
+  if w = eret_word then Forbidden "ERET"
+  else if is_unpriv_ls w then
+    match mode with
+    | Ttbr_mode -> Allowed
+    | Pan_mode -> Forbidden "unprivileged load/store under PAN isolation"
+  else if Encoding.is_system_space w then classify_system mode w
+  else Allowed
+
+let scan_page mode phys ~pa =
+  let rec scan i =
+    if i >= 1024 then Ok ()
+    else
+      let w = Lz_mem.Phys.read32 phys (pa + (4 * i)) in
+      match classify mode w with
+      | Allowed -> scan (i + 1)
+      | Gate_only ->
+          Error (4 * i, w, "TTBR0_EL1 access outside the call gate")
+      | Forbidden why -> Error (4 * i, w, why)
+  in
+  scan 0
+
+let pp_verdict ppf = function
+  | Allowed -> Format.pp_print_string ppf "allowed"
+  | Gate_only -> Format.pp_print_string ppf "gate-only"
+  | Forbidden why -> Format.fprintf ppf "forbidden (%s)" why

@@ -1,0 +1,1 @@
+lib/mem/mmu.ml: Bits Format Lz_arm Phys Printf Pstate Pte Stage2 Tlb

@@ -1,0 +1,1 @@
+lib/mem/mmu.mli: Format Lz_arm Phys Tlb

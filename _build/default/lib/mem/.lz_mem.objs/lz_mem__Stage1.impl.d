@@ -1,0 +1,1 @@
+lib/mem/stage1.ml: List Lz_arm Phys Pte

@@ -1,0 +1,1 @@
+lib/mem/stage2.ml: List Lz_arm Phys Pte

@@ -1,0 +1,1 @@
+lib/mem/tlb.ml: Hashtbl List Lz_arm Pte Queue Stage2

@@ -1,0 +1,55 @@
+(** Combined stage-1 + stage-2 address translation with permission
+    checking — the simulated core's data and instruction access path.
+
+    When a stage-2 root is present the walker is fully nested: every
+    stage-1 table descriptor address is itself an IPA translated
+    through stage 2 before the fetch, exactly as on hardware. This
+    makes two LightZone behaviours emerge naturally rather than being
+    special-cased: stage-1 tables mapped read-only in stage 2 are
+    walkable but not writable by the process, and walking with stage 2
+    enabled costs more PTE fetches (the stage-2 paging overhead of
+    paper Section 10). *)
+
+type access = Read | Write | Exec
+
+type fault_kind = Translation | Permission
+type fault = {
+  stage : int;        (** 1 or 2. *)
+  level : int;
+  kind : fault_kind;
+  va : int;
+  ipa : int;          (** faulting IPA for stage-2 faults, else -1. *)
+  access : access;
+}
+
+type ctx = {
+  ttbr0 : int;  (** raw register value: root address + ASID field. *)
+  ttbr1 : int;
+  vmid : int;
+  s2_root : int option;
+  el : Lz_arm.Pstate.el;
+  pan : bool;
+  unpriv : bool;  (** LDTR/STTR: access checked as if from EL0. *)
+}
+
+type ok = {
+  pa : int;
+  walk_reads : int;  (** PTE fetches performed (0 on a TLB hit). *)
+  tlb_hit : bool;
+}
+
+val asid_shift : int
+(** TTBR ASID field position (bits 61..48 in this simulator — the
+    architectural 63:48 truncated to OCaml's int width; 14 bits of
+    ASID are plenty for the evaluation's 128 domains). *)
+
+val ttbr_value : root:int -> asid:int -> int
+(** Compose a TTBR register value. *)
+
+val ttbr_root : int -> int
+val ttbr_asid : int -> int
+
+val translate :
+  Phys.t -> Tlb.t -> ctx -> access -> va:int -> (ok, fault) result
+
+val pp_fault : Format.formatter -> fault -> unit

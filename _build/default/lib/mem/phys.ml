@@ -1,0 +1,124 @@
+let page_size = 4096
+
+type t = {
+  frames : (int, Bytes.t) Hashtbl.t;  (* frame number -> contents *)
+  mutable next_frame : int;
+  mutable free_list : int list;  (* recycled frame numbers *)
+  max_frames : int;
+  mutable handed_out : int;
+}
+
+let create ?(size_mib = 512) () =
+  { frames = Hashtbl.create 4096;
+    (* Frame 0 is never allocated so that physical address 0 can act as
+       a "null" table pointer. *)
+    next_frame = 1;
+    free_list = [];
+    max_frames = size_mib * 256;
+    handed_out = 0 }
+
+let frame t n =
+  match Hashtbl.find_opt t.frames n with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make page_size '\000' in
+      Hashtbl.add t.frames n b;
+      b
+
+let alloc_frame t =
+  t.handed_out <- t.handed_out + 1;
+  match t.free_list with
+  | n :: rest ->
+      t.free_list <- rest;
+      n * page_size
+  | [] ->
+      if t.next_frame >= t.max_frames then
+        failwith "Phys.alloc_frame: physical memory exhausted";
+      let n = t.next_frame in
+      t.next_frame <- n + 1;
+      n * page_size
+
+let alloc_frames t n =
+  if n <= 0 then invalid_arg "Phys.alloc_frames";
+  if t.next_frame + n > t.max_frames then
+    failwith "Phys.alloc_frames: physical memory exhausted";
+  let first = t.next_frame in
+  t.next_frame <- first + n;
+  t.handed_out <- t.handed_out + n;
+  first * page_size
+
+let zero_frame t pa =
+  let n = pa / page_size in
+  match Hashtbl.find_opt t.frames n with
+  | Some b -> Bytes.fill b 0 page_size '\000'
+  | None -> ()
+
+let free_frame t pa =
+  zero_frame t pa;
+  t.handed_out <- t.handed_out - 1;
+  t.free_list <- (pa / page_size) :: t.free_list
+
+let allocated_frames t = t.handed_out
+
+let read8 t pa = Char.code (Bytes.get (frame t (pa / page_size)) (pa land 4095))
+
+let write8 t pa v =
+  Bytes.set (frame t (pa / page_size)) (pa land 4095) (Char.chr (v land 0xFF))
+
+(* Multi-byte accesses may not straddle a frame boundary when done via
+   Bytes primitives; fall back to byte-at-a-time when they do. *)
+let read32 t pa =
+  if pa land 4095 <= 4092 then
+    Int32.to_int (Bytes.get_int32_le (frame t (pa / page_size)) (pa land 4095))
+    land 0xFFFFFFFF
+  else
+    let b0 = read8 t pa and b1 = read8 t (pa + 1) in
+    let b2 = read8 t (pa + 2) and b3 = read8 t (pa + 3) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+let write32 t pa v =
+  if pa land 4095 <= 4092 then
+    Bytes.set_int32_le (frame t (pa / page_size)) (pa land 4095)
+      (Int32.of_int v)
+  else
+    for i = 0 to 3 do
+      write8 t (pa + i) ((v lsr (8 * i)) land 0xFF)
+    done
+
+let read64 t pa =
+  if pa land 4095 <= 4088 then
+    Int64.to_int (Bytes.get_int64_le (frame t (pa / page_size)) (pa land 4095))
+    land max_int
+  else
+    let lo = read32 t pa and hi = read32 t (pa + 4) in
+    (lo lor (hi lsl 32)) land max_int
+
+let write64 t pa v =
+  if pa land 4095 <= 4088 then
+    Bytes.set_int64_le (frame t (pa / page_size)) (pa land 4095)
+      (Int64.of_int v)
+  else begin
+    write32 t pa (v land 0xFFFFFFFF);
+    write32 t (pa + 4) ((v lsr 32) land 0xFFFFFFFF)
+  end
+
+let read_bytes t pa len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = pa + !pos in
+    let in_page = min (len - !pos) (page_size - (a land 4095)) in
+    Bytes.blit (frame t (a / page_size)) (a land 4095) out !pos in_page;
+    pos := !pos + in_page
+  done;
+  out
+
+let write_bytes t pa b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = pa + !pos in
+    let in_page = min (len - !pos) (page_size - (a land 4095)) in
+    Bytes.blit b !pos (frame t (a / page_size)) (a land 4095) in_page;
+    pos := !pos + in_page
+  done

@@ -1,0 +1,48 @@
+(** Simulated physical memory.
+
+    Memory is a sparse collection of 4 KiB frames allocated on first
+    touch, plus a bump allocator for explicit frame allocation (page
+    tables, anonymous pages). All multi-byte accesses are
+    little-endian. 64-bit reads are truncated to OCaml's 62 tagged
+    bits; page-table entries and simulated data never use bits 62–63,
+    so the truncation is unobservable inside the machine. *)
+
+type t
+
+val page_size : int
+(** 4096. *)
+
+val create : ?size_mib:int -> unit -> t
+(** Fresh physical memory. [size_mib] bounds the bump allocator
+    (default 512 MiB) — reads and writes beyond it still succeed (the
+    address space is sparse), only allocation is bounded. *)
+
+val alloc_frame : t -> int
+(** Allocate a zeroed 4 KiB frame; returns its physical address.
+    Raises [Failure] when physical memory is exhausted. *)
+
+val alloc_frames : t -> int -> int
+(** [alloc_frames t n] allocates [n] contiguous frames, returning the
+    physical address of the first. *)
+
+val free_frame : t -> int -> unit
+(** Return a frame to the allocator free list and zero it. *)
+
+val allocated_frames : t -> int
+(** Number of frames currently handed out (for memory-overhead
+    accounting, paper Section 9). *)
+
+val read8 : t -> int -> int
+val write8 : t -> int -> int -> unit
+val read32 : t -> int -> int
+val write32 : t -> int -> int -> unit
+val read64 : t -> int -> int
+val write64 : t -> int -> int -> unit
+
+val read_bytes : t -> int -> int -> Bytes.t
+(** [read_bytes t pa len]. *)
+
+val write_bytes : t -> int -> Bytes.t -> unit
+
+val zero_frame : t -> int -> unit
+(** Zero the frame containing the given physical address. *)

@@ -1,0 +1,120 @@
+type walk_ok = {
+  pa : int;
+  attrs : Pte.s1_attrs;
+  level : int;
+  page_bytes : int;
+  pte_addr : int;
+}
+
+type walk_err = { fault_level : int }
+
+let index ~level va = (va lsr (39 - (9 * level))) land 0x1FF
+
+let pte_addr_of ~table ~level va = table + (8 * index ~level va)
+
+let create_root phys = Phys.alloc_frame phys
+
+let rec walk_from phys ~table ~level ~va =
+  let pte_addr = pte_addr_of ~table ~level va in
+  let pte = Phys.read64 phys pte_addr in
+  if not (Pte.valid pte) then Error { fault_level = level }
+  else if level = 3 then
+    Ok { pa = Pte.out_addr pte lor (va land 0xFFF);
+         attrs = Pte.s1_attrs pte; level; page_bytes = 4096; pte_addr }
+  else if Pte.is_table ~level pte then
+    walk_from phys ~table:(Pte.out_addr pte) ~level:(level + 1) ~va
+  else if level = 2 then
+    (* 2 MiB block. *)
+    Ok { pa = Pte.out_addr pte lor (va land 0x1FFFFF);
+         attrs = Pte.s1_attrs pte; level; page_bytes = 2 * 1024 * 1024;
+         pte_addr }
+  else Error { fault_level = level }
+
+let walk phys ~root ~va = walk_from phys ~table:root ~level:0 ~va
+
+(* Descend to [target_level], allocating intermediate tables. *)
+let rec descend phys ~table ~level ~target_level ~va =
+  if level = target_level then pte_addr_of ~table ~level va
+  else
+    let pte_addr = pte_addr_of ~table ~level va in
+    let pte = Phys.read64 phys pte_addr in
+    let next =
+      if Pte.is_table ~level pte then Pte.out_addr pte
+      else begin
+        let t = Phys.alloc_frame phys in
+        Phys.write64 phys pte_addr (Pte.make_s1_table ~pa:t);
+        t
+      end
+    in
+    descend phys ~table:next ~level:(level + 1) ~target_level ~va
+
+let map_page phys ~root ~va ~pa attrs =
+  let pte_addr = descend phys ~table:root ~level:0 ~target_level:3 ~va in
+  Phys.write64 phys pte_addr (Pte.make_s1_page ~pa attrs)
+
+let map_block_2m phys ~root ~va ~pa attrs =
+  if not (Lz_arm.Bits.is_aligned va (2 * 1024 * 1024)) then
+    invalid_arg "Stage1.map_block_2m: unaligned va";
+  let pte_addr = descend phys ~table:root ~level:0 ~target_level:2 ~va in
+  Phys.write64 phys pte_addr (Pte.make_s1_block ~pa attrs)
+
+let leaf_pte_addr phys ~root ~va =
+  match walk phys ~root ~va with
+  | Ok { pte_addr; _ } -> Some pte_addr
+  | Error _ -> None
+
+let unmap phys ~root ~va =
+  match leaf_pte_addr phys ~root ~va with
+  | Some a -> Phys.write64 phys a 0
+  | None -> ()
+
+let set_attrs phys ~root ~va attrs =
+  match leaf_pte_addr phys ~root ~va with
+  | Some a ->
+      let pte = Phys.read64 phys a in
+      Phys.write64 phys a (Pte.with_s1_attrs pte attrs);
+      true
+  | None -> false
+
+let rec iter_level phys ~table ~level ~va_base f =
+  for i = 0 to 511 do
+    let pte = Phys.read64 phys (table + (8 * i)) in
+    if Pte.valid pte then begin
+      let va = va_base lor (i lsl (39 - (9 * level))) in
+      if Pte.is_table ~level pte then
+        iter_level phys ~table:(Pte.out_addr pte) ~level:(level + 1)
+          ~va_base:va f
+      else f ~va ~pte ~level
+    end
+  done
+
+let iter_pages phys ~root f = iter_level phys ~table:root ~level:0 ~va_base:0 f
+
+let rec tables_of phys ~table ~level acc =
+  let acc = ref (table :: acc) in
+  if level < 3 then
+    for i = 0 to 511 do
+      let pte = Phys.read64 phys (table + (8 * i)) in
+      if Pte.is_table ~level pte then
+        acc := tables_of phys ~table:(Pte.out_addr pte) ~level:(level + 1) !acc
+    done;
+  !acc
+
+let table_pages phys ~root = List.rev (tables_of phys ~table:root ~level:0 [])
+
+let dup phys ~root ~transform =
+  let new_root = create_root phys in
+  iter_pages phys ~root (fun ~va ~pte ~level ->
+      match transform ~va pte with
+      | None -> ()
+      | Some pte' ->
+          let target_level = level in
+          let pte_addr =
+            descend phys ~table:new_root ~level:0 ~target_level ~va
+          in
+          Phys.write64 phys pte_addr pte');
+  new_root
+
+let destroy phys ~root =
+  let tables = table_pages phys ~root in
+  List.iter (fun pa -> Phys.free_frame phys pa) tables

@@ -1,0 +1,56 @@
+(** Stage-1 translation tables: 4-level, 4 KiB granule, 48-bit VA.
+
+    Tables live inside {!Phys} memory — exactly as on hardware — so a
+    simulated process that gains a writable alias of a table frame can
+    really corrupt translations, and stage-2 read-only mappings of
+    table frames really protect them (both are exercised by the
+    security evaluation). *)
+
+type walk_ok = {
+  pa : int;
+  attrs : Pte.s1_attrs;
+  level : int;       (** level of the leaf: 2 (block) or 3 (page). *)
+  page_bytes : int;  (** 4096 or 2 MiB. *)
+  pte_addr : int;    (** physical address of the leaf descriptor. *)
+}
+
+type walk_err = { fault_level : int }
+
+val create_root : Phys.t -> int
+(** Allocate an empty level-0 table; returns its physical address. *)
+
+val walk : Phys.t -> root:int -> va:int -> (walk_ok, walk_err) result
+
+val map_page : Phys.t -> root:int -> va:int -> pa:int -> Pte.s1_attrs -> unit
+(** Map one 4 KiB page, allocating intermediate tables as needed.
+    Overwrites any existing mapping for [va]. *)
+
+val map_block_2m :
+  Phys.t -> root:int -> va:int -> pa:int -> Pte.s1_attrs -> unit
+(** Map a 2 MiB block at level 2. [va] and [pa] must be 2 MiB-aligned. *)
+
+val unmap : Phys.t -> root:int -> va:int -> unit
+(** Zero the leaf descriptor covering [va] (no-op when unmapped). *)
+
+val set_attrs : Phys.t -> root:int -> va:int -> Pte.s1_attrs -> bool
+(** Update leaf attributes in place; [false] when [va] is unmapped. *)
+
+val iter_pages :
+  Phys.t -> root:int -> (va:int -> pte:int -> level:int -> unit) -> unit
+(** Visit every valid leaf descriptor. *)
+
+val table_pages : Phys.t -> root:int -> int list
+(** Physical addresses of every table frame in the tree, root first
+    (LightZone maps these read-only in stage 2). *)
+
+val dup :
+  Phys.t -> root:int -> transform:(va:int -> int -> int option) -> int
+(** Duplicate the tree into freshly allocated tables. [transform ~va
+    pte] rewrites each leaf descriptor; [None] drops the mapping. Used
+    by the kernel module to build a kernel-mode process's stage-1 table
+    from the Linux-managed one with EL0→EL1 permission transformation
+    (paper Section 5.1.2). *)
+
+val destroy : Phys.t -> root:int -> unit
+(** Free every table frame of the tree (leaf target frames are not
+    owned by the table and are left alone). *)

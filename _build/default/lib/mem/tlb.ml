@@ -1,0 +1,95 @@
+type entry = {
+  pa_page : int;
+  attrs : Pte.s1_attrs;
+  s2 : Stage2.perms option;
+  page_bytes : int;
+}
+
+(* ASID -1 marks a global entry (matches any ASID within the VMID). *)
+type key = { vmid : int; asid : int; vpage : int }
+
+type t = {
+  table : (key, entry) Hashtbl.t;
+  order : key Queue.t;
+  capacity : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ?(capacity = 1024) () =
+  { table = Hashtbl.create capacity; order = Queue.create (); capacity;
+    hit_count = 0; miss_count = 0 }
+
+(* Entries for 2 MiB blocks are stored under their 2 MiB-aligned vpage;
+   lookup probes the 4 KiB page first, then the 2 MiB page. *)
+let probe t key = Hashtbl.find_opt t.table key
+
+let lookup_keyed t ~vmid ~asid ~va =
+  let try_page vpage =
+    match probe t { vmid; asid; vpage } with
+    | Some e -> Some e
+    | None -> probe t { vmid; asid = -1; vpage }
+  in
+  match try_page (Lz_arm.Bits.align_down va 4096) with
+  | Some e -> Some e
+  | None -> (
+      match try_page (Lz_arm.Bits.align_down va (2 * 1024 * 1024)) with
+      | Some e when e.page_bytes > 4096 -> Some e
+      | _ -> None)
+
+let lookup t ~vmid ~asid ~va =
+  match lookup_keyed t ~vmid ~asid ~va with
+  | Some e ->
+      t.hit_count <- t.hit_count + 1;
+      Some e
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      None
+
+let evict_one t =
+  match Queue.take_opt t.order with
+  | Some k -> Hashtbl.remove t.table k
+  | None -> ()
+
+let insert t ~vmid ~asid ~va ~global entry =
+  let vpage = Lz_arm.Bits.align_down va entry.page_bytes in
+  let key = { vmid; asid = (if global then -1 else asid); vpage } in
+  if not (Hashtbl.mem t.table key) then begin
+    if Hashtbl.length t.table >= t.capacity then evict_one t;
+    Queue.add key t.order
+  end;
+  Hashtbl.replace t.table key entry
+
+let rebuild_order t =
+  Queue.clear t.order;
+  Hashtbl.iter (fun k _ -> Queue.add k t.order) t.table
+
+let flush_all t =
+  Hashtbl.reset t.table;
+  Queue.clear t.order
+
+let remove_if t pred =
+  let doomed =
+    Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed;
+  rebuild_order t
+
+let flush_vmid t vmid = remove_if t (fun k -> k.vmid = vmid)
+
+let flush_asid t ~vmid ~asid =
+  remove_if t (fun k -> k.vmid = vmid && k.asid = asid)
+
+let flush_va t ~vmid ~va =
+  let p4k = Lz_arm.Bits.align_down va 4096 in
+  let p2m = Lz_arm.Bits.align_down va (2 * 1024 * 1024) in
+  remove_if t (fun k -> k.vmid = vmid && (k.vpage = p4k || k.vpage = p2m))
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let reset_stats t =
+  t.hit_count <- 0;
+  t.miss_count <- 0
+
+let size t = Hashtbl.length t.table

@@ -1,0 +1,43 @@
+(** TLB model.
+
+    Entries cache the *combined* stage-1 + stage-2 translation, tagged
+    by (VMID, ASID, virtual page), as modern ARM64 cores do. Global
+    stage-1 entries (nG = 0) match any ASID of the same VMID — this is
+    why LightZone marks unprotected memory global: after a TTBR0/ASID
+    switch the bulk of the working set still hits (paper Section 8.2).
+
+    The TLB has a bounded capacity with FIFO replacement and counts
+    hits and misses; the cycle model charges a page-walk cost per
+    miss. *)
+
+type t
+
+type entry = {
+  pa_page : int;          (** physical page base after both stages. *)
+  attrs : Pte.s1_attrs;   (** stage-1 attributes. *)
+  s2 : Stage2.perms option;  (** stage-2 permissions, if two-stage. *)
+  page_bytes : int;
+}
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 1024 combined entries. *)
+
+val lookup : t -> vmid:int -> asid:int -> va:int -> entry option
+(** Increments the hit or miss counter. *)
+
+val insert :
+  t -> vmid:int -> asid:int -> va:int -> global:bool -> entry -> unit
+
+val flush_all : t -> unit
+val flush_vmid : t -> int -> unit
+val flush_asid : t -> vmid:int -> asid:int -> unit
+(** Flushes non-global entries of the ASID only. *)
+
+val flush_va : t -> vmid:int -> va:int -> unit
+(** Flush any entry covering [va] in the VMID, all ASIDs (break-
+    before-make). *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+val size : t -> int

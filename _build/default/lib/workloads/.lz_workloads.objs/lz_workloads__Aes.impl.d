@@ -1,0 +1,1 @@
+lib/workloads/aes.ml: Array Bytes Char Lz_cpu String

@@ -1,0 +1,1 @@
+lib/workloads/aes.mli: Bytes Lz_cpu

@@ -1,0 +1,1 @@
+lib/workloads/iso_profile.mli: Format

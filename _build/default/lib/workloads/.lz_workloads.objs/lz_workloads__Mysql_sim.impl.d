@@ -1,0 +1,1 @@
+lib/workloads/mysql_sim.ml: Array Bytes Char Iso_profile List Lz_cpu Nginx_sim Printf Random

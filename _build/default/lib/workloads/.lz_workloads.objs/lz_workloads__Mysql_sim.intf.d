@@ -1,0 +1,1 @@
+lib/workloads/mysql_sim.mli: Bytes Iso_profile Lz_cpu

@@ -1,0 +1,1 @@
+lib/workloads/nginx_sim.ml: Aes Array Bytes Char Iso_profile List Lz_cpu Printf Random String

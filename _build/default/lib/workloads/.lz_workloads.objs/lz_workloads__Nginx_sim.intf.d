@@ -1,0 +1,1 @@
+lib/workloads/nginx_sim.mli: Iso_profile Lz_cpu

@@ -1,0 +1,1 @@
+lib/workloads/nvm_bench.ml: Array Bytes Char Iso_profile Lz_cpu Random String

@@ -1,0 +1,1 @@
+lib/workloads/nvm_bench.mli: Iso_profile Lz_cpu

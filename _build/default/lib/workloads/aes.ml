@@ -1,0 +1,197 @@
+(* Byte-oriented AES-128. S-box computed from the multiplicative
+   inverse in GF(2^8) followed by the affine transform, rather than
+   hardcoded — fewer magic numbers, same table. *)
+
+let gf_mul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 = 1 then acc lxor a else acc in
+      let a = if a land 0x80 <> 0 then (a lsl 1) lxor 0x11B else a lsl 1 in
+      go (a land 0xFF lor (a land 0x100)) (b lsr 1) acc
+  in
+  go a b 0 land 0xFF
+
+(* a^254 = a^-1 in GF(2^8). *)
+let gf_inv a =
+  if a = 0 then 0
+  else begin
+    let sq x = gf_mul x x in
+    (* 254 = 0b11111110 *)
+    let a2 = sq a in
+    let a4 = sq a2 in
+    let a8 = sq a4 in
+    let a16 = sq a8 in
+    let a32 = sq a16 in
+    let a64 = sq a32 in
+    let a128 = sq a64 in
+    gf_mul a128 (gf_mul a64 (gf_mul a32 (gf_mul a16 (gf_mul a8 (gf_mul a4 a2)))))
+  end
+
+let rotl8 x n = ((x lsl n) lor (x lsr (8 - n))) land 0xFF
+
+let sbox =
+  Array.init 256 (fun i ->
+      let b = gf_inv i in
+      b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63)
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i v -> t.(v) <- i) sbox;
+  t
+
+type key = Bytes.t (* 176-byte expanded schedule *)
+
+let rcon =
+  let t = Array.make 11 0 in
+  let v = ref 1 in
+  for i = 1 to 10 do
+    t.(i) <- !v;
+    v := gf_mul !v 2
+  done;
+  t
+
+let expand_key k =
+  if String.length k <> 16 then invalid_arg "Aes.expand_key: need 16 bytes";
+  let w = Bytes.create 176 in
+  Bytes.blit_string k 0 w 0 16;
+  for i = 4 to 43 do
+    let prev j = Char.code (Bytes.get w ((4 * (i - 1)) + j)) in
+    let t = [| prev 0; prev 1; prev 2; prev 3 |] in
+    if i mod 4 = 0 then begin
+      (* RotWord + SubWord + Rcon *)
+      let r0 = sbox.(t.(1)) lxor rcon.(i / 4) in
+      let r1 = sbox.(t.(2)) in
+      let r2 = sbox.(t.(3)) in
+      let r3 = sbox.(t.(0)) in
+      t.(0) <- r0; t.(1) <- r1; t.(2) <- r2; t.(3) <- r3
+    end;
+    for j = 0 to 3 do
+      let prev4 = Char.code (Bytes.get w ((4 * (i - 4)) + j)) in
+      Bytes.set w ((4 * i) + j) (Char.chr (prev4 lxor t.(j)))
+    done
+  done;
+  w
+
+let key_schedule_bytes k = Bytes.copy k
+
+let key_of_schedule_bytes b =
+  if Bytes.length b <> 176 then
+    invalid_arg "Aes.key_of_schedule_bytes: need 176 bytes";
+  Bytes.copy b
+
+let add_round_key key round st =
+  for i = 0 to 15 do
+    st.(i) <- st.(i) lxor Char.code (Bytes.get key ((16 * round) + i))
+  done
+
+let sub_bytes st = Array.iteri (fun i v -> st.(i) <- sbox.(v)) st
+let inv_sub_bytes st = Array.iteri (fun i v -> st.(i) <- inv_sbox.(v)) st
+
+(* State is column-major: st.(4*c + r) = byte at row r, column c. *)
+let shift_rows st =
+  let old = Array.copy st in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      st.((4 * c) + r) <- old.((4 * ((c + r) mod 4)) + r)
+    done
+  done
+
+let inv_shift_rows st =
+  let old = Array.copy st in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      st.((4 * ((c + r) mod 4)) + r) <- old.((4 * c) + r)
+    done
+  done
+
+let mix_column st c m =
+  let b i = st.((4 * c) + i) in
+  let col = [| b 0; b 1; b 2; b 3 |] in
+  for r = 0 to 3 do
+    st.((4 * c) + r) <-
+      gf_mul m.(0) col.(r)
+      lxor gf_mul m.(1) col.((r + 1) mod 4)
+      lxor gf_mul m.(2) col.((r + 2) mod 4)
+      lxor gf_mul m.(3) col.((r + 3) mod 4)
+  done
+
+let mix_columns st =
+  for c = 0 to 3 do mix_column st c [| 2; 3; 1; 1 |] done
+
+let inv_mix_columns st =
+  for c = 0 to 3 do mix_column st c [| 14; 11; 13; 9 |] done
+
+let load_state buf pos =
+  Array.init 16 (fun i -> Char.code (Bytes.get buf (pos + i)))
+
+let store_state st buf pos =
+  Array.iteri (fun i v -> Bytes.set buf (pos + i) (Char.chr v)) st
+
+let encrypt_block key buf ~pos =
+  let st = load_state buf pos in
+  add_round_key key 0 st;
+  for round = 1 to 9 do
+    sub_bytes st;
+    shift_rows st;
+    mix_columns st;
+    add_round_key key round st
+  done;
+  sub_bytes st;
+  shift_rows st;
+  add_round_key key 10 st;
+  store_state st buf pos
+
+let decrypt_block key buf ~pos =
+  let st = load_state buf pos in
+  add_round_key key 10 st;
+  inv_shift_rows st;
+  inv_sub_bytes st;
+  for round = 9 downto 1 do
+    add_round_key key round st;
+    inv_mix_columns st;
+    inv_shift_rows st;
+    inv_sub_bytes st
+  done;
+  add_round_key key 0 st;
+  store_state st buf pos
+
+let xor_into dst ~pos src =
+  for i = 0 to 15 do
+    Bytes.set dst (pos + i)
+      (Char.chr
+         (Char.code (Bytes.get dst (pos + i))
+         lxor Char.code (Bytes.get src i)))
+  done
+
+let encrypt_cbc key ~iv plain =
+  let n = Bytes.length plain in
+  if n mod 16 <> 0 then invalid_arg "Aes.encrypt_cbc: length";
+  let out = Bytes.copy plain in
+  let prev = Bytes.copy iv in
+  for b = 0 to (n / 16) - 1 do
+    xor_into out ~pos:(16 * b) prev;
+    encrypt_block key out ~pos:(16 * b);
+    Bytes.blit out (16 * b) prev 0 16
+  done;
+  out
+
+let decrypt_cbc key ~iv cipher =
+  let n = Bytes.length cipher in
+  if n mod 16 <> 0 then invalid_arg "Aes.decrypt_cbc: length";
+  let out = Bytes.copy cipher in
+  let prev = Bytes.copy iv in
+  for b = 0 to (n / 16) - 1 do
+    let this_cipher = Bytes.sub cipher (16 * b) 16 in
+    decrypt_block key out ~pos:(16 * b);
+    xor_into out ~pos:(16 * b) prev;
+    Bytes.blit this_cipher 0 prev 0 16
+  done;
+  out
+
+(* Software AES-128 throughput: roughly 20-30 cycles/byte on in-order
+   cores without crypto extensions, a bit better on Carmel. *)
+let block_cycles (cm : Lz_cpu.Cost_model.t) =
+  match cm.Lz_cpu.Cost_model.platform with
+  | Lz_cpu.Cost_model.Carmel -> 320
+  | Lz_cpu.Cost_model.Cortex_a55 -> 450

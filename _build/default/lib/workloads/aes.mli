@@ -1,0 +1,37 @@
+(** AES-128 (FIPS-197), implemented from scratch.
+
+    This is the cryptographic substrate of the Nginx/OpenSSL
+    experiment (paper Section 9.1): each [AES_KEY]-equivalent —
+    the expanded key schedule — is the secret that LightZone isolates
+    in its own domain. The implementation is a straightforward,
+    table-free byte-oriented AES: correct (validated against FIPS-197
+    vectors in the test suite), deliberately simple. *)
+
+type key
+(** An expanded AES-128 key schedule (176 bytes). *)
+
+val expand_key : string -> key
+(** [expand_key k] for a 16-byte key. Raises [Invalid_argument]
+    otherwise. *)
+
+val key_schedule_bytes : key -> Bytes.t
+(** The 176-byte expanded schedule — what gets stored inside a
+    protected domain. *)
+
+val key_of_schedule_bytes : Bytes.t -> key
+(** Rebuild a key from a 176-byte schedule (reading it back out of a
+    protected domain). *)
+
+val encrypt_block : key -> Bytes.t -> pos:int -> unit
+(** Encrypt 16 bytes in place at [pos]. *)
+
+val decrypt_block : key -> Bytes.t -> pos:int -> unit
+
+val encrypt_cbc : key -> iv:Bytes.t -> Bytes.t -> Bytes.t
+(** CBC encrypt; input length must be a multiple of 16. *)
+
+val decrypt_cbc : key -> iv:Bytes.t -> Bytes.t -> Bytes.t
+
+val block_cycles : Lz_cpu.Cost_model.t -> int
+(** Calibrated cycles one AES block costs on the platform (drives the
+    application benchmarks' cycle accounting). *)

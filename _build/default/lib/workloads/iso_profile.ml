@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  domain_enter_cycles : float;
+  domain_exit_cycles : float;
+  syscall_cycles : float;
+  tlb_miss_extra_cycles : float;
+  ttbr_extra_miss_factor : float;
+  max_domains : int;
+}
+
+let vanilla ~syscall_cycles =
+  { name = "original";
+    domain_enter_cycles = 0.;
+    domain_exit_cycles = 0.;
+    syscall_cycles;
+    tlb_miss_extra_cycles = 0.;
+    ttbr_extra_miss_factor = 1.0;
+    max_domains = -1 }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<h>%s: enter=%.0f exit=%.0f syscall=%.0f tlb+=%.0f max=%d@]" t.name
+    t.domain_enter_cycles t.domain_exit_cycles t.syscall_cycles
+    t.tlb_miss_extra_cycles t.max_domains

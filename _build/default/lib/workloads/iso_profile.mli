@@ -1,0 +1,32 @@
+(** Per-mechanism isolation cost profile consumed by the application
+    workloads.
+
+    The numbers are *measured*, not assumed: the evaluation harness
+    (lz_eval) runs the real mechanisms on the simulator — Table 5
+    domain-switch programs and Table 4 trap programs — and distils the
+    results into this record, which the workload models then compose
+    into per-request / per-transaction / per-operation costs. *)
+
+type t = {
+  name : string;
+  domain_enter_cycles : float;
+      (** open access to one protected domain (gate pass, PAN clear,
+          ioctl, lwSwitch…). *)
+  domain_exit_cycles : float;
+      (** revoke access (gate back / PAN set / re-protect ioctl). *)
+  syscall_cycles : float;
+      (** one empty syscall roundtrip under this mechanism. *)
+  tlb_miss_extra_cycles : float;
+      (** extra page-walk cycles per TLB miss versus the vanilla
+          process (stage-2 nesting for LightZone; 0 otherwise). *)
+  ttbr_extra_miss_factor : float;
+      (** multiplier on the workload's TLB-miss count for mechanisms
+          whose protected pages are ASID-private (TTBR mode maps
+          protected pages non-global and per-table). 1.0 otherwise. *)
+  max_domains : int;  (** -1 = unbounded. *)
+}
+
+val vanilla : syscall_cycles:float -> t
+(** No isolation: only the baseline syscall cost. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_arm.ml: Alcotest Bits Encoding Format Insn List Lz_arm Printf Pstate QCheck2 QCheck_alcotest Random Sysreg

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Bits Insn Kernel List Lwc Lz_arm Lz_baselines Lz_cpu Lz_eval Lz_kernel Machine Printf Pstate Sfi String Sysreg Vma Watchpoint

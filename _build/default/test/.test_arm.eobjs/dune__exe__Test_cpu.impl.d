@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Array Core Cost_model Encoding Format Insn List Lz_arm Lz_cpu Lz_mem Mmu Phys Pstate Pte Stage1 Sysreg Tlb

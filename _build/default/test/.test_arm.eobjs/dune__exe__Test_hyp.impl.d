@@ -1,0 +1,1 @@
+test/test_hyp.ml: Alcotest Hypervisor Lightzone Lz_arm Lz_cpu Lz_hyp Lz_kernel Lz_mem Machine Pstate Sysreg Vm

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Api Builder Encoding Fun Insn Kernel Kmod Lightzone List Lowvisor Lz_arm Lz_cpu Lz_hyp Lz_kernel Machine Perm Proc String Vma

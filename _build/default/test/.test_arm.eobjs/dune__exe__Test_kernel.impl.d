@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Buffer Bytes Char Insn Kernel Lz_arm Lz_cpu Lz_eval Lz_hyp Lz_kernel Machine Printf Proc Vma

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bits Bytes List Lz_arm Lz_mem Mmu Phys Pstate Pte QCheck2 QCheck_alcotest Result Stage1 Stage2 Tlb

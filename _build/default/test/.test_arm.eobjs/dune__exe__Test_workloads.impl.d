@@ -1,0 +1,1 @@
+test/test_workloads.ml: Aes Alcotest Bytes Char Iso_profile List Lz_cpu Lz_workloads Mysql_sim Nginx_sim Nvm_bench Printf String

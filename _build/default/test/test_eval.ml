@@ -1,0 +1,164 @@
+(* Integration tests over the evaluation harness: the measured Table 4
+   and Table 5 values must stay within tolerance of the paper, the
+   figures must preserve the paper's ordering, and the penetration
+   tests must all come out as the paper claims. *)
+
+let check_bool = Alcotest.(check bool)
+
+let within pct ~paper measured =
+  let p = float_of_int paper and m = float_of_int measured in
+  abs_float (m -. p) /. p <= pct
+
+(* ------------------------------------------------------------------ *)
+(* Table 4 *)
+
+let test_table4_calibration () =
+  List.iter
+    (fun cm ->
+      let rows = Lz_eval.Trap_bench.table cm in
+      List.iter2
+        (fun r (label, carmel, a55) ->
+          let plo, phi =
+            if cm.Lz_cpu.Cost_model.platform = Lz_cpu.Cost_model.Carmel then
+              carmel
+            else a55
+          in
+          check_bool
+            (Printf.sprintf "%s %s lo" (Lz_cpu.Cost_model.name cm) label)
+            true
+            (within 0.15 ~paper:plo r.Lz_eval.Trap_bench.lo);
+          check_bool
+            (Printf.sprintf "%s %s hi" (Lz_cpu.Cost_model.name cm) label)
+            true
+            (within 0.15 ~paper:phi r.Lz_eval.Trap_bench.hi))
+        rows Lz_eval.Trap_bench.paper)
+    Lz_cpu.Cost_model.all
+
+let test_lz_trap_beats_host_on_carmel () =
+  (* The paper's headline: the Section 5.2 optimization makes a
+     LightZone syscall cheaper than a host syscall on Carmel. *)
+  let cm = Lz_cpu.Cost_model.carmel in
+  check_bool "lz < host on carmel" true
+    (Lz_eval.Trap_bench.lz_to_host_el2 cm
+    < Lz_eval.Trap_bench.host_user_to_el2 cm);
+  (* ... and more expensive on the A55, where traps are cheap. *)
+  let a = Lz_cpu.Cost_model.cortex_a55 in
+  check_bool "lz > host on a55" true
+    (Lz_eval.Trap_bench.lz_to_host_el2 a
+    > Lz_eval.Trap_bench.host_user_to_el2 a)
+
+(* ------------------------------------------------------------------ *)
+(* Table 5 *)
+
+let test_table5_orderings () =
+  let cm = Lz_cpu.Cost_model.cortex_a55 in
+  let m mech d =
+    Lz_eval.Switch_bench.measure cm ~env:Lz_eval.Switch_bench.Host
+      ~mechanism:mech ~domains:d ~iterations:600 ()
+  in
+  let pan = m Lz_eval.Switch_bench.Lz_pan 1 in
+  let ttbr = m Lz_eval.Switch_bench.Lz_ttbr 8 in
+  let wp = m Lz_eval.Switch_bench.Wp_ioctl 8 in
+  let lwc = m Lz_eval.Switch_bench.Lwc_switch 8 in
+  check_bool "pan is a few cycles" true (pan < 30.);
+  check_bool "pan << ttbr" true (pan *. 3. < ttbr);
+  check_bool "ttbr << wp (trap-free wins)" true (ttbr *. 3. < wp);
+  check_bool "wp < lwc" true (wp < lwc)
+
+let test_table5_scales_past_16 () =
+  (* LightZone keeps working at 128 domains where Watchpoint cannot
+     even be configured. *)
+  let cm = Lz_cpu.Cost_model.cortex_a55 in
+  let v =
+    Lz_eval.Switch_bench.measure cm ~env:Lz_eval.Switch_bench.Host
+      ~mechanism:Lz_eval.Switch_bench.Lz_ttbr ~domains:128 ~iterations:600 ()
+  in
+  check_bool "128 domains functional and fast" true (v < 400.)
+
+(* ------------------------------------------------------------------ *)
+(* Figures *)
+
+let setting =
+  { Lz_eval.Figures.cm = Lz_cpu.Cost_model.cortex_a55;
+    env = Lz_eval.Switch_bench.Host;
+    label = "Cortex Host" }
+
+let loss series mech =
+  let s = List.find (fun s -> s.Lz_eval.Figures.mech = mech) series in
+  s.Lz_eval.Figures.loss_pct
+
+let test_fig3_ordering () =
+  let series = Lz_eval.Figures.fig3 ~requests:200 setting in
+  let pan = loss series Lz_eval.Profiles.Lz_pan in
+  let ttbr = loss series Lz_eval.Profiles.Lz_ttbr in
+  let wp = loss series Lz_eval.Profiles.Wp in
+  let lwc = loss series Lz_eval.Profiles.Lwc in
+  check_bool "pan < ttbr" true (pan < ttbr);
+  check_bool "ttbr < wp" true (ttbr < wp);
+  check_bool "wp < lwc" true (wp < lwc);
+  check_bool "pan under 2%" true (pan < 2.0);
+  check_bool "lwc over 8%" true (lwc > 8.0)
+
+let test_fig5_shape () =
+  let series = Lz_eval.Figures.fig5 ~operations:10_000 setting in
+  let pan = loss series Lz_eval.Profiles.Lz_pan in
+  let ttbr = loss series Lz_eval.Profiles.Lz_ttbr in
+  check_bool "pan near zero" true (pan < 1.0);
+  check_bool "ttbr small" true (ttbr < 8.0);
+  (* Watchpoint series must stop at 16 buffers. *)
+  let wp =
+    List.find (fun s -> s.Lz_eval.Figures.mech = Lz_eval.Profiles.Wp) series
+  in
+  check_bool "wp capped at 16" true
+    (List.for_all (fun (x, _) -> x <= 16) wp.Lz_eval.Figures.points)
+
+(* ------------------------------------------------------------------ *)
+(* Memory + Table 1 + pentest *)
+
+let test_memory_shapes () =
+  List.iter
+    (fun r ->
+      check_bool
+        (r.Lz_eval.Memory_eval.app ^ ": TTBR tables cost more than PAN")
+        true
+        (r.Lz_eval.Memory_eval.ttbr_tables_pct
+        > r.Lz_eval.Memory_eval.pan_tables_pct);
+      check_bool
+        (r.Lz_eval.Memory_eval.app ^ ": PAN tables cheap")
+        true
+        (r.Lz_eval.Memory_eval.pan_tables_pct < 5.0))
+    (Lz_eval.Memory_eval.all Lz_cpu.Cost_model.cortex_a55)
+
+let test_table1_lightzone_row () =
+  let rows = Lz_eval.Table1.rows () in
+  let lz = List.find (fun r -> r.Lz_eval.Table1.name = "LightZone (this)") rows in
+  check_bool "scalable" true lz.Lz_eval.Table1.scalable;
+  check_bool "secure" true lz.Lz_eval.Table1.secure;
+  Alcotest.(check string) "pcb" "yes" lz.Lz_eval.Table1.pcb;
+  let panic = List.find (fun r -> r.Lz_eval.Table1.name = "PANIC") rows in
+  check_bool "panic insecure" false panic.Lz_eval.Table1.secure
+
+let test_pentest_all () =
+  let rs = Lz_eval.Pentest.run_all ~domains:32 Lz_cpu.Cost_model.cortex_a55 in
+  check_bool "all attacks handled as the paper claims" true
+    (Lz_eval.Pentest.all_prevented rs);
+  Alcotest.(check int) "seven scenarios" 7 (List.length rs)
+
+let () =
+  Alcotest.run "lz_eval"
+    [ ( "table4",
+        [ Alcotest.test_case "calibration vs paper" `Slow
+            test_table4_calibration;
+          Alcotest.test_case "carmel headline" `Quick
+            test_lz_trap_beats_host_on_carmel ] );
+      ( "table5",
+        [ Alcotest.test_case "orderings" `Slow test_table5_orderings;
+          Alcotest.test_case "scales past 16" `Slow
+            test_table5_scales_past_16 ] );
+      ( "figures",
+        [ Alcotest.test_case "fig3 ordering" `Slow test_fig3_ordering;
+          Alcotest.test_case "fig5 shape" `Slow test_fig5_shape ] );
+      ( "others",
+        [ Alcotest.test_case "memory shapes" `Quick test_memory_shapes;
+          Alcotest.test_case "table1" `Quick test_table1_lightzone_row;
+          Alcotest.test_case "pentest" `Quick test_pentest_all ] ) ]

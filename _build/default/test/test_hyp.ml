@@ -1,0 +1,146 @@
+(* Tests for the hypervisor model: VM lifecycle, stage-2 demand
+   paging, world-switch cycle charging, and the Lowvisor's nested
+   forwarding optimizations. *)
+
+open Lz_arm
+open Lz_kernel
+open Lz_hyp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh () =
+  let machine = Machine.create () in
+  (machine, Hypervisor.create machine)
+
+let test_vm_identity () =
+  let _, hyp = fresh () in
+  let vm1 = Hypervisor.create_vm hyp in
+  let vm2 = Hypervisor.create_vm hyp in
+  check_bool "distinct vmids" true (vm1.Vm.vmid <> vm2.Vm.vmid);
+  check_bool "distinct s2 roots" true (vm1.Vm.s2_root <> vm2.Vm.s2_root);
+  check_int "vttbr carries vmid" vm1.Vm.vmid
+    (Lz_mem.Mmu.ttbr_asid (Vm.vttbr vm1))
+
+let test_s2_demand_fault () =
+  let machine, hyp = fresh () in
+  let vm = Hypervisor.create_vm hyp in
+  let fault =
+    { Lz_mem.Mmu.stage = 2; level = 1; kind = Lz_mem.Mmu.Translation;
+      va = 0x1234; ipa = 0x5000; access = Lz_mem.Mmu.Read }
+  in
+  (match Hypervisor.handle_s2_fault hyp vm fault with
+  | `Handled -> ()
+  | `Fatal -> Alcotest.fail "translation fault must be demand-mapped");
+  (match Lz_mem.Stage2.walk machine.Machine.phys ~root:vm.Vm.s2_root
+           ~ipa:0x5000 with
+  | Ok w -> check_int "identity mapping" 0x5000 w.Lz_mem.Stage2.pa
+  | Error _ -> Alcotest.fail "mapping missing");
+  check_int "fault counted" 1 vm.Vm.s2_faults;
+  (* Permission faults are fatal. *)
+  match
+    Hypervisor.handle_s2_fault hyp vm
+      { fault with Lz_mem.Mmu.kind = Lz_mem.Mmu.Permission }
+  with
+  | `Fatal -> ()
+  | `Handled -> Alcotest.fail "permission fault must be fatal"
+
+let test_world_switch_charges () =
+  let machine, hyp = fresh () in
+  let vm = Hypervisor.create_vm hyp in
+  let core = Machine.new_core machine Pstate.EL2 in
+  let before = core.Lz_cpu.Core.cycles in
+  Hypervisor.vcpu_load hyp vm core;
+  let load_cost = core.Lz_cpu.Core.cycles - before in
+  (* At minimum: 18 EL1 registers + HCR + VTTBR + the extra state. *)
+  let cm = machine.Machine.cost in
+  check_bool "load charges the register moves" true
+    (load_cost
+    > (18 * cm.Lz_cpu.Cost_model.sysreg_el1_at_el2)
+      + cm.Lz_cpu.Cost_model.hcr_write
+      + cm.Lz_cpu.Cost_model.vttbr_write);
+  check_bool "hcr switched to guest" true
+    (Sysreg.read core.Lz_cpu.Core.sys Sysreg.HCR_EL2 land Sysreg.Hcr.vm <> 0);
+  Hypervisor.vcpu_put hyp vm core;
+  check_bool "hcr back to host" true
+    (Sysreg.read core.Lz_cpu.Core.sys Sysreg.HCR_EL2 land Sysreg.Hcr.tge <> 0);
+  check_int "two switches recorded" 2 hyp.Hypervisor.world_switches
+
+let test_vcpu_context_preserved () =
+  let machine, hyp = fresh () in
+  let vm = Hypervisor.create_vm hyp in
+  let core = Machine.new_core machine Pstate.EL2 in
+  Hypervisor.vcpu_load hyp vm core;
+  Sysreg.write core.Lz_cpu.Core.sys Sysreg.TTBR0_EL1 0xABC000;
+  Sysreg.write core.Lz_cpu.Core.sys Sysreg.VBAR_EL1 0x800000;
+  Hypervisor.vcpu_put hyp vm core;
+  (* Clobber, then reload: the guest's EL1 state must come back. *)
+  Sysreg.write core.Lz_cpu.Core.sys Sysreg.TTBR0_EL1 0;
+  Sysreg.write core.Lz_cpu.Core.sys Sysreg.VBAR_EL1 0;
+  Hypervisor.vcpu_load hyp vm core;
+  check_int "ttbr0 restored" 0xABC000
+    (Sysreg.read core.Lz_cpu.Core.sys Sysreg.TTBR0_EL1);
+  check_int "vbar restored" 0x800000
+    (Sysreg.read core.Lz_cpu.Core.sys Sysreg.VBAR_EL1)
+
+let test_lowvisor_charges () =
+  let machine, hyp = fresh () in
+  let vm = Hypervisor.create_vm hyp in
+  let lv = Lightzone.Lowvisor.create hyp vm in
+  let core = Machine.new_core machine Pstate.EL2 in
+  let before = core.Lz_cpu.Core.cycles in
+  Lightzone.Lowvisor.charge_forward_in lv core;
+  Lightzone.Lowvisor.charge_forward_out lv core;
+  let roundtrip = core.Lz_cpu.Core.cycles - before in
+  (* First forward pays the pt_regs re-location. *)
+  let before2 = core.Lz_cpu.Core.cycles in
+  Lightzone.Lowvisor.charge_forward_in lv core;
+  Lightzone.Lowvisor.charge_forward_out lv core;
+  let steady = core.Lz_cpu.Core.cycles - before2 in
+  check_bool "repoint charged once" true
+    (roundtrip - steady = machine.Machine.cost.Lz_cpu.Cost_model.nested_repoint);
+  check_int "two forwards" 2 lv.Lightzone.Lowvisor.forwards;
+  check_int "one repoint" 1 lv.Lightzone.Lowvisor.repoints;
+  (* A scheduling event re-arms the repoint cost. *)
+  Lightzone.Lowvisor.notify_schedule lv;
+  let before3 = core.Lz_cpu.Core.cycles in
+  Lightzone.Lowvisor.charge_forward_in lv core;
+  check_bool "repoint after schedule" true
+    (core.Lz_cpu.Core.cycles - before3 > steady / 2)
+
+let test_nested_cheaper_than_two_world_switches () =
+  (* The Section 5.2.2 claim: a Lowvisor forwarding roundtrip beats a
+     conventional nested-VM switch (two full world switches). *)
+  let machine, hyp = fresh () in
+  let vm = Hypervisor.create_vm hyp in
+  let lv = Lightzone.Lowvisor.create hyp vm in
+  let core_a = Machine.new_core machine Pstate.EL2 in
+  Lightzone.Lowvisor.charge_forward_in lv core_a;
+  Lightzone.Lowvisor.charge_forward_out lv core_a;
+  (* steady state *)
+  let s = core_a.Lz_cpu.Core.cycles in
+  let core_a2 = Machine.new_core machine Pstate.EL2 in
+  Lightzone.Lowvisor.charge_forward_in lv core_a2;
+  Lightzone.Lowvisor.charge_forward_out lv core_a2;
+  ignore s;
+  let nested = core_a2.Lz_cpu.Core.cycles in
+  let core_b = Machine.new_core machine Pstate.EL2 in
+  Hypervisor.hypercall_roundtrip hyp vm core_b;
+  Hypervisor.hypercall_roundtrip hyp vm core_b;
+  let conventional = core_b.Lz_cpu.Core.cycles in
+  check_bool "lowvisor roundtrip < 2 conventional switches" true
+    (nested < conventional)
+
+let () =
+  Alcotest.run "lz_hyp"
+    [ ( "vm",
+        [ Alcotest.test_case "identity" `Quick test_vm_identity;
+          Alcotest.test_case "stage-2 demand" `Quick test_s2_demand_fault ] );
+      ( "world switch",
+        [ Alcotest.test_case "charges" `Quick test_world_switch_charges;
+          Alcotest.test_case "context preserved" `Quick
+            test_vcpu_context_preserved ] );
+      ( "lowvisor",
+        [ Alcotest.test_case "charges" `Quick test_lowvisor_charges;
+          Alcotest.test_case "beats nested switch" `Quick
+            test_nested_cheaper_than_two_world_switches ] ) ]

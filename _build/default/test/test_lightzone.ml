@@ -1,0 +1,521 @@
+(* End-to-end tests of the LightZone core: sanitizer classification
+   (Table 3), kernel-mode process execution, PAN- and TTBR-based
+   isolation, the secure call gate, and the fake-physical layer. *)
+
+open Lz_arm
+open Lz_kernel
+open Lightzone
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let code_va = 0x400000
+let data_va = 0x600000
+let data2_va = 0x700000
+let stack_va = 0x7F0000000000
+
+(* Fresh host kernel + process with a stack and two data VMAs. *)
+let fresh ?(cost = Lz_cpu.Cost_model.cortex_a55) () =
+  let machine = Machine.create ~cost () in
+  let kernel = Kernel.create machine Kernel.Host_vhe in
+  let proc = Kernel.create_process kernel in
+  ignore (Kernel.map_anon kernel proc ~at:(stack_va - 0x10000) ~len:0x10000
+            Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:data_va ~len:0x4000 Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:data2_va ~len:0x4000 Vma.rw);
+  (machine, kernel, proc)
+
+let enter ?backend ?(scalable = true) kernel proc =
+  Api.lz_enter ?backend ~allow_scalable:scalable
+    ~insn_san:(if scalable then 1 else 2)
+    ~entry:code_va ~sp:stack_va kernel proc
+
+let expect_exit code outcome =
+  match outcome with
+  | Kmod.Exited c -> check_int "exit code" code c
+  | o -> Alcotest.failf "expected exit, got %a" Kmod.pp_outcome o
+
+(* tiny substring helper to avoid a dependency *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let expect_terminated substr outcome =
+  match outcome with
+  | Kmod.Terminated reason ->
+      if not (contains reason substr) then
+        Alcotest.failf "expected %S in %S" substr reason
+  | o -> Alcotest.failf "expected termination, got %a" Kmod.pp_outcome o
+
+(* ------------------------------------------------------------------ *)
+(* Sanitizer *)
+
+let cls mode insn = Sanitizer.classify mode (Encoding.encode insn)
+
+let test_sanitizer_eret () =
+  check_bool "eret forbidden ttbr" true
+    (cls Sanitizer.Ttbr_mode Insn.Eret <> Sanitizer.Allowed);
+  check_bool "eret forbidden pan" true
+    (cls Sanitizer.Pan_mode Insn.Eret <> Sanitizer.Allowed)
+
+let test_sanitizer_unpriv () =
+  check_bool "ldtr ok in ttbr mode" true
+    (cls Sanitizer.Ttbr_mode (Insn.Ldtr (0, 1, 0)) = Sanitizer.Allowed);
+  check_bool "sttr forbidden in pan mode" true
+    (cls Sanitizer.Pan_mode (Insn.Sttr (0, 1, 0)) <> Sanitizer.Allowed);
+  check_bool "ldtrb forbidden in pan mode" true
+    (cls Sanitizer.Pan_mode (Insn.Ldtrb (0, 1, 0)) <> Sanitizer.Allowed)
+
+let test_sanitizer_pan_toggle () =
+  check_bool "pan toggle ok both" true
+    (cls Sanitizer.Ttbr_mode (Insn.Msr_pstate (Insn.PAN, 0))
+     = Sanitizer.Allowed
+    && cls Sanitizer.Pan_mode (Insn.Msr_pstate (Insn.PAN, 1))
+       = Sanitizer.Allowed);
+  check_bool "daifset forbidden" true
+    (cls Sanitizer.Ttbr_mode (Insn.Msr_pstate (Insn.DAIFSet, 0xF))
+    <> Sanitizer.Allowed);
+  check_bool "spsel forbidden" true
+    (cls Sanitizer.Pan_mode (Insn.Msr_pstate (Insn.SPSel, 1))
+    <> Sanitizer.Allowed)
+
+let test_sanitizer_sysregs () =
+  let open Sysreg in
+  check_bool "ttbr0 write gate-only in ttbr mode" true
+    (cls Sanitizer.Ttbr_mode (Insn.Msr (TTBR0_EL1, 0)) = Sanitizer.Gate_only);
+  check_bool "ttbr0 forbidden in pan mode" true
+    (match cls Sanitizer.Pan_mode (Insn.Msr (TTBR0_EL1, 0)) with
+    | Sanitizer.Forbidden _ -> true
+    | _ -> false);
+  check_bool "ttbr1 forbidden" true
+    (match cls Sanitizer.Ttbr_mode (Insn.Msr (TTBR1_EL1, 0)) with
+    | Sanitizer.Forbidden _ -> true
+    | _ -> false);
+  check_bool "sctlr forbidden" true
+    (match cls Sanitizer.Ttbr_mode (Insn.Msr (SCTLR_EL1, 0)) with
+    | Sanitizer.Forbidden _ -> true
+    | _ -> false);
+  check_bool "vbar forbidden" true
+    (match cls Sanitizer.Ttbr_mode (Insn.Msr (VBAR_EL1, 0)) with
+    | Sanitizer.Forbidden _ -> true
+    | _ -> false);
+  check_bool "elr forbidden" true
+    (match cls Sanitizer.Ttbr_mode (Insn.Msr (ELR_EL1, 0)) with
+    | Sanitizer.Forbidden _ -> true
+    | _ -> false);
+  check_bool "nzcv allowed" true
+    (cls Sanitizer.Ttbr_mode (Insn.Mrs (0, NZCV)) = Sanitizer.Allowed);
+  check_bool "fpcr allowed" true
+    (cls Sanitizer.Pan_mode (Insn.Msr (FPCR, 0)) = Sanitizer.Allowed);
+  check_bool "tpidr_el0 allowed" true
+    (cls Sanitizer.Pan_mode (Insn.Msr (TPIDR_EL0, 0)) = Sanitizer.Allowed)
+
+let test_sanitizer_sys_ops () =
+  check_bool "dc civac forbidden" true
+    (match cls Sanitizer.Ttbr_mode (Insn.Dc_civac 0) with
+    | Sanitizer.Forbidden _ -> true
+    | _ -> false);
+  check_bool "at s1e1r forbidden" true
+    (match cls Sanitizer.Pan_mode (Insn.At_s1e1r 0) with
+    | Sanitizer.Forbidden _ -> true
+    | _ -> false);
+  check_bool "tlbi passes sanitizer (HCR-monitored)" true
+    (cls Sanitizer.Ttbr_mode Insn.Tlbi_vmalle1 = Sanitizer.Allowed);
+  check_bool "nop/isb/svc allowed" true
+    (cls Sanitizer.Pan_mode Insn.Nop = Sanitizer.Allowed
+    && cls Sanitizer.Pan_mode Insn.Isb = Sanitizer.Allowed
+    && cls Sanitizer.Pan_mode (Insn.Svc 0) = Sanitizer.Allowed)
+
+let test_scan_page () =
+  let phys = Lz_mem.Phys.create () in
+  let pa = Lz_mem.Phys.alloc_frame phys in
+  (* NOPs pass; a hidden ERET fails. Empty (zero) words decode to Udf
+     which is Allowed by classify (it traps at run time anyway). *)
+  for i = 0 to 1023 do
+    Lz_mem.Phys.write32 phys (pa + (4 * i)) (Encoding.encode Insn.Nop)
+  done;
+  check_bool "clean page passes" true
+    (Result.is_ok (Sanitizer.scan_page Sanitizer.Ttbr_mode phys ~pa));
+  Lz_mem.Phys.write32 phys (pa + 512) (Encoding.encode Insn.Eret);
+  match Sanitizer.scan_page Sanitizer.Ttbr_mode phys ~pa with
+  | Error (off, _, _) -> check_int "offset found" 512 off
+  | Ok () -> Alcotest.fail "eret must be caught"
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-mode process basics *)
+
+let test_lz_basic_run () =
+  let _, kernel, proc = fresh () in
+  let b = Builder.create ~base:code_va in
+  Builder.emit b [ Insn.Movz (0, 42, 0); Insn.Brk 42 ];
+  let t = enter kernel proc in
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 42 (Api.run t)
+
+let test_lz_memory_and_fakephys () =
+  let _, kernel, proc = fresh () in
+  let b = Builder.create ~base:code_va in
+  Builder.mov_imm64 b 0 data_va;
+  Builder.emit b
+    [ Insn.Movz (1, 777, 0); Insn.Str (1, 0, 8); Insn.Ldr (2, 0, 8);
+      Insn.Brk 0 ];
+  let t = enter kernel proc in
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 0 (Api.run t);
+  check_int "store/load through LZ tables" 777 (Lz_cpu.Core.reg t.Kmod.core 2);
+  (* The data page's stage-1 PTE holds a fake address, not the real
+     frame. *)
+  let real = Option.get (Proc.mapped_pa proc ~va:data_va) in
+  let fake = Option.get (Fake_phys.fake_of_real t.Kmod.fake real) in
+  check_bool "fake differs from real" true (fake <> Lz_arm.Bits.align_down real 4096);
+  check_bool "fake addresses are small and sequential" true (fake < 0x100000)
+
+let test_lz_syscall () =
+  let _, kernel, proc = fresh () in
+  let b = Builder.create ~base:code_va in
+  (* getpid via hvc #0 *)
+  Builder.emit b
+    [ Insn.Movz (8, Kernel.Nr.getpid, 0); Insn.Hvc 0; Insn.Mov_reg (9, 0);
+      Insn.Brk 0 ];
+  let t = enter kernel proc in
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 0 (Api.run t);
+  check_int "getpid result" proc.Proc.pid (Lz_cpu.Core.reg t.Kmod.core 9)
+
+let test_lz_write_syscall () =
+  let _, kernel, proc = fresh () in
+  Kernel.write_user kernel proc ~va:data_va (Bytes.of_string "hello lz\n");
+  let b = Builder.create ~base:code_va in
+  Builder.emit b [ Insn.Movz (8, Kernel.Nr.write, 0); Insn.Movz (0, 1, 0) ];
+  Builder.mov_imm64 b 1 data_va;
+  Builder.emit b [ Insn.Movz (2, 9, 0); Insn.Hvc 0; Insn.Brk 0 ];
+  let t = enter kernel proc in
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 0 (Api.run t);
+  Alcotest.(check string) "stdout" "hello lz\n" (Api.output t)
+
+let test_lz_segv () =
+  let _, kernel, proc = fresh () in
+  let b = Builder.create ~base:code_va in
+  Builder.mov_imm64 b 0 0x123456000;
+  Builder.emit b [ Insn.Ldr (1, 0, 0) ];
+  let t = enter kernel proc in
+  Api.load_and_register t b ~va:code_va;
+  expect_terminated "segmentation fault" (Api.run t)
+
+(* ------------------------------------------------------------------ *)
+(* PAN-based isolation *)
+
+let pan_setup () =
+  let _, kernel, proc = fresh () in
+  let t = enter ~scalable:false kernel proc in
+  Api.lz_prot t ~addr:data_va ~len:4096 ~pgt:Perm.pgt_all
+    ~perm:(Perm.read lor Perm.write lor Perm.user);
+  (kernel, proc, t)
+
+let test_pan_allows_when_clear () =
+  let _, _, t = pan_setup () in
+  let b = Builder.create ~base:code_va in
+  Builder.set_pan b false;
+  Builder.mov_imm64 b 0 data_va;
+  Builder.emit b
+    [ Insn.Movz (1, 5, 0); Insn.Str (1, 0, 0); Insn.Ldr (2, 0, 0) ];
+  Builder.set_pan b true;
+  Builder.emit b [ Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 0 (Api.run t);
+  check_int "protected data readable with PAN clear" 5
+    (Lz_cpu.Core.reg t.Kmod.core 2)
+
+let test_pan_blocks_when_set () =
+  let _, _, t = pan_setup () in
+  let b = Builder.create ~base:code_va in
+  (* First touch with PAN clear to fault the page in, then set PAN and
+     try again: the second access must be a PAN violation. *)
+  Builder.set_pan b false;
+  Builder.mov_imm64 b 0 data_va;
+  Builder.emit b [ Insn.Ldr (1, 0, 0) ];
+  Builder.set_pan b true;
+  Builder.emit b [ Insn.Ldr (2, 0, 0); Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_terminated "PAN violation" (Api.run t)
+
+(* ------------------------------------------------------------------ *)
+(* TTBR-based isolation with the secure call gate *)
+
+(* Two mutually distrusting parts: data_va in pgt1 (gate 0), data2_va
+   in pgt2 (gate 1). *)
+let ttbr_setup () =
+  let _, kernel, proc = fresh () in
+  let t = enter kernel proc in
+  let pgt1 = Api.lz_alloc t in
+  let pgt2 = Api.lz_alloc t in
+  Api.lz_map_gate_pgt t ~pgt:pgt1 ~gate:0;
+  Api.lz_map_gate_pgt t ~pgt:pgt2 ~gate:1;
+  Api.lz_prot t ~addr:data_va ~len:4096 ~pgt:pgt1
+    ~perm:(Perm.read lor Perm.write);
+  Api.lz_prot t ~addr:data2_va ~len:4096 ~pgt:pgt2
+    ~perm:(Perm.read lor Perm.write);
+  (kernel, proc, t, pgt1, pgt2)
+
+let test_gate_switch_allows_access () =
+  let _, _, t, _, _ = ttbr_setup () in
+  let b = Builder.create ~base:code_va in
+  Builder.switch_gate b ~gate:0;
+  Builder.mov_imm64 b 0 data_va;
+  Builder.emit b
+    [ Insn.Movz (1, 100, 0); Insn.Str (1, 0, 0); Insn.Ldr (2, 0, 0) ];
+  Builder.switch_gate b ~gate:1;
+  Builder.mov_imm64 b 0 data2_va;
+  Builder.emit b
+    [ Insn.Movz (1, 200, 0); Insn.Str (1, 0, 0); Insn.Ldr (3, 0, 0) ];
+  Builder.emit b [ Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 0 (Api.run t);
+  check_int "domain 1 data" 100 (Lz_cpu.Core.reg t.Kmod.core 2);
+  check_int "domain 2 data" 200 (Lz_cpu.Core.reg t.Kmod.core 3)
+
+let test_cross_domain_access_denied () =
+  let _, _, t, _, _ = ttbr_setup () in
+  let b = Builder.create ~base:code_va in
+  Builder.switch_gate b ~gate:0;
+  (* In pgt1; data2_va belongs to pgt2 only. *)
+  Builder.mov_imm64 b 0 data2_va;
+  Builder.emit b [ Insn.Ldr (1, 0, 0); Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_terminated "unauthorized access" (Api.run t)
+
+let test_default_pgt_denied_protected () =
+  let _, _, t, _, _ = ttbr_setup () in
+  let b = Builder.create ~base:code_va in
+  (* No gate switch: still in pgt 0. *)
+  Builder.mov_imm64 b 0 data_va;
+  Builder.emit b [ Insn.Ldr (1, 0, 0); Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_terminated "unauthorized access" (Api.run t)
+
+let test_unprotected_shared_across_domains () =
+  let _, kernel, proc = fresh () in
+  ignore kernel;
+  ignore proc;
+  let _, _, t, _, _ = ttbr_setup () in
+  let b = Builder.create ~base:code_va in
+  (* data2_va + 0x2000 page is unprotected (lz_prot covered one page):
+     accessible from any domain. *)
+  Builder.switch_gate b ~gate:0;
+  Builder.mov_imm64 b 0 (data2_va + 0x2000);
+  Builder.emit b
+    [ Insn.Movz (1, 9, 0); Insn.Str (1, 0, 0); Insn.Ldr (2, 0, 0);
+      Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 0 (Api.run t);
+  check_int "unprotected page usable" 9 (Lz_cpu.Core.reg t.Kmod.core 2)
+
+(* ------------------------------------------------------------------ *)
+(* Attacks *)
+
+let test_direct_ttbr_write_sanitized () =
+  let _, kernel, proc = fresh () in
+  let b = Builder.create ~base:code_va in
+  Builder.emit b [ Insn.Msr (Sysreg.TTBR0_EL1, 0); Insn.Brk 0 ];
+  let t = enter kernel proc in
+  Api.load_and_register t b ~va:code_va;
+  expect_terminated "sensitive instruction" (Api.run t)
+
+let test_eret_sanitized () =
+  let _, kernel, proc = fresh () in
+  let b = Builder.create ~base:code_va in
+  Builder.emit b [ Insn.Eret; Insn.Brk 0 ];
+  let t = enter kernel proc in
+  Api.load_and_register t b ~va:code_va;
+  expect_terminated "sensitive instruction" (Api.run t)
+
+let test_gate_midentry_hijack_detected () =
+  let _, _, t, pgt1, _ = ttbr_setup () in
+  (* The attacker reads the legal TTBR for pgt1 from TTBRTab (readable)
+     and jumps straight to the gate's msr instruction with the value in
+     x12 and a forged return address — the check phase must catch the
+     forged entry. *)
+  let msr_index =
+    (* position of the Msr instruction inside the gate body *)
+    let rec find i = function
+      | Insn.Msr (Sysreg.TTBR0_EL1, _) :: _ -> i
+      | _ :: rest -> find (i + 1) rest
+      | [] -> assert false
+    in
+    find 0 (Gate.gate_code ~gate_id:0)
+  in
+  let b = Builder.create ~base:code_va in
+  (* x12 := TTBRTab[pgt1] *)
+  Builder.mov_imm64 b 11 (Gate.ttbrtab_base + (8 * pgt1));
+  Builder.emit b [ Insn.Ldr (12, 11, 0) ];
+  (* x30 := attacker code (here), then jump into the gate middle *)
+  let attacker_target = Builder.here b in
+  ignore attacker_target;
+  Builder.mov_imm64 b 30 code_va (* forged entry: program start *);
+  Builder.mov_imm64 b 17 (Gate.gate_va 0 + (4 * msr_index));
+  Builder.emit b [ Insn.Br 17; Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_terminated "call gate violation" (Api.run t)
+
+let test_gatetab_write_denied () =
+  let _, _, t, _, _ = ttbr_setup () in
+  let b = Builder.create ~base:code_va in
+  Builder.mov_imm64 b 0 Gate.gatetab_base;
+  Builder.emit b [ Insn.Movz (1, 0xBAD, 0); Insn.Str (1, 0, 0); Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_terminated "module region" (Api.run t)
+
+let test_ttbrtab_readable () =
+  (* TTBRTab must be readable (the gate reads it); reading it back
+     from app code is fine and leaks only fake addresses. *)
+  let _, _, t, pgt1, _ = ttbr_setup () in
+  let b = Builder.create ~base:code_va in
+  Builder.mov_imm64 b 0 (Gate.ttbrtab_base + (8 * pgt1));
+  Builder.emit b [ Insn.Ldr (1, 0, 0); Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 0 (Api.run t);
+  check_int "ttbr value visible" (Kmod.pgt_ttbr t pgt1)
+    (Lz_cpu.Core.reg t.Kmod.core 1)
+
+let test_pan_mode_ttbr_trap () =
+  (* In PAN-only mode TVM traps any stage-1 register write that
+     somehow slips through (defense in depth below the sanitizer). *)
+  let _, kernel, proc = fresh () in
+  let t = enter ~scalable:false kernel proc in
+  (* Force a TTBR write into an already-sanitized page by patching
+     the physical frame after the scan (TOCTTOU attempt against a
+     read-only code page is not possible from the process; we patch
+     from the "devil's position" to show the trap fires). *)
+  let b = Builder.create ~base:code_va in
+  Builder.emit b [ Insn.Nop; Insn.Nop; Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  (* Run once to get the page sanitized and mapped. *)
+  expect_exit 0 (Api.run t);
+  (* Patch the NOP with a TTBR0 write behind the sanitizer's back. *)
+  let real = Option.get (Proc.mapped_pa proc ~va:code_va) in
+  Lz_mem.Phys.write32 (t.Kmod.machine).Machine.phys real
+    (Encoding.encode (Insn.Msr (Sysreg.TTBR0_EL1, 0)));
+  (* The first run parked the core at EL2 (trap context); drop back to
+     the process's EL1 state before re-running. *)
+  Lz_cpu.Core.eret_from_el2 t.Kmod.core;
+  t.Kmod.core.Lz_cpu.Core.pc <- code_va;
+  t.Kmod.proc.Proc.exit_code <- None;
+  expect_terminated "trapped sensitive operation" (Api.run t)
+
+(* ------------------------------------------------------------------ *)
+(* Guest backend *)
+
+let test_guest_backend_runs () =
+  let machine = Machine.create () in
+  let hyp = Lz_hyp.Hypervisor.create machine in
+  let vm = Lz_hyp.Hypervisor.create_vm hyp in
+  let gk = Lz_hyp.Hypervisor.make_guest_kernel hyp vm in
+  let proc = Kernel.create_process gk in
+  ignore (Kernel.map_anon gk proc ~at:(stack_va - 0x10000) ~len:0x10000 Vma.rw);
+  ignore (Kernel.map_anon gk proc ~at:data_va ~len:0x4000 Vma.rw);
+  let lv = Lowvisor.create hyp vm in
+  let b = Builder.create ~base:code_va in
+  Builder.mov_imm64 b 0 data_va;
+  Builder.emit b
+    [ Insn.Movz (1, 31, 0); Insn.Str (1, 0, 0); Insn.Ldr (2, 0, 0);
+      Insn.Brk 7 ];
+  let t = enter ~backend:(Kmod.Guest lv) gk proc in
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 7 (Api.run t);
+  check_int "guest data" 31 (Lz_cpu.Core.reg t.Kmod.core 2);
+  check_bool "lowvisor forwarded traps" true (lv.Lowvisor.forwards > 0)
+
+let test_guest_traps_cost_more () =
+  let run_one backend_of =
+    let machine = Machine.create ~cost:Lz_cpu.Cost_model.carmel () in
+    let kernel, proc, backend =
+      match backend_of machine with
+      | `Host ->
+          let k = Kernel.create machine Kernel.Host_vhe in
+          let p = Kernel.create_process k in
+          (k, p, Kmod.Host)
+      | `Guest ->
+          let hyp = Lz_hyp.Hypervisor.create machine in
+          let vm = Lz_hyp.Hypervisor.create_vm hyp in
+          let gk = Lz_hyp.Hypervisor.make_guest_kernel hyp vm in
+          let p = Kernel.create_process gk in
+          (gk, p, Kmod.Guest (Lowvisor.create hyp vm))
+    in
+    ignore (Kernel.map_anon kernel proc ~at:(stack_va - 0x10000)
+              ~len:0x10000 Vma.rw);
+    let b = Builder.create ~base:code_va in
+    Builder.emit b
+      [ Insn.Movz (8, Kernel.Nr.getpid, 0); Insn.Hvc 0; Insn.Brk 0 ];
+    let t =
+      Api.lz_enter ~backend ~allow_scalable:true ~insn_san:1 ~entry:code_va
+        ~sp:stack_va kernel proc
+    in
+    Api.load_and_register t b ~va:code_va;
+    expect_exit 0 (Api.run t);
+    t.Kmod.core.Lz_cpu.Core.cycles
+  in
+  let host = run_one (fun _ -> `Host) in
+  let guest = run_one (fun _ -> `Guest) in
+  check_bool "guest trap path costs more than host" true (guest > 2 * host)
+
+(* ------------------------------------------------------------------ *)
+(* Accounting *)
+
+let test_table_memory_accounting () =
+  let _, kernel, proc = fresh () in
+  let t = enter kernel proc in
+  let before = Kmod.table_memory_frames t in
+  let pgt = Api.lz_alloc t in
+  ignore pgt;
+  check_bool "alloc grows table memory" true
+    (Kmod.table_memory_frames t > before)
+
+let () =
+  Alcotest.run "lightzone"
+    [ ( "sanitizer",
+        [ Alcotest.test_case "eret" `Quick test_sanitizer_eret;
+          Alcotest.test_case "unpriv ls" `Quick test_sanitizer_unpriv;
+          Alcotest.test_case "pan toggle" `Quick test_sanitizer_pan_toggle;
+          Alcotest.test_case "sysregs" `Quick test_sanitizer_sysregs;
+          Alcotest.test_case "sys ops" `Quick test_sanitizer_sys_ops;
+          Alcotest.test_case "scan page" `Quick test_scan_page ] );
+      ( "kernel-mode process",
+        [ Alcotest.test_case "basic run" `Quick test_lz_basic_run;
+          Alcotest.test_case "memory + fake phys" `Quick
+            test_lz_memory_and_fakephys;
+          Alcotest.test_case "syscall" `Quick test_lz_syscall;
+          Alcotest.test_case "write syscall" `Quick test_lz_write_syscall;
+          Alcotest.test_case "segv" `Quick test_lz_segv ] );
+      ( "pan isolation",
+        [ Alcotest.test_case "allows when clear" `Quick
+            test_pan_allows_when_clear;
+          Alcotest.test_case "blocks when set" `Quick
+            test_pan_blocks_when_set ] );
+      ( "ttbr isolation",
+        [ Alcotest.test_case "gate switch" `Quick
+            test_gate_switch_allows_access;
+          Alcotest.test_case "cross-domain denied" `Quick
+            test_cross_domain_access_denied;
+          Alcotest.test_case "default pgt denied" `Quick
+            test_default_pgt_denied_protected;
+          Alcotest.test_case "unprotected shared" `Quick
+            test_unprotected_shared_across_domains ] );
+      ( "attacks",
+        [ Alcotest.test_case "direct ttbr write" `Quick
+            test_direct_ttbr_write_sanitized;
+          Alcotest.test_case "eret injection" `Quick test_eret_sanitized;
+          Alcotest.test_case "gate mid-entry hijack" `Quick
+            test_gate_midentry_hijack_detected;
+          Alcotest.test_case "gatetab write" `Quick test_gatetab_write_denied;
+          Alcotest.test_case "ttbrtab readable" `Quick test_ttbrtab_readable;
+          Alcotest.test_case "pan-mode ttbr trap" `Quick
+            test_pan_mode_ttbr_trap ] );
+      ( "guest",
+        [ Alcotest.test_case "runs" `Quick test_guest_backend_runs;
+          Alcotest.test_case "costs more" `Quick test_guest_traps_cost_more ]
+      );
+      ( "accounting",
+        [ Alcotest.test_case "table memory" `Quick
+            test_table_memory_accounting ] ) ]

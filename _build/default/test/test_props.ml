@@ -1,0 +1,305 @@
+(* Property-based tests over the core invariants:
+
+   - the sanitizer never lets an instruction through that could move
+     the translation base or return from an exception;
+   - the MMU permission model is monotone (PAN only removes rights;
+     read-only only removes writes);
+   - stage-1 trees keep unrelated mappings intact under random
+     map/unmap interleavings;
+   - the TLB is a transparent cache: with and without it, translation
+     agrees;
+   - AES encrypt/decrypt are inverses for random keys and plaintexts;
+   - a LightZone process with N random domains allows exactly the
+     accesses its protection registry says it should. *)
+
+open Lz_arm
+open Lz_mem
+open Lightzone
+
+let q = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Sanitizer properties *)
+
+let arbitrary_word =
+  QCheck2.Gen.(map2 (fun a b -> a lor (b lsl 16)) (int_bound 0xFFFF)
+                 (int_bound 0xFFFF))
+
+let prop_sanitizer_blocks_ttbr_writes =
+  QCheck2.Test.make ~name:"sanitizer: no TTBR0/TTBR1 write passes as Allowed"
+    ~count:5000 arbitrary_word (fun w ->
+      match Encoding.decode w with
+      | Insn.Msr (Sysreg.TTBR0_EL1, _) | Insn.Msr (Sysreg.TTBR1_EL1, _) ->
+          Sanitizer.classify Sanitizer.Ttbr_mode w <> Sanitizer.Allowed
+          && Sanitizer.classify Sanitizer.Pan_mode w <> Sanitizer.Allowed
+      | _ -> true)
+
+let prop_sanitizer_blocks_eret =
+  QCheck2.Test.make ~name:"sanitizer: ERET never allowed" ~count:1000
+    QCheck2.Gen.unit (fun () ->
+      Sanitizer.classify Sanitizer.Ttbr_mode 0xD69F03E0 <> Sanitizer.Allowed)
+
+let prop_sanitizer_pan_mode_blocks_unpriv =
+  QCheck2.Test.make
+    ~name:"sanitizer: every unprivileged load/store blocked in PAN mode"
+    ~count:3000 arbitrary_word (fun w ->
+      match Encoding.decode w with
+      | Insn.Ldtr _ | Insn.Sttr _ | Insn.Ldtrb _ | Insn.Sttrb _ ->
+          (match Sanitizer.classify Sanitizer.Pan_mode w with
+          | Sanitizer.Forbidden _ -> true
+          | _ -> false)
+      | _ -> true)
+
+let prop_sanitizer_allows_plain_code =
+  QCheck2.Test.make ~name:"sanitizer: ALU/branch/load/store always allowed"
+    ~count:3000 arbitrary_word (fun w ->
+      match Encoding.decode w with
+      | Insn.Add _ | Insn.Sub _ | Insn.Movz _ | Insn.Movk _ | Insn.B _
+      | Insn.Bl _ | Insn.Ret _ | Insn.Ldr _ | Insn.Str _ | Insn.Cbz _ ->
+          Sanitizer.classify Sanitizer.Ttbr_mode w = Sanitizer.Allowed
+          && Sanitizer.classify Sanitizer.Pan_mode w = Sanitizer.Allowed
+      | _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* MMU permission monotonicity *)
+
+let attrs_gen =
+  QCheck2.Gen.(
+    map4
+      (fun user ro uxn (pxn, ng) -> { Pte.user; read_only = ro; uxn; pxn; ng })
+      bool bool bool (pair bool bool))
+
+let accesses = [ Mmu.Read; Mmu.Write; Mmu.Exec ]
+
+let allowed ~el ~pan attrs access =
+  let phys = Phys.create () in
+  let tlb = Tlb.create () in
+  let root = Stage1.create_root phys in
+  Stage1.map_page phys ~root ~va:0x1000 ~pa:0x5000 attrs;
+  let ctx =
+    { Mmu.ttbr0 = Mmu.ttbr_value ~root ~asid:1; ttbr1 = 0; vmid = 0;
+      s2_root = None; el; pan; unpriv = false }
+  in
+  Result.is_ok (Mmu.translate phys tlb ctx access ~va:0x1000)
+
+let prop_pan_only_removes =
+  QCheck2.Test.make ~name:"mmu: PAN never grants an access" ~count:300
+    attrs_gen (fun a ->
+      List.for_all
+        (fun acc ->
+          let without = allowed ~el:Pstate.EL1 ~pan:false a acc in
+          let with_pan = allowed ~el:Pstate.EL1 ~pan:true a acc in
+          (not with_pan) || without)
+        accesses)
+
+let prop_read_only_blocks_writes =
+  QCheck2.Test.make ~name:"mmu: read_only always blocks writes" ~count:300
+    attrs_gen (fun a ->
+      not (allowed ~el:Pstate.EL1 ~pan:false { a with Pte.read_only = true }
+             Mmu.Write))
+
+let prop_el0_needs_user =
+  QCheck2.Test.make ~name:"mmu: EL0 cannot touch kernel pages" ~count:300
+    attrs_gen (fun a ->
+      List.for_all
+        (fun acc ->
+          not (allowed ~el:Pstate.EL0 ~pan:false { a with Pte.user = false }
+                 acc))
+        accesses)
+
+let prop_el1_never_executes_user_pages =
+  QCheck2.Test.make ~name:"mmu: EL1 never executes user pages" ~count:300
+    attrs_gen (fun a ->
+      not (allowed ~el:Pstate.EL1 ~pan:false { a with Pte.user = true }
+             Mmu.Exec))
+
+(* ------------------------------------------------------------------ *)
+(* Stage-1 under random operation sequences *)
+
+type s1_op = Map of int * int | Unmap of int
+
+let s1_ops_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 60)
+      (oneof
+         [ map2 (fun v p -> Map (v land 0x3FF, (p land 0x3FF) + 1))
+             (int_bound 0x3FF) (int_bound 0x3FF);
+           map (fun v -> Unmap (v land 0x3FF)) (int_bound 0x3FF) ]))
+
+let prop_s1_model_agreement =
+  QCheck2.Test.make ~name:"stage1: agrees with a map model" ~count:200
+    s1_ops_gen (fun ops ->
+      let phys = Phys.create () in
+      let root = Stage1.create_root phys in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun op ->
+          match op with
+          | Map (vp, pp) ->
+              Stage1.map_page phys ~root ~va:(vp * 4096) ~pa:(pp * 4096)
+                { Pte.user = false; read_only = false; uxn = true;
+                  pxn = true; ng = true };
+              Hashtbl.replace model vp pp
+          | Unmap vp ->
+              Stage1.unmap phys ~root ~va:(vp * 4096);
+              Hashtbl.remove model vp)
+        ops;
+      Hashtbl.fold
+        (fun vp pp ok ->
+          ok
+          &&
+          match Stage1.walk phys ~root ~va:(vp * 4096) with
+          | Ok w -> w.Stage1.pa = pp * 4096
+          | Error _ -> false)
+        model true
+      &&
+      (* and nothing unexpected resolves *)
+      List.for_all
+        (fun op ->
+          match op with
+          | Unmap vp when not (Hashtbl.mem model vp) ->
+              Result.is_error (Stage1.walk phys ~root ~va:(vp * 4096))
+          | _ -> true)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* TLB transparency *)
+
+let prop_tlb_transparent =
+  QCheck2.Test.make ~name:"tlb: cached translation equals uncached"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 40) (int_bound 0xFF))
+    (fun vps ->
+      let phys = Phys.create () in
+      let tlb = Tlb.create ~capacity:8 () in
+      let no_tlb = Tlb.create ~capacity:1 () in
+      let root = Stage1.create_root phys in
+      List.iteri
+        (fun i vp ->
+          Stage1.map_page phys ~root ~va:(vp * 4096)
+            ~pa:((i + 1) * 4096)
+            { Pte.user = false; read_only = false; uxn = true; pxn = true;
+              ng = i mod 2 = 0 })
+        vps;
+      let ctx tlb_ =
+        ignore tlb_;
+        { Mmu.ttbr0 = Mmu.ttbr_value ~root ~asid:3; ttbr1 = 0; vmid = 0;
+          s2_root = None; el = Pstate.EL1; pan = false; unpriv = false }
+      in
+      (* Touch everything twice through the small TLB and compare with
+         a TLB too small to ever hit. *)
+      List.for_all
+        (fun vp ->
+          let a = Mmu.translate phys tlb (ctx tlb) Mmu.Read ~va:(vp * 4096) in
+          let b =
+            Mmu.translate phys no_tlb (ctx no_tlb) Mmu.Read ~va:(vp * 4096)
+          in
+          match (a, b) with
+          | Ok x, Ok y -> x.Mmu.pa = y.Mmu.pa
+          | Error _, Error _ -> true
+          | _ -> false)
+        (vps @ vps))
+
+(* ------------------------------------------------------------------ *)
+(* AES inverse *)
+
+let prop_aes_roundtrip =
+  QCheck2.Test.make ~name:"aes: decrypt . encrypt = id" ~count:200
+    QCheck2.Gen.(pair (string_size (return 16)) (string_size (return 16)))
+    (fun (key, plain) ->
+      let k = Lz_workloads.Aes.expand_key key in
+      let buf = Bytes.of_string plain in
+      Lz_workloads.Aes.encrypt_block k buf ~pos:0;
+      let changed = Bytes.to_string buf <> plain in
+      Lz_workloads.Aes.decrypt_block k buf ~pos:0;
+      changed && Bytes.to_string buf = plain)
+
+let prop_aes_cbc_roundtrip =
+  QCheck2.Test.make ~name:"aes: CBC roundtrip, multi-block" ~count:100
+    QCheck2.Gen.(
+      triple (string_size (return 16)) (string_size (return 16))
+        (int_range 1 8))
+    (fun (key, iv, blocks) ->
+      let k = Lz_workloads.Aes.expand_key key in
+      let plain =
+        Bytes.init (16 * blocks) (fun i -> Char.chr ((i * 7) land 0xFF))
+      in
+      let iv = Bytes.of_string iv in
+      let c = Lz_workloads.Aes.encrypt_cbc k ~iv plain in
+      Bytes.equal (Lz_workloads.Aes.decrypt_cbc k ~iv c) plain)
+
+(* ------------------------------------------------------------------ *)
+(* LightZone end-to-end domain-policy property *)
+
+let code_va = 0x400000
+let domains_va = 0x600000
+let stack_va = 0x7F0000000000
+
+(* Random policy: [n] domains, each attached to one of three page
+   tables; a probe sequence of (pgt, domain) accesses. The process
+   must survive exactly the accesses whose domain is attached to the
+   table it is in, and be terminated at the first violation. *)
+let prop_lz_policy =
+  QCheck2.Test.make ~name:"lightzone: registry decides every access"
+    ~count:40
+    QCheck2.Gen.(
+      pair
+        (list_size (return 6) (int_bound 2))  (* domain -> pgt index *)
+        (list_size (int_range 1 8) (pair (int_bound 2) (int_bound 5))))
+    (fun (attach, probes) ->
+      let machine = Lz_kernel.Machine.create () in
+      let kernel = Lz_kernel.Kernel.create machine Lz_kernel.Kernel.Host_vhe in
+      let proc = Lz_kernel.Kernel.create_process kernel in
+      ignore (Lz_kernel.Kernel.map_anon kernel proc ~at:(stack_va - 0x10000)
+                ~len:0x10000 Lz_kernel.Vma.rw);
+      ignore (Lz_kernel.Kernel.map_anon kernel proc ~at:domains_va
+                ~len:(6 * 4096) Lz_kernel.Vma.rw);
+      let t =
+        Api.lz_enter ~allow_scalable:true ~insn_san:1 ~entry:code_va
+          ~sp:stack_va kernel proc
+      in
+      let pgts = Array.init 3 (fun _ -> Api.lz_alloc t) in
+      List.iteri
+        (fun d p ->
+          Api.lz_prot t ~addr:(domains_va + (d * 4096)) ~len:4096
+            ~pgt:pgts.(p) ~perm:(Perm.read lor Perm.write))
+        attach;
+      (* Expected outcome: scan the probes for the first violation. *)
+      let expected_violation =
+        List.exists
+          (fun (p, d) -> List.nth attach d <> p)
+          probes
+      in
+      (* Drive via the module-side helpers (equivalent to gate passes
+         for policy purposes; the gate mechanics are covered by their
+         own tests). *)
+      let violated = ref false in
+      List.iter
+        (fun (p, d) ->
+          if not !violated then begin
+            Kmod.set_current_pgt t pgts.(p);
+            Kmod.prefault t ~va:(domains_va + (d * 4096))
+              ~access:Lz_mem.Mmu.Read;
+            match t.Kmod.terminated with
+            | Some _ -> violated := true
+            | None -> ()
+          end)
+        probes;
+      !violated = expected_violation)
+
+let () =
+  Alcotest.run "lz_props"
+    [ ( "sanitizer",
+        [ q prop_sanitizer_blocks_ttbr_writes;
+          q prop_sanitizer_blocks_eret;
+          q prop_sanitizer_pan_mode_blocks_unpriv;
+          q prop_sanitizer_allows_plain_code ] );
+      ( "mmu",
+        [ q prop_pan_only_removes;
+          q prop_read_only_blocks_writes;
+          q prop_el0_needs_user;
+          q prop_el1_never_executes_user_pages ] );
+      ( "stage1", [ q prop_s1_model_agreement ] );
+      ( "tlb", [ q prop_tlb_transparent ] );
+      ( "aes", [ q prop_aes_roundtrip; q prop_aes_cbc_roundtrip ] );
+      ( "lightzone", [ q prop_lz_policy ] ) ]

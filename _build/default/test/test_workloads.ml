@@ -1,0 +1,179 @@
+(* Tests for the application workloads: AES against FIPS-197 vectors,
+   the HP_PTRS heap engine, the NVM search, and the monotonicity of
+   the workload models under increasing isolation cost. *)
+
+open Lz_workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let hex s =
+  let n = String.length s / 2 in
+  Bytes.init n (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+let to_hex b =
+  String.concat ""
+    (List.init (Bytes.length b) (fun i ->
+         Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+
+(* ------------------------------------------------------------------ *)
+(* AES-128: FIPS-197 appendix B/C and SP 800-38A vectors. *)
+
+let test_aes_fips197 () =
+  let key = Bytes.to_string (hex "000102030405060708090a0b0c0d0e0f") in
+  let k = Aes.expand_key key in
+  let block = hex "00112233445566778899aabbccddeeff" in
+  Aes.encrypt_block k block ~pos:0;
+  Alcotest.(check string)
+    "FIPS-197 C.1" "69c4e0d86a7b0430d8cdb78070b4c55a" (to_hex block);
+  Aes.decrypt_block k block ~pos:0;
+  Alcotest.(check string)
+    "decrypt inverts" "00112233445566778899aabbccddeeff" (to_hex block)
+
+let test_aes_sp800_38a () =
+  let key = Bytes.to_string (hex "2b7e151628aed2a6abf7158809cf4f3c") in
+  let k = Aes.expand_key key in
+  let block = hex "6bc1bee22e409f96e93d7e117393172a" in
+  Aes.encrypt_block k block ~pos:0;
+  Alcotest.(check string)
+    "ECB vector 1" "3ad77bb40d7a3660a89ecaf32466ef97" (to_hex block)
+
+let test_aes_cbc_vector () =
+  (* SP 800-38A F.2.1 CBC-AES128, first two blocks. *)
+  let key = Bytes.to_string (hex "2b7e151628aed2a6abf7158809cf4f3c") in
+  let k = Aes.expand_key key in
+  let iv = hex "000102030405060708090a0b0c0d0e0f" in
+  let plain =
+    hex
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+  in
+  let cipher = Aes.encrypt_cbc k ~iv plain in
+  Alcotest.(check string)
+    "CBC blocks 1-2"
+    "7649abac8119b246cee98e9b12e9197d5086cb9b507219ee95db113a917678b2"
+    (to_hex cipher);
+  let back = Aes.decrypt_cbc k ~iv cipher in
+  check_bool "cbc roundtrip" true (Bytes.equal back plain)
+
+let test_aes_schedule_roundtrip () =
+  let k = Aes.expand_key "0123456789abcdef" in
+  let b = Aes.key_schedule_bytes k in
+  check_int "176 bytes" 176 (Bytes.length b);
+  let k' = Aes.key_of_schedule_bytes b in
+  let block = Bytes.make 16 'z' in
+  let block' = Bytes.copy block in
+  Aes.encrypt_block k block ~pos:0;
+  Aes.encrypt_block k' block' ~pos:0;
+  check_bool "same key after roundtrip" true (Bytes.equal block block')
+
+let test_aes_bad_inputs () =
+  Alcotest.check_raises "short key"
+    (Invalid_argument "Aes.expand_key: need 16 bytes") (fun () ->
+      ignore (Aes.expand_key "short"));
+  let k = Aes.expand_key "0123456789abcdef" in
+  Alcotest.check_raises "cbc length"
+    (Invalid_argument "Aes.encrypt_cbc: length") (fun () ->
+      ignore (Aes.encrypt_cbc k ~iv:(Bytes.make 16 '\000')
+                (Bytes.make 15 'x')))
+
+(* ------------------------------------------------------------------ *)
+(* HP_PTRS *)
+
+let test_hp_ptrs () =
+  let h = Mysql_sim.Hp_ptrs.create () in
+  let handles =
+    List.init 1000 (fun i ->
+        Mysql_sim.Hp_ptrs.alloc h
+          (Bytes.of_string (Printf.sprintf "row-%04d" i)))
+  in
+  check_bool "spans blocks" true (Mysql_sim.Hp_ptrs.blocks h > 1);
+  List.iteri
+    (fun i hd ->
+      let row = Mysql_sim.Hp_ptrs.read h hd in
+      Alcotest.(check string)
+        "row content" (Printf.sprintf "row-%04d" i)
+        (Bytes.to_string (Bytes.sub row 0 8)))
+    handles;
+  Mysql_sim.Hp_ptrs.update h (List.nth handles 500)
+    (Bytes.of_string "UPDATED!");
+  Alcotest.(check string)
+    "update sticks" "UPDATED!"
+    (Bytes.to_string (Bytes.sub (Mysql_sim.Hp_ptrs.read h (List.nth handles 500)) 0 8))
+
+(* ------------------------------------------------------------------ *)
+(* Workload models *)
+
+let cm = Lz_cpu.Cost_model.cortex_a55
+
+let cheap = Iso_profile.vanilla ~syscall_cycles:300.
+
+let pricey =
+  { Iso_profile.name = "expensive";
+    domain_enter_cycles = 5_000.;
+    domain_exit_cycles = 5_000.;
+    syscall_cycles = 3_000.;
+    tlb_miss_extra_cycles = 200.;
+    ttbr_extra_miss_factor = 2.0;
+    max_domains = -1 }
+
+let test_nginx_monotone () =
+  let p = { Nginx_sim.default_params with Nginx_sim.requests = 200 } in
+  let a = Nginx_sim.run cm ~iso:cheap p in
+  let b = Nginx_sim.run cm ~iso:pricey p in
+  check_bool "isolation costs throughput" true
+    (b.Nginx_sim.throughput_rps < a.Nginx_sim.throughput_rps);
+  check_bool "crypto really ran" true (a.Nginx_sim.aes_blocks > 0);
+  check_bool "ciphertext sampled" true
+    (String.length a.Nginx_sim.sample_cipher = 32)
+
+let test_nginx_concurrency_saturates () =
+  let run c =
+    (Nginx_sim.run cm ~iso:cheap
+       { Nginx_sim.default_params with
+         Nginx_sim.requests = 100; concurrency = c })
+      .Nginx_sim.throughput_rps
+  in
+  let t1 = run 1 and t8 = run 8 and t32 = run 32 in
+  check_bool "rises" true (t8 > t1);
+  check_bool "saturates" true (t32 -. t8 < t8 -. t1)
+
+let test_mysql_model () =
+  let p = { Mysql_sim.default_params with Mysql_sim.transactions = 100 } in
+  let a = Mysql_sim.run cm ~iso:cheap p in
+  let b = Mysql_sim.run cm ~iso:pricey p in
+  check_bool "rows touched" true (a.Mysql_sim.rows_touched > 0);
+  check_bool "checksums agree across isolation" true
+    (a.Mysql_sim.verify_checksum = b.Mysql_sim.verify_checksum);
+  check_bool "throughput ordering" true
+    (b.Mysql_sim.throughput_tps < a.Mysql_sim.throughput_tps)
+
+let test_nvm_model () =
+  let p =
+    { Nvm_bench.default_params with
+      Nvm_bench.buffers = 4; operations = 5_000 }
+  in
+  let a = Nvm_bench.run cm ~iso:cheap p in
+  check_bool "searches hit" true (a.Nvm_bench.hits > 0);
+  check_bool "no overhead with free isolation" true
+    (a.Nvm_bench.overhead_pct < 0.01);
+  let b = Nvm_bench.run cm ~iso:pricey p in
+  check_bool "overhead grows" true (b.Nvm_bench.overhead_pct > 50.)
+
+let () =
+  Alcotest.run "lz_workloads"
+    [ ( "aes",
+        [ Alcotest.test_case "fips-197" `Quick test_aes_fips197;
+          Alcotest.test_case "sp800-38a ecb" `Quick test_aes_sp800_38a;
+          Alcotest.test_case "sp800-38a cbc" `Quick test_aes_cbc_vector;
+          Alcotest.test_case "schedule roundtrip" `Quick
+            test_aes_schedule_roundtrip;
+          Alcotest.test_case "bad inputs" `Quick test_aes_bad_inputs ] );
+      ( "hp_ptrs",
+        [ Alcotest.test_case "block heap" `Quick test_hp_ptrs ] );
+      ( "models",
+        [ Alcotest.test_case "nginx monotone" `Quick test_nginx_monotone;
+          Alcotest.test_case "nginx saturation" `Quick
+            test_nginx_concurrency_saturates;
+          Alcotest.test_case "mysql" `Quick test_mysql_model;
+          Alcotest.test_case "nvm" `Quick test_nvm_model ] ) ]
