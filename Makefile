@@ -1,0 +1,21 @@
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full host-throughput benchmark: fast vs slow execution engine,
+# writes BENCH_throughput.json in the repo root.
+bench: build
+	dune exec bench/throughput.exe
+
+# Quick harness check (small iteration count) via the dune alias.
+bench-smoke:
+	dune build @bench-smoke
+
+clean:
+	dune clean

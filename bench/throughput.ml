@@ -1,0 +1,68 @@
+(* Host-throughput benchmark for the fast-path execution engine.
+
+   Runs each Microbench program twice — fast path and forced slow path
+   — on the same iteration count, measures host wall-clock, and emits
+   BENCH_throughput.json with MIPS (millions of simulated instructions
+   per host second) and the fast/slow speedup per workload.
+
+   LZ_BENCH_ITERS overrides the iteration count (default 300_000);
+   `--smoke` runs a small count just to prove the harness works. *)
+
+open Lz_workloads
+
+type run = { insns : int; seconds : float; mips : float }
+
+let time_run ~fast ~iters name =
+  let env = Microbench.build ~fast ~iters name in
+  let t0 = Unix.gettimeofday () in
+  Microbench.run_to_brk env;
+  let dt = Unix.gettimeofday () -. t0 in
+  let insns = env.Microbench.core.insns in
+  { insns; seconds = dt; mips = float_of_int insns /. dt /. 1e6 }
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let iters =
+    match Sys.getenv_opt "LZ_BENCH_ITERS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | _ ->
+            Printf.eprintf
+              "throughput: LZ_BENCH_ITERS must be a positive integer, got %S\n"
+              s;
+            exit 2)
+    | None -> if smoke then 5_000 else 300_000
+  in
+  let results =
+    List.map
+      (fun name ->
+        (* Warm the OCaml heap/code paths once before timing. *)
+        ignore (time_run ~fast:true ~iters:1_000 name);
+        let fast = time_run ~fast:true ~iters name in
+        let slow = time_run ~fast:false ~iters name in
+        let speedup = fast.mips /. slow.mips in
+        Printf.printf
+          "%-8s %9d insns   fast %8.2f MIPS   slow %8.2f MIPS   speedup %.2fx\n%!"
+          name fast.insns fast.mips slow.mips speedup;
+        (name, fast, slow, speedup))
+      Microbench.names
+  in
+  let json =
+    let item (name, fast, slow, speedup) =
+      Printf.sprintf
+        {|    { "workload": %S, "insns": %d,
+      "fast": { "seconds": %.6f, "mips": %.3f },
+      "slow": { "seconds": %.6f, "mips": %.3f },
+      "speedup": %.3f }|}
+        name fast.insns fast.seconds fast.mips slow.seconds slow.mips speedup
+    in
+    Printf.sprintf
+      "{\n  \"bench\": \"throughput\",\n  \"iters\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+      iters
+      (String.concat ",\n" (List.map item results))
+  in
+  let out = open_out "BENCH_throughput.json" in
+  output_string out json;
+  close_out out;
+  Printf.printf "wrote BENCH_throughput.json\n%!"

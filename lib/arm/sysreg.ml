@@ -179,15 +179,93 @@ let min_el r =
   | 4 -> Pstate.EL2
   | _ -> Pstate.EL1
 
-type file = (t, int) Hashtbl.t
+(* Dense index for the array-backed register file. Must cover every
+   constructor of [t]; [nregs] bounds the array. *)
+let index = function
+  | TTBR0_EL1 -> 0
+  | TTBR1_EL1 -> 1
+  | TCR_EL1 -> 2
+  | SCTLR_EL1 -> 3
+  | MAIR_EL1 -> 4
+  | VBAR_EL1 -> 5
+  | ESR_EL1 -> 6
+  | ELR_EL1 -> 7
+  | SPSR_EL1 -> 8
+  | FAR_EL1 -> 9
+  | SP_EL0 -> 10
+  | SP_EL1 -> 11
+  | CONTEXTIDR_EL1 -> 12
+  | CPACR_EL1 -> 13
+  | CNTKCTL_EL1 -> 14
+  | TPIDR_EL0 -> 15
+  | TPIDRRO_EL0 -> 16
+  | CNTVCT_EL0 -> 17
+  | CNTFRQ_EL0 -> 18
+  | FPCR -> 19
+  | FPSR -> 20
+  | NZCV -> 21
+  | DAIF -> 22
+  | DBGWVR0_EL1 -> 23
+  | DBGWVR1_EL1 -> 24
+  | DBGWVR2_EL1 -> 25
+  | DBGWVR3_EL1 -> 26
+  | DBGWCR0_EL1 -> 27
+  | DBGWCR1_EL1 -> 28
+  | DBGWCR2_EL1 -> 29
+  | DBGWCR3_EL1 -> 30
+  | MDSCR_EL1 -> 31
+  | HCR_EL2 -> 32
+  | VTTBR_EL2 -> 33
+  | VTCR_EL2 -> 34
+  | TTBR0_EL2 -> 35
+  | TCR_EL2 -> 36
+  | SCTLR_EL2 -> 37
+  | VBAR_EL2 -> 38
+  | ESR_EL2 -> 39
+  | ELR_EL2 -> 40
+  | SPSR_EL2 -> 41
+  | FAR_EL2 -> 42
+  | HPFAR_EL2 -> 43
+  | CPTR_EL2 -> 44
+  | MDCR_EL2 -> 45
+  | TPIDR_EL2 -> 46
+  | CNTHCTL_EL2 -> 47
+  | VPIDR_EL2 -> 48
+  | VMPIDR_EL2 -> 49
 
-let create_file () : file = Hashtbl.create 64
+let nregs = 50
 
-let read (f : file) r = Option.value (Hashtbl.find_opt f r) ~default:0
+(* Generation counters let cached derivations (the core's memoized
+   MMU context, the watchpoint-armed flag) detect staleness without
+   re-reading every register on every instruction. They are bumped on
+   *every* write through [write], including writes performed by
+   OCaml-modelled kernel/hypervisor code. *)
+type file = {
+  v : int array;
+  mutable mmu_gen : int;  (* TTBR0/1_EL1, HCR_EL2, VTTBR_EL2 writes *)
+  mutable dbg_gen : int;  (* DBGWVR*/DBGWCR* writes *)
+}
 
-let write (f : file) r v = Hashtbl.replace f r v
+let create_file () : file =
+  { v = Array.make nregs 0; mmu_gen = 0; dbg_gen = 0 }
 
-let copy_file (f : file) = Hashtbl.copy f
+let read (f : file) r = f.v.(index r)
+
+let write (f : file) r x =
+  f.v.(index r) <- x;
+  match r with
+  | TTBR0_EL1 | TTBR1_EL1 | HCR_EL2 | VTTBR_EL2 ->
+      f.mmu_gen <- f.mmu_gen + 1
+  | DBGWVR0_EL1 | DBGWVR1_EL1 | DBGWVR2_EL1 | DBGWVR3_EL1
+  | DBGWCR0_EL1 | DBGWCR1_EL1 | DBGWCR2_EL1 | DBGWCR3_EL1 ->
+      f.dbg_gen <- f.dbg_gen + 1
+  | _ -> ()
+
+let mmu_gen (f : file) = f.mmu_gen
+let dbg_gen (f : file) = f.dbg_gen
+
+let copy_file (f : file) =
+  { v = Array.copy f.v; mmu_gen = f.mmu_gen; dbg_gen = f.dbg_gen }
 
 let transfer ~src ~dst regs =
   List.iter (fun r -> write dst r (read src r)) regs

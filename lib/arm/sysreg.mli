@@ -82,11 +82,24 @@ val el1_context : t list
 
 type file
 (** A bank of system-register values. Each simulated core has one; a
-    VM's saved vCPU context is another. *)
+    VM's saved vCPU context is another. Backed by a dense [int array]
+    (one slot per register), so reads and writes are allocation-free
+    array accesses. *)
 
 val create_file : unit -> file
 val read : file -> t -> int
 val write : file -> t -> int -> unit
+
+val mmu_gen : file -> int
+(** Generation counter bumped by every write to a register the MMU
+    context derives from (TTBR0_EL1, TTBR1_EL1, HCR_EL2, VTTBR_EL2).
+    The core memoizes its translation context against this value. *)
+
+val dbg_gen : file -> int
+(** Generation counter bumped by every write to a DBGWVR*/DBGWCR*
+    watchpoint register; the core caches the "any watchpoint armed"
+    flag against it. *)
+
 val copy_file : file -> file
 val transfer : src:file -> dst:file -> t list -> unit
 (** [transfer ~src ~dst regs] copies each register in [regs]. *)

@@ -31,9 +31,15 @@ type t = {
   mutable cycles : int;
   mutable insns : int;
   mutable route_el1_to_harness : bool;
+  fp : Fastpath.t;
 }
 
-let create ?(route_el1_to_harness = true) phys tlb cost el =
+(* LZ_SLOW_PATH=1 forces the original un-cached path everywhere, for
+   differential runs against the fast engine. *)
+let default_fast () = Sys.getenv_opt "LZ_SLOW_PATH" <> Some "1"
+
+let create ?(route_el1_to_harness = true) ?fast phys tlb cost el =
+  let fast = match fast with Some f -> f | None -> default_fast () in
   { regs = Array.make 31 0;
     pc = 0;
     sp_el0 = 0;
@@ -45,7 +51,14 @@ let create ?(route_el1_to_harness = true) phys tlb cost el =
     cost;
     cycles = 0;
     insns = 0;
-    route_el1_to_harness }
+    route_el1_to_harness;
+    fp = Fastpath.create ~enabled:fast }
+
+let fast t = t.fp.Fastpath.enabled
+
+let set_fast t enabled =
+  t.fp.Fastpath.enabled <- enabled;
+  Fastpath.reset t.fp
 
 let charge t c = t.cycles <- t.cycles + c
 
@@ -84,35 +97,118 @@ let mmu_ctx t ~unpriv =
     pan = t.pstate.pan;
     unpriv }
 
-let translate t ~unpriv access ~va =
-  match Mmu.translate t.phys t.tlb (mmu_ctx t ~unpriv) access ~va with
+(* Fast path: [mmu_ctx] reads four system registers and allocates a
+   record; memoize it against the sysreg file's MMU generation.
+   PSTATE.{EL,PAN} can change without a register write, so they are
+   revalidated against the cached record's own fields. Unprivileged
+   (LDTR/STTR) contexts are rare and built fresh. *)
+let ctx_of t ~unpriv =
+  let fp = t.fp in
+  if unpriv || not fp.Fastpath.enabled then mmu_ctx t ~unpriv
+  else
+    let g = Sysreg.mmu_gen t.sys in
+    match fp.Fastpath.ctx with
+    | Some c
+      when fp.Fastpath.ctx_gen = g
+           && c.Mmu.el = t.pstate.el
+           && c.Mmu.pan = t.pstate.pan ->
+        c
+    | _ ->
+        let c = mmu_ctx t ~unpriv:false in
+        fp.Fastpath.ctx <- Some c;
+        fp.Fastpath.ctx_gen <- g;
+        c
+
+let translate ?front t ~unpriv access ~va =
+  match Mmu.translate ?front t.phys t.tlb (ctx_of t ~unpriv) access ~va with
   | Ok ok ->
       if not ok.tlb_hit then charge t (ok.walk_reads * t.cost.pte_read);
       Ok ok.pa
   | Error f -> Error f
 
+exception Exc of exception_class * int (* class, return address *)
+
+(* Translate one page of a data access, raising [Exc] on fault. In
+   fast mode the dTLB front cache short-circuits the whole Result
+   pipeline on a hit. *)
+let data_pa t ~unpriv access ~va ~ret =
+  let fp = t.fp in
+  if fp.Fastpath.enabled then begin
+    let ctx = ctx_of t ~unpriv in
+    match
+      Tlb.front_probe t.tlb fp.Fastpath.dtlb ~vmid:ctx.Mmu.vmid
+        ~asid:(Mmu.va_asid ctx ~va) ~va
+    with
+    | Some e -> (
+        try Mmu.entry_pa_exn ctx access ~va e
+        with Mmu.Fault f -> raise (Exc (Ec_dabort f, ret)))
+    | None -> (
+        match
+          Mmu.translate ~front:fp.Fastpath.dtlb t.phys t.tlb ctx access ~va
+        with
+        | Ok ok ->
+            if not ok.tlb_hit then charge t (ok.walk_reads * t.cost.pte_read);
+            ok.pa
+        | Error f -> raise (Exc (Ec_dabort f, ret)))
+  end
+  else
+    match translate t ~unpriv access ~va with
+    | Ok pa -> pa
+    | Error f -> raise (Exc (Ec_dabort f, ret))
+
+(* Page-straddling accesses: a multi-byte access whose VA crosses a
+   4 KiB boundary translates *both* pages (the two halves may live in
+   discontiguous frames) and faults on whichever page denies the
+   access — the first page first, as on hardware. It is charged as
+   one mem_access plus the PTE-read cost of any walk either
+   translation performs. *)
+let load_raw t ~width ~unpriv ~va ~ret =
+  let pa1 = data_pa t ~unpriv Mmu.Read ~va ~ret in
+  charge t t.cost.mem_access;
+  let split = 4096 - (va land 4095) in
+  if width <= split then
+    match width with
+    | 1 -> Phys.read8 t.phys pa1
+    | 4 -> Phys.read32 t.phys pa1
+    | 8 -> Phys.read64 t.phys pa1
+    | _ -> invalid_arg "Core.load: width"
+  else begin
+    let pa2 = data_pa t ~unpriv Mmu.Read ~va:(va + split) ~ret in
+    let v = ref 0 in
+    for i = 0 to width - 1 do
+      let pa = if i < split then pa1 + i else pa2 + (i - split) in
+      v := !v lor (Phys.read8 t.phys pa lsl (8 * i))
+    done;
+    !v land max_int
+  end
+
+let store_raw t ~width ~unpriv ~va v ~ret =
+  let pa1 = data_pa t ~unpriv Mmu.Write ~va ~ret in
+  charge t t.cost.mem_access;
+  let split = 4096 - (va land 4095) in
+  if width <= split then
+    match width with
+    | 1 -> Phys.write8 t.phys pa1 v
+    | 4 -> Phys.write32 t.phys pa1 v
+    | 8 -> Phys.write64 t.phys pa1 v
+    | _ -> invalid_arg "Core.store: width"
+  else begin
+    let pa2 = data_pa t ~unpriv Mmu.Write ~va:(va + split) ~ret in
+    for i = 0 to width - 1 do
+      let pa = if i < split then pa1 + i else pa2 + (i - split) in
+      Phys.write8 t.phys pa ((v lsr (8 * i)) land 0xFF)
+    done
+  end
+
 let read_mem t ?(unpriv = false) ~width va =
-  match translate t ~unpriv Mmu.Read ~va with
-  | Error f -> Error f
-  | Ok pa ->
-      charge t t.cost.mem_access;
-      Ok (match width with
-          | 1 -> Phys.read8 t.phys pa
-          | 4 -> Phys.read32 t.phys pa
-          | 8 -> Phys.read64 t.phys pa
-          | _ -> invalid_arg "Core.read_mem: width")
+  try Ok (load_raw t ~width ~unpriv ~va ~ret:0)
+  with Exc (Ec_dabort f, _) -> Error f
 
 let write_mem t ?(unpriv = false) ~width va v =
-  match translate t ~unpriv Mmu.Write ~va with
-  | Error f -> Error f
-  | Ok pa ->
-      charge t t.cost.mem_access;
-      (match width with
-      | 1 -> Phys.write8 t.phys pa v
-      | 4 -> Phys.write32 t.phys pa v
-      | 8 -> Phys.write64 t.phys pa v
-      | _ -> invalid_arg "Core.write_mem: width");
-      Ok ()
+  try
+    store_raw t ~width ~unpriv ~va v ~ret:0;
+    Ok ()
+  with Exc (Ec_dabort f, _) -> Error f
 
 (* Watchpoint match: WVR holds the base address, WCR bit 0 enables,
    WCR bits 28..24 hold MASK (the watched range is 2^MASK bytes). *)
@@ -133,6 +229,26 @@ let watchpoint_hit t va =
       let size = if m = 0 then 8 else 1 lsl m in
       va >= base && va < base + size)
     pairs
+
+(* Fast path: the common case has no watchpoint programmed, so cache
+   "any DBGWCR enable bit set" against the sysreg debug generation
+   and skip [watchpoint_hit]'s walk entirely when unarmed. The slow
+   path always walks. *)
+let watchpoints_armed t =
+  let fp = t.fp in
+  if not fp.Fastpath.enabled then true
+  else begin
+    let g = Sysreg.dbg_gen t.sys in
+    if fp.Fastpath.wp_gen <> g then begin
+      fp.Fastpath.wp_armed <-
+        Sysreg.read t.sys Sysreg.DBGWCR0_EL1 land 1 <> 0
+        || Sysreg.read t.sys Sysreg.DBGWCR1_EL1 land 1 <> 0
+        || Sysreg.read t.sys Sysreg.DBGWCR2_EL1 land 1 <> 0
+        || Sysreg.read t.sys Sysreg.DBGWCR3_EL1 land 1 <> 0;
+      fp.Fastpath.wp_gen <- g
+    end;
+    fp.Fastpath.wp_armed
+  end
 
 let esr_of_class = function
   | Ec_svc imm -> (0x15 lsl 26) lor imm
@@ -238,8 +354,6 @@ let deliver t cls ~ret =
 let stage1_trap_regs =
   [ Sysreg.TTBR0_EL1; Sysreg.TTBR1_EL1; Sysreg.TCR_EL1; Sysreg.SCTLR_EL1;
     Sysreg.MAIR_EL1; Sysreg.CONTEXTIDR_EL1 ]
-
-exception Exc of exception_class * int (* class, return address *)
 
 let cond_holds (p : Pstate.t) = function
   | Insn.EQ -> p.z
@@ -359,16 +473,17 @@ let exec_tlbi t insn ~ret =
       Tlb.flush_asid t.tlb ~vmid:(current_vmid t) ~asid
   | _ -> assert false
 
-let data_access t ~is_store ~width ~unpriv ~va ~ret k =
-  if t.pstate.el <> Pstate.EL2 && watchpoint_hit t va then
-    raise (Exc (Ec_watchpoint va, ret));
-  let access = if is_store then Mmu.Write else Mmu.Read in
-  match translate t ~unpriv access ~va with
-  | Error f -> raise (Exc (Ec_dabort f, ret))
-  | Ok pa ->
-      charge t t.cost.mem_access;
-      k pa;
-      ignore width
+let check_watchpoints t ~va ~ret =
+  if t.pstate.el <> Pstate.EL2 && watchpoints_armed t && watchpoint_hit t va
+  then raise (Exc (Ec_watchpoint va, ret))
+
+let ld t rt ~width ~unpriv ~va ~ret =
+  check_watchpoints t ~va ~ret;
+  set_reg t rt (load_raw t ~width ~unpriv ~va ~ret)
+
+let st t ~width ~unpriv ~va v ~ret =
+  check_watchpoints t ~va ~ret;
+  store_raw t ~width ~unpriv ~va v ~ret
 
 let exec t insn ~pc_cur ~next =
   let ret_here = pc_cur and ret_next = next in
@@ -379,64 +494,47 @@ let exec t insn ~pc_cur ~next =
       exec_alu t insn;
       t.pc <- next
   | Insn.Ldr (rt, rn, off) ->
-      data_access t ~is_store:false ~width:8 ~unpriv:false
-        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
-          set_reg t rt (Phys.read64 t.phys pa));
+      ld t rt ~width:8 ~unpriv:false ~va:(base_reg t rn + off) ~ret:ret_here;
       t.pc <- next
   | Insn.Str (rt, rn, off) ->
-      data_access t ~is_store:true ~width:8 ~unpriv:false
-        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
-          Phys.write64 t.phys pa (reg t rt));
+      st t ~width:8 ~unpriv:false ~va:(base_reg t rn + off) (reg t rt)
+        ~ret:ret_here;
       t.pc <- next
   | Insn.Ldrb (rt, rn, off) ->
-      data_access t ~is_store:false ~width:1 ~unpriv:false
-        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
-          set_reg t rt (Phys.read8 t.phys pa));
+      ld t rt ~width:1 ~unpriv:false ~va:(base_reg t rn + off) ~ret:ret_here;
       t.pc <- next
   | Insn.Ldr32 (rt, rn, off) ->
-      data_access t ~is_store:false ~width:4 ~unpriv:false
-        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
-          set_reg t rt (Phys.read32 t.phys pa));
+      ld t rt ~width:4 ~unpriv:false ~va:(base_reg t rn + off) ~ret:ret_here;
       t.pc <- next
   | Insn.Str32 (rt, rn, off) ->
-      data_access t ~is_store:true ~width:4 ~unpriv:false
-        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
-          Phys.write32 t.phys pa (reg t rt land 0xFFFFFFFF));
+      st t ~width:4 ~unpriv:false ~va:(base_reg t rn + off)
+        (reg t rt land 0xFFFFFFFF) ~ret:ret_here;
       t.pc <- next
   | Insn.Strb (rt, rn, off) ->
-      data_access t ~is_store:true ~width:1 ~unpriv:false
-        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
-          Phys.write8 t.phys pa (reg t rt));
+      st t ~width:1 ~unpriv:false ~va:(base_reg t rn + off) (reg t rt)
+        ~ret:ret_here;
       t.pc <- next
   | Insn.Ldr_reg (rt, rn, rm) ->
-      data_access t ~is_store:false ~width:8 ~unpriv:false
-        ~va:(base_reg t rn + reg t rm) ~ret:ret_here (fun pa ->
-          set_reg t rt (Phys.read64 t.phys pa));
+      ld t rt ~width:8 ~unpriv:false ~va:(base_reg t rn + reg t rm)
+        ~ret:ret_here;
       t.pc <- next
   | Insn.Str_reg (rt, rn, rm) ->
-      data_access t ~is_store:true ~width:8 ~unpriv:false
-        ~va:(base_reg t rn + reg t rm) ~ret:ret_here (fun pa ->
-          Phys.write64 t.phys pa (reg t rt));
+      st t ~width:8 ~unpriv:false ~va:(base_reg t rn + reg t rm) (reg t rt)
+        ~ret:ret_here;
       t.pc <- next
   | Insn.Ldtr (rt, rn, off) ->
-      data_access t ~is_store:false ~width:8 ~unpriv:true
-        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
-          set_reg t rt (Phys.read64 t.phys pa));
+      ld t rt ~width:8 ~unpriv:true ~va:(base_reg t rn + off) ~ret:ret_here;
       t.pc <- next
   | Insn.Sttr (rt, rn, off) ->
-      data_access t ~is_store:true ~width:8 ~unpriv:true
-        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
-          Phys.write64 t.phys pa (reg t rt));
+      st t ~width:8 ~unpriv:true ~va:(base_reg t rn + off) (reg t rt)
+        ~ret:ret_here;
       t.pc <- next
   | Insn.Ldtrb (rt, rn, off) ->
-      data_access t ~is_store:false ~width:1 ~unpriv:true
-        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
-          set_reg t rt (Phys.read8 t.phys pa));
+      ld t rt ~width:1 ~unpriv:true ~va:(base_reg t rn + off) ~ret:ret_here;
       t.pc <- next
   | Insn.Sttrb (rt, rn, off) ->
-      data_access t ~is_store:true ~width:1 ~unpriv:true
-        ~va:(base_reg t rn + off) ~ret:ret_here (fun pa ->
-          Phys.write8 t.phys pa (reg t rt));
+      st t ~width:1 ~unpriv:true ~va:(base_reg t rn + off) (reg t rt)
+        ~ret:ret_here;
       t.pc <- next
   | Insn.B off ->
       charge t t.cost.insn_base;
@@ -493,10 +591,19 @@ let exec t insn ~pc_cur ~next =
   | Insn.Tlbi_vmalle1 | Insn.Tlbi_aside1 _ ->
       exec_tlbi t insn ~ret:ret_here;
       t.pc <- next
-  | Insn.At_s1e1r _ | Insn.Dc_civac _ | Insn.Ic_iallu ->
+  | Insn.At_s1e1r _ | Insn.Dc_civac _ ->
       if t.pstate.el = Pstate.EL0 then
         raise (Exc (Ec_undef (Encoding.encode insn), ret_here))
       else begin
+        charge t t.cost.dsb;
+        t.pc <- next
+      end
+  | Insn.Ic_iallu ->
+      if t.pstate.el = Pstate.EL0 then
+        raise (Exc (Ec_undef (Encoding.encode insn), ret_here))
+      else begin
+        (* Instruction-cache invalidate: drop the decoded-insn cache. *)
+        Fastpath.flush_decode t.fp;
         charge t t.cost.dsb;
         t.pc <- next
       end
@@ -509,18 +616,51 @@ let exec t insn ~pc_cur ~next =
       end
   | Insn.Udf w -> raise (Exc (Ec_undef w, ret_here)))
 
+(* Instruction fetch. Fast mode short-circuits translation through the
+   iTLB front cache and reads the decoded instruction from the
+   per-physical-page decode cache (validated against the frame's write
+   generation, so simulated and OCaml-side code writes both
+   invalidate). Accounting — TLB hits/misses, walk-read charges,
+   faults — is identical to the slow path. *)
+let fetch_pa t ~pc_cur =
+  let fp = t.fp in
+  if fp.Fastpath.enabled then begin
+    let ctx = ctx_of t ~unpriv:false in
+    match
+      Tlb.front_probe t.tlb fp.Fastpath.itlb ~vmid:ctx.Mmu.vmid
+        ~asid:(Mmu.va_asid ctx ~va:pc_cur) ~va:pc_cur
+    with
+    | Some e -> (
+        try Mmu.entry_pa_exn ctx Mmu.Exec ~va:pc_cur e
+        with Mmu.Fault f -> raise (Exc (Ec_iabort f, pc_cur)))
+    | None -> (
+        match
+          Mmu.translate ~front:fp.Fastpath.itlb t.phys t.tlb ctx Mmu.Exec
+            ~va:pc_cur
+        with
+        | Ok ok ->
+            if not ok.tlb_hit then charge t (ok.walk_reads * t.cost.pte_read);
+            ok.pa
+        | Error f -> raise (Exc (Ec_iabort f, pc_cur)))
+  end
+  else
+    match translate t ~unpriv:false Mmu.Exec ~va:pc_cur with
+    | Ok pa -> pa
+    | Error f -> raise (Exc (Ec_iabort f, pc_cur))
+
 let step t =
   let pc_cur = t.pc in
   let next = pc_cur + 4 in
   t.insns <- t.insns + 1;
   charge t t.cost.insn_base;
   try
-    match translate t ~unpriv:false Mmu.Exec ~va:pc_cur with
-    | Error f -> deliver t (Ec_iabort f) ~ret:pc_cur
-    | Ok pa ->
-        let insn = Encoding.decode (Phys.read32 t.phys pa) in
-        exec t insn ~pc_cur ~next;
-        None
+    let pa = fetch_pa t ~pc_cur in
+    let insn =
+      if t.fp.Fastpath.enabled then Fastpath.fetch t.fp t.phys pa
+      else Encoding.decode (Phys.read32 t.phys pa)
+    in
+    exec t insn ~pc_cur ~next;
+    None
   with Exc (cls, ret) -> deliver t cls ~ret
 
 let run ?(max_insns = 10_000_000) t =

@@ -45,11 +45,23 @@ type t = {
   mutable cycles : int;
   mutable insns : int;
   mutable route_el1_to_harness : bool;
+  fp : Fastpath.t;  (** fast-path caches; see {!fast}. *)
 }
 
 val create :
   ?route_el1_to_harness:bool ->
+  ?fast:bool ->
   Lz_mem.Phys.t -> Lz_mem.Tlb.t -> Cost_model.t -> Lz_arm.Pstate.el -> t
+(** [?fast] selects the fast-path execution engine (decoded-insn
+    cache, micro-TLBs, memoized MMU context). Architectural behaviour
+    — registers, memory, cycles, insns, TLB statistics — is identical
+    either way; only host speed differs. Defaults to [true] unless the
+    [LZ_SLOW_PATH=1] environment variable is set. *)
+
+val fast : t -> bool
+
+val set_fast : t -> bool -> unit
+(** Toggle the fast path, resetting all its caches. *)
 
 val charge : t -> int -> unit
 (** Add cycles (used by OCaml-modelled kernel/hypervisor work). *)

@@ -1,0 +1,93 @@
+open Lz_arm
+open Lz_mem
+
+(* One decoded physical page: 1024 instruction slots, filled lazily,
+   revalidated against the frame's write generation. *)
+type dpage = {
+  mutable dgen : int;
+  code : Insn.t option array;
+}
+
+type t = {
+  mutable enabled : bool;
+  itlb : Tlb.front;
+  dtlb : Tlb.front;
+  (* Memoized MMU context (unpriv = false), rebuilt only when a
+     TTBR/HCR/VTTBR write bumps the sysreg file's mmu generation or
+     PSTATE.{EL,PAN} changed since it was built. *)
+  mutable ctx : Mmu.ctx option;
+  mutable ctx_gen : int;
+  (* Decoded-instruction cache keyed by physical page number. *)
+  dcache : (int, dpage) Hashtbl.t;
+  mutable dlast_page : int;
+  mutable dlast : dpage option;
+  (* Cached "any watchpoint armed" flag, revalidated against the
+     sysreg file's debug generation. *)
+  mutable wp_gen : int;
+  mutable wp_armed : bool;
+}
+
+let create ~enabled =
+  { enabled;
+    itlb = Tlb.front_create ();
+    dtlb = Tlb.front_create ();
+    ctx = None;
+    ctx_gen = -1;
+    dcache = Hashtbl.create 64;
+    dlast_page = -1;
+    dlast = None;
+    wp_gen = -1;
+    wp_armed = false }
+
+let flush_decode t =
+  Hashtbl.reset t.dcache;
+  t.dlast_page <- -1;
+  t.dlast <- None
+
+let reset t =
+  flush_decode t;
+  Tlb.front_reset t.itlb;
+  Tlb.front_reset t.dtlb;
+  t.ctx <- None;
+  t.ctx_gen <- -1;
+  t.wp_gen <- -1;
+  t.wp_armed <- false
+
+let insns_per_page = Phys.page_size / 4
+
+let dpage_of t phys ppage =
+  let dp =
+    match t.dlast with
+    | Some dp when t.dlast_page = ppage -> dp
+    | _ ->
+        let dp =
+          match Hashtbl.find t.dcache ppage with
+          | dp -> dp
+          | exception Not_found ->
+              let dp = { dgen = -1; code = Array.make insns_per_page None } in
+              Hashtbl.add t.dcache ppage dp;
+              dp
+        in
+        t.dlast_page <- ppage;
+        t.dlast <- Some dp;
+        dp
+  in
+  let g = Phys.page_gen phys (ppage * Phys.page_size) in
+  if dp.dgen <> g then begin
+    (* The frame was written since these decodes were cached (page
+       generations cover simulated stores and OCaml-side loads
+       alike): drop them. *)
+    Array.fill dp.code 0 insns_per_page None;
+    dp.dgen <- g
+  end;
+  dp
+
+let fetch t phys pa =
+  let dp = dpage_of t phys (pa / Phys.page_size) in
+  let idx = (pa land (Phys.page_size - 1)) lsr 2 in
+  match dp.code.(idx) with
+  | Some i -> i
+  | None ->
+      let i = Encoding.decode (Phys.read32 phys pa) in
+      dp.code.(idx) <- Some i;
+      i

@@ -1,0 +1,44 @@
+(** Per-core fast-path execution state.
+
+    Bundles everything {!Core.step}'s fast path caches between
+    instructions: the decoded-instruction cache (keyed by physical
+    page, invalidated by frame write generations and [IC IALLU]), the
+    1-entry iTLB/dTLB front caches, the memoized MMU translation
+    context, and the cached watchpoint-armed flag. None of it is
+    architectural state — with [enabled = false] the core ignores all
+    of it and runs the original un-cached path, which the differential
+    property tests compare against. *)
+
+type dpage = {
+  mutable dgen : int;  (** {!Lz_mem.Phys.page_gen} at decode time. *)
+  code : Lz_arm.Insn.t option array;
+}
+
+type t = {
+  mutable enabled : bool;
+  itlb : Lz_mem.Tlb.front;
+  dtlb : Lz_mem.Tlb.front;
+  mutable ctx : Lz_mem.Mmu.ctx option;
+  mutable ctx_gen : int;
+  dcache : (int, dpage) Hashtbl.t;
+  mutable dlast_page : int;
+  mutable dlast : dpage option;
+  mutable wp_gen : int;
+  mutable wp_armed : bool;
+}
+
+val create : enabled:bool -> t
+
+val fetch : t -> Lz_mem.Phys.t -> int -> Lz_arm.Insn.t
+(** [fetch t phys pa] returns the decoded instruction at physical
+    address [pa], consulting and filling the decode cache. Stale
+    pages (frame generation moved) are re-decoded, so self-modifying
+    code behaves exactly as with a fresh [Encoding.decode]. *)
+
+val flush_decode : t -> unit
+(** Drop every cached decode ([IC IALLU]). *)
+
+val reset : t -> unit
+(** Drop all cached state (decode cache, front TLBs, memoized
+    context, watchpoint flag). Safe at any point: everything is
+    rebuilt on demand. *)

@@ -117,7 +117,27 @@ let rec s1_walk phys ~s2_root ~table_ipa ~level ~va ~access ~reads =
 
 let select_ttbr ctx va = if Bits.bit va 47 then ctx.ttbr1 else ctx.ttbr0
 
-let translate phys tlb ctx access ~va =
+let va_asid ctx ~va = ttbr_asid (select_ttbr ctx va)
+
+(* Allocation-free fast path over a front-cache hit: permission-check
+   the cached entry and return the PA directly, raising [Fault] with
+   exactly the fault the Result-based TLB-hit path would produce. *)
+exception Fault of fault
+
+let entry_pa_exn ctx access ~va (e : Tlb.entry) =
+  if not (s1_allows ~el:ctx.el ~pan:ctx.pan ~unpriv:ctx.unpriv e.attrs access)
+  then
+    raise
+      (Fault { stage = 1; level = 3; kind = Permission; va; ipa = -1; access });
+  (match e.s2 with
+  | Some perms when not (s2_allows perms access) ->
+      raise
+        (Fault
+           { stage = 2; level = 3; kind = Permission; va; ipa = -1; access })
+  | _ -> ());
+  e.pa_page lor (va land (e.page_bytes - 1))
+
+let translate ?front phys tlb ctx access ~va =
   let ttbr = select_ttbr ctx va in
   let asid = ttbr_asid ttbr in
   let check_and_finish ~pa ~attrs ~s2 ~walk_reads ~tlb_hit =
@@ -129,7 +149,7 @@ let translate phys tlb ctx access ~va =
           fault ~stage:2 ~level:3 ~kind:Permission ~va ~ipa:(-1) ~access
       | _ -> Ok { pa; walk_reads; tlb_hit }
   in
-  match Tlb.lookup tlb ~vmid:ctx.vmid ~asid ~va with
+  match Tlb.lookup ?front tlb ~vmid:ctx.vmid ~asid ~va with
   | Some e ->
       let pa = e.pa_page lor (va land (e.page_bytes - 1)) in
       check_and_finish ~pa ~attrs:e.attrs ~s2:e.s2 ~walk_reads:0 ~tlb_hit:true

@@ -50,6 +50,21 @@ val ttbr_root : int -> int
 val ttbr_asid : int -> int
 
 val translate :
+  ?front:Tlb.front ->
   Phys.t -> Tlb.t -> ctx -> access -> va:int -> (ok, fault) result
+(** [?front] threads a 1-entry micro-TLB through the main TLB lookup
+    (see {!Tlb.front}); behaviour and hit/miss accounting are
+    identical with or without it. *)
+
+val va_asid : ctx -> va:int -> int
+(** ASID carried by the TTBR that [va] selects. *)
+
+exception Fault of fault
+
+val entry_pa_exn : ctx -> access -> va:int -> Tlb.entry -> int
+(** Allocation-free completion of a {!Tlb.front_probe} hit:
+    permission-checks the cached entry and returns the physical
+    address, raising {!Fault} with exactly the fault {!translate}'s
+    TLB-hit path would return. *)
 
 val pp_fault : Format.formatter -> fault -> unit

@@ -6,6 +6,16 @@ type t = {
   mutable free_list : int list;  (* recycled frame numbers *)
   max_frames : int;
   mutable handed_out : int;
+  (* Per-frame write-generation counters, grown on demand: the
+     decoded-instruction cache revalidates a cached page by comparing
+     the frame's generation, so any store into a frame (simulated or
+     OCaml-modelled) invalidates cached decodes for it. *)
+  mutable gens : int array;
+  (* 1-entry memo of the last frame touched. Frames are never removed
+     from [frames] (freeing only zeroes them), so a memoized buffer
+     can never go stale. *)
+  mutable last_n : int;
+  mutable last_frame : Bytes.t;
 }
 
 let create ?(size_mib = 512) () =
@@ -15,15 +25,39 @@ let create ?(size_mib = 512) () =
     next_frame = 1;
     free_list = [];
     max_frames = size_mib * 256;
-    handed_out = 0 }
+    handed_out = 0;
+    gens = Array.make 1024 0;
+    last_n = -1;
+    last_frame = Bytes.empty }
+
+let bump_gen t n =
+  let len = Array.length t.gens in
+  if n >= len then begin
+    let g = Array.make (max (n + 1) (2 * len)) 0 in
+    Array.blit t.gens 0 g 0 len;
+    t.gens <- g
+  end;
+  t.gens.(n) <- t.gens.(n) + 1
+
+let page_gen t pa =
+  let n = pa / page_size in
+  if n < Array.length t.gens then t.gens.(n) else 0
 
 let frame t n =
-  match Hashtbl.find_opt t.frames n with
-  | Some b -> b
-  | None ->
-      let b = Bytes.make page_size '\000' in
-      Hashtbl.add t.frames n b;
-      b
+  if n = t.last_n then t.last_frame
+  else begin
+    let b =
+      match Hashtbl.find t.frames n with
+      | b -> b
+      | exception Not_found ->
+          let b = Bytes.make page_size '\000' in
+          Hashtbl.add t.frames n b;
+          b
+    in
+    t.last_n <- n;
+    t.last_frame <- b;
+    b
+  end
 
 let alloc_frame t =
   t.handed_out <- t.handed_out + 1;
@@ -50,7 +84,9 @@ let alloc_frames t n =
 let zero_frame t pa =
   let n = pa / page_size in
   match Hashtbl.find_opt t.frames n with
-  | Some b -> Bytes.fill b 0 page_size '\000'
+  | Some b ->
+      Bytes.fill b 0 page_size '\000';
+      bump_gen t n
   | None -> ()
 
 let free_frame t pa =
@@ -63,7 +99,9 @@ let allocated_frames t = t.handed_out
 let read8 t pa = Char.code (Bytes.get (frame t (pa / page_size)) (pa land 4095))
 
 let write8 t pa v =
-  Bytes.set (frame t (pa / page_size)) (pa land 4095) (Char.chr (v land 0xFF))
+  let n = pa / page_size in
+  Bytes.set (frame t n) (pa land 4095) (Char.chr (v land 0xFF));
+  bump_gen t n
 
 (* Multi-byte accesses may not straddle a frame boundary when done via
    Bytes primitives; fall back to byte-at-a-time when they do. *)
@@ -77,9 +115,11 @@ let read32 t pa =
     b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
 
 let write32 t pa v =
-  if pa land 4095 <= 4092 then
-    Bytes.set_int32_le (frame t (pa / page_size)) (pa land 4095)
-      (Int32.of_int v)
+  if pa land 4095 <= 4092 then begin
+    let n = pa / page_size in
+    Bytes.set_int32_le (frame t n) (pa land 4095) (Int32.of_int v);
+    bump_gen t n
+  end
   else
     for i = 0 to 3 do
       write8 t (pa + i) ((v lsr (8 * i)) land 0xFF)
@@ -94,9 +134,11 @@ let read64 t pa =
     (lo lor (hi lsl 32)) land max_int
 
 let write64 t pa v =
-  if pa land 4095 <= 4088 then
-    Bytes.set_int64_le (frame t (pa / page_size)) (pa land 4095)
-      (Int64.of_int v)
+  if pa land 4095 <= 4088 then begin
+    let n = pa / page_size in
+    Bytes.set_int64_le (frame t n) (pa land 4095) (Int64.of_int v);
+    bump_gen t n
+  end
   else begin
     write32 t pa (v land 0xFFFFFFFF);
     write32 t (pa + 4) ((v lsr 32) land 0xFFFFFFFF)
@@ -119,6 +161,8 @@ let write_bytes t pa b =
   while !pos < len do
     let a = pa + !pos in
     let in_page = min (len - !pos) (page_size - (a land 4095)) in
-    Bytes.blit b !pos (frame t (a / page_size)) (a land 4095) in_page;
+    let n = a / page_size in
+    Bytes.blit b !pos (frame t n) (a land 4095) in_page;
+    bump_gen t n;
     pos := !pos + in_page
   done

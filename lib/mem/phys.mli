@@ -46,3 +46,10 @@ val write_bytes : t -> int -> Bytes.t -> unit
 
 val zero_frame : t -> int -> unit
 (** Zero the frame containing the given physical address. *)
+
+val page_gen : t -> int -> int
+(** [page_gen t pa] is the write-generation counter of the frame
+    containing [pa]: it increases on every store into the frame
+    (including [zero_frame] and [write_bytes]). The decoded-
+    instruction cache uses it to revalidate cached pages; equal
+    generations guarantee the frame's contents are unchanged. *)

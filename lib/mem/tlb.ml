@@ -5,85 +5,228 @@ type entry = {
   page_bytes : int;
 }
 
-(* ASID -1 marks a global entry (matches any ASID within the VMID). *)
-type key = { vmid : int; asid : int; vpage : int }
+(* Keys are packed ints: bits 0..35 hold the virtual page number
+   (48-bit VA space, 4 KiB granule) and bits 36.. hold a small dense
+   "context id" interned per (vmid, asid) pair — ASID -1 marks a
+   global entry (matches any ASID within the VMID). Packing the key
+   into a tagged int makes every probe an allocation-free int-keyed
+   hashtable access instead of hashing a three-field record. *)
+
+let vpn_bits = 36
+let vpn_mask = (1 lsl vpn_bits) - 1
 
 type t = {
-  table : (key, entry) Hashtbl.t;
-  order : key Queue.t;
+  table : (int, entry) Hashtbl.t;  (* packed key -> entry *)
+  order : int Queue.t;  (* FIFO of live keys; length = table size *)
   capacity : int;
   mutable hit_count : int;
   mutable miss_count : int;
+  (* Bumped on every mutation that can change a lookup's outcome
+     (insert, evict, flush). Front caches revalidate against it. *)
+  mutable gen : int;
+  (* (vmid, asid) pair -> dense context id, plus the reverse map so
+     flushes can recover the pair from a packed key. *)
+  ctx_ids : (int, int) Hashtbl.t;
+  mutable ctx_vmid : int array;  (* ctx id -> vmid *)
+  mutable ctx_asid : int array;  (* ctx id -> asid *)
+  mutable n_ctx : int;
+  (* 1-entry memo of the last (vmid, asid) pair interned, and the
+     matching global (asid = -1) context — the two ids every lookup
+     needs. Hot loops stay in one address space, so this almost
+     always hits without touching [ctx_ids]. *)
+  mutable last_comb : int;
+  mutable last_ctx : int;
+  mutable last_gctx : int;
 }
 
 let create ?(capacity = 1024) () =
-  { table = Hashtbl.create capacity; order = Queue.create (); capacity;
-    hit_count = 0; miss_count = 0 }
+  { table = Hashtbl.create capacity;
+    order = Queue.create ();
+    capacity;
+    hit_count = 0;
+    miss_count = 0;
+    gen = 0;
+    ctx_ids = Hashtbl.create 16;
+    ctx_vmid = Array.make 16 0;
+    ctx_asid = Array.make 16 0;
+    n_ctx = 0;
+    last_comb = min_int;
+    last_ctx = 0;
+    last_gctx = 0 }
+
+(* ASIDs are 14-bit TTBR fields (plus -1 for global), so (vmid, asid)
+   combines injectively into one int. *)
+let combine ~vmid ~asid = (vmid lsl 15) lor (asid + 1)
+
+let intern t comb ~vmid ~asid =
+  match Hashtbl.find t.ctx_ids comb with
+  | id -> id
+  | exception Not_found ->
+      let id = t.n_ctx in
+      t.n_ctx <- id + 1;
+      let len = Array.length t.ctx_vmid in
+      if id >= len then begin
+        let v = Array.make (2 * len) 0 and a = Array.make (2 * len) 0 in
+        Array.blit t.ctx_vmid 0 v 0 len;
+        Array.blit t.ctx_asid 0 a 0 len;
+        t.ctx_vmid <- v;
+        t.ctx_asid <- a
+      end;
+      t.ctx_vmid.(id) <- vmid;
+      t.ctx_asid.(id) <- asid;
+      Hashtbl.add t.ctx_ids comb id;
+      id
+
+(* Set [last_ctx]/[last_gctx] for (vmid, asid), via the memo. *)
+let set_ctx_pair t ~vmid ~asid =
+  let comb = combine ~vmid ~asid in
+  if comb <> t.last_comb then begin
+    let c = intern t comb ~vmid ~asid in
+    let g = intern t (combine ~vmid ~asid:(-1)) ~vmid ~asid:(-1) in
+    t.last_comb <- comb;
+    t.last_ctx <- c;
+    t.last_gctx <- g
+  end
+
+let pack ~ctx ~vpage = (ctx lsl vpn_bits) lor ((vpage lsr 12) land vpn_mask)
+
+let key_ctx k = k lsr vpn_bits
+let key_vpage k = (k land vpn_mask) lsl 12
 
 (* Entries for 2 MiB blocks are stored under their 2 MiB-aligned vpage;
    lookup probes the 4 KiB page first, then the 2 MiB page. *)
-let probe t key = Hashtbl.find_opt t.table key
-
 let lookup_keyed t ~vmid ~asid ~va =
+  set_ctx_pair t ~vmid ~asid;
+  let ctx = t.last_ctx and gctx = t.last_gctx in
+  let probe ctx vpage =
+    match Hashtbl.find t.table (pack ~ctx ~vpage) with
+    | e -> Some e
+    | exception Not_found -> None
+  in
   let try_page vpage =
-    match probe t { vmid; asid; vpage } with
-    | Some e -> Some e
-    | None -> probe t { vmid; asid = -1; vpage }
+    match probe ctx vpage with
+    | Some _ as r -> r
+    | None -> probe gctx vpage
   in
   match try_page (Lz_arm.Bits.align_down va 4096) with
-  | Some e -> Some e
+  | Some _ as r -> r
   | None -> (
       match try_page (Lz_arm.Bits.align_down va (2 * 1024 * 1024)) with
       | Some e when e.page_bytes > 4096 -> Some e
       | _ -> None)
 
-let lookup t ~vmid ~asid ~va =
-  match lookup_keyed t ~vmid ~asid ~va with
-  | Some e ->
+(* Front caches hold only *hits*: a valid front entry means "a full
+   lookup of this exact (vmid, asid, 4 KiB page) probe, against this
+   table generation, returned this entry". Misses are never cached,
+   so a front miss simply delegates to the full lookup — each probe
+   is accounted exactly once either way. *)
+type front = {
+  mutable f_key : int;
+  mutable f_gen : int;
+  mutable f_entry : entry option;  (* Some iff valid *)
+}
+
+let front_create () = { f_key = min_int; f_gen = -1; f_entry = None }
+
+let front_reset fr =
+  fr.f_key <- min_int;
+  fr.f_gen <- -1;
+  fr.f_entry <- None
+
+let account t = function
+  | Some _ as r ->
       t.hit_count <- t.hit_count + 1;
-      Some e
+      r
   | None ->
       t.miss_count <- t.miss_count + 1;
       None
 
+let front_probe t fr ~vmid ~asid ~va =
+  set_ctx_pair t ~vmid ~asid;
+  let key = pack ~ctx:t.last_ctx ~vpage:(Lz_arm.Bits.align_down va 4096) in
+  if fr.f_gen = t.gen && fr.f_key = key then account t fr.f_entry
+  else None
+
+let fill_front t fr ~vmid ~asid ~va r =
+  match r with
+  | Some _ ->
+      set_ctx_pair t ~vmid ~asid;
+      fr.f_key <- pack ~ctx:t.last_ctx ~vpage:(Lz_arm.Bits.align_down va 4096);
+      fr.f_gen <- t.gen;
+      fr.f_entry <- r
+  | None -> front_reset fr
+
+let lookup ?front t ~vmid ~asid ~va =
+  match front with
+  | None -> account t (lookup_keyed t ~vmid ~asid ~va)
+  | Some fr -> (
+      match front_probe t fr ~vmid ~asid ~va with
+      | Some _ as r -> r
+      | None ->
+          let r = lookup_keyed t ~vmid ~asid ~va in
+          fill_front t fr ~vmid ~asid ~va r;
+          account t r)
+
 let evict_one t =
   match Queue.take_opt t.order with
-  | Some k -> Hashtbl.remove t.table k
+  | Some k ->
+      Hashtbl.remove t.table k;
+      t.gen <- t.gen + 1
   | None -> ()
 
+(* Insert dedupes: a key already present only has its entry replaced —
+   the FIFO queue is untouched, so [Queue.length t.order] always
+   equals [Hashtbl.length t.table] and eviction never pops a stale
+   key while the table sits over capacity. *)
 let insert t ~vmid ~asid ~va ~global entry =
   let vpage = Lz_arm.Bits.align_down va entry.page_bytes in
-  let key = { vmid; asid = (if global then -1 else asid); vpage } in
+  set_ctx_pair t ~vmid ~asid;
+  let ctx = if global then t.last_gctx else t.last_ctx in
+  let key = pack ~ctx ~vpage in
   if not (Hashtbl.mem t.table key) then begin
     if Hashtbl.length t.table >= t.capacity then evict_one t;
     Queue.add key t.order
   end;
-  Hashtbl.replace t.table key entry
+  Hashtbl.replace t.table key entry;
+  t.gen <- t.gen + 1
 
-let rebuild_order t =
+(* Rebuild the FIFO from the surviving keys, preserving their relative
+   age (the old [Hashtbl.iter] rebuild randomized it). *)
+let prune_order t =
+  let keep = Queue.create () in
+  Queue.iter (fun k -> if Hashtbl.mem t.table k then Queue.add k keep) t.order;
   Queue.clear t.order;
-  Hashtbl.iter (fun k _ -> Queue.add k t.order) t.table
+  Queue.transfer keep t.order
 
 let flush_all t =
   Hashtbl.reset t.table;
-  Queue.clear t.order
+  Queue.clear t.order;
+  t.gen <- t.gen + 1
 
 let remove_if t pred =
   let doomed =
     Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) t.table []
   in
   List.iter (Hashtbl.remove t.table) doomed;
-  rebuild_order t
+  prune_order t;
+  t.gen <- t.gen + 1
 
-let flush_vmid t vmid = remove_if t (fun k -> k.vmid = vmid)
+let vmid_of_key t k = t.ctx_vmid.(key_ctx k)
+let asid_of_key t k = t.ctx_asid.(key_ctx k)
+
+let flush_vmid t vmid = remove_if t (fun k -> vmid_of_key t k = vmid)
 
 let flush_asid t ~vmid ~asid =
-  remove_if t (fun k -> k.vmid = vmid && k.asid = asid)
+  remove_if t (fun k -> vmid_of_key t k = vmid && asid_of_key t k = asid)
 
 let flush_va t ~vmid ~va =
   let p4k = Lz_arm.Bits.align_down va 4096 in
   let p2m = Lz_arm.Bits.align_down va (2 * 1024 * 1024) in
-  remove_if t (fun k -> k.vmid = vmid && (k.vpage = p4k || k.vpage = p2m))
+  remove_if t (fun k ->
+      vmid_of_key t k = vmid
+      &&
+      let vp = key_vpage k in
+      vp = p4k || vp = p2m)
 
 let hits t = t.hit_count
 let misses t = t.miss_count
@@ -93,3 +236,7 @@ let reset_stats t =
   t.miss_count <- 0
 
 let size t = Hashtbl.length t.table
+
+let fifo_length t = Queue.length t.order
+
+let gen t = t.gen

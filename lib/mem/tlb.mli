@@ -8,7 +8,12 @@
 
     The TLB has a bounded capacity with FIFO replacement and counts
     hits and misses; the cycle model charges a page-walk cost per
-    miss. *)
+    miss.
+
+    Internally entries are stored under packed tagged-int keys — the
+    virtual page number in the low 36 bits (48-bit VA space) and a
+    dense interned (VMID, ASID) context id above — so every probe is
+    an allocation-free int-keyed hashtable access. *)
 
 type t
 
@@ -22,8 +27,30 @@ type entry = {
 val create : ?capacity:int -> unit -> t
 (** Default capacity 1024 combined entries. *)
 
-val lookup : t -> vmid:int -> asid:int -> va:int -> entry option
-(** Increments the hit or miss counter. *)
+type front
+(** A 1-entry front cache (micro-TLB) holding the outcome of the last
+    lookup for one exact (VMID, ASID, 4 KiB page) probe, revalidated
+    against {!gen}. A core keeps one for instruction fetches and one
+    for data accesses; hits bypass every hashtable probe while
+    charging the main TLB's hit/miss counters exactly as a full
+    lookup would (the cached outcome is only reused while the table
+    is untouched, so the accounting cannot diverge). *)
+
+val front_create : unit -> front
+val front_reset : front -> unit
+
+val front_probe : t -> front -> vmid:int -> asid:int -> va:int -> entry option
+(** Allocation-free shortcut: [Some e] (counted as a hit) when the
+    front cache is valid for this exact probe, [None] (nothing
+    counted) when the caller must fall back to {!lookup}. *)
+
+val lookup : ?front:front -> t -> vmid:int -> asid:int -> va:int -> entry option
+(** Increments the hit or miss counter. With [?front], consults and
+    refills the given front cache. *)
+
+val gen : t -> int
+(** Mutation generation: bumped by every insert, eviction and flush.
+    Equal generations guarantee identical lookup outcomes. *)
 
 val insert :
   t -> vmid:int -> asid:int -> va:int -> global:bool -> entry -> unit
@@ -41,3 +68,8 @@ val hits : t -> int
 val misses : t -> int
 val reset_stats : t -> unit
 val size : t -> int
+
+val fifo_length : t -> int
+(** Length of the internal FIFO replacement queue. Always equals
+    {!size} — inserting an existing key must not grow the queue
+    (regression guard for the capacity-drift bug). *)

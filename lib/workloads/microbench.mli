@@ -1,0 +1,48 @@
+(** Synthetic simulated-instruction microbenchmarks.
+
+    Unlike the cycle-accounting workload models ({!Aes_workload},
+    {!Mysql_sim}, {!Nginx_sim}), these are real instruction streams
+    assembled into simulated memory and executed by {!Lz_cpu.Core} —
+    the fuel for the throughput benchmark ([bench/throughput.ml]) and
+    the fast-vs-slow differential property test. Three programs echo
+    the paper's workload mix:
+
+    - ["aes"]    — ALU-dense block mixing with table-lookup loads;
+    - ["mysql"]  — pointer-striding loads/stores across several pages
+                   (B-tree-ish data traffic);
+    - ["nginx"]  — buffer copying with byte accesses and branches.
+
+    Each program loops a register-counted number of iterations and
+    ends in BRK. *)
+
+val names : string list
+(** ["aes"; "mysql"; "nginx"]. *)
+
+type env = {
+  core : Lz_cpu.Core.t;
+  data_pas : int list;  (** physical frames backing the data pages. *)
+}
+
+val build : ?fast:bool -> iters:int -> string -> env
+(** [build name] assembles the named program with an [iters]-iteration
+    loop into a fresh machine. [?fast] is passed to
+    {!Lz_cpu.Core.create}. Raises [Invalid_argument] on an unknown
+    name. *)
+
+val run_to_brk : env -> unit
+(** Run until the final BRK; raises [Failure] on any other stop. *)
+
+type summary = {
+  regs : int array;        (** x0..x30 after the run. *)
+  final_pc : int;
+  mem_digest : string;     (** digest of every data frame. *)
+  cycles : int;
+  insns : int;
+  tlb_hits : int;
+  tlb_misses : int;
+}
+(** Everything the differential test compares; two runs of the same
+    program are architecturally identical iff their summaries are
+    equal. *)
+
+val run_summary : ?fast:bool -> iters:int -> string -> summary

@@ -348,6 +348,67 @@ let test_tlbi_flushes () =
   check_bool "flushed" true
     (Tlb.lookup env.core.tlb ~vmid:0 ~asid:1 ~va:data_va = None)
 
+(* Map a second data page right after [data_va]'s, backed by a
+   deliberately discontiguous frame, so accesses straddling the page
+   boundary must translate both pages. *)
+let map_second_data_page ?(ro = false) env =
+  let gap = Phys.alloc_frame env.phys in
+  ignore gap;
+  let pa2 = Phys.alloc_frame env.phys in
+  Stage1.map_page env.phys ~root:env.root ~va:(data_va + 0x1000) ~pa:pa2
+    { Pte.user = false; read_only = ro; uxn = true; pxn = true; ng = true }
+
+let test_straddle_load_store () =
+  let open Insn in
+  let env =
+    build_env
+      [ Movz (0, (data_va + 0xFFC) land 0xFFFF, 0);
+        Movk (0, data_va lsr 16, 16);
+        Ldr (1, 0, 0);             (* load straddling 4 + 4 bytes *)
+        Add (2, 1, Imm 1);
+        Str (2, 0, 0);             (* straddling store *)
+        Ldr32 (3, 0, 4);           (* 32-bit read of the high half *)
+        Brk 1 ]
+  in
+  map_second_data_page env;
+  let v = 0x0123456789ABCDEF in
+  (match Core.write_mem env.core ~width:8 (data_va + 0xFFC) v with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "harness straddling write failed");
+  expect_brk (run env);
+  check_int "straddling load" v (Core.reg env.core 1);
+  (match Core.read_mem env.core ~width:8 (data_va + 0xFFC) with
+  | Ok got -> check_int "straddling store" (v + 1) got
+  | Error _ -> Alcotest.fail "harness straddling read failed");
+  (* The two halves really live in discontiguous frames: check each
+     side of the boundary byte-by-byte. *)
+  (match Core.read_mem env.core ~width:1 (data_va + 0xFFF) with
+  | Ok b -> check_int "low-page byte" (((v + 1) lsr 24) land 0xFF) b
+  | Error _ -> Alcotest.fail "low byte");
+  check_int "high half" (((v + 1) lsr 32) land 0xFFFFFFFF)
+    (Core.reg env.core 3)
+
+let test_straddle_fault_second_page () =
+  let open Insn in
+  let env =
+    build_env
+      [ Movz (0, (data_va + 0xFFC) land 0xFFFF, 0);
+        Movk (0, data_va lsr 16, 16);
+        Movz (1, 0x5A5A, 0);
+        Str (1, 0, 0);             (* straddles into a read-only page *)
+        Brk 1 ]
+  in
+  map_second_data_page ~ro:true env;
+  (match run env with
+  | Core.Trap_el1 (Core.Ec_dabort f) ->
+      check_int "fault on second page" (data_va + 0x1000) f.Mmu.va
+  | s -> Alcotest.failf "expected dabort, got %a" Core.pp_stop s);
+  (* Both pages are translated before any byte is written, so the
+     faulting store must not have partially updated the first page. *)
+  match Core.read_mem env.core ~width:1 (data_va + 0xFFC) with
+  | Ok b -> check_int "no partial write" 0 b
+  | Error _ -> Alcotest.fail "readback"
+
 let test_run_limit () =
   let open Insn in
   let env = build_env [ B 0 ] in
@@ -381,6 +442,11 @@ let () =
             test_ttbr_switch_changes_translation;
           Alcotest.test_case "watchpoint" `Quick test_watchpoint;
           Alcotest.test_case "el0 privilege" `Quick test_el0_cannot_msr ] );
+      ( "straddle",
+        [ Alcotest.test_case "load/store across pages" `Quick
+            test_straddle_load_store;
+          Alcotest.test_case "fault on second page" `Quick
+            test_straddle_fault_second_page ] );
       ( "accounting",
         [ Alcotest.test_case "cycles" `Quick test_cycles_accumulate;
           Alcotest.test_case "cntvct" `Quick test_cntvct_reads_cycles;

@@ -289,6 +289,68 @@ let test_tlb_flush_va () =
     (Tlb.lookup t ~vmid:0 ~asid:1 ~va:0x5000 = None
     && Tlb.lookup t ~vmid:0 ~asid:2 ~va:0x5000 = None)
 
+(* Regression: re-inserting a live key must replace the entry in
+   place, not burn a FIFO slot — otherwise the queue outgrows the
+   table and eviction pops stale keys while the table sits over
+   capacity. *)
+let test_tlb_insert_dedupe () =
+  let t = Tlb.create ~capacity:4 () in
+  for i = 0 to 3 do
+    Tlb.insert t ~vmid:0 ~asid:1 ~va:(i * 4096) ~global:false (entry ())
+  done;
+  for _ = 1 to 10 do
+    Tlb.insert t ~vmid:0 ~asid:1 ~va:0 ~global:false (entry ~pa:0x9000 ())
+  done;
+  check_int "size stable" 4 (Tlb.size t);
+  check_int "fifo = size" (Tlb.size t) (Tlb.fifo_length t);
+  (match Tlb.lookup t ~vmid:0 ~asid:1 ~va:0 with
+  | Some e -> check_int "updated in place" 0x9000 e.Tlb.pa_page
+  | None -> Alcotest.fail "key lost by re-insert");
+  (* A new key now evicts exactly the oldest entry (page 0): the
+     duplicate inserts must not have queued duplicate FIFO slots. *)
+  Tlb.insert t ~vmid:0 ~asid:1 ~va:(4 * 4096) ~global:false (entry ());
+  check_int "size at capacity" 4 (Tlb.size t);
+  check_int "fifo = size after evict" 4 (Tlb.fifo_length t);
+  check_bool "oldest evicted" true (Tlb.lookup t ~vmid:0 ~asid:1 ~va:0 = None);
+  check_bool "younger survives" true
+    (Tlb.lookup t ~vmid:0 ~asid:1 ~va:4096 <> None)
+
+let test_tlb_fifo_after_flush () =
+  let t = Tlb.create ~capacity:8 () in
+  for i = 0 to 7 do
+    Tlb.insert t ~vmid:0 ~asid:(i land 1) ~va:(i * 4096) ~global:false
+      (entry ())
+  done;
+  Tlb.flush_asid t ~vmid:0 ~asid:1;
+  check_int "fifo pruned with table" (Tlb.size t) (Tlb.fifo_length t);
+  Tlb.flush_vmid t 0;
+  check_int "fifo empty after vmid flush" 0 (Tlb.fifo_length t)
+
+(* The 1-entry front cache must not change hit/miss accounting: the
+   same probe sequence against a fronted and an unfronted TLB lands on
+   identical counters, across front hits, front misses and
+   invalidation by insert. *)
+let test_tlb_front_accounting () =
+  let plain = (Tlb.create (), None) in
+  let fronted = (Tlb.create (), Some (Tlb.front_create ())) in
+  let both f =
+    f plain;
+    f fronted
+  in
+  let probe (t, front) ~asid ~va = ignore (Tlb.lookup ?front t ~vmid:0 ~asid ~va) in
+  let ins (t, _) ~va = Tlb.insert t ~vmid:0 ~asid:1 ~va ~global:false (entry ()) in
+  both (fun tf -> ins tf ~va:0x7000);
+  both (fun tf -> probe tf ~asid:1 ~va:0x7008);
+  both (fun tf -> probe tf ~asid:1 ~va:0x7010);
+  both (fun tf -> probe tf ~asid:1 ~va:0x8000);
+  both (fun tf -> ins tf ~va:0x8000);
+  both (fun tf -> probe tf ~asid:1 ~va:0x8004);
+  both (fun tf -> probe tf ~asid:2 ~va:0x7000);
+  both (fun tf -> probe tf ~asid:1 ~va:0x7000);
+  let ta, _ = plain and tb, _ = fronted in
+  check_int "hits equal" (Tlb.hits ta) (Tlb.hits tb);
+  check_int "misses equal" (Tlb.misses ta) (Tlb.misses tb)
+
 (* ------------------------------------------------------------------ *)
 (* Mmu *)
 
@@ -504,7 +566,12 @@ let () =
           Alcotest.test_case "global entries" `Quick test_tlb_global;
           Alcotest.test_case "2MiB entries" `Quick test_tlb_2m_entries;
           Alcotest.test_case "eviction" `Quick test_tlb_eviction;
-          Alcotest.test_case "flush va" `Quick test_tlb_flush_va ] );
+          Alcotest.test_case "flush va" `Quick test_tlb_flush_va;
+          Alcotest.test_case "insert dedupe" `Quick test_tlb_insert_dedupe;
+          Alcotest.test_case "fifo after flush" `Quick
+            test_tlb_fifo_after_flush;
+          Alcotest.test_case "front accounting" `Quick
+            test_tlb_front_accounting ] );
       ( "mmu",
         [ Alcotest.test_case "basic" `Quick test_mmu_basic;
           Alcotest.test_case "pan" `Quick test_mmu_pan;

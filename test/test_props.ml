@@ -287,6 +287,30 @@ let prop_lz_policy =
         probes;
       !violated = expected_violation)
 
+(* ------------------------------------------------------------------ *)
+(* Fast path vs slow path: the fast execution engine (decoded-insn
+   cache, micro-TLBs, memoized MMU context) must be architecturally
+   invisible. Run each microbench program both ways on a random
+   iteration count and require bit-identical registers, memory,
+   cycle/instruction totals and TLB statistics. *)
+
+let prop_fast_slow_equivalent =
+  QCheck2.Test.make ~name:"core: fast path is architecturally invisible"
+    ~count:20
+    QCheck2.Gen.(
+      pair (oneofl Lz_workloads.Microbench.names) (int_range 1 500))
+    (fun (name, iters) ->
+      let open Lz_workloads.Microbench in
+      let fast = run_summary ~fast:true ~iters name in
+      let slow = run_summary ~fast:false ~iters name in
+      fast.regs = slow.regs
+      && fast.final_pc = slow.final_pc
+      && fast.mem_digest = slow.mem_digest
+      && fast.cycles = slow.cycles
+      && fast.insns = slow.insns
+      && fast.tlb_hits = slow.tlb_hits
+      && fast.tlb_misses = slow.tlb_misses)
+
 let () =
   Alcotest.run "lz_props"
     [ ( "sanitizer",
@@ -301,5 +325,6 @@ let () =
           q prop_el1_never_executes_user_pages ] );
       ( "stage1", [ q prop_s1_model_agreement ] );
       ( "tlb", [ q prop_tlb_transparent ] );
+      ( "fastpath", [ q prop_fast_slow_equivalent ] );
       ( "aes", [ q prop_aes_roundtrip; q prop_aes_cbc_roundtrip ] );
       ( "lightzone", [ q prop_lz_policy ] ) ]
