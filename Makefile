@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke clean
+.PHONY: all build test bench bench-smoke trace-demo clean
 
 all: build
 
@@ -16,6 +16,10 @@ bench: build
 # Quick harness check (small iteration count) via the dune alias.
 bench-smoke:
 	dune build @bench-smoke
+
+# Cycle attribution of a 128-domain gate-switch run (lz_trace demo).
+trace-demo: build
+	dune exec examples/trace_gate.exe
 
 clean:
 	dune clean

@@ -192,6 +192,33 @@ let pentest () =
        "all LightZone defenses held; PANIC fell to W+X aliasing (as the paper argues)"
      else "UNEXPECTED: some defense failed")
 
+let trace () =
+  hr "Trace: Table 5 cycle attribution (BENCH_table5_trace.json)";
+  let iterations = if !quick then 500 else 2_000 in
+  let cases =
+    [ (Lz_cpu.Cost_model.carmel, Lz_eval.Switch_bench.Host, "Carmel Host");
+      (Lz_cpu.Cost_model.carmel, Lz_eval.Switch_bench.Guest, "Carmel Guest");
+      (Lz_cpu.Cost_model.cortex_a55, Lz_eval.Switch_bench.Host, "Cortex") ]
+  in
+  let entries =
+    List.map
+      (fun (cm, env, label) ->
+        let r =
+          Lz_eval.Switch_bench.traced_run cm ~env ~domains:128 ~n:iterations
+        in
+        Format.printf "@.-- %s (128 domains, %d switches) --@." label
+          iterations;
+        Format.printf "%a@." Lz_trace.Span.pp_report
+          r.Lz_eval.Switch_bench.report;
+        Printf.sprintf "  %S: %s" label
+          (Lz_trace.Span.report_to_json r.Lz_eval.Switch_bench.report))
+      cases
+  in
+  let oc = open_out "BENCH_table5_trace.json" in
+  Printf.fprintf oc "{\n%s\n}\n" (String.concat ",\n" entries);
+  close_out oc;
+  Format.printf "@.wrote BENCH_table5_trace.json@."
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock micro-measurements: one Test.make per table /
    figure, each benchmarking that experiment's hot path. *)
@@ -306,10 +333,11 @@ let () =
           | "memory" -> memory ()
           | "ablation" -> ablation ()
           | "pentest" -> pentest ()
+          | "trace" -> trace ()
           | "bechamel" -> bechamel ()
           | "all" -> all ()
           | c ->
               Format.printf
-                "unknown command %s (try table1|table4|table5|fig3|fig4|fig5|memory|ablation|pentest|bechamel|quick)@."
+                "unknown command %s (try table1|table4|table5|fig3|fig4|fig5|memory|ablation|pentest|trace|bechamel|quick)@."
                 c)
         cmds

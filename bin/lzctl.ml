@@ -5,6 +5,8 @@
                    [--domains N] [--iterations N]
      lzctl pentest [--domains N]
      lzctl profile [--platform ...] [--env ...]
+     lzctl trace   summary|top-spans|export [--platform ...] [--env ...]
+                   [--domains N] [--iterations N] [--top K] [--out FILE]
 
    The bench executable regenerates the full paper artifacts; lzctl is
    for poking at one configuration at a time. *)
@@ -95,6 +97,57 @@ let pentest_cmd =
   Cmd.v (Cmd.info "pentest" ~doc:"run the Section 7.2 penetration tests")
     Term.(const run $ platform $ domains)
 
+let trace_cmd =
+  let domains =
+    Arg.(value & opt int 128 & info [ "domains"; "d" ] ~doc:"domain count")
+  in
+  let iterations =
+    Arg.(value & opt int 2000 & info [ "iterations"; "n" ] ~doc:"switches")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top"; "k" ] ~doc:"spans to show")
+  in
+  let out =
+    Arg.(value & opt string "trace.jsonl"
+         & info [ "out"; "o" ] ~doc:"JSONL output file (export)")
+  in
+  let action =
+    Arg.(value & pos 0 (enum [ ("summary", `Summary);
+                               ("top-spans", `Top_spans);
+                               ("export", `Export) ]) `Summary
+         & info [] ~docv:"ACTION" ~doc:"summary, top-spans or export")
+  in
+  let run cm env action domains iterations top out =
+    let r =
+      Lz_eval.Switch_bench.traced_run cm ~env ~domains ~n:iterations
+    in
+    match action with
+    | `Summary ->
+        Format.printf "%d domains, %d switches, %d cycles@." r.domains
+          r.switches r.total_cycles;
+        Format.printf "%a@." Lz_trace.Span.pp_report r.report
+    | `Top_spans ->
+        List.iter
+          (fun (s : Lz_trace.Span.span) ->
+            Format.printf "%10d  %10d..%-10d  %s@."
+              (s.stop_cycles - s.start_cycles) s.start_cycles s.stop_cycles
+              s.name)
+          (Lz_trace.Span.top_spans r.report top)
+    | `Export ->
+        let oc = open_out out in
+        Lz_trace.Trace.export_jsonl r.trace oc;
+        close_out oc;
+        Format.printf "wrote %d events (%d dropped) to %s@."
+          (Lz_trace.Trace.len r.trace)
+          (Lz_trace.Trace.dropped r.trace)
+          out
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"trace an instrumented domain-switch run (cycle attribution)")
+    Term.(const run $ platform $ env $ action $ domains $ iterations $ top
+          $ out)
+
 let profile_cmd =
   let run cm env =
     List.iter
@@ -112,4 +165,5 @@ let () =
   let info = Cmd.info "lzctl" ~doc:"LightZone reproduction driver" in
   exit
     (Cmd.eval
-       (Cmd.group info [ traps_cmd; switch_cmd; pentest_cmd; profile_cmd ]))
+       (Cmd.group info
+          [ traps_cmd; switch_cmd; pentest_cmd; profile_cmd; trace_cmd ]))

@@ -1,0 +1,66 @@
+(* trace-demo: cycle attribution of the Table 5 gate-switch loop.
+
+   Runs the 128-domain random-switch program (the paper's Table 5
+   measurement) with the lz_trace tracer attached, prints the span
+   report — how the run's cycles split between gate phase ① (the
+   TTBR0 switch), phase ② (the re-check through TTBR1), trap handling
+   and mainline code — and then zooms into one gate pass, showing the
+   per-phase cycle cost the gate markers make visible.
+
+   Run with: make trace-demo  (or dune exec examples/trace_gate.exe) *)
+
+module Trace = Lz_trace.Trace
+module Span = Lz_trace.Span
+
+let () =
+  let domains = 128 and n = 2_000 in
+  Format.printf "LightZone trace demo: %d domains, %d random switches@.@."
+    domains n;
+  let r =
+    Lz_eval.Switch_bench.traced_run Lz_cpu.Cost_model.cortex_a55
+      ~env:Lz_eval.Switch_bench.Host ~domains ~n
+  in
+  let rep = r.Lz_eval.Switch_bench.report in
+  Format.printf "%a@.@." Span.pp_report rep;
+
+  (* One steady-state gate pass, phase by phase: skip the first half
+     of the trace (past the demand-fault warm-up), find a Gate_entry
+     and walk the events to the matching Gate_exit. *)
+  let evs = Trace.events r.Lz_eval.Switch_bench.trace in
+  let evs =
+    let half = List.length evs / 2 in
+    List.filteri (fun i _ -> i >= half) evs
+  in
+  let rec find_pass = function
+    | ({ Trace.payload = Trace.Gate_entry { gate }; cycles = c0; _ } :: rest)
+      ->
+        let rec collect acc = function
+          | ({ Trace.payload = Trace.Gate_exit { gate = g }; _ } as ev) :: _
+            when g = gate ->
+              Some (gate, c0, List.rev (ev :: acc))
+          | ev :: rest -> collect (ev :: acc) rest
+          | [] -> None
+        in
+        collect [] rest
+    | _ :: rest -> find_pass rest
+    | [] -> None
+  in
+  (match find_pass evs with
+  | Some (gate, c0, pass) ->
+      Format.printf "one pass through gate %d:@." gate;
+      let prev = ref c0 and prev_name = ref "gate.entry (phase 1 begins)" in
+      List.iter
+        (fun ev ->
+          Format.printf "  %-34s +%d cycles@." !prev_name
+            (ev.Trace.cycles - !prev);
+          prev := ev.Trace.cycles;
+          prev_name :=
+            (match ev.Trace.payload with
+            | Trace.Gate_check _ -> "gate.check (phase 2 begins)"
+            | Trace.Gate_exit _ -> "gate.exit (back at return site)"
+            | p -> Trace.payload_name p))
+        pass
+  | None -> Format.printf "no complete gate pass in the trace@.");
+  Format.printf "@.%d events buffered, %d dropped@."
+    (Trace.len r.Lz_eval.Switch_bench.trace)
+    (Trace.dropped r.Lz_eval.Switch_bench.trace)

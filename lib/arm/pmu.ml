@@ -1,0 +1,179 @@
+(* ARM PMUv3 model.
+
+   Six event counters (PMEVCNTR0-5) plus the dedicated cycle counter
+   (PMCCNTR).  Counters never tick on their own: each one is an
+   accumulator over a monotonic source — the core's cycle or retired
+   instruction totals for CPU_CYCLES / INST_RETIRED, or a per-event
+   occurrence total bumped by [record] for discrete events (TLB
+   refills, exception entry/return, TLB flushes).
+
+   A counter's architectural value is
+
+     acc + (enabled ? source_now - snap : 0)
+
+   where [snap] is the source value captured when the counter was last
+   enabled (or reset, or re-programmed).  Enable/disable/reprogram
+   transitions fold the in-flight delta into [acc] and re-snapshot, so
+   reads are O(1), counting is exact, and the PMU itself never charges
+   cycles — which keeps the fast and slow execution paths bit-identical
+   whether or not a PMU is attached.
+
+   Every operation that reads or retargets a live counter takes the
+   current ~cycles/~insns so the sources can be sampled. *)
+
+module Event = struct
+  let l1i_tlb_refill = 0x02
+  let l1d_tlb_refill = 0x05
+  let inst_retired = 0x08
+  let exc_taken = 0x09
+  let exc_return = 0x0A
+  let cpu_cycles = 0x11
+  let dtlb_walk = 0x34
+  let itlb_walk = 0x35
+
+  (* IMPLEMENTATION DEFINED event: TLB invalidate operations. *)
+  let tlb_flush = 0xC0
+
+  let name = function
+    | 0x02 -> "L1I_TLB_REFILL"
+    | 0x05 -> "L1D_TLB_REFILL"
+    | 0x08 -> "INST_RETIRED"
+    | 0x09 -> "EXC_TAKEN"
+    | 0x0A -> "EXC_RETURN"
+    | 0x11 -> "CPU_CYCLES"
+    | 0x34 -> "DTLB_WALK"
+    | 0x35 -> "ITLB_WALK"
+    | 0xC0 -> "TLB_FLUSH"
+    | ev -> Printf.sprintf "EVENT_%04x" ev
+end
+
+let n_counters = 6
+
+(* PMCNTENSET/CLR bit index of the cycle counter. *)
+let cycle_counter_bit = 31
+
+(* Internal slot layout: slots 0..n_counters-1 are the event counters,
+   slot n_counters is the cycle counter. *)
+let cycle_slot = n_counters
+
+let enable_mask = ((1 lsl n_counters) - 1) lor (1 lsl cycle_counter_bit)
+
+type t = {
+  mutable enabled : bool;  (* PMCR_EL0.E *)
+  mutable cnten : int;  (* PMCNTENSET/CLR mask *)
+  evtyper : int array;  (* PMEVTYPERn.evtCount *)
+  acc : int array;
+  snap : int array;
+  totals : int array;  (* occurrence totals per discrete event number *)
+}
+
+let create () =
+  {
+    enabled = false;
+    cnten = 0;
+    evtyper = Array.make n_counters 0;
+    acc = Array.make (n_counters + 1) 0;
+    snap = Array.make (n_counters + 1) 0;
+    totals = Array.make 256 0;
+  }
+
+let record t event =
+  let i = event land 0xFF in
+  t.totals.(i) <- t.totals.(i) + 1
+
+let slot_event t slot =
+  if slot = cycle_slot then Event.cpu_cycles else t.evtyper.(slot)
+
+let source t ~cycles ~insns event =
+  if event = Event.cpu_cycles then cycles
+  else if event = Event.inst_retired then insns
+  else t.totals.(event land 0xFF)
+
+let slot_enabled t slot =
+  let bit = if slot = cycle_slot then cycle_counter_bit else slot in
+  t.enabled && t.cnten land (1 lsl bit) <> 0
+
+let value t ~cycles ~insns slot =
+  let v = t.acc.(slot) in
+  if slot_enabled t slot then
+    v + (source t ~cycles ~insns (slot_event t slot) - t.snap.(slot))
+  else v
+
+(* Apply a new (enabled, cnten) pair, folding in-flight deltas into
+   [acc] for slots that stop counting and snapshotting sources for
+   slots that start. *)
+let set_enables t ~cycles ~insns ~enabled ~cnten =
+  for slot = 0 to cycle_slot do
+    let bit = if slot = cycle_slot then cycle_counter_bit else slot in
+    let was = slot_enabled t slot in
+    let now = enabled && cnten land (1 lsl bit) <> 0 in
+    if was && not now then t.acc.(slot) <- value t ~cycles ~insns slot
+    else if now && not was then
+      t.snap.(slot) <- source t ~cycles ~insns (slot_event t slot)
+  done;
+  t.enabled <- enabled;
+  t.cnten <- cnten
+
+(* PMCR_EL0: E (bit 0) enable, P (bit 1) reset event counters,
+   C (bit 2) reset cycle counter, N (bits 15:11) = n_counters. *)
+
+let read_pmcr t = (n_counters lsl 11) lor (if t.enabled then 1 else 0)
+
+let write_pmcr t ~cycles ~insns v =
+  if v land 0b010 <> 0 then
+    for slot = 0 to n_counters - 1 do
+      t.acc.(slot) <- 0;
+      t.snap.(slot) <- source t ~cycles ~insns (slot_event t slot)
+    done;
+  if v land 0b100 <> 0 then begin
+    t.acc.(cycle_slot) <- 0;
+    t.snap.(cycle_slot) <- cycles
+  end;
+  set_enables t ~cycles ~insns ~enabled:(v land 1 <> 0) ~cnten:t.cnten
+
+let read_cnten t = t.cnten
+
+let write_cntenset t ~cycles ~insns v =
+  set_enables t ~cycles ~insns ~enabled:t.enabled
+    ~cnten:(t.cnten lor (v land enable_mask))
+
+let write_cntenclr t ~cycles ~insns v =
+  set_enables t ~cycles ~insns ~enabled:t.enabled
+    ~cnten:(t.cnten land lnot (v land enable_mask))
+
+let check_index n =
+  if n < 0 || n >= n_counters then
+    invalid_arg (Printf.sprintf "Pmu: counter index %d out of range" n)
+
+let read_evtyper t n =
+  check_index n;
+  t.evtyper.(n)
+
+let write_evtyper t ~cycles ~insns n v =
+  check_index n;
+  let ev = v land 0xFFFF in
+  if slot_enabled t n then begin
+    (* Freeze under the old event, then retarget and re-snapshot. *)
+    t.acc.(n) <- value t ~cycles ~insns n;
+    t.evtyper.(n) <- ev;
+    t.snap.(n) <- source t ~cycles ~insns ev
+  end
+  else t.evtyper.(n) <- ev
+
+let read_evcntr t ~cycles ~insns n =
+  check_index n;
+  value t ~cycles ~insns n
+
+let write_evcntr t ~cycles ~insns n v =
+  check_index n;
+  t.acc.(n) <- v;
+  if slot_enabled t n then
+    t.snap.(n) <- source t ~cycles ~insns (slot_event t n)
+
+let read_ccntr t ~cycles = value t ~cycles ~insns:0 cycle_slot
+
+let write_ccntr t ~cycles v =
+  t.acc.(cycle_slot) <- v;
+  if slot_enabled t cycle_slot then t.snap.(cycle_slot) <- cycles
+
+let event_total t event = t.totals.(event land 0xFF)

@@ -1,0 +1,57 @@
+(** ARM PMUv3 model: six event counters plus the cycle counter.
+
+    Counters are accumulators over monotonic sources (core cycle /
+    instruction totals, or discrete-event occurrence totals fed by
+    {!record}), so reads are O(1), exact, and the PMU never perturbs
+    timing — fast and slow execution paths stay bit-identical.
+
+    All operations touching a live counter take the current
+    [~cycles]/[~insns] of the owning core so sources can be sampled. *)
+
+module Event : sig
+  val l1i_tlb_refill : int (* 0x02 *)
+  val l1d_tlb_refill : int (* 0x05 *)
+  val inst_retired : int (* 0x08 *)
+  val exc_taken : int (* 0x09 *)
+  val exc_return : int (* 0x0A *)
+  val cpu_cycles : int (* 0x11 *)
+  val dtlb_walk : int (* 0x34 *)
+  val itlb_walk : int (* 0x35 *)
+  val tlb_flush : int (* 0xC0, IMPLEMENTATION DEFINED *)
+  val name : int -> string
+end
+
+type t
+
+val n_counters : int  (** 6; reported in PMCR_EL0.N. *)
+
+val cycle_counter_bit : int  (** 31, the PMCNTENSET/CLR cycle bit. *)
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** [record t event] notes one occurrence of a discrete event
+    (TLB refill/walk/flush, exception entry/return). *)
+
+val read_pmcr : t -> int
+val write_pmcr : t -> cycles:int -> insns:int -> int -> unit
+(** Bit 0 = E (global enable), bit 1 = P (reset event counters),
+    bit 2 = C (reset cycle counter). *)
+
+val read_cnten : t -> int
+val write_cntenset : t -> cycles:int -> insns:int -> int -> unit
+val write_cntenclr : t -> cycles:int -> insns:int -> int -> unit
+
+val read_evtyper : t -> int -> int
+val write_evtyper : t -> cycles:int -> insns:int -> int -> int -> unit
+(** [write_evtyper t ~cycles ~insns n v] programs counter [n] to count
+    event [v land 0xFFFF]. *)
+
+val read_evcntr : t -> cycles:int -> insns:int -> int -> int
+val write_evcntr : t -> cycles:int -> insns:int -> int -> int -> unit
+val read_ccntr : t -> cycles:int -> int
+val write_ccntr : t -> cycles:int -> int -> unit
+
+val event_total : t -> int -> int
+(** Raw occurrence total for a discrete event, independent of counter
+    programming (host-side convenience). *)

@@ -43,6 +43,19 @@ type t =
   | CNTHCTL_EL2
   | VPIDR_EL2
   | VMPIDR_EL2
+  (* PMUv3 (backed by a Pmu.t attached to the core, not by the
+     register file; the core intercepts accesses). *)
+  | PMCR_EL0
+  | PMCNTENSET_EL0
+  | PMCNTENCLR_EL0
+  | PMCCNTR_EL0
+  (* One constant constructor per counter slot keeps [t] an
+     all-immediate enum — [index] stays a table lookup and the
+     per-instruction [read]s in the core never see a boxed tag. *)
+  | PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0
+  | PMEVCNTR3_EL0 | PMEVCNTR4_EL0 | PMEVCNTR5_EL0
+  | PMEVTYPER0_EL0 | PMEVTYPER1_EL0 | PMEVTYPER2_EL0
+  | PMEVTYPER3_EL0 | PMEVTYPER4_EL0 | PMEVTYPER5_EL0
 
 type enc = { op0 : int; op1 : int; crn : int; crm : int; op2 : int }
 
@@ -100,6 +113,51 @@ let encoding = function
   | CNTHCTL_EL2 -> enc 3 4 14 1 0
   | VPIDR_EL2 -> enc 3 4 0 0 0
   | VMPIDR_EL2 -> enc 3 4 0 0 5
+  | PMCR_EL0 -> enc 3 3 9 12 0
+  | PMCNTENSET_EL0 -> enc 3 3 9 12 1
+  | PMCNTENCLR_EL0 -> enc 3 3 9 12 2
+  | PMCCNTR_EL0 -> enc 3 3 9 13 0
+  | PMEVCNTR0_EL0 -> enc 3 3 14 8 0
+  | PMEVCNTR1_EL0 -> enc 3 3 14 8 1
+  | PMEVCNTR2_EL0 -> enc 3 3 14 8 2
+  | PMEVCNTR3_EL0 -> enc 3 3 14 8 3
+  | PMEVCNTR4_EL0 -> enc 3 3 14 8 4
+  | PMEVCNTR5_EL0 -> enc 3 3 14 8 5
+  | PMEVTYPER0_EL0 -> enc 3 3 14 12 0
+  | PMEVTYPER1_EL0 -> enc 3 3 14 12 1
+  | PMEVTYPER2_EL0 -> enc 3 3 14 12 2
+  | PMEVTYPER3_EL0 -> enc 3 3 14 12 3
+  | PMEVTYPER4_EL0 -> enc 3 3 14 12 4
+  | PMEVTYPER5_EL0 -> enc 3 3 14 12 5
+
+let pmu_event_counters = 6
+
+let pmevcntr = function
+  | 0 -> PMEVCNTR0_EL0
+  | 1 -> PMEVCNTR1_EL0
+  | 2 -> PMEVCNTR2_EL0
+  | 3 -> PMEVCNTR3_EL0
+  | 4 -> PMEVCNTR4_EL0
+  | 5 -> PMEVCNTR5_EL0
+  | n -> invalid_arg (Printf.sprintf "Sysreg.pmevcntr %d" n)
+
+let pmevtyper = function
+  | 0 -> PMEVTYPER0_EL0
+  | 1 -> PMEVTYPER1_EL0
+  | 2 -> PMEVTYPER2_EL0
+  | 3 -> PMEVTYPER3_EL0
+  | 4 -> PMEVTYPER4_EL0
+  | 5 -> PMEVTYPER5_EL0
+  | n -> invalid_arg (Printf.sprintf "Sysreg.pmevtyper %d" n)
+
+let pmev_slot = function
+  | PMEVCNTR0_EL0 | PMEVTYPER0_EL0 -> 0
+  | PMEVCNTR1_EL0 | PMEVTYPER1_EL0 -> 1
+  | PMEVCNTR2_EL0 | PMEVTYPER2_EL0 -> 2
+  | PMEVCNTR3_EL0 | PMEVTYPER3_EL0 -> 3
+  | PMEVCNTR4_EL0 | PMEVTYPER4_EL0 -> 4
+  | PMEVCNTR5_EL0 | PMEVTYPER5_EL0 -> 5
+  | _ -> invalid_arg "Sysreg.pmev_slot: not a PMEVCNTRn/PMEVTYPERn register"
 
 let all =
   [ TTBR0_EL1; TTBR1_EL1; TCR_EL1; SCTLR_EL1; MAIR_EL1; VBAR_EL1;
@@ -110,7 +168,9 @@ let all =
     DBGWCR3_EL1; MDSCR_EL1; HCR_EL2; VTTBR_EL2; VTCR_EL2; TTBR0_EL2;
     TCR_EL2; SCTLR_EL2; VBAR_EL2; ESR_EL2; ELR_EL2; SPSR_EL2; FAR_EL2;
     HPFAR_EL2; CPTR_EL2; MDCR_EL2; TPIDR_EL2; CNTHCTL_EL2; VPIDR_EL2;
-    VMPIDR_EL2 ]
+    VMPIDR_EL2; PMCR_EL0; PMCNTENSET_EL0; PMCNTENCLR_EL0; PMCCNTR_EL0 ]
+  @ List.init pmu_event_counters pmevcntr
+  @ List.init pmu_event_counters pmevtyper
 
 (* The EL1 state a hypervisor context-switches on a world switch; this
    is the set KVM saves/restores, which the Table 4 calibration counts. *)
@@ -172,6 +232,22 @@ let name = function
   | CNTHCTL_EL2 -> "CNTHCTL_EL2"
   | VPIDR_EL2 -> "VPIDR_EL2"
   | VMPIDR_EL2 -> "VMPIDR_EL2"
+  | PMCR_EL0 -> "PMCR_EL0"
+  | PMCNTENSET_EL0 -> "PMCNTENSET_EL0"
+  | PMCNTENCLR_EL0 -> "PMCNTENCLR_EL0"
+  | PMCCNTR_EL0 -> "PMCCNTR_EL0"
+  | PMEVCNTR0_EL0 -> "PMEVCNTR0_EL0"
+  | PMEVCNTR1_EL0 -> "PMEVCNTR1_EL0"
+  | PMEVCNTR2_EL0 -> "PMEVCNTR2_EL0"
+  | PMEVCNTR3_EL0 -> "PMEVCNTR3_EL0"
+  | PMEVCNTR4_EL0 -> "PMEVCNTR4_EL0"
+  | PMEVCNTR5_EL0 -> "PMEVCNTR5_EL0"
+  | PMEVTYPER0_EL0 -> "PMEVTYPER0_EL0"
+  | PMEVTYPER1_EL0 -> "PMEVTYPER1_EL0"
+  | PMEVTYPER2_EL0 -> "PMEVTYPER2_EL0"
+  | PMEVTYPER3_EL0 -> "PMEVTYPER3_EL0"
+  | PMEVTYPER4_EL0 -> "PMEVTYPER4_EL0"
+  | PMEVTYPER5_EL0 -> "PMEVTYPER5_EL0"
 
 let min_el r =
   match (encoding r).op1 with
@@ -232,8 +308,24 @@ let index = function
   | CNTHCTL_EL2 -> 47
   | VPIDR_EL2 -> 48
   | VMPIDR_EL2 -> 49
+  | PMCR_EL0 -> 50
+  | PMCNTENSET_EL0 -> 51
+  | PMCNTENCLR_EL0 -> 52
+  | PMCCNTR_EL0 -> 53
+  | PMEVCNTR0_EL0 -> 54
+  | PMEVCNTR1_EL0 -> 55
+  | PMEVCNTR2_EL0 -> 56
+  | PMEVCNTR3_EL0 -> 57
+  | PMEVCNTR4_EL0 -> 58
+  | PMEVCNTR5_EL0 -> 59
+  | PMEVTYPER0_EL0 -> 60
+  | PMEVTYPER1_EL0 -> 61
+  | PMEVTYPER2_EL0 -> 62
+  | PMEVTYPER3_EL0 -> 63
+  | PMEVTYPER4_EL0 -> 64
+  | PMEVTYPER5_EL0 -> 65
 
-let nregs = 50
+let nregs = 66
 
 (* Generation counters let cached derivations (the core's memoized
    MMU context, the watchpoint-armed flag) detect staleness without

@@ -54,6 +54,36 @@ type t =
   | CNTHCTL_EL2
   | VPIDR_EL2
   | VMPIDR_EL2
+  (* PMUv3. These are not backed by the register file: the core
+     intercepts MSR/MRS accesses and services them from an attached
+     {!Pmu.t}, so counter reads see live values. *)
+  | PMCR_EL0
+  | PMCNTENSET_EL0
+  | PMCNTENCLR_EL0
+  | PMCCNTR_EL0
+  (* Constant constructors (rather than [PMEVCNTR_EL0 of int]) keep
+     [t] an all-immediate enum, so the register file's per-instruction
+     index computation never touches a boxed value. Build them with
+     {!pmevcntr}/{!pmevtyper}; recover the slot with {!pmev_slot}. *)
+  | PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0
+  | PMEVCNTR3_EL0 | PMEVCNTR4_EL0 | PMEVCNTR5_EL0
+  | PMEVTYPER0_EL0 | PMEVTYPER1_EL0 | PMEVTYPER2_EL0
+  | PMEVTYPER3_EL0 | PMEVTYPER4_EL0 | PMEVTYPER5_EL0
+
+val pmu_event_counters : int
+(** Number of modelled PMEVCNTRn/PMEVTYPERn pairs (6). *)
+
+val pmevcntr : int -> t
+(** [pmevcntr n] is PMEVCNTR[n]_EL0; raises for n outside
+    0..{!pmu_event_counters}-1. *)
+
+val pmevtyper : int -> t
+(** [pmevtyper n] is PMEVTYPER[n]_EL0; raises for n outside
+    0..{!pmu_event_counters}-1. *)
+
+val pmev_slot : t -> int
+(** The counter slot of a PMEVCNTRn/PMEVTYPERn register; raises for any
+    other register. *)
 
 type enc = { op0 : int; op1 : int; crn : int; crm : int; op2 : int }
 (** MSR/MRS encoding fields of a system register. *)

@@ -32,6 +32,13 @@ type t = {
   mutable insns : int;
   mutable route_el1_to_harness : bool;
   fp : Fastpath.t;
+  (* Observability. Both default to [None]; every emission site is an
+     option match, so with nothing attached the only per-instruction
+     overhead is one null check in [step]. Neither charges cycles nor
+     touches architectural state, so attaching them keeps execution
+     bit-identical (the qcheck differential properties check this). *)
+  mutable tracer : Lz_trace.Trace.t option;
+  mutable pmu : Pmu.t option;
 }
 
 (* LZ_SLOW_PATH=1 forces the original un-cached path everywhere, for
@@ -52,7 +59,34 @@ let create ?(route_el1_to_harness = true) ?fast phys tlb cost el =
     cycles = 0;
     insns = 0;
     route_el1_to_harness;
-    fp = Fastpath.create ~enabled:fast }
+    fp = Fastpath.create ~enabled:fast;
+    tracer = None;
+    pmu = None }
+
+let set_tracer t tr =
+  t.tracer <- tr;
+  Tlb.set_tracer t.tlb tr;
+  match tr with
+  | Some tracer -> Lz_trace.Trace.set_clock tracer (fun () -> t.cycles)
+  | None -> ()
+
+let tracer t = t.tracer
+
+(* The PMU attaches lazily on the first guest MSR/MRS of a PMU
+   register (so guest code works out of the box) or eagerly via
+   [attach_pmu] from the host. Attachment is driven purely by the
+   instruction stream / host calls, so fast and slow differential runs
+   attach at the same point. *)
+let attach_pmu t =
+  match t.pmu with
+  | Some p -> p
+  | None ->
+      let p = Pmu.create () in
+      t.pmu <- Some p;
+      Tlb.set_pmu t.tlb (Some p);
+      p
+
+let pmu t = t.pmu
 
 let fast t = t.fp.Fastpath.enabled
 
@@ -281,7 +315,32 @@ let fault_of_class = function
   | Ec_dabort f | Ec_iabort f -> Some f
   | _ -> None
 
+let note_trap_enter t cls ~to_el =
+  (match t.pmu with
+  | Some p -> Pmu.record p Pmu.Event.exc_taken
+  | None -> ());
+  match t.tracer with
+  | Some tr ->
+      Lz_trace.Trace.emit tr ~cycles:t.cycles
+        (Lz_trace.Trace.Trap_enter
+           { ec = esr_of_class cls lsr 26;
+             from_el = Pstate.el_number t.pstate.el;
+             to_el })
+  | None -> ()
+
+let note_trap_exit t ~from_el =
+  (match t.pmu with
+  | Some p -> Pmu.record p Pmu.Event.exc_return
+  | None -> ());
+  match t.tracer with
+  | Some tr ->
+      Lz_trace.Trace.emit tr ~cycles:t.cycles
+        (Lz_trace.Trace.Trap_exit
+           { from_el; to_el = Pstate.el_number t.pstate.el })
+  | None -> ()
+
 let take_exception_to_el2 t cls =
+  note_trap_enter t cls ~to_el:2;
   let from = t.pstate.el in
   Sysreg.write t.sys Sysreg.ESR_EL2 (esr_of_class cls);
   Sysreg.write t.sys Sysreg.SPSR_EL2 (Pstate.to_spsr t.pstate);
@@ -300,6 +359,7 @@ let take_exception_to_el2 t cls =
      else t.cost.exc_entry_el2_from_el1)
 
 let take_exception_to_el1 t cls ~ret =
+  note_trap_enter t cls ~to_el:1;
   let from = t.pstate.el in
   Sysreg.write t.sys Sysreg.ESR_EL1 (esr_of_class cls);
   Sysreg.write t.sys Sysreg.ELR_EL1 ret;
@@ -320,12 +380,14 @@ let take_exception_to_el1 t cls ~ret =
 let eret_from_el2 t =
   t.pc <- Sysreg.read t.sys Sysreg.ELR_EL2;
   Pstate.of_spsr t.pstate (Sysreg.read t.sys Sysreg.SPSR_EL2);
-  charge t t.cost.eret_el2
+  charge t t.cost.eret_el2;
+  note_trap_exit t ~from_el:2
 
 let eret_from_el1 t =
   t.pc <- Sysreg.read t.sys Sysreg.ELR_EL1;
   Pstate.of_spsr t.pstate (Sysreg.read t.sys Sysreg.SPSR_EL1);
-  charge t t.cost.eret_el1
+  charge t t.cost.eret_el1;
+  note_trap_exit t ~from_el:1
 
 (* Exception routing: decides who handles an exception, performs the
    architectural entry, and reports whether the harness takes over. *)
@@ -422,6 +484,43 @@ let check_sysreg_access t insn r ~is_write ~ret =
     if trapped then raise (Exc (Ec_sysreg_trap insn, ret))
   end
 
+(* PMU registers are serviced from the attached Pmu.t, not the
+   register file, so MRS reads observe live counter values. *)
+let pmu_write t r v =
+  let p = attach_pmu t in
+  let cycles = t.cycles and insns = t.insns in
+  match r with
+  | Sysreg.PMCR_EL0 -> Pmu.write_pmcr p ~cycles ~insns v
+  | Sysreg.PMCNTENSET_EL0 -> Pmu.write_cntenset p ~cycles ~insns v
+  | Sysreg.PMCNTENCLR_EL0 -> Pmu.write_cntenclr p ~cycles ~insns v
+  | Sysreg.PMCCNTR_EL0 -> Pmu.write_ccntr p ~cycles v
+  | Sysreg.(
+      ( PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0 | PMEVCNTR3_EL0
+      | PMEVCNTR4_EL0 | PMEVCNTR5_EL0 )) ->
+      Pmu.write_evcntr p ~cycles ~insns (Sysreg.pmev_slot r) v
+  | Sysreg.(
+      ( PMEVTYPER0_EL0 | PMEVTYPER1_EL0 | PMEVTYPER2_EL0 | PMEVTYPER3_EL0
+      | PMEVTYPER4_EL0 | PMEVTYPER5_EL0 )) ->
+      Pmu.write_evtyper p ~cycles ~insns (Sysreg.pmev_slot r) v
+  | _ -> assert false
+
+let pmu_read t r =
+  let p = attach_pmu t in
+  let cycles = t.cycles and insns = t.insns in
+  match r with
+  | Sysreg.PMCR_EL0 -> Pmu.read_pmcr p
+  | Sysreg.PMCNTENSET_EL0 | Sysreg.PMCNTENCLR_EL0 -> Pmu.read_cnten p
+  | Sysreg.PMCCNTR_EL0 -> Pmu.read_ccntr p ~cycles
+  | Sysreg.(
+      ( PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0 | PMEVCNTR3_EL0
+      | PMEVCNTR4_EL0 | PMEVCNTR5_EL0 )) ->
+      Pmu.read_evcntr p ~cycles ~insns (Sysreg.pmev_slot r)
+  | Sysreg.(
+      ( PMEVTYPER0_EL0 | PMEVTYPER1_EL0 | PMEVTYPER2_EL0 | PMEVTYPER3_EL0
+      | PMEVTYPER4_EL0 | PMEVTYPER5_EL0 )) ->
+      Pmu.read_evtyper p (Sysreg.pmev_slot r)
+  | _ -> assert false
+
 let exec_sysreg t insn ~ret =
   match insn with
   | Insn.Msr (r, rt) -> (
@@ -431,6 +530,21 @@ let exec_sysreg t insn ~ret =
       | Sysreg.NZCV -> Pstate.set_nzcv t.pstate (reg t rt lsr 28)
       | Sysreg.DAIF -> t.pstate.daif <- (reg t rt lsr 6) land 0xF
       | Sysreg.SP_EL0 -> t.sp_el0 <- reg t rt
+      | Sysreg.(
+          ( PMCR_EL0 | PMCNTENSET_EL0 | PMCNTENCLR_EL0 | PMCCNTR_EL0
+          | PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0 | PMEVCNTR3_EL0
+          | PMEVCNTR4_EL0 | PMEVCNTR5_EL0 | PMEVTYPER0_EL0 | PMEVTYPER1_EL0
+          | PMEVTYPER2_EL0 | PMEVTYPER3_EL0 | PMEVTYPER4_EL0
+          | PMEVTYPER5_EL0 )) ->
+          pmu_write t r (reg t rt)
+      | Sysreg.TTBR0_EL1 ->
+          Sysreg.write t.sys r (reg t rt);
+          (match t.tracer with
+          | Some tr ->
+              Lz_trace.Trace.emit tr ~cycles:t.cycles
+                (Lz_trace.Trace.Domain_switch
+                   { asid = Mmu.ttbr_asid (reg t rt) })
+          | None -> ())
       | r -> Sysreg.write t.sys r (reg t rt))
   | Insn.Mrs (rt, r) -> (
       check_sysreg_access t insn r ~is_write:false ~ret;
@@ -440,6 +554,13 @@ let exec_sysreg t insn ~ret =
       | Sysreg.DAIF -> set_reg t rt (t.pstate.daif lsl 6)
       | Sysreg.SP_EL0 -> set_reg t rt t.sp_el0
       | Sysreg.CNTVCT_EL0 -> set_reg t rt t.cycles
+      | Sysreg.(
+          ( PMCR_EL0 | PMCNTENSET_EL0 | PMCNTENCLR_EL0 | PMCCNTR_EL0
+          | PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0 | PMEVCNTR3_EL0
+          | PMEVCNTR4_EL0 | PMEVCNTR5_EL0 | PMEVTYPER0_EL0 | PMEVTYPER1_EL0
+          | PMEVTYPER2_EL0 | PMEVTYPER3_EL0 | PMEVTYPER4_EL0
+          | PMEVTYPER5_EL0 )) ->
+          set_reg t rt (pmu_read t r)
       | r -> set_reg t rt (Sysreg.read t.sys r))
   | Insn.Msr_pstate (f, imm) -> (
       (match f with
@@ -648,9 +769,7 @@ let fetch_pa t ~pc_cur =
     | Ok pa -> pa
     | Error f -> raise (Exc (Ec_iabort f, pc_cur))
 
-let step t =
-  let pc_cur = t.pc in
-  let next = pc_cur + 4 in
+let step_body t ~pc_cur ~next =
   t.insns <- t.insns + 1;
   charge t t.cost.insn_base;
   try
@@ -663,12 +782,38 @@ let step t =
     None
   with Exc (cls, ret) -> deliver t cls ~ret
 
+let step t =
+  let pc_cur = t.pc in
+  (match t.tracer with
+  | None -> ()
+  | Some tr -> (
+      match Lz_trace.Trace.marker_at tr pc_cur with
+      | Some payload -> Lz_trace.Trace.emit tr ~cycles:t.cycles payload
+      | None -> ()));
+  step_body t ~pc_cur ~next:(pc_cur + 4)
+
+(* The traced-vs-untraced dispatch happens once per [run], not once
+   per instruction: tracers are attached between runs (trap servicing
+   happens outside [run]), so the untraced loop — the benchmark hot
+   path — carries no per-step tracer check at all. *)
 let run ?(max_insns = 10_000_000) t =
-  let rec loop budget =
-    if budget <= 0 then Limit
-    else match step t with None -> loop (budget - 1) | Some s -> s
-  in
-  loop max_insns
+  match t.tracer with
+  | None ->
+      let rec loop budget =
+        if budget <= 0 then Limit
+        else
+          let pc_cur = t.pc in
+          match step_body t ~pc_cur ~next:(pc_cur + 4) with
+          | None -> loop (budget - 1)
+          | Some s -> s
+      in
+      loop max_insns
+  | Some _ ->
+      let rec loop budget =
+        if budget <= 0 then Limit
+        else match step t with None -> loop (budget - 1) | Some s -> s
+      in
+      loop max_insns
 
 let pp_class ppf = function
   | Ec_svc i -> Format.fprintf ppf "svc #%d" i

@@ -46,6 +46,8 @@ type t = {
   mutable insns : int;
   mutable route_el1_to_harness : bool;
   fp : Fastpath.t;  (** fast-path caches; see {!fast}. *)
+  mutable tracer : Lz_trace.Trace.t option;  (** see {!set_tracer}. *)
+  mutable pmu : Lz_arm.Pmu.t option;  (** see {!attach_pmu}. *)
 }
 
 val create :
@@ -115,5 +117,27 @@ val eret_from_el1 : t -> unit
 val esr_of_class : exception_class -> int
 (** Encode an exception class into an ESR-like syndrome word (EC in
     bits 31..26, ISS below), as the vector stubs and handlers see. *)
+
+(** {1 Observability}
+
+    Tracing and the PMU are architecturally invisible: they charge no
+    cycles and mutate no architectural state, so enabling them leaves
+    execution bit-identical. With neither attached the only added cost
+    is one null check per {!step}. *)
+
+val set_tracer : t -> Lz_trace.Trace.t option -> unit
+(** Attach (or detach) an event tracer. Installs the tracer's clock as
+    this core's cycle counter and propagates the tracer to the TLB so
+    flushes are timestamped. Trap entry/exit, ERET, TTBR0_EL1 domain
+    switches and PC markers then emit events. *)
+
+val tracer : t -> Lz_trace.Trace.t option
+
+val attach_pmu : t -> Lz_arm.Pmu.t
+(** The core's PMU, created (and connected to the TLB for refill/flush
+    events) on first use. Guest MSR/MRS of the PMU registers attach it
+    implicitly, so calling this is only needed for host-side access. *)
+
+val pmu : t -> Lz_arm.Pmu.t option
 
 val pp_stop : Format.formatter -> stop -> unit

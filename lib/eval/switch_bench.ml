@@ -118,7 +118,7 @@ let setup_proc kernel ~domains ~n =
 (* ------------------------------------------------------------------ *)
 (* LightZone measurement *)
 
-let run_lz cm ~env ~mech ~domains ~n =
+let run_lz ?tracer cm ~env ~mech ~domains ~n =
   let machine = Machine.create ~cost:cm () in
   let kernel, backend =
     match env with
@@ -136,6 +136,7 @@ let run_lz cm ~env ~mech ~domains ~n =
       ~insn_san:(if scalable then 1 else 2)
       ~entry:code_va ~sp:stack_va kernel proc
   in
+  (match tracer with Some _ -> Api.set_tracer t tracer | None -> ());
   (match mech with
   | Mech Lz_ttbr ->
       for d = 0 to domains - 1 do
@@ -157,6 +158,23 @@ let run_lz cm ~env ~mech ~domains ~n =
   match Api.run ~max_insns:(200_000_000) t with
   | Kmod.Exited _ -> t.Kmod.core.Core.cycles
   | o -> failwith (Format.asprintf "switch bench (lz): %a" Kmod.pp_outcome o)
+
+(* ------------------------------------------------------------------ *)
+(* Traced runs (lzctl trace / bench trace annotation) *)
+
+type traced = {
+  trace : Lz_trace.Trace.t;
+  report : Lz_trace.Span.report;
+  total_cycles : int;
+  domains : int;
+  switches : int;
+}
+
+let traced_run ?capacity cm ~env ~domains ~n =
+  let tr = Lz_trace.Trace.create ?capacity () in
+  let cycles = run_lz ~tracer:tr cm ~env ~mech:(Mech Lz_ttbr) ~domains ~n in
+  let report = Lz_trace.Span.of_trace ~total_cycles:cycles tr in
+  { trace = tr; report; total_cycles = cycles; domains; switches = n }
 
 (* ------------------------------------------------------------------ *)
 (* Baseline (EL0 process) measurement *)

@@ -14,6 +14,22 @@ type env = Host | Guest
 
 type mechanism = Lz_pan | Lz_ttbr | Wp_ioctl | Lwc_switch
 
+type traced = {
+  trace : Lz_trace.Trace.t;
+  report : Lz_trace.Span.report;  (** Cycle attribution over the run. *)
+  total_cycles : int;
+  domains : int;
+  switches : int;
+}
+
+val traced_run :
+  ?capacity:int -> Lz_cpu.Cost_model.t -> env:env -> domains:int -> n:int ->
+  traced
+(** One instrumented TTBR-mechanism run: [n] random domain switches
+    across [domains] gate-attached domains with the tracer attached,
+    returning the raw trace and its span report. Backs [lzctl trace]
+    and the bench trace annotation. *)
+
 val measure :
   Lz_cpu.Cost_model.t -> env:env -> mechanism:mechanism -> domains:int ->
   ?iterations:int -> unit -> float

@@ -56,8 +56,16 @@ let charge_reg_restore core r =
   Core.charge core core.Core.cost.Cost_model.mem_access;
   Core.charge_sysreg core ~at:Pstate.EL2 r
 
+let note_world_switch (vm : Vm.t) (core : Core.t) ~enter =
+  match Core.tracer core with
+  | Some tr ->
+      Lz_trace.Trace.emit tr ~cycles:core.Core.cycles
+        (Lz_trace.Trace.World_switch { enter; vmid = vm.Vm.vmid })
+  | None -> ()
+
 let vcpu_load t (vm : Vm.t) (core : Core.t) =
   t.world_switches <- t.world_switches + 1;
+  note_world_switch vm core ~enter:true;
   List.iter
     (fun r ->
       charge_reg_restore core r;
@@ -71,6 +79,7 @@ let vcpu_load t (vm : Vm.t) (core : Core.t) =
 
 let vcpu_put t (vm : Vm.t) (core : Core.t) =
   t.world_switches <- t.world_switches + 1;
+  note_world_switch vm core ~enter:false;
   List.iter
     (fun r ->
       charge_reg_save core r;

@@ -229,6 +229,11 @@ let do_syscall t (p : Proc.t) (core : Core.t) =
   t.syscall_count <- t.syscall_count + 1;
   Core.charge core t.machine.Machine.cost.Cost_model.dispatch;
   let nr = Core.reg core 8 in
+  (match Core.tracer core with
+  | Some tr ->
+      Lz_trace.Trace.emit tr ~cycles:core.Core.cycles
+        (Lz_trace.Trace.Syscall { nr })
+  | None -> ());
   let arg i = Core.reg core i in
   let ret v = Core.set_reg core 0 v in
   if nr = Nr.getpid then ret p.pid

@@ -32,6 +32,8 @@ let load_and_register t builder ~va =
   Lz_kernel.Kernel.load_program t.Kmod.kernel t.Kmod.proc ~va insns;
   register_entries t entries
 
+let set_tracer = Kmod.set_tracer
+
 let run = Kmod.run
 
 let output t = Buffer.contents t.Kmod.proc.Lz_kernel.Proc.output

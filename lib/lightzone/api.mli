@@ -39,6 +39,10 @@ val load_and_register : t -> Builder.t -> va:int -> unit
 (** Load a built program into the process image at [va] and register
     its gate entries. *)
 
+val set_tracer : t -> Lz_trace.Trace.t option -> unit
+(** Attach an event tracer ({!Kmod.set_tracer}); attach before
+    {!load_and_register} so gate return sites get exit markers. *)
+
 val run : ?max_insns:int -> t -> Kmod.outcome
 
 val output : t -> string

@@ -26,27 +26,30 @@ let mov_addr reg addr =
 (* Gate body. Register use: x17 table pointer, x10 pgtid/index, x11
    TTBRTab base, x12 ttbr in flight, x14 legal entry, x15 legal ttbr.
    x30 carries the return address = the claimed entry. *)
-let gate_code ~gate_id =
+let phase1_insns ~gate_id =
   let gatetab_entry = gatetab_base + (16 * gate_id) in
-  let phase1 =
-    mov_addr 17 gatetab_entry
-    @ [ Insn.Ldr (10, 17, 8);              (* PGTID *)
-        Insn.Lsl_imm (10, 10, 3) ]
-    @ mov_addr 11 ttbrtab_base
-    @ [ Insn.Ldr_reg (12, 11, 10);         (* legal TTBR0 for PGTID *)
-        Insn.Msr (Sysreg.TTBR0_EL1, 12);   (* ① the switch *)
-        Insn.Isb ]
-  in
-  let phase2 =
-    (* ② re-materialize pointers from immediates and re-query. *)
-    mov_addr 17 gatetab_entry
-    @ [ Insn.Ldr (14, 17, 0);              (* legal ENTRY *)
-        Insn.Ldr (10, 17, 8);
-        Insn.Lsl_imm (10, 10, 3) ]
-    @ mov_addr 11 ttbrtab_base
-    @ [ Insn.Ldr_reg (15, 11, 10);         (* legal TTBR0, re-read *)
-        Insn.Mrs (12, Sysreg.TTBR0_EL1) ]  (* the in-register value *)
-  in
+  mov_addr 17 gatetab_entry
+  @ [ Insn.Ldr (10, 17, 8);              (* PGTID *)
+      Insn.Lsl_imm (10, 10, 3) ]
+  @ mov_addr 11 ttbrtab_base
+  @ [ Insn.Ldr_reg (12, 11, 10);         (* legal TTBR0 for PGTID *)
+      Insn.Msr (Sysreg.TTBR0_EL1, 12);   (* ① the switch *)
+      Insn.Isb ]
+
+let phase2_insns ~gate_id =
+  let gatetab_entry = gatetab_base + (16 * gate_id) in
+  (* ② re-materialize pointers from immediates and re-query. *)
+  mov_addr 17 gatetab_entry
+  @ [ Insn.Ldr (14, 17, 0);              (* legal ENTRY *)
+      Insn.Ldr (10, 17, 8);
+      Insn.Lsl_imm (10, 10, 3) ]
+  @ mov_addr 11 ttbrtab_base
+  @ [ Insn.Ldr_reg (15, 11, 10);         (* legal TTBR0, re-read *)
+      Insn.Mrs (12, Sysreg.TTBR0_EL1) ]  (* the in-register value *)
+
+let gate_code ~gate_id =
+  let phase1 = phase1_insns ~gate_id in
+  let phase2 = phase2_insns ~gate_id in
   let prologue = phase1 @ phase2 in
   (* Branch targets relative to instruction index; "fail:" label sits
      right after "ret". *)
@@ -64,6 +67,14 @@ let gate_code ~gate_id =
   let code = prologue @ tail in
   assert (List.length code * 4 <= gate_stride);
   code
+
+(* Byte offsets of the phase boundaries inside a gate body, used by
+   the tracer's PC markers to attribute cycles to Fig. 2 phases ①/②.
+   Derived from the emitted instruction lists so they cannot drift. *)
+let phase2_off = 4 * List.length (phase1_insns ~gate_id:0)
+
+let ret_off =
+  phase2_off + (4 * List.length (phase2_insns ~gate_id:0)) + (4 * 4)
 
 let stub_insns_at _offset = [ Insn.Hvc hvc_exception ]
 

@@ -42,6 +42,13 @@ val gate_code : gate_id:int -> Lz_arm.Insn.t list
 val violation_brk : int
 (** The BRK immediate a failing gate raises (0x1D). *)
 
+val phase2_off : int
+(** Byte offset from [gate_va g] of the first check-phase (②)
+    instruction — where the tracer places its [Gate_check] marker. *)
+
+val ret_off : int
+(** Byte offset from [gate_va g] of the gate's [ret]. *)
+
 val stub_insns_at : int -> Lz_arm.Insn.t list
 (** Vector-stub instructions at the given vector offset (0x200 for
     current-EL, 0x400 for lower-EL entries): forward via [hvc #1]. *)

@@ -2,6 +2,7 @@ open Lz_arm
 open Lz_mem
 open Lz_cpu
 open Lz_kernel
+module Trace = Lz_trace.Trace
 
 type backend = Host | Guest of Lowvisor.t
 
@@ -285,7 +286,29 @@ let lz_map_gate_pgt t ~pgt ~gate =
 
 let register_gate_entry t ~gate ~entry =
   Gate.set_gate_entry t.machine.Machine.phys ~gatetab_pa:t.gatetab_pa ~gate
-    ~entry
+    ~entry;
+  (* The legitimate entry is the instruction the gate returns to; a
+     marker there closes the gate.check span. *)
+  match Core.tracer t.core with
+  | Some tr -> Trace.add_marker tr ~pc:entry (Trace.Gate_exit { gate })
+  | None -> ()
+
+(* Attach an event tracer: the core emits trap/ERET/TTBR0 events, the
+   TLB timestamps its flushes, and PC markers at every gate's entry
+   and check-phase addresses delimit Fig. 2 phases ① and ②. Attach
+   before [Api.load_and_register] so gate registration can also mark
+   the legitimate return sites. *)
+let set_tracer t tr =
+  Core.set_tracer t.core tr;
+  match tr with
+  | None -> ()
+  | Some tracer ->
+      for g = 0 to Gate.max_gates - 1 do
+        Trace.add_marker tracer ~pc:(Gate.gate_va g)
+          (Trace.Gate_entry { gate = g });
+        Trace.add_marker tracer ~pc:(Gate.gate_va g + Gate.phase2_off)
+          (Trace.Gate_check { gate = g })
+      done
 
 (* ------------------------------------------------------------------ *)
 (* Fault handling *)
@@ -316,10 +339,20 @@ let map_unprotected t (pgt_id, tbl) ~page ~(vma : Vma.t) ~fake ~exec =
 let sanitize_and_make_exec t ~page ~real ~fake =
   let sh = shadow_of t in
   (* Break-before-make: drop every mapping of the frame first. *)
+  (match Core.tracer t.core with
+  | Some tr ->
+      Trace.emit tr ~cycles:t.core.Core.cycles (Trace.Wx_bbm { fake })
+  | None -> ());
   (match Hashtbl.find_opt sh.frame_vas fake with
   | Some vas -> List.iter (fun va -> unmap_everywhere t ~va) !vas
   | None -> ());
-  match Sanitizer.scan_page t.san_mode t.machine.Machine.phys ~pa:real with
+  let scan = Sanitizer.scan_page t.san_mode t.machine.Machine.phys ~pa:real in
+  (match Core.tracer t.core with
+  | Some tr ->
+      Trace.emit tr ~cycles:t.core.Core.cycles
+        (Trace.Sanitizer_scan { pa = real; ok = Result.is_ok scan })
+  | None -> ());
+  match scan with
   | Error (off, w, why) ->
       terminate t
         (Printf.sprintf
@@ -334,6 +367,10 @@ let sanitize_and_make_exec t ~page ~real ~fake =
 
 let make_frame_writable t ~fake =
   let sh = shadow_of t in
+  (match Core.tracer t.core with
+  | Some tr ->
+      Trace.emit tr ~cycles:t.core.Core.cycles (Trace.Wx_bbm { fake })
+  | None -> ());
   (match Hashtbl.find_opt sh.frame_vas fake with
   | Some vas -> List.iter (fun va -> unmap_everywhere t ~va) !vas
   | None -> ());
@@ -348,6 +385,11 @@ let make_frame_writable t ~fake =
    the process attempted. *)
 let handle_lz_fault t ~va ~(access : Mmu.access) ~perm_fault =
   t.fault_traps <- t.fault_traps + 1;
+  (match Core.tracer t.core with
+  | Some tr ->
+      Trace.emit tr ~cycles:t.core.Core.cycles
+        (Trace.Stage_fault { stage = 1; va })
+  | None -> ());
   let sh = shadow_of t in
   let page = Bits.align_down va 4096 in
   if Bits.bit va 47 then
@@ -514,7 +556,15 @@ let do_forwarded_syscall t =
   t.syscall_traps <- t.syscall_traps + 1;
   let nr = Core.reg t.core 8 in
   (match t.backend with
-  | Host -> if needs_host_ctx nr then charge_host_ctx_switch t
+  | Host ->
+      (* §5.2.1 retention: a hit means HCR/VTTBR kept the process's
+         values across the syscall; a miss pays the double update. *)
+      (match Core.tracer t.core with
+      | Some tr ->
+          Trace.emit tr ~cycles:t.core.Core.cycles
+            (Trace.Retention { nr; hit = not (needs_host_ctx nr) })
+      | None -> ());
+      if needs_host_ctx nr then charge_host_ctx_switch t
   | Guest _ -> ());
   Kernel.do_syscall t.kernel t.proc t.core
 
@@ -567,6 +617,11 @@ let handle_forwarded t =
 
 let handle_s2_abort t (f : Mmu.fault) ~exec =
   t.fault_traps <- t.fault_traps + 1;
+  (match Core.tracer t.core with
+  | Some tr ->
+      Trace.emit tr ~cycles:t.core.Core.cycles
+        (Trace.Stage_fault { stage = 2; va = f.Mmu.va })
+  | None -> ());
   let sh = shadow_of t in
   match f.Mmu.kind with
   | Mmu.Translation ->

@@ -77,7 +77,15 @@ val lz_map_gate_pgt : t -> pgt:int -> gate:int -> unit
 
 val register_gate_entry : t -> gate:int -> entry:int -> unit
 (** Record the legitimate entry (the return address of a
-    [lz_switch_to_ttbr_gate] site) in GateTab. *)
+    [lz_switch_to_ttbr_gate] site) in GateTab. With a tracer attached,
+    also places a [Gate_exit] marker at the entry. *)
+
+val set_tracer : t -> Lz_trace.Trace.t option -> unit
+(** Attach an event tracer to the process's core and TLB, and place PC
+    markers at every gate's entry and check-phase addresses so gate
+    passes decompose into Fig. 2 phases ① and ②. Attach before
+    registering gate entries so return sites get [Gate_exit] markers
+    too. *)
 
 (** {1 Running} *)
 

@@ -39,7 +39,13 @@ let charge_partial_switch (core : Core.t) =
 let charge_forward_in t (core : Core.t) =
   let c = core.Core.cost in
   t.forwards <- t.forwards + 1;
-  if t.repoint_pending then begin
+  let repoint = t.repoint_pending in
+  (match Core.tracer core with
+  | Some tr ->
+      Lz_trace.Trace.emit tr ~cycles:core.Core.cycles
+        (Lz_trace.Trace.Nested_forward { enter = true; repoint })
+  | None -> ());
+  if repoint then begin
     t.repoint_pending <- false;
     t.repoints <- t.repoints + 1;
     Core.charge core c.Cost_model.nested_repoint
@@ -56,6 +62,11 @@ let charge_forward_in t (core : Core.t) =
 let charge_forward_out t (core : Core.t) =
   let c = core.Core.cost in
   ignore t;
+  (match Core.tracer core with
+  | Some tr ->
+      Lz_trace.Trace.emit tr ~cycles:core.Core.cycles
+        (Lz_trace.Trace.Nested_forward { enter = false; repoint = false })
+  | None -> ());
   (* The guest kernel returns to the Lowvisor via HVC. *)
   Core.charge core c.Cost_model.exc_entry_el2_from_el1;
   charge_partial_switch core;

@@ -115,6 +115,24 @@ let rec s1_walk phys ~s2_root ~table_ipa ~level ~va ~access ~reads =
                 2 * 1024 * 1024 )
         | _ -> fault ~stage:1 ~level ~kind:Translation ~va ~ipa:(-1) ~access)
 
+(* A successful walk that refills the TLB counts as a TLB refill and a
+   page walk on the attached PMU (L1I/ITLB for fetches, L1D/DTLB for
+   data). Hardware-threaded through [Tlb.pmu] so every core sharing
+   the TLB reports into the same counters, as on a real MPAM-less
+   uniprocessor model. *)
+let note_refill tlb access =
+  match Tlb.pmu tlb with
+  | None -> ()
+  | Some p ->
+      if access = Exec then begin
+        Pmu.record p Pmu.Event.l1i_tlb_refill;
+        Pmu.record p Pmu.Event.itlb_walk
+      end
+      else begin
+        Pmu.record p Pmu.Event.l1d_tlb_refill;
+        Pmu.record p Pmu.Event.dtlb_walk
+      end
+
 let select_ttbr ctx va = if Bits.bit va 47 then ctx.ttbr1 else ctx.ttbr0
 
 let va_asid ctx ~va = ttbr_asid (select_ttbr ctx va)
@@ -183,7 +201,8 @@ let translate ?front phys tlb ctx access ~va =
               (match r with
               | Ok _ ->
                   Tlb.insert tlb ~vmid:ctx.vmid ~asid ~va
-                    ~global:(not attrs.ng) entry
+                    ~global:(not attrs.ng) entry;
+                  note_refill tlb access
               | Error _ -> ());
               r
           | Some s2_root -> (
@@ -201,7 +220,8 @@ let translate ?front phys tlb ctx access ~va =
                   (match r with
                   | Ok _ ->
                       Tlb.insert tlb ~vmid:ctx.vmid ~asid ~va
-                        ~global:(not attrs.ng) entry
+                        ~global:(not attrs.ng) entry;
+                      note_refill tlb access
                   | Error _ -> ());
                   r)))
 

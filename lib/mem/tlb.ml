@@ -37,6 +37,12 @@ type t = {
   mutable last_comb : int;
   mutable last_ctx : int;
   mutable last_gctx : int;
+  (* Optional observability sinks. [pmu] receives refill/walk events
+     from the MMU (which owns the walk) and flush events from here;
+     [tracer] gets a timestamped event per flush, using its installed
+     clock since the TLB has no cycle counter of its own. *)
+  mutable pmu : Lz_arm.Pmu.t option;
+  mutable tracer : Lz_trace.Trace.t option;
 }
 
 let create ?(capacity = 1024) () =
@@ -52,7 +58,21 @@ let create ?(capacity = 1024) () =
     n_ctx = 0;
     last_comb = min_int;
     last_ctx = 0;
-    last_gctx = 0 }
+    last_gctx = 0;
+    pmu = None;
+    tracer = None }
+
+let set_pmu t p = t.pmu <- p
+let pmu t = t.pmu
+let set_tracer t tr = t.tracer <- tr
+
+let note_flush t scope vmid =
+  (match t.pmu with
+  | Some p -> Lz_arm.Pmu.record p Lz_arm.Pmu.Event.tlb_flush
+  | None -> ());
+  match t.tracer with
+  | Some tr -> Lz_trace.Trace.emit_now tr (Lz_trace.Trace.Tlb_flush { scope; vmid })
+  | None -> ()
 
 (* ASIDs are 14-bit TTBR fields (plus -1 for global), so (vmid, asid)
    combines injectively into one int. *)
@@ -201,7 +221,8 @@ let prune_order t =
 let flush_all t =
   Hashtbl.reset t.table;
   Queue.clear t.order;
-  t.gen <- t.gen + 1
+  t.gen <- t.gen + 1;
+  note_flush t Lz_trace.Trace.Flush_all (-1)
 
 let remove_if t pred =
   let doomed =
@@ -214,10 +235,13 @@ let remove_if t pred =
 let vmid_of_key t k = t.ctx_vmid.(key_ctx k)
 let asid_of_key t k = t.ctx_asid.(key_ctx k)
 
-let flush_vmid t vmid = remove_if t (fun k -> vmid_of_key t k = vmid)
+let flush_vmid t vmid =
+  remove_if t (fun k -> vmid_of_key t k = vmid);
+  note_flush t Lz_trace.Trace.Flush_vmid vmid
 
 let flush_asid t ~vmid ~asid =
-  remove_if t (fun k -> vmid_of_key t k = vmid && asid_of_key t k = asid)
+  remove_if t (fun k -> vmid_of_key t k = vmid && asid_of_key t k = asid);
+  note_flush t Lz_trace.Trace.Flush_asid vmid
 
 let flush_va t ~vmid ~va =
   let p4k = Lz_arm.Bits.align_down va 4096 in
@@ -226,7 +250,8 @@ let flush_va t ~vmid ~va =
       vmid_of_key t k = vmid
       &&
       let vp = key_vpage k in
-      vp = p4k || vp = p2m)
+      vp = p4k || vp = p2m);
+  note_flush t Lz_trace.Trace.Flush_va vmid
 
 let hits t = t.hit_count
 let misses t = t.miss_count

@@ -73,3 +73,19 @@ val fifo_length : t -> int
 (** Length of the internal FIFO replacement queue. Always equals
     {!size} — inserting an existing key must not grow the queue
     (regression guard for the capacity-drift bug). *)
+
+(** {1 Observability}
+
+    Optional sinks; when unset (the default) the TLB behaves exactly
+    as before with no extra allocation. Counting and tracing never
+    affect lookup outcomes or hit/miss accounting. *)
+
+val set_pmu : t -> Lz_arm.Pmu.t option -> unit
+(** PMU receiving TLB_FLUSH occurrences from flushes (refill/walk
+    events are recorded by the MMU, which performs the walk). *)
+
+val pmu : t -> Lz_arm.Pmu.t option
+
+val set_tracer : t -> Lz_trace.Trace.t option -> unit
+(** Tracer receiving a [Tlb_flush] event per flush, timestamped via
+    the tracer's clock (installed by the owning core). *)

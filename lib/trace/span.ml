@@ -1,0 +1,149 @@
+(* Span building: turn a flat event stream into named, contiguous
+   cycle intervals and aggregate them per phase.
+
+   Boundary events (gate phase markers, trap entry/exit) close the
+   current span and open the next one; traps nest, so the interrupted
+   span name is pushed and restored on Trap_exit.  All other payloads
+   are point annotations counted per name.  Every cycle between
+   [start_cycles] and [total_cycles] lands in exactly one named span
+   (background time is "mainline"), so coverage is the fraction of the
+   window that span boundaries were consistent over — it degrades only
+   when the ring dropped events. *)
+
+type span = { name : string; start_cycles : int; stop_cycles : int }
+type row = { name : string; count : int; cycles : int }
+
+type report = {
+  spans : span list;
+  rows : row list;
+  points : (string * int) list;
+  total_cycles : int;
+  attributed_cycles : int;
+  coverage : float;
+  dropped : int;
+}
+
+let ec_name = function
+  | 0x00 -> "undef"
+  | 0x01 -> "wfi"
+  | 0x15 -> "svc"
+  | 0x16 -> "hvc"
+  | 0x17 -> "smc"
+  | 0x18 -> "sysreg"
+  | 0x20 | 0x21 -> "iabort"
+  | 0x24 | 0x25 -> "dabort"
+  | 0x34 | 0x35 -> "watchpoint"
+  | 0x3C -> "brk"
+  | ec -> Printf.sprintf "ec%02x" ec
+
+let analyze ?(start_cycles = 0) ~total_cycles ~dropped events =
+  let spans = ref [] in
+  let points : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let cur = ref "mainline" in
+  let start = ref start_cycles in
+  let stack = ref [] in
+  let close_at cycles next =
+    if cycles > !start then
+      spans := { name = !cur; start_cycles = !start; stop_cycles = cycles }
+               :: !spans;
+    cur := next;
+    start := cycles
+  in
+  let point name =
+    Hashtbl.replace points name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt points name))
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.payload with
+      | Trace.Gate_entry _ -> close_at e.cycles "gate.switch"
+      | Trace.Gate_check _ -> close_at e.cycles "gate.check"
+      | Trace.Gate_exit _ -> close_at e.cycles "mainline"
+      | Trace.Trap_enter { ec; _ } ->
+          stack := !cur :: !stack;
+          close_at e.cycles ("trap." ^ ec_name ec)
+      | Trace.Trap_exit _ ->
+          let next =
+            match !stack with
+            | [] -> "mainline"
+            | n :: rest ->
+                stack := rest;
+                n
+          in
+          close_at e.cycles next
+      | p -> point (Trace.payload_name p))
+    events;
+  close_at total_cycles !cur;
+  let spans = List.rev !spans in
+  let agg : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : span) ->
+      let count, cycles =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt agg s.name)
+      in
+      Hashtbl.replace agg s.name
+        (count + 1, cycles + (s.stop_cycles - s.start_cycles)))
+    spans;
+  let rows =
+    Hashtbl.fold (fun name (count, cycles) acc -> { name; count; cycles } :: acc)
+      agg []
+    |> List.sort (fun a b ->
+           match compare b.cycles a.cycles with
+           | 0 -> compare a.name b.name
+           | c -> c)
+  in
+  let attributed = List.fold_left (fun acc r -> acc + r.cycles) 0 rows in
+  let window = total_cycles - start_cycles in
+  let coverage =
+    if window <= 0 then 1.0 else float_of_int attributed /. float_of_int window
+  in
+  let points =
+    Hashtbl.fold (fun name n acc -> (name, n) :: acc) points []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    spans;
+    rows;
+    points;
+    total_cycles;
+    attributed_cycles = attributed;
+    coverage;
+    dropped;
+  }
+
+let of_trace ?start_cycles ~total_cycles tr =
+  analyze ?start_cycles ~total_cycles ~dropped:(Trace.dropped tr)
+    (Trace.events tr)
+
+let top_spans report k =
+  List.sort
+    (fun a b ->
+      compare (b.stop_cycles - b.start_cycles) (a.stop_cycles - a.start_cycles))
+    report.spans
+  |> List.filteri (fun i _ -> i < k)
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%-16s %10s %14s %7s@," "span" "count" "cycles" "share";
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "%-16s %10d %14d %6.1f%%@," row.name row.count row.cycles
+        (100.0 *. float_of_int row.cycles
+        /. float_of_int (max 1 r.total_cycles)))
+    r.rows;
+  List.iter
+    (fun (name, n) -> Fmt.pf ppf "%-16s %10d %14s %7s@," name n "-" "-")
+    r.points;
+  Fmt.pf ppf "attributed %d / %d cycles (coverage %.2f%%), %d dropped@]"
+    r.attributed_cycles r.total_cycles (100.0 *. r.coverage) r.dropped
+
+let report_to_json r =
+  let row_json row =
+    Printf.sprintf {|{"name":%S,"count":%d,"cycles":%d}|} row.name row.count
+      row.cycles
+  in
+  let point_json (name, n) = Printf.sprintf {|{"name":%S,"count":%d}|} name n in
+  Printf.sprintf
+    {|{"total_cycles":%d,"attributed_cycles":%d,"coverage":%.4f,"dropped":%d,"spans":[%s],"points":[%s]}|}
+    r.total_cycles r.attributed_cycles r.coverage r.dropped
+    (String.concat "," (List.map row_json r.rows))
+    (String.concat "," (List.map point_json r.points))

@@ -1,0 +1,38 @@
+(** Span analysis: attribute cycles to named phases.
+
+    Boundary events (gate markers, trap entry/exit) partition the run
+    into contiguous spans; background time is "mainline"; traps nest.
+    Point events (flushes, retention, faults, ...) are counted per
+    name.  Coverage is attributed cycles over the analysis window and
+    is 1.0 unless the ring dropped boundary events. *)
+
+type span = { name : string; start_cycles : int; stop_cycles : int }
+type row = { name : string; count : int; cycles : int }
+
+type report = {
+  spans : span list;  (** Individual spans in time order. *)
+  rows : row list;  (** Aggregated per name, largest cycles first. *)
+  points : (string * int) list;  (** Point-event counts, by name. *)
+  total_cycles : int;
+  attributed_cycles : int;
+  coverage : float;
+  dropped : int;
+}
+
+val ec_name : int -> string
+(** Short name for an ESR exception class ("svc", "brk", ...). *)
+
+val analyze :
+  ?start_cycles:int ->
+  total_cycles:int ->
+  dropped:int ->
+  Trace.event list ->
+  report
+
+val of_trace : ?start_cycles:int -> total_cycles:int -> Trace.t -> report
+
+val top_spans : report -> int -> span list
+(** The [k] longest individual spans. *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> string

@@ -1,0 +1,160 @@
+(* Typed, cycle-timestamped event tracing.
+
+   A [t] is a bounded ring of events plus a table of PC markers.  The
+   simulator layers emit events only when a tracer is attached, and
+   every emission site is guarded by an [option] match so that a
+   disabled sink costs one null check and zero allocation.  Events are
+   timestamped with the emitting core's cycle counter, which makes the
+   stream directly comparable with the cost-model numbers in Tables
+   4/5: a span between two events is a cycle count, not wall clock.
+
+   The ring is drop-newest: once full, new events bump [dropped] and
+   the buffered prefix stays intact.  This keeps the earliest events
+   of a run (setup, first switches) available for span analysis even
+   when the buffer is undersized, and it means overflow can never
+   corrupt events already captured. *)
+
+type flush_scope = Flush_all | Flush_vmid | Flush_asid | Flush_va
+
+type payload =
+  | Trap_enter of { ec : int; from_el : int; to_el : int }
+  | Trap_exit of { from_el : int; to_el : int }
+  | Gate_entry of { gate : int }
+  | Gate_check of { gate : int }
+  | Gate_exit of { gate : int }
+  | Domain_switch of { asid : int }
+  | Sanitizer_scan of { pa : int; ok : bool }
+  | Wx_bbm of { fake : int }
+  | Stage_fault of { stage : int; va : int }
+  | World_switch of { enter : bool; vmid : int }
+  | Retention of { nr : int; hit : bool }
+  | Tlb_flush of { scope : flush_scope; vmid : int }
+  | Syscall of { nr : int }
+  | Nested_forward of { enter : bool; repoint : bool }
+
+type event = { seq : int; cycles : int; payload : payload }
+
+type t = {
+  ring : event option array;
+  capacity : int;
+  mutable len : int;
+  mutable total : int;
+  mutable dropped : int;
+  mutable clock : unit -> int;
+  markers : (int, payload) Hashtbl.t;
+}
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    ring = Array.make capacity None;
+    capacity;
+    len = 0;
+    total = 0;
+    dropped = 0;
+    clock = (fun () -> 0);
+    markers = Hashtbl.create 64;
+  }
+
+let set_clock t f = t.clock <- f
+
+let emit t ~cycles payload =
+  if t.len < t.capacity then begin
+    t.ring.(t.len) <- Some { seq = t.total; cycles; payload };
+    t.len <- t.len + 1
+  end
+  else t.dropped <- t.dropped + 1;
+  t.total <- t.total + 1
+
+let emit_now t payload = emit t ~cycles:(t.clock ()) payload
+
+let events t =
+  let out = ref [] in
+  for i = t.len - 1 downto 0 do
+    match t.ring.(i) with Some e -> out := e :: !out | None -> ()
+  done;
+  !out
+
+let len t = t.len
+let total t = t.total
+let dropped t = t.dropped
+let capacity t = t.capacity
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.len <- 0;
+  t.total <- 0;
+  t.dropped <- 0
+
+(* PC markers: the core consults [marker_at] once per instruction when
+   a tracer is attached, turning well-known addresses (gate entry,
+   gate check phase, post-gate return site) into events without any
+   cooperation from the traced code. *)
+
+let add_marker t ~pc payload = Hashtbl.replace t.markers pc payload
+let remove_marker t ~pc = Hashtbl.remove t.markers pc
+let marker_at t pc = Hashtbl.find_opt t.markers pc
+
+(* Names and JSONL export. *)
+
+let scope_name = function
+  | Flush_all -> "all"
+  | Flush_vmid -> "vmid"
+  | Flush_asid -> "asid"
+  | Flush_va -> "va"
+
+let payload_name = function
+  | Trap_enter _ -> "trap_enter"
+  | Trap_exit _ -> "trap_exit"
+  | Gate_entry _ -> "gate_entry"
+  | Gate_check _ -> "gate_check"
+  | Gate_exit _ -> "gate_exit"
+  | Domain_switch _ -> "domain_switch"
+  | Sanitizer_scan _ -> "sanitizer_scan"
+  | Wx_bbm _ -> "wx_bbm"
+  | Stage_fault _ -> "stage_fault"
+  | World_switch _ -> "world_switch"
+  | Retention _ -> "retention"
+  | Tlb_flush _ -> "tlb_flush"
+  | Syscall _ -> "syscall"
+  | Nested_forward _ -> "nested_forward"
+
+let payload_fields_json = function
+  | Trap_enter { ec; from_el; to_el } ->
+      Printf.sprintf {|,"ec":%d,"from_el":%d,"to_el":%d|} ec from_el to_el
+  | Trap_exit { from_el; to_el } ->
+      Printf.sprintf {|,"from_el":%d,"to_el":%d|} from_el to_el
+  | Gate_entry { gate } | Gate_check { gate } | Gate_exit { gate } ->
+      Printf.sprintf {|,"gate":%d|} gate
+  | Domain_switch { asid } -> Printf.sprintf {|,"asid":%d|} asid
+  | Sanitizer_scan { pa; ok } ->
+      Printf.sprintf {|,"pa":%d,"ok":%b|} pa ok
+  | Wx_bbm { fake } -> Printf.sprintf {|,"fake":%d|} fake
+  | Stage_fault { stage; va } ->
+      Printf.sprintf {|,"stage":%d,"va":%d|} stage va
+  | World_switch { enter; vmid } ->
+      Printf.sprintf {|,"enter":%b,"vmid":%d|} enter vmid
+  | Retention { nr; hit } -> Printf.sprintf {|,"nr":%d,"hit":%b|} nr hit
+  | Tlb_flush { scope; vmid } ->
+      Printf.sprintf {|,"scope":%S,"vmid":%d|} (scope_name scope) vmid
+  | Syscall { nr } -> Printf.sprintf {|,"nr":%d|} nr
+  | Nested_forward { enter; repoint } ->
+      Printf.sprintf {|,"enter":%b,"repoint":%b|} enter repoint
+
+let event_to_json e =
+  Printf.sprintf {|{"seq":%d,"cycles":%d,"type":%S%s}|} e.seq e.cycles
+    (payload_name e.payload)
+    (payload_fields_json e.payload)
+
+let export_jsonl t oc =
+  List.iter
+    (fun e ->
+      output_string oc (event_to_json e);
+      output_char oc '\n')
+    (events t)
+
+let pp_event ppf e =
+  Fmt.pf ppf "@[#%d @@%d %s%s@]" e.seq e.cycles (payload_name e.payload)
+    (payload_fields_json e.payload)

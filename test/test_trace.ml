@@ -1,0 +1,300 @@
+(* Tests for the observability subsystem: the PMUv3 model (exactness
+   against the core's own totals, enable/freeze semantics, guest
+   MSR/MRS access), the bounded trace ring, flush/refill event wiring,
+   span attribution over a real gate run, and the qcheck property that
+   attaching a tracer leaves architectural state bit-identical. *)
+
+open Lz_arm
+open Lz_mem
+open Lz_cpu
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let q = QCheck_alcotest.to_alcotest
+
+module Trace = Lz_trace.Trace
+module Span = Lz_trace.Span
+
+(* ------------------------------------------------------------------ *)
+(* PMU counter semantics (pure model) *)
+
+let ccntr_bit = 1 lsl Pmu.cycle_counter_bit
+
+let test_pmu_freeze () =
+  let p = Pmu.create () in
+  Pmu.write_pmcr p ~cycles:0 ~insns:0 0b1;
+  check_int "disabled counter stays 0" 0 (Pmu.read_ccntr p ~cycles:90);
+  Pmu.write_cntenset p ~cycles:100 ~insns:0 ccntr_bit;
+  check_int "counts from enable" 50 (Pmu.read_ccntr p ~cycles:150);
+  Pmu.write_cntenclr p ~cycles:150 ~insns:0 ccntr_bit;
+  check_int "frozen while disabled" 50 (Pmu.read_ccntr p ~cycles:400);
+  Pmu.write_cntenset p ~cycles:400 ~insns:0 ccntr_bit;
+  check_int "resumes without gap" 70 (Pmu.read_ccntr p ~cycles:420);
+  (* PMCR.C resets the cycle counter; PMCR.E=0 freezes everything. *)
+  Pmu.write_pmcr p ~cycles:420 ~insns:0 0b101;
+  check_int "PMCR.C resets" 0 (Pmu.read_ccntr p ~cycles:420);
+  Pmu.write_pmcr p ~cycles:430 ~insns:0 0b0;
+  check_int "PMCR.E=0 freezes" 10 (Pmu.read_ccntr p ~cycles:500)
+
+let test_pmu_discrete_events () =
+  let p = Pmu.create () in
+  Pmu.write_evtyper p ~cycles:0 ~insns:0 0 Pmu.Event.tlb_flush;
+  Pmu.write_cntenset p ~cycles:0 ~insns:0 0b1;
+  Pmu.write_pmcr p ~cycles:0 ~insns:0 0b1;
+  Pmu.record p Pmu.Event.tlb_flush;
+  Pmu.record p Pmu.Event.tlb_flush;
+  Pmu.record p Pmu.Event.exc_taken;
+  check_int "counter sees its event only" 2
+    (Pmu.read_evcntr p ~cycles:10 ~insns:5 0);
+  check_int "totals independent of programming" 1
+    (Pmu.event_total p Pmu.Event.exc_taken);
+  (* Retargeting freezes the old count and follows the new source. *)
+  Pmu.write_evtyper p ~cycles:10 ~insns:5 0 Pmu.Event.exc_taken;
+  Pmu.record p Pmu.Event.exc_taken;
+  check_int "retarget restarts from current total" 3
+    (Pmu.read_evcntr p ~cycles:20 ~insns:9 0)
+
+(* ------------------------------------------------------------------ *)
+(* PMU exactness over the microbench programs (host API) *)
+
+let test_pmu_exact name () =
+  let open Lz_workloads.Microbench in
+  let env = build ~iters:500 name in
+  let core = env.core in
+  let p = Core.attach_pmu core in
+  let cycles = core.Core.cycles and insns = core.Core.insns in
+  Pmu.write_evtyper p ~cycles ~insns 0 Pmu.Event.cpu_cycles;
+  Pmu.write_evtyper p ~cycles ~insns 1 Pmu.Event.inst_retired;
+  Pmu.write_evtyper p ~cycles ~insns 2 Pmu.Event.l1d_tlb_refill;
+  Pmu.write_evtyper p ~cycles ~insns 3 Pmu.Event.l1i_tlb_refill;
+  Pmu.write_cntenset p ~cycles ~insns (ccntr_bit lor 0b1111);
+  Pmu.write_pmcr p ~cycles ~insns 0b1;
+  let c0 = core.Core.cycles and i0 = core.Core.insns in
+  run_to_brk env;
+  let cycles = core.Core.cycles and insns = core.Core.insns in
+  check_int "PMCCNTR == elapsed core cycles" (cycles - c0)
+    (Pmu.read_ccntr p ~cycles);
+  check_int "PMEVCNTR0 (CPU_CYCLES) == elapsed core cycles" (cycles - c0)
+    (Pmu.read_evcntr p ~cycles ~insns 0);
+  check_int "PMEVCNTR1 (INST_RETIRED) == retired instructions" (insns - i0)
+    (Pmu.read_evcntr p ~cycles ~insns 1);
+  (* Every miss in these programs translates successfully, so D+I
+     refills must equal the TLB's own miss count exactly. *)
+  check_int "TLB refill counters == TLB misses"
+    (Tlb.misses core.Core.tlb)
+    (Pmu.read_evcntr p ~cycles ~insns 2
+    + Pmu.read_evcntr p ~cycles ~insns 3)
+
+(* ------------------------------------------------------------------ *)
+(* Guest-visible PMU access via MSR/MRS *)
+
+let code_va = 0x10000
+
+let build_bare program =
+  let phys = Phys.create () in
+  let tlb = Tlb.create () in
+  let root = Stage1.create_root phys in
+  let code_pa = Phys.alloc_frame phys in
+  Stage1.map_page phys ~root ~va:code_va ~pa:code_pa
+    { Pte.user = false; read_only = true; uxn = true; pxn = false; ng = true };
+  List.iteri
+    (fun i insn -> Phys.write32 phys (code_pa + (4 * i)) (Encoding.encode insn))
+    program;
+  let core = Core.create phys tlb Cost_model.cortex_a55 Pstate.EL1 in
+  Sysreg.write core.Core.sys Sysreg.TTBR0_EL1 (Mmu.ttbr_value ~root ~asid:1);
+  core.Core.pc <- code_va;
+  core
+
+let test_pmu_guest_msr_mrs () =
+  let open Insn in
+  let core =
+    build_bare
+      [ Movz (0, 1, 0);
+        Msr (Sysreg.PMCR_EL0, 0);            (* PMCR.E *)
+        Movz (1, 0, 0);
+        Movk (1, 0x8000, 16);                (* bit 31: cycle counter *)
+        Msr (Sysreg.PMCNTENSET_EL0, 1);
+        Mrs (2, Sysreg.PMCR_EL0);
+        Mrs (3, Sysreg.PMCCNTR_EL0);
+        Mrs (4, Sysreg.PMCCNTR_EL0);
+        Brk 0 ]
+  in
+  (match Core.run core with
+  | Core.Trap_el1 (Core.Ec_brk _) | Core.Trap_el2 (Core.Ec_brk _) -> ()
+  | s -> Alcotest.failf "expected brk, got %a" Core.pp_stop s);
+  let x n = Core.reg core n in
+  check_int "MRS PMCR reads E back" 1 (x 2 land 1);
+  check_int "PMCR.N advertises 6 counters" Pmu.n_counters
+    ((x 2 lsr 11) land 0x1F);
+  check_bool "PMCCNTR live after MSR enable" true (x 3 > 0);
+  check_bool "PMCCNTR monotone between reads" true (x 4 > x 3);
+  (* The MSR lazily attached a PMU that the host API can also read. *)
+  (match Core.pmu core with
+  | Some p ->
+      let host = Pmu.read_ccntr p ~cycles:core.Core.cycles in
+      check_bool "host read continues the guest's counter" true
+        (host >= x 4 && host <= core.Core.cycles)
+  | None -> Alcotest.fail "guest MSR did not attach a PMU")
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring *)
+
+let test_ring_overflow () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.emit tr ~cycles:(i * 10) (Trace.Syscall { nr = i })
+  done;
+  check_int "len capped at capacity" 4 (Trace.len tr);
+  check_int "total counts every emission" 10 (Trace.total tr);
+  check_int "dropped counts the overflow" 6 (Trace.dropped tr);
+  List.iteri
+    (fun i ev ->
+      check_int "seq preserved" i ev.Trace.seq;
+      check_int "cycles preserved" (i * 10) ev.Trace.cycles;
+      match ev.Trace.payload with
+      | Trace.Syscall { nr } -> check_int "payload preserved" i nr
+      | p -> Alcotest.failf "unexpected payload %s" (Trace.payload_name p))
+    (Trace.events tr);
+  Trace.clear tr;
+  check_int "clear empties the ring" 0 (Trace.len tr);
+  check_int "clear resets drops" 0 (Trace.dropped tr)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_event_json () =
+  let ev =
+    { Trace.seq = 3; cycles = 41;
+      payload = Trace.Tlb_flush { scope = Trace.Flush_asid; vmid = 2 } }
+  in
+  let s = Trace.event_to_json ev in
+  check_bool "json names the event" true (contains s "tlb_flush");
+  check_bool "json carries the timestamp" true (contains s "41")
+
+(* ------------------------------------------------------------------ *)
+(* TLB flush wiring *)
+
+let test_tlb_flush_events () =
+  let tlb = Tlb.create () in
+  let tr = Trace.create () in
+  let p = Pmu.create () in
+  Tlb.set_tracer tlb (Some tr);
+  Tlb.set_pmu tlb (Some p);
+  Tlb.flush_all tlb;
+  Tlb.flush_vmid tlb 3;
+  Tlb.flush_asid tlb ~vmid:1 ~asid:7;
+  Tlb.flush_va tlb ~vmid:1 ~va:0x4000;
+  check_int "PMU saw every flush" 4 (Pmu.event_total p Pmu.Event.tlb_flush);
+  let scopes =
+    List.map
+      (fun ev ->
+        match ev.Trace.payload with
+        | Trace.Tlb_flush { scope; _ } -> scope
+        | p -> Alcotest.failf "unexpected payload %s" (Trace.payload_name p))
+      (Trace.events tr)
+  in
+  check_bool "one event per flush kind" true
+    (scopes
+     = [ Trace.Flush_all; Trace.Flush_vmid; Trace.Flush_asid;
+         Trace.Flush_va ])
+
+(* ------------------------------------------------------------------ *)
+(* Span attribution over a real 16-domain gate run *)
+
+let test_traced_run_coverage () =
+  let r =
+    Lz_eval.Switch_bench.traced_run Cost_model.cortex_a55
+      ~env:Lz_eval.Switch_bench.Host ~domains:16 ~n:300
+  in
+  let rep = r.Lz_eval.Switch_bench.report in
+  check_int "no drops" 0 rep.Span.dropped;
+  check_bool "coverage >= 0.95" true (rep.Span.coverage >= 0.95);
+  let row name =
+    try (List.find (fun (r : Span.row) -> r.name = name) rep.Span.rows).count
+    with Not_found -> 0
+  in
+  check_int "every switch passed phase 1" 300 (row "gate.switch");
+  check_int "every switch passed phase 2" 300 (row "gate.check");
+  check_bool "gate phases carry cycles" true
+    (List.for_all
+       (fun (r : Span.row) -> r.cycles > 0)
+       (List.filter
+          (fun (r : Span.row) ->
+            r.name = "gate.switch" || r.name = "gate.check")
+          rep.Span.rows));
+  check_int "one domain switch per gate pass" 300
+    (try List.assoc "domain_switch" rep.Span.points with Not_found -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing is architecturally invisible *)
+
+type summary = {
+  regs : int array;
+  pc : int;
+  cycles : int;
+  insns : int;
+  hits : int;
+  misses : int;
+}
+
+let summarize ?(fast = true) ~traced ~iters name =
+  let open Lz_workloads.Microbench in
+  let env = build ~fast ~iters name in
+  if traced then Core.set_tracer env.core (Some (Trace.create ()));
+  run_to_brk env;
+  let core = env.core in
+  { regs = Array.init 31 (Core.reg core);
+    pc = core.Core.pc;
+    cycles = core.Core.cycles;
+    insns = core.Core.insns;
+    hits = Tlb.hits core.Core.tlb;
+    misses = Tlb.misses core.Core.tlb }
+
+let prop_tracing_invisible =
+  QCheck2.Test.make
+    ~name:"trace: attaching a tracer leaves architectural state bit-identical"
+    ~count:15
+    QCheck2.Gen.(
+      pair (oneofl Lz_workloads.Microbench.names) (int_range 1 400))
+    (fun (name, iters) ->
+      let off = summarize ~traced:false ~iters name in
+      let on = summarize ~traced:true ~iters name in
+      off = on)
+
+let prop_fast_slow_with_tracing =
+  QCheck2.Test.make
+    ~name:"trace: fast path stays invisible with tracing on" ~count:15
+    QCheck2.Gen.(
+      pair (oneofl Lz_workloads.Microbench.names) (int_range 1 400))
+    (fun (name, iters) ->
+      let fast = summarize ~fast:true ~traced:true ~iters name in
+      let slow = summarize ~fast:false ~traced:true ~iters name in
+      fast = slow)
+
+let () =
+  Alcotest.run "lz_trace"
+    [ ( "pmu",
+        [ Alcotest.test_case "enable/disable freeze" `Quick test_pmu_freeze;
+          Alcotest.test_case "discrete events" `Quick
+            test_pmu_discrete_events;
+          Alcotest.test_case "exact: aes" `Quick (test_pmu_exact "aes");
+          Alcotest.test_case "exact: mysql" `Quick (test_pmu_exact "mysql");
+          Alcotest.test_case "exact: nginx" `Quick (test_pmu_exact "nginx");
+          Alcotest.test_case "guest MSR/MRS" `Quick test_pmu_guest_msr_mrs ]
+      );
+      ( "ring",
+        [ Alcotest.test_case "overflow drops newest, keeps earliest" `Quick
+            test_ring_overflow;
+          Alcotest.test_case "json export" `Quick test_event_json ] );
+      ( "wiring",
+        [ Alcotest.test_case "tlb flush events" `Quick test_tlb_flush_events ]
+      );
+      ( "spans",
+        [ Alcotest.test_case "gate-run attribution" `Quick
+            test_traced_run_coverage ] );
+      ( "invisibility",
+        [ q prop_tracing_invisible; q prop_fast_slow_with_tracing ] ) ]
