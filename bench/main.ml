@@ -192,6 +192,17 @@ let pentest () =
        "all LightZone defenses held; PANIC fell to W+X aliasing (as the paper argues)"
      else "UNEXPECTED: some defense failed")
 
+(* Combined exclusive cycles of the two hottest trap spans — the
+   quantity the trap fast paths are built to shrink. *)
+let hot_trap_cycles (r : Lz_trace.Span.report) =
+  List.fold_left
+    (fun acc (row : Lz_trace.Span.row) ->
+      if row.Lz_trace.Span.name = "trap.hvc"
+         || row.Lz_trace.Span.name = "trap.dabort"
+      then acc + row.Lz_trace.Span.cycles
+      else acc)
+    0 r.Lz_trace.Span.rows
+
 let trace () =
   hr "Trace: Table 5 cycle attribution (BENCH_table5_trace.json)";
   let iterations = if !quick then 500 else 2_000 in
@@ -201,17 +212,34 @@ let trace () =
       (Lz_cpu.Cost_model.cortex_a55, Lz_eval.Switch_bench.Host, "Cortex") ]
   in
   let entries =
-    List.map
+    List.concat_map
       (fun (cm, env, label) ->
-        let r =
+        let slow =
           Lz_eval.Switch_bench.traced_run cm ~env ~domains:128 ~n:iterations
+        in
+        let fast =
+          Lz_eval.Switch_bench.traced_run ~fast_paths:true cm ~env
+            ~domains:128 ~n:iterations
         in
         Format.printf "@.-- %s (128 domains, %d switches) --@." label
           iterations;
         Format.printf "%a@." Lz_trace.Span.pp_report
-          r.Lz_eval.Switch_bench.report;
-        Printf.sprintf "  %S: %s" label
-          (Lz_trace.Span.report_to_json r.Lz_eval.Switch_bench.report))
+          slow.Lz_eval.Switch_bench.report;
+        let hot_slow = hot_trap_cycles slow.Lz_eval.Switch_bench.report in
+        let hot_fast = hot_trap_cycles fast.Lz_eval.Switch_bench.report in
+        Format.printf
+          "trap.hvc+trap.dabort exclusive: %d -> %d with fast paths \
+           (%.1f%%), total %d -> %d cycles@."
+          hot_slow hot_fast
+          (100. *. float_of_int (hot_slow - hot_fast)
+          /. float_of_int (max 1 hot_slow))
+          slow.Lz_eval.Switch_bench.total_cycles
+          fast.Lz_eval.Switch_bench.total_cycles;
+        [ Printf.sprintf "  %S: %s" label
+            (Lz_trace.Span.report_to_json slow.Lz_eval.Switch_bench.report);
+          Printf.sprintf "  %S: %s" (label ^ " (fast paths)")
+            (Lz_trace.Span.report_to_json fast.Lz_eval.Switch_bench.report)
+        ])
       cases
   in
   let oc = open_out "BENCH_table5_trace.json" in

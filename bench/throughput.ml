@@ -9,14 +9,58 @@
    `--smoke` runs a small count just to prove the harness works. *)
 
 open Lz_workloads
+module Core = Lz_cpu.Core
+module Pmu = Lz_arm.Pmu
 
 type run = { insns : int; seconds : float; mips : float }
 
+(* Program INST_RETIRED and CPU_CYCLES onto PMU counters before the
+   run, then cross-check the architectural counter reads against the
+   core's own insn/cycle totals: the PMU model must agree with the
+   execution engine exactly (event counters modulo their 32-bit
+   width).  A mismatch means counter drift — fail loudly. *)
+let arm_pmu core =
+  let p = Core.attach_pmu core in
+  let cycles = core.Core.cycles and insns = core.Core.insns in
+  Pmu.write_evtyper p ~cycles ~insns 0 Pmu.Event.inst_retired;
+  Pmu.write_evtyper p ~cycles ~insns 1 Pmu.Event.cpu_cycles;
+  Pmu.write_cntenset p ~cycles ~insns
+    ((1 lsl Pmu.cycle_counter_bit) lor 0b11);
+  Pmu.write_pmcr p ~cycles ~insns 0b1;
+  p
+
+let mask32 = 0xFFFF_FFFF
+
+let cross_check name core p ~c0 ~i0 =
+  let cycles = core.Core.cycles and insns = core.Core.insns in
+  let ev_insns = Pmu.read_evcntr p ~cycles ~insns 0 in
+  let ev_cycles = Pmu.read_evcntr p ~cycles ~insns 1 in
+  let ccntr = Pmu.read_ccntr p ~cycles in
+  let want_insns = (insns - i0) land mask32 in
+  let want_cycles = (cycles - c0) land mask32 in
+  if ev_insns <> want_insns then begin
+    Printf.eprintf
+      "throughput: %s: PMU INST_RETIRED %d disagrees with core.insns %d\n"
+      name ev_insns want_insns;
+    exit 1
+  end;
+  if ev_cycles <> want_cycles || ccntr <> cycles - c0 then begin
+    Printf.eprintf
+      "throughput: %s: PMU CPU_CYCLES %d / PMCCNTR %d disagree with \
+       core.cycles %d\n"
+      name ev_cycles ccntr (cycles - c0);
+    exit 1
+  end
+
 let time_run ~fast ~iters name =
   let env = Microbench.build ~fast ~iters name in
+  let core = env.Microbench.core in
+  let p = arm_pmu core in
+  let c0 = core.Core.cycles and i0 = core.Core.insns in
   let t0 = Unix.gettimeofday () in
   Microbench.run_to_brk env;
   let dt = Unix.gettimeofday () -. t0 in
+  cross_check name core p ~c0 ~i0;
   let insns = env.Microbench.core.insns in
   { insns; seconds = dt; mips = float_of_int insns /. dt /. 1e6 }
 

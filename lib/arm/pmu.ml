@@ -60,7 +60,10 @@ let enable_mask = ((1 lsl n_counters) - 1) lor (1 lsl cycle_counter_bit)
 
 type t = {
   mutable enabled : bool;  (* PMCR_EL0.E *)
+  mutable long_cycle : bool;  (* PMCR_EL0.LC *)
   mutable cnten : int;  (* PMCNTENSET/CLR mask *)
+  mutable ovs : int;  (* PMOVSSET/CLR overflow status *)
+  mutable cc_epoch : int;  (* cycle-counter bits 63:32 at last sync *)
   evtyper : int array;  (* PMEVTYPERn.evtCount *)
   acc : int array;
   snap : int array;
@@ -70,7 +73,10 @@ type t = {
 let create () =
   {
     enabled = false;
+    long_cycle = false;
     cnten = 0;
+    ovs = 0;
+    cc_epoch = 0;
     evtyper = Array.make n_counters 0;
     acc = Array.make (n_counters + 1) 0;
     snap = Array.make (n_counters + 1) 0;
@@ -93,33 +99,63 @@ let slot_enabled t slot =
   let bit = if slot = cycle_slot then cycle_counter_bit else slot in
   t.enabled && t.cnten land (1 lsl bit) <> 0
 
-let value t ~cycles ~insns slot =
-  let v = t.acc.(slot) in
-  if slot_enabled t slot then
-    v + (source t ~cycles ~insns (slot_event t slot) - t.snap.(slot))
-  else v
+let mask32 = 0xFFFF_FFFF
+
+(* Fold the in-flight delta of [slot] into [acc] (re-snapshotting its
+   source) and apply the architectural width: event counters are 32
+   bits wide and wrap, latching their PMOVS bit; the cycle counter is
+   64 bits, with its PMOVS bit following bit-31 carries unless
+   PMCR.LC asks for 64-bit overflow.  Every architectural access to a
+   counter syncs it, so a wrap can never pass silently as a pinned
+   63-bit value between reads. *)
+let sync_slot t ~cycles ~insns slot =
+  if slot_enabled t slot then begin
+    let src = source t ~cycles ~insns (slot_event t slot) in
+    t.acc.(slot) <- t.acc.(slot) + (src - t.snap.(slot));
+    t.snap.(slot) <- src
+  end;
+  if slot = cycle_slot then begin
+    let epoch = t.acc.(slot) lsr 32 in
+    if (not t.long_cycle) && epoch <> t.cc_epoch then
+      t.ovs <- t.ovs lor (1 lsl cycle_counter_bit);
+    t.cc_epoch <- epoch
+  end
+  else if t.acc.(slot) > mask32 then begin
+    t.ovs <- t.ovs lor (1 lsl slot);
+    t.acc.(slot) <- t.acc.(slot) land mask32
+  end
+
+let sync_all t ~cycles ~insns =
+  for slot = 0 to cycle_slot do
+    sync_slot t ~cycles ~insns slot
+  done
 
 (* Apply a new (enabled, cnten) pair, folding in-flight deltas into
    [acc] for slots that stop counting and snapshotting sources for
    slots that start. *)
 let set_enables t ~cycles ~insns ~enabled ~cnten =
   for slot = 0 to cycle_slot do
+    sync_slot t ~cycles ~insns slot;
     let bit = if slot = cycle_slot then cycle_counter_bit else slot in
     let was = slot_enabled t slot in
     let now = enabled && cnten land (1 lsl bit) <> 0 in
-    if was && not now then t.acc.(slot) <- value t ~cycles ~insns slot
-    else if now && not was then
+    if now && not was then
       t.snap.(slot) <- source t ~cycles ~insns (slot_event t slot)
   done;
   t.enabled <- enabled;
   t.cnten <- cnten
 
 (* PMCR_EL0: E (bit 0) enable, P (bit 1) reset event counters,
-   C (bit 2) reset cycle counter, N (bits 15:11) = n_counters. *)
+   C (bit 2) reset cycle counter, LC (bit 6) 64-bit cycle overflow,
+   N (bits 15:11) = n_counters. *)
 
-let read_pmcr t = (n_counters lsl 11) lor (if t.enabled then 1 else 0)
+let read_pmcr t =
+  (n_counters lsl 11)
+  lor (if t.long_cycle then 0x40 else 0)
+  lor (if t.enabled then 1 else 0)
 
 let write_pmcr t ~cycles ~insns v =
+  t.long_cycle <- v land 0x40 <> 0;
   if v land 0b010 <> 0 then
     for slot = 0 to n_counters - 1 do
       t.acc.(slot) <- 0;
@@ -127,7 +163,8 @@ let write_pmcr t ~cycles ~insns v =
     done;
   if v land 0b100 <> 0 then begin
     t.acc.(cycle_slot) <- 0;
-    t.snap.(cycle_slot) <- cycles
+    t.snap.(cycle_slot) <- cycles;
+    t.cc_epoch <- 0
   end;
   set_enables t ~cycles ~insns ~enabled:(v land 1 <> 0) ~cnten:t.cnten
 
@@ -154,7 +191,7 @@ let write_evtyper t ~cycles ~insns n v =
   let ev = v land 0xFFFF in
   if slot_enabled t n then begin
     (* Freeze under the old event, then retarget and re-snapshot. *)
-    t.acc.(n) <- value t ~cycles ~insns n;
+    sync_slot t ~cycles ~insns n;
     t.evtyper.(n) <- ev;
     t.snap.(n) <- source t ~cycles ~insns ev
   end
@@ -162,18 +199,38 @@ let write_evtyper t ~cycles ~insns n v =
 
 let read_evcntr t ~cycles ~insns n =
   check_index n;
-  value t ~cycles ~insns n
+  sync_slot t ~cycles ~insns n;
+  t.acc.(n)
 
 let write_evcntr t ~cycles ~insns n v =
   check_index n;
-  t.acc.(n) <- v;
+  t.acc.(n) <- v land mask32;
   if slot_enabled t n then
     t.snap.(n) <- source t ~cycles ~insns (slot_event t n)
 
-let read_ccntr t ~cycles = value t ~cycles ~insns:0 cycle_slot
+let read_ccntr t ~cycles =
+  sync_slot t ~cycles ~insns:0 cycle_slot;
+  t.acc.(cycle_slot)
 
 let write_ccntr t ~cycles v =
   t.acc.(cycle_slot) <- v;
+  t.cc_epoch <- v lsr 32;
   if slot_enabled t cycle_slot then t.snap.(cycle_slot) <- cycles
+
+(* PMOVSSET/PMOVSCLR_EL0: reads of either return the latched overflow
+   status; writes set / clear bits (no overflow interrupt is
+   modelled). *)
+
+let read_ovs t ~cycles ~insns =
+  sync_all t ~cycles ~insns;
+  t.ovs
+
+let write_ovsset t ~cycles ~insns v =
+  sync_all t ~cycles ~insns;
+  t.ovs <- t.ovs lor (v land enable_mask)
+
+let write_ovsclr t ~cycles ~insns v =
+  sync_all t ~cycles ~insns;
+  t.ovs <- t.ovs land lnot (v land enable_mask)
 
 let event_total t event = t.totals.(event land 0xFF)

@@ -36,7 +36,9 @@ val record : t -> int -> unit
 val read_pmcr : t -> int
 val write_pmcr : t -> cycles:int -> insns:int -> int -> unit
 (** Bit 0 = E (global enable), bit 1 = P (reset event counters),
-    bit 2 = C (reset cycle counter). *)
+    bit 2 = C (reset cycle counter), bit 6 = LC (64-bit cycle-counter
+    overflow; when clear the cycle counter's overflow flag follows
+    bit-31 carries). *)
 
 val read_cnten : t -> int
 val write_cntenset : t -> cycles:int -> insns:int -> int -> unit
@@ -48,9 +50,23 @@ val write_evtyper : t -> cycles:int -> insns:int -> int -> int -> unit
     event [v land 0xFFFF]. *)
 
 val read_evcntr : t -> cycles:int -> insns:int -> int -> int
+(** Event counters are architecturally 32 bits: on wrap the value
+    continues modulo 2^32 and the counter's overflow-status bit is
+    latched in PMOVSSET/CLR (no silent saturation). *)
+
 val write_evcntr : t -> cycles:int -> insns:int -> int -> int -> unit
 val read_ccntr : t -> cycles:int -> int
 val write_ccntr : t -> cycles:int -> int -> unit
+
+val read_ovs : t -> cycles:int -> insns:int -> int
+(** PMOVSSET/PMOVSCLR_EL0 read: latched overflow-status bits (bit [n]
+    for event counter [n], bit 31 for the cycle counter). *)
+
+val write_ovsset : t -> cycles:int -> insns:int -> int -> unit
+val write_ovsclr : t -> cycles:int -> insns:int -> int -> unit
+(** Set / clear overflow-status bits. Overflow never delivers an
+    interrupt in this model; the flags are purely architectural
+    state. *)
 
 val event_total : t -> int -> int
 (** Raw occurrence total for a discrete event, independent of counter

@@ -56,6 +56,8 @@ type t =
   | PMEVCNTR3_EL0 | PMEVCNTR4_EL0 | PMEVCNTR5_EL0
   | PMEVTYPER0_EL0 | PMEVTYPER1_EL0 | PMEVTYPER2_EL0
   | PMEVTYPER3_EL0 | PMEVTYPER4_EL0 | PMEVTYPER5_EL0
+  | PMOVSCLR_EL0
+  | PMOVSSET_EL0
 
 type enc = { op0 : int; op1 : int; crn : int; crm : int; op2 : int }
 
@@ -129,6 +131,8 @@ let encoding = function
   | PMEVTYPER3_EL0 -> enc 3 3 14 12 3
   | PMEVTYPER4_EL0 -> enc 3 3 14 12 4
   | PMEVTYPER5_EL0 -> enc 3 3 14 12 5
+  | PMOVSCLR_EL0 -> enc 3 3 9 12 3
+  | PMOVSSET_EL0 -> enc 3 3 9 14 3
 
 let pmu_event_counters = 6
 
@@ -168,7 +172,8 @@ let all =
     DBGWCR3_EL1; MDSCR_EL1; HCR_EL2; VTTBR_EL2; VTCR_EL2; TTBR0_EL2;
     TCR_EL2; SCTLR_EL2; VBAR_EL2; ESR_EL2; ELR_EL2; SPSR_EL2; FAR_EL2;
     HPFAR_EL2; CPTR_EL2; MDCR_EL2; TPIDR_EL2; CNTHCTL_EL2; VPIDR_EL2;
-    VMPIDR_EL2; PMCR_EL0; PMCNTENSET_EL0; PMCNTENCLR_EL0; PMCCNTR_EL0 ]
+    VMPIDR_EL2; PMCR_EL0; PMCNTENSET_EL0; PMCNTENCLR_EL0; PMCCNTR_EL0;
+    PMOVSCLR_EL0; PMOVSSET_EL0 ]
   @ List.init pmu_event_counters pmevcntr
   @ List.init pmu_event_counters pmevtyper
 
@@ -248,6 +253,8 @@ let name = function
   | PMEVTYPER3_EL0 -> "PMEVTYPER3_EL0"
   | PMEVTYPER4_EL0 -> "PMEVTYPER4_EL0"
   | PMEVTYPER5_EL0 -> "PMEVTYPER5_EL0"
+  | PMOVSCLR_EL0 -> "PMOVSCLR_EL0"
+  | PMOVSSET_EL0 -> "PMOVSSET_EL0"
 
 let min_el r =
   match (encoding r).op1 with
@@ -324,8 +331,10 @@ let index = function
   | PMEVTYPER3_EL0 -> 63
   | PMEVTYPER4_EL0 -> 64
   | PMEVTYPER5_EL0 -> 65
+  | PMOVSCLR_EL0 -> 66
+  | PMOVSSET_EL0 -> 67
 
-let nregs = 66
+let nregs = 68
 
 (* Generation counters let cached derivations (the core's memoized
    MMU context, the watchpoint-armed flag) detect staleness without

@@ -69,6 +69,8 @@ type t =
   | PMEVCNTR3_EL0 | PMEVCNTR4_EL0 | PMEVCNTR5_EL0
   | PMEVTYPER0_EL0 | PMEVTYPER1_EL0 | PMEVTYPER2_EL0
   | PMEVTYPER3_EL0 | PMEVTYPER4_EL0 | PMEVTYPER5_EL0
+  | PMOVSCLR_EL0  (** Overflow status; writes clear bits. *)
+  | PMOVSSET_EL0  (** Overflow status; writes set bits. *)
 
 val pmu_event_counters : int
 (** Number of modelled PMEVCNTRn/PMEVTYPERn pairs (6). *)

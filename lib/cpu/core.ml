@@ -502,6 +502,8 @@ let pmu_write t r v =
       ( PMEVTYPER0_EL0 | PMEVTYPER1_EL0 | PMEVTYPER2_EL0 | PMEVTYPER3_EL0
       | PMEVTYPER4_EL0 | PMEVTYPER5_EL0 )) ->
       Pmu.write_evtyper p ~cycles ~insns (Sysreg.pmev_slot r) v
+  | Sysreg.PMOVSSET_EL0 -> Pmu.write_ovsset p ~cycles ~insns v
+  | Sysreg.PMOVSCLR_EL0 -> Pmu.write_ovsclr p ~cycles ~insns v
   | _ -> assert false
 
 let pmu_read t r =
@@ -519,6 +521,8 @@ let pmu_read t r =
       ( PMEVTYPER0_EL0 | PMEVTYPER1_EL0 | PMEVTYPER2_EL0 | PMEVTYPER3_EL0
       | PMEVTYPER4_EL0 | PMEVTYPER5_EL0 )) ->
       Pmu.read_evtyper p (Sysreg.pmev_slot r)
+  | Sysreg.PMOVSSET_EL0 | Sysreg.PMOVSCLR_EL0 ->
+      Pmu.read_ovs p ~cycles ~insns
   | _ -> assert false
 
 let exec_sysreg t insn ~ret =
@@ -535,7 +539,7 @@ let exec_sysreg t insn ~ret =
           | PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0 | PMEVCNTR3_EL0
           | PMEVCNTR4_EL0 | PMEVCNTR5_EL0 | PMEVTYPER0_EL0 | PMEVTYPER1_EL0
           | PMEVTYPER2_EL0 | PMEVTYPER3_EL0 | PMEVTYPER4_EL0
-          | PMEVTYPER5_EL0 )) ->
+          | PMEVTYPER5_EL0 | PMOVSSET_EL0 | PMOVSCLR_EL0 )) ->
           pmu_write t r (reg t rt)
       | Sysreg.TTBR0_EL1 ->
           Sysreg.write t.sys r (reg t rt);
@@ -559,7 +563,7 @@ let exec_sysreg t insn ~ret =
           | PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0 | PMEVCNTR3_EL0
           | PMEVCNTR4_EL0 | PMEVCNTR5_EL0 | PMEVTYPER0_EL0 | PMEVTYPER1_EL0
           | PMEVTYPER2_EL0 | PMEVTYPER3_EL0 | PMEVTYPER4_EL0
-          | PMEVTYPER5_EL0 )) ->
+          | PMEVTYPER5_EL0 | PMOVSSET_EL0 | PMOVSCLR_EL0 )) ->
           set_reg t rt (pmu_read t r)
       | r -> set_reg t rt (Sysreg.read t.sys r))
   | Insn.Msr_pstate (f, imm) -> (

@@ -32,6 +32,8 @@ type t = {
   nested_extra : int;
   nested_repoint : int;
   lwc_switch_extra : int;
+  fault_around_page : int;
+  shallow_exit : int;
 }
 
 (* Carmel: traps and system-register updates are expensive (paper
@@ -66,7 +68,9 @@ let carmel =
     vm_extra_switch = 4300;
     nested_extra = 150;
     nested_repoint = 3500;
-    lwc_switch_extra = 9000 }
+    lwc_switch_extra = 9000;
+    fault_around_page = 220;
+    shallow_exit = 600 }
 
 (* Cortex A55: in line with prior profiling (KVM/ARM papers). *)
 let cortex_a55 =
@@ -98,7 +102,9 @@ let cortex_a55 =
     vm_extra_switch = 300;
     nested_extra = 420;
     nested_repoint = 350;
-    lwc_switch_extra = 1500 }
+    lwc_switch_extra = 1500;
+    fault_around_page = 40;
+    shallow_exit = 90 }
 
 let all = [ carmel; cortex_a55 ]
 

@@ -109,7 +109,11 @@ let setup_proc kernel ~domains ~n =
   let proc = Kernel.create_process kernel in
   ignore (Kernel.map_anon kernel proc ~at:(stack_va - 0x10000) ~len:0x10000
             Vma.rw);
-  ignore (Kernel.map_anon kernel proc ~at:arr_va ~len:(8 * n + 4096) Vma.rw);
+  (* Size the index array exactly (Vma.make rounds up to the page):
+     a slack tail page would never be read, but fault-around would
+     still install it. *)
+  ignore (Kernel.map_anon kernel proc ~at:arr_va ~len:(max 8 (8 * n))
+            Vma.rw);
   ignore (Kernel.map_anon kernel proc ~at:domains_va
             ~len:(domains * 4096) Vma.rw);
   write_indices kernel proc ~domains ~n;
@@ -118,7 +122,7 @@ let setup_proc kernel ~domains ~n =
 (* ------------------------------------------------------------------ *)
 (* LightZone measurement *)
 
-let run_lz ?tracer cm ~env ~mech ~domains ~n =
+let run_lz ?tracer ?(fast_paths = false) cm ~env ~mech ~domains ~n =
   let machine = Machine.create ~cost:cm () in
   let kernel, backend =
     match env with
@@ -127,8 +131,17 @@ let run_lz ?tracer cm ~env ~mech ~domains ~n =
         let hyp = Lz_hyp.Hypervisor.create machine in
         let vm = Lz_hyp.Hypervisor.create_vm hyp in
         let gk = Lz_hyp.Hypervisor.make_guest_kernel hyp vm in
-        (gk, Kmod.Guest (Lowvisor.create hyp vm))
+        let lv = Lowvisor.create hyp vm in
+        if fast_paths then begin
+          Lowvisor.set_fast lv true;
+          hyp.Lz_hyp.Hypervisor.fast_hvc <- true
+        end;
+        (gk, Kmod.Guest lv)
   in
+  if fast_paths then begin
+    kernel.Kernel.fault_around <- 8;
+    kernel.Kernel.spurious_fast <- true
+  end;
   let proc = setup_proc kernel ~domains ~n in
   let scalable = mech = Mech Lz_ttbr in
   let t =
@@ -170,9 +183,11 @@ type traced = {
   switches : int;
 }
 
-let traced_run ?capacity cm ~env ~domains ~n =
+let traced_run ?capacity ?fast_paths cm ~env ~domains ~n =
   let tr = Lz_trace.Trace.create ?capacity () in
-  let cycles = run_lz ~tracer:tr cm ~env ~mech:(Mech Lz_ttbr) ~domains ~n in
+  let cycles =
+    run_lz ~tracer:tr ?fast_paths cm ~env ~mech:(Mech Lz_ttbr) ~domains ~n
+  in
   let report = Lz_trace.Span.of_trace ~total_cycles:cycles tr in
   { trace = tr; report; total_cycles = cycles; domains; switches = n }
 

@@ -23,12 +23,16 @@ type traced = {
 }
 
 val traced_run :
-  ?capacity:int -> Lz_cpu.Cost_model.t -> env:env -> domains:int -> n:int ->
-  traced
+  ?capacity:int -> ?fast_paths:bool -> Lz_cpu.Cost_model.t -> env:env ->
+  domains:int -> n:int -> traced
 (** One instrumented TTBR-mechanism run: [n] random domain switches
     across [domains] gate-attached domains with the tracer attached,
     returning the raw trace and its span report. Backs [lzctl trace]
-    and the bench trace annotation. *)
+    and the bench trace annotation. [fast_paths] (default false)
+    enables the trap fast paths — Lowvisor steady-state forwarding,
+    hypervisor shallow hypercall return, demand-fault clustering and
+    the spurious-fault revalidation — for before/after comparison of
+    the trap.hvc / trap.dabort spans. *)
 
 val measure :
   Lz_cpu.Cost_model.t -> env:env -> mechanism:mechanism -> domains:int ->

@@ -8,10 +8,13 @@ type t = {
   mutable vms : Vm.t list;
   mutable next_vmid : int;
   mutable world_switches : int;
+  mutable fast_hvc : bool;
+  mutable shallow_exits : int;
 }
 
 let create machine =
-  { machine; vms = []; next_vmid = 1; world_switches = 0 }
+  { machine; vms = []; next_vmid = 1; world_switches = 0;
+    fast_hvc = false; shallow_exits = 0 }
 
 let create_vm t =
   let vm = Vm.create t.machine ~vmid:t.next_vmid in
@@ -95,6 +98,15 @@ let hypercall_roundtrip t vm (core : Core.t) =
   Core.charge core core.Core.cost.Cost_model.dispatch;
   vcpu_load t vm core
 
+(* A hypercall that needs no world-state mutation (no host-side vCPU
+   context, guest HCR/VTTBR stay loaded because control returns
+   straight to the same guest): dispatch in the EL2 vector context and
+   ERET back without the vcpu put/load pair. *)
+let shallow_hypercall t _vm (core : Core.t) =
+  t.shallow_exits <- t.shallow_exits + 1;
+  Core.charge core core.Core.cost.Cost_model.dispatch;
+  Core.charge core core.Core.cost.Cost_model.shallow_exit
+
 let run_guest_process ?(max_insns = 50_000_000) t vm (k : Kernel.t)
     (p : Proc.t) (core : Core.t) =
   let budget = ref max_insns in
@@ -127,8 +139,11 @@ let run_guest_process ?(max_insns = 50_000_000) t vm (k : Kernel.t)
                 (Format.asprintf "fatal stage-2 %a" Core.pp_stop
                    (Core.Trap_el2 cls)))
       | Core.Trap_el2 (Core.Ec_hvc _) ->
-          (* Conventional guest hypercall: full world switch. *)
-          hypercall_roundtrip t vm core;
+          (* Conventional guest hypercall: full world switch — unless
+             the shallow fast-return path is enabled and the exit
+             mutates no world state. *)
+          if t.fast_hvc then shallow_hypercall t vm core
+          else hypercall_roundtrip t vm core;
           Core.eret_from_el2 core;
           loop ()
       | Core.Trap_el2 cls ->

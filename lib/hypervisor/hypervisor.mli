@@ -12,6 +12,11 @@ type t = {
   mutable vms : Vm.t list;
   mutable next_vmid : int;
   mutable world_switches : int;
+  mutable fast_hvc : bool;
+      (** shallow hypercall fast-return enabled (off by default):
+          hypercalls that mutate no world state skip the vcpu
+          put/load pair in {!run_guest_process}. *)
+  mutable shallow_exits : int;
 }
 
 val create : Lz_kernel.Machine.t -> t
@@ -38,6 +43,12 @@ val hypercall_roundtrip : t -> Vm.t -> Lz_cpu.Core.t -> unit
 (** Service one hypercall exit with a full world switch: vcpu_put,
     host-side dispatch, vcpu_load — the conventional (unoptimized) KVM
     path that LightZone's Section 5.2 optimizations avoid. *)
+
+val shallow_hypercall : t -> Vm.t -> Lz_cpu.Core.t -> unit
+(** Fast-return servicing of a hypercall that mutates no world state:
+    the guest's HCR/VTTBR and EL1 context stay loaded because control
+    returns straight to the same guest, so only the EL2 dispatch and
+    a shallow-exit bookkeeping cost are paid. *)
 
 (** {1 Guest process driving} *)
 

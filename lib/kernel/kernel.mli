@@ -34,6 +34,14 @@ type t = {
     option;
       (** returns true when the extension handled the trap. *)
   mutable syscall_count : int;
+  mutable fault_around : int;
+      (** demand-fault cluster size: pages installed per translation
+          fault (1 = classic one-page-at-a-time; default). Per-VMA
+          [Vma.fault_around] overrides this. *)
+  mutable spurious_fast : bool;
+      (** revalidate spurious faults (page already resident) with a
+          single descriptor fetch instead of the full fault dispatch
+          (off by default). *)
 }
 
 val create : Machine.t -> mode -> t
@@ -52,6 +60,10 @@ val map_anon : t -> Proc.t -> ?at:int -> len:int -> Vma.prot -> int
 val fault_in_page : t -> Proc.t -> va:int -> unit
 (** Populate one page immediately (demand paging short-circuit). *)
 
+val fault_around_count : t -> Vma.t -> int
+(** Effective fault-around cluster for a VMA: its override if set,
+    else the kernel-wide knob; never below 1. *)
+
 val populate : t -> Proc.t -> start:int -> len:int -> unit
 
 val munmap : t -> Proc.t -> start:int -> len:int -> unit
@@ -67,9 +79,17 @@ val read_user : t -> Proc.t -> va:int -> len:int -> Bytes.t
 val load_program : t -> Proc.t -> va:int -> Lz_arm.Insn.t list -> unit
 (** Map an executable VMA at [va] holding the encoded instructions. *)
 
-val handle_fault : t -> Proc.t -> Lz_mem.Mmu.fault -> [ `Handled | `Segv ]
-(** Demand-paging fault handler (charges handler cycles on no core —
-    callers running a core should charge trap costs themselves). *)
+val handle_fault :
+  ?core:Lz_cpu.Core.t -> t -> Proc.t -> Lz_mem.Mmu.fault ->
+  [ `Handled | `Segv ]
+(** Demand-paging fault handler. With [~core] the handler's own cycle
+    costs (fault dispatch, or the cheaper spurious revalidation when
+    {!t.spurious_fast} is on, plus any fault-around installs) are
+    charged to that core; without it no cycles are charged — callers
+    running a core should pass it. Honors {!t.fault_around} /
+    [Vma.fault_around] clustering: a translation fault installs up to
+    the cluster's worth of following unmapped pages in the same VMA at
+    marginal cost instead of taking one trap per page. *)
 
 (** {1 Syscalls} *)
 

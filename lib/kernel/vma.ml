@@ -1,6 +1,11 @@
 type prot = { r : bool; w : bool; x : bool }
 
-type t = { start : int; len : int; mutable prot : prot }
+type t = {
+  start : int;
+  len : int;
+  mutable prot : prot;
+  mutable fault_around : int option;
+}
 
 let rw = { r = true; w = true; x = false }
 let rx = { r = true; w = false; x = true }
@@ -10,7 +15,8 @@ let rwx = { r = true; w = true; x = true }
 let make ~start ~len prot =
   let aligned_start = Lz_arm.Bits.align_down start 4096 in
   let aligned_end = (start + len + 4095) / 4096 * 4096 in
-  { start = aligned_start; len = aligned_end - aligned_start; prot }
+  { start = aligned_start; len = aligned_end - aligned_start; prot;
+    fault_around = None }
 
 let end_ t = t.start + t.len
 

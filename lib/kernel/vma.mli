@@ -5,7 +5,15 @@
 
 type prot = { r : bool; w : bool; x : bool }
 
-type t = { start : int; len : int; mutable prot : prot }
+type t = {
+  start : int;
+  len : int;
+  mutable prot : prot;
+  mutable fault_around : int option;
+      (** per-VMA fault-around cluster override: [Some n] installs up
+          to [n] pages per demand fault regardless of the kernel-wide
+          setting; [None] (the default) follows the kernel. *)
+}
 
 val rw : prot
 val rx : prot

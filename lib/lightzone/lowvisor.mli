@@ -19,7 +19,24 @@
 
     After a scheduling event the pointer to the current thread's
     shared context must be re-located, which makes the forwarding cost
-    fluctuate (Table 4 reports 29,020–32,881 cycles on Carmel). *)
+    fluctuate (Table 4 reports 29,020–32,881 cycles on Carmel).
+
+    The forwarding charges are pre-computed per cost model at
+    {!create} time into a single cycle total per direction, so the
+    steady-state path does one [Core.charge] instead of a charge per
+    register — arithmetically identical to the per-register loop.
+    With {!set_fast} enabled, forwards after the first post-repoint
+    roundtrip additionally move only the registers that actually
+    differ between the two worlds ({!active_switch_regs}) and skip the
+    per-forward pt_regs revalidation, the trace-guided fast path. *)
+
+type costs = {
+  full_in : int;   (** full forward into the guest kernel. *)
+  full_out : int;  (** full return to the LightZone process. *)
+  fast_in : int;   (** steady-state forward: active registers only,
+                       cached repoint decision. *)
+  fast_out : int;  (** steady-state return. *)
+}
 
 type t = {
   hyp : Lz_hyp.Hypervisor.t;
@@ -27,18 +44,35 @@ type t = {
   mutable repoint_pending : bool;
   mutable forwards : int;
   mutable repoints : int;
+  mutable fast : bool;
+      (** steady-state fast path enabled (off by default). *)
+  mutable synced : bool;
+      (** both directions have moved the full register set since the
+          last repoint; static registers may be deferred. *)
+  costs : costs;
 }
 
 val create : Lz_hyp.Hypervisor.t -> Lz_hyp.Vm.t -> t
 
+val set_fast : t -> bool -> unit
+(** Enable/disable the steady-state forwarding fast path. Off, every
+    forward pays the full partial switch — the behaviour is
+    cycle-identical to the unoptimized Lowvisor. *)
+
 val notify_schedule : t -> unit
 (** A scheduling event occurred in the guest: the next forwarded trap
-    pays the pt_regs re-location cost. *)
+    pays the pt_regs re-location cost and re-syncs the full register
+    set. *)
 
 val partial_switch_regs : Lz_arm.Sysreg.t list
 (** The EL1 registers the Lowvisor moves between the LightZone process
     and the guest kernel (both use them with different values; the
     rest is shared or deferred). *)
+
+val active_switch_regs : Lz_arm.Sysreg.t list
+(** The subset of {!partial_switch_regs} that differs between two
+    steady-state worlds (translation roots, vector base, kernel stack
+    pointer) — the only registers the fast path moves. *)
 
 val charge_forward_in : t -> Lz_cpu.Core.t -> unit
 (** Cycle charges from the EL2 arrival (already charged by the core)

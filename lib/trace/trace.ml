@@ -37,35 +37,58 @@ type event = { seq : int; cycles : int; payload : payload }
 type t = {
   ring : event option array;
   capacity : int;
+  decimate : int;
   mutable len : int;
   mutable total : int;
   mutable dropped : int;
+  mutable points_seen : int;
   mutable clock : unit -> int;
   markers : (int, payload) Hashtbl.t;
 }
 
 let default_capacity = 1 lsl 16
 
-let create ?(capacity = default_capacity) () =
+let create ?(capacity = default_capacity) ?(decimate = 1) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  if decimate <= 0 then invalid_arg "Trace.create: decimate must be positive";
   {
     ring = Array.make capacity None;
     capacity;
+    decimate;
     len = 0;
     total = 0;
     dropped = 0;
+    points_seen = 0;
     clock = (fun () -> 0);
     markers = Hashtbl.create 64;
   }
 
 let set_clock t f = t.clock <- f
 
+let decimation t = t.decimate
+
+(* Span boundaries must never be decimated — dropping one would merge
+   two spans and skew every cycle attribution after it.  Only point
+   events (flushes, faults, retention, ...) are sampled 1-in-N. *)
+let is_boundary = function
+  | Trap_enter _ | Trap_exit _ | Gate_entry _ | Gate_check _ | Gate_exit _ ->
+      true
+  | _ -> false
+
 let emit t ~cycles payload =
-  if t.len < t.capacity then begin
-    t.ring.(t.len) <- Some { seq = t.total; cycles; payload };
-    t.len <- t.len + 1
-  end
-  else t.dropped <- t.dropped + 1;
+  let keep =
+    t.decimate = 1 || is_boundary payload
+    ||
+    (let k = t.points_seen mod t.decimate = 0 in
+     t.points_seen <- t.points_seen + 1;
+     k)
+  in
+  if keep then
+    if t.len < t.capacity then begin
+      t.ring.(t.len) <- Some { seq = t.total; cycles; payload };
+      t.len <- t.len + 1
+    end
+    else t.dropped <- t.dropped + 1;
   t.total <- t.total + 1
 
 let emit_now t payload = emit t ~cycles:(t.clock ()) payload

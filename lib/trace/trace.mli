@@ -33,10 +33,19 @@ type t
 
 val default_capacity : int
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?decimate:int -> unit -> t
 (** [create ()] makes an empty tracer. [capacity] bounds the ring
     (default {!default_capacity}); further events are dropped and
-    counted. Raises [Invalid_argument] if [capacity <= 0]. *)
+    counted. [decimate] (default 1 = keep everything) stores only one
+    point event in [decimate] — span boundaries (trap and gate events)
+    are always kept so cycle attribution stays exact on
+    multi-billion-cycle runs, while sampled point counts are scaled
+    back up by {!Span.analyze}. Raises [Invalid_argument] if
+    [capacity <= 0] or [decimate <= 0]. *)
+
+val decimation : t -> int
+(** The 1-in-N point-event sampling factor this tracer was created
+    with. *)
 
 val set_clock : t -> (unit -> int) -> unit
 (** Clock used by {!emit_now} for emitters that do not carry a cycle

@@ -311,6 +311,91 @@ let prop_fast_slow_equivalent =
       && fast.tlb_hits = slow.tlb_hits
       && fast.tlb_misses = slow.tlb_misses)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-around equivalence: clustering demand faults (and the
+   spurious-fault revalidation) is a pure cost optimisation. For any
+   random access pattern over a multi-page VMA, running with
+   fault-around on (kernel-wide or as a per-VMA override) must produce
+   the same exit code, the same final registers and the same retired
+   instruction count as the strict one-page-per-fault path; only the
+   cycle count may move. *)
+
+let fa_data_va = 0x600000
+let fa_pages = 12
+
+let run_fault_around_case ~around ~override ~spurious probes =
+  let machine = Lz_kernel.Machine.create () in
+  let kernel = Lz_kernel.Kernel.create machine Lz_kernel.Kernel.Host_vhe in
+  let proc = Lz_kernel.Kernel.create_process kernel in
+  ignore (Lz_kernel.Kernel.map_anon kernel proc ~at:(stack_va - 0x10000)
+            ~len:0x10000 Lz_kernel.Vma.rw);
+  ignore (Lz_kernel.Kernel.map_anon kernel proc ~at:fa_data_va
+            ~len:(fa_pages * 4096) Lz_kernel.Vma.rw);
+  if around > 1 then
+    if override then
+      (match Lz_kernel.Proc.find_vma proc fa_data_va with
+      | Some vma -> vma.Lz_kernel.Vma.fault_around <- Some around
+      | None -> assert false)
+    else kernel.Lz_kernel.Kernel.fault_around <- around;
+  kernel.Lz_kernel.Kernel.spurious_fast <- spurious;
+  let addr_of idx =
+    [ Lz_arm.Insn.Movz (0, 0x60, 0); Lz_arm.Insn.Lsl_imm (0, 0, 16);
+      Lz_arm.Insn.Movz (1, idx * 4096, 0);
+      Lz_arm.Insn.Add (0, 0, Lz_arm.Insn.Reg 1) ]
+  in
+  let writes =
+    List.concat_map
+      (fun (idx, v) ->
+        addr_of idx
+        @ [ Lz_arm.Insn.Movz (2, v, 0); Lz_arm.Insn.Str (2, 0, 0) ])
+      probes
+  in
+  let reads =
+    List.concat_map
+      (fun (idx, _) ->
+        addr_of idx
+        @ [ Lz_arm.Insn.Ldr (3, 0, 0);
+            Lz_arm.Insn.Add (4, 4, Lz_arm.Insn.Reg 3) ])
+      probes
+  in
+  let prog =
+    writes @ reads
+    @ [ Lz_arm.Insn.Movz (8, Lz_kernel.Kernel.Nr.exit, 0);
+        Lz_arm.Insn.Mov_reg (0, 4); Lz_arm.Insn.Svc 0 ]
+  in
+  Lz_kernel.Kernel.load_program kernel proc ~va:code_va prog;
+  let core =
+    Lz_kernel.Kernel.new_user_core kernel proc ~entry:code_va ~sp:stack_va
+  in
+  let outcome = Lz_kernel.Kernel.run kernel proc core in
+  (outcome, Array.copy core.Lz_cpu.Core.regs)
+
+let prop_fault_around_equivalent =
+  QCheck2.Test.make
+    ~name:"kernel: fault-around clustering is architecturally invisible"
+    ~count:60
+    ~print:(fun (probes, (around, override, spurious)) ->
+      Printf.sprintf "probes=[%s] around=%d override=%b spurious=%b"
+        (String.concat "; "
+           (List.map (fun (i, v) -> Printf.sprintf "(%d,%d)" i v) probes))
+        around override spurious)
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 10)
+           (pair (int_bound (fa_pages - 1)) (int_bound 50)))
+        (triple (int_range 2 16) bool bool))
+    (fun (probes, (around, override, spurious)) ->
+      let base = run_fault_around_case ~around:1 ~override:false
+          ~spurious:false probes
+      in
+      let fa = run_fault_around_case ~around ~override ~spurious probes in
+      let (o1, r1) = base and (o2, r2) = fa in
+      (* [insns] counts execution attempts, so avoided fault retries
+         legitimately lower it; everything the program can observe —
+         outcome (the read-back sum) and final registers — must be
+         bit-identical. *)
+      o1 = o2 && r1 = r2)
+
 let () =
   Alcotest.run "lz_props"
     [ ( "sanitizer",
@@ -326,5 +411,6 @@ let () =
       ( "stage1", [ q prop_s1_model_agreement ] );
       ( "tlb", [ q prop_tlb_transparent ] );
       ( "fastpath", [ q prop_fast_slow_equivalent ] );
+      ( "fault-around", [ q prop_fault_around_equivalent ] );
       ( "aes", [ q prop_aes_roundtrip; q prop_aes_cbc_roundtrip ] );
       ( "lightzone", [ q prop_lz_policy ] ) ]

@@ -54,6 +54,45 @@ let test_pmu_discrete_events () =
   check_int "retarget restarts from current total" 3
     (Pmu.read_evcntr p ~cycles:20 ~insns:9 0)
 
+let test_pmu_overflow_wrap () =
+  let p = Pmu.create () in
+  Pmu.write_evtyper p ~cycles:0 ~insns:0 0 Pmu.Event.tlb_flush;
+  Pmu.write_cntenset p ~cycles:0 ~insns:0 0b1;
+  Pmu.write_pmcr p ~cycles:0 ~insns:0 0b1;
+  (* Park the 32-bit counter just below the top and push it over. *)
+  Pmu.write_evcntr p ~cycles:0 ~insns:0 0 0xFFFF_FFFE;
+  Pmu.record p Pmu.Event.tlb_flush;
+  Pmu.record p Pmu.Event.tlb_flush;
+  Pmu.record p Pmu.Event.tlb_flush;
+  check_int "counter wraps modulo 2^32, no pinning" 1
+    (Pmu.read_evcntr p ~cycles:10 ~insns:0 0);
+  check_int "wrap latches the overflow bit" 0b1
+    (Pmu.read_ovs p ~cycles:10 ~insns:0);
+  Pmu.write_ovsclr p ~cycles:10 ~insns:0 0b1;
+  check_int "PMOVSCLR clears the bit" 0 (Pmu.read_ovs p ~cycles:10 ~insns:0);
+  Pmu.write_ovsset p ~cycles:10 ~insns:0 0b10;
+  check_int "PMOVSSET sets bits directly" 0b10
+    (Pmu.read_ovs p ~cycles:10 ~insns:0)
+
+let test_pmu_cycle_overflow () =
+  let p = Pmu.create () in
+  Pmu.write_cntenset p ~cycles:0 ~insns:0 ccntr_bit;
+  Pmu.write_pmcr p ~cycles:0 ~insns:0 0b1;
+  Pmu.write_ccntr p ~cycles:0x100 0xFFFF_FF00;
+  (* 0x200 more cycles carry out of bit 31: with PMCR.LC clear the
+     cycle counter's overflow bit fires; the 64-bit value keeps
+     counting (no 32-bit truncation of PMCCNTR). *)
+  check_int "cycle counter keeps its 64-bit value" 0x1_0000_0100
+    (Pmu.read_ccntr p ~cycles:0x300);
+  check_int "bit-31 carry sets OVS bit 31" ccntr_bit
+    (Pmu.read_ovs p ~cycles:0x300 ~insns:0);
+  (* With LC set, 32-bit carries no longer latch the flag. *)
+  Pmu.write_ovsclr p ~cycles:0x300 ~insns:0 ccntr_bit;
+  Pmu.write_pmcr p ~cycles:0x300 ~insns:0 0b100_0001;
+  Pmu.write_ccntr p ~cycles:0x300 0xFFFF_FF00;
+  check_int "LC=1 suppresses the 32-bit overflow flag" 0
+    (Pmu.read_ovs p ~cycles:0x600 ~insns:0)
+
 (* ------------------------------------------------------------------ *)
 (* PMU exactness over the microbench programs (host API) *)
 
@@ -230,6 +269,99 @@ let test_traced_run_coverage () =
     (try List.assoc "domain_switch" rep.Span.points with Not_found -> 0)
 
 (* ------------------------------------------------------------------ *)
+(* Exclusive vs inclusive accounting on a synthetic nested stream *)
+
+let test_exclusive_inclusive () =
+  let ev cycles payload = { Trace.seq = 0; cycles; payload } in
+  (* A gate pass, then a forwarded fault: dabort into the EL1 stub,
+     HVC into EL2, EL2 ERET plus the stub-retiring balancing exit. *)
+  let events =
+    [ ev 100 (Trace.Gate_entry { gate = 0 });
+      ev 150 (Trace.Gate_check { gate = 0 });
+      ev 200 (Trace.Gate_exit { gate = 0 });
+      ev 300 (Trace.Trap_enter { ec = 0x24; from_el = 1; to_el = 1 });
+      ev 340 (Trace.Trap_enter { ec = 0x16; from_el = 1; to_el = 2 });
+      ev 700 (Trace.Trap_exit { from_el = 2; to_el = 1 });
+      ev 700 (Trace.Trap_exit { from_el = 1; to_el = 1 }) ]
+  in
+  let rep = Span.analyze ~total_cycles:1000 ~dropped:0 events in
+  let row name =
+    List.find (fun (x : Span.row) -> x.Span.name = name) rep.Span.rows
+  in
+  check_int "mainline exclusive" 500 (row "mainline").Span.cycles;
+  check_int "gate.switch exclusive" 50 (row "gate.switch").Span.cycles;
+  check_int "gate.check exclusive" 50 (row "gate.check").Span.cycles;
+  check_int "dabort exclusive is the stub only" 40
+    (row "trap.dabort").Span.cycles;
+  check_int "dabort inclusive spans the forward" 400
+    (row "trap.dabort").Span.inclusive_cycles;
+  check_int "hvc exclusive" 360 (row "trap.hvc").Span.cycles;
+  check_int "hvc inclusive" 360 (row "trap.hvc").Span.inclusive_cycles;
+  check_int "no dangling frames" 0 rep.Span.unbalanced;
+  check_bool "full coverage" true (rep.Span.coverage >= 0.999)
+
+(* ------------------------------------------------------------------ *)
+(* Decimation keeps boundaries, samples points, and scales counts *)
+
+let test_decimation () =
+  let tr = Trace.create ~decimate:4 () in
+  Trace.emit tr ~cycles:10 (Trace.Gate_entry { gate = 0 });
+  for i = 0 to 99 do
+    Trace.emit tr ~cycles:(20 + i) (Trace.Syscall { nr = i })
+  done;
+  Trace.emit tr ~cycles:200 (Trace.Gate_exit { gate = 0 });
+  check_int "boundaries kept, 1-in-4 points kept" 27 (Trace.len tr);
+  check_int "nothing counted as dropped" 0 (Trace.dropped tr);
+  check_int "total still counts every emission" 102 (Trace.total tr);
+  let rep = Span.of_trace ~total_cycles:300 tr in
+  check_int "point counts scaled back up" 100
+    (try List.assoc "syscall" rep.Span.points with Not_found -> 0);
+  check_bool "span coverage unaffected by decimation" true
+    (rep.Span.coverage >= 0.999)
+
+(* ------------------------------------------------------------------ *)
+(* Span attribution of forwarded traps (regression).
+
+   A stage-1 fault in a LightZone process takes two Trap_enters — the
+   EL1 vector stub, then the stub's HVC into EL2 — but the EL2 ERET
+   returns straight to the interrupted context, so only one Trap_exit
+   was emitted.  The analyzer's frame stack grew a dangling frame per
+   forwarded exception and attributed inter-fault mainline cycles to
+   the innermost trap class. *)
+
+let test_forwarded_trap_attribution () =
+  let r =
+    Lz_eval.Switch_bench.traced_run Cost_model.cortex_a55
+      ~env:Lz_eval.Switch_bench.Host ~domains:16 ~n:300
+  in
+  let rep = r.Lz_eval.Switch_bench.report in
+  let enters, exits, dabort_enters =
+    List.fold_left
+      (fun (en, ex, da) (e : Trace.event) ->
+        match e.Trace.payload with
+        | Trace.Trap_enter { ec; _ } ->
+            (en + 1, ex, if Span.ec_name ec = "dabort" then da + 1 else da)
+        | Trace.Trap_exit _ -> (en, ex + 1, da)
+        | _ -> (en, ex, da))
+      (0, 0, 0)
+      (Trace.events r.Lz_eval.Switch_bench.trace)
+  in
+  (* The final BRK never returns (the process exits inside the
+     handler), so its stub + HVC enters legitimately lack exits. *)
+  check_bool
+    (Printf.sprintf "trap enters balanced by exits (%d vs %d)" enters exits)
+    true
+    (enters - exits <= 2);
+  let row name =
+    List.find_opt (fun (x : Span.row) -> x.Span.name = name) rep.Span.rows
+  in
+  match row "trap.dabort" with
+  | None -> Alcotest.fail "no trap.dabort row in a demand-faulting run"
+  | Some d ->
+      check_int "one exclusive trap.dabort span per dabort" dabort_enters
+        d.Span.count
+
+(* ------------------------------------------------------------------ *)
 (* Tracing is architecturally invisible *)
 
 type summary = {
@@ -265,6 +397,52 @@ let prop_tracing_invisible =
       let on = summarize ~traced:true ~iters name in
       off = on)
 
+(* ------------------------------------------------------------------ *)
+(* Trap fast paths shrink the hot spans: with the Lowvisor
+   steady-state forwarding, shallow hypercall return and fault-around
+   enabled, the combined exclusive trap.hvc + trap.dabort cycles of a
+   Table 5 style run must strictly decrease — on both the host module
+   path and the Lowvisor-forwarded guest path — while attribution
+   coverage stays complete. *)
+
+let hot_trap_cycles (rep : Span.report) =
+  List.fold_left
+    (fun acc (r : Span.row) ->
+      if r.Span.name = "trap.hvc" || r.Span.name = "trap.dabort" then
+        acc + r.Span.cycles
+      else acc)
+    0 rep.Span.rows
+
+let test_fast_paths_shrink_traps () =
+  List.iter
+    (fun (label, env, cm, n) ->
+      let slow = Lz_eval.Switch_bench.traced_run cm ~env ~domains:16 ~n in
+      let fast =
+        Lz_eval.Switch_bench.traced_run ~fast_paths:true cm ~env ~domains:16
+          ~n
+      in
+      let s = hot_trap_cycles slow.Lz_eval.Switch_bench.report in
+      let f = hot_trap_cycles fast.Lz_eval.Switch_bench.report in
+      check_bool
+        (Printf.sprintf "%s: trap.hvc+trap.dabort exclusive shrink (%d -> %d)"
+           label s f)
+        true (f < s);
+      check_bool
+        (Printf.sprintf "%s: total cycles shrink (%d -> %d)" label
+           slow.Lz_eval.Switch_bench.total_cycles
+           fast.Lz_eval.Switch_bench.total_cycles)
+        true
+        (fast.Lz_eval.Switch_bench.total_cycles
+        < slow.Lz_eval.Switch_bench.total_cycles);
+      check_bool
+        (Printf.sprintf "%s: fast-run coverage >= 0.95" label)
+        true
+        (fast.Lz_eval.Switch_bench.report.Span.coverage >= 0.95))
+    (* The host run needs enough switches for a multi-page index array,
+       or there is nothing for fault-around to cluster. *)
+    [ ("host/cortex", Lz_eval.Switch_bench.Host, Cost_model.cortex_a55, 2000);
+      ("guest/carmel", Lz_eval.Switch_bench.Guest, Cost_model.carmel, 300) ]
+
 let prop_fast_slow_with_tracing =
   QCheck2.Test.make
     ~name:"trace: fast path stays invisible with tracing on" ~count:15
@@ -281,6 +459,10 @@ let () =
         [ Alcotest.test_case "enable/disable freeze" `Quick test_pmu_freeze;
           Alcotest.test_case "discrete events" `Quick
             test_pmu_discrete_events;
+          Alcotest.test_case "32-bit wrap latches overflow" `Quick
+            test_pmu_overflow_wrap;
+          Alcotest.test_case "cycle-counter overflow flag" `Quick
+            test_pmu_cycle_overflow;
           Alcotest.test_case "exact: aes" `Quick (test_pmu_exact "aes");
           Alcotest.test_case "exact: mysql" `Quick (test_pmu_exact "mysql");
           Alcotest.test_case "exact: nginx" `Quick (test_pmu_exact "nginx");
@@ -295,6 +477,14 @@ let () =
       );
       ( "spans",
         [ Alcotest.test_case "gate-run attribution" `Quick
-            test_traced_run_coverage ] );
+            test_traced_run_coverage;
+          Alcotest.test_case "exclusive vs inclusive accounting" `Quick
+            test_exclusive_inclusive;
+          Alcotest.test_case "decimation scales point counts" `Quick
+            test_decimation;
+          Alcotest.test_case "forwarded-trap attribution (regression)"
+            `Quick test_forwarded_trap_attribution;
+          Alcotest.test_case "fast paths shrink the hot trap spans" `Quick
+            test_fast_paths_shrink_traps ] );
       ( "invisibility",
         [ q prop_tracing_invisible; q prop_fast_slow_with_tracing ] ) ]
