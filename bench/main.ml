@@ -80,6 +80,51 @@ let table5 () =
         paper)
     cases
 
+(* table5 --preempt: the 128-domain Table 5 workload under the
+   preemptive timer. The generic timer fires PPI 30 every [slice]
+   cycles through the GIC, preempting the zone at the EL2 module
+   boundary; asynchronous delivery must be architecturally invisible,
+   so the run must end bit-identical (registers, memory, retired
+   instructions, zone tables) to the cooperative run. *)
+let table5_preempt () =
+  hr "Table 5 preemptive smoke: 128 domains under the timer tick";
+  let iterations = if !quick then 500 else 2_000 in
+  let slice = 5_000 in
+  let failures = ref 0 in
+  List.iter
+    (fun (cm, env, label) ->
+      let coop =
+        Lz_eval.Switch_bench.traced_run cm ~env ~domains:128 ~n:iterations
+      in
+      let pre =
+        Lz_eval.Switch_bench.traced_run ~preempt:slice cm ~env ~domains:128
+          ~n:iterations
+      in
+      let ok = coop.Lz_eval.Switch_bench.digest
+               = pre.Lz_eval.Switch_bench.digest in
+      if not ok then incr failures;
+      Format.printf
+        "-- %s --@.  %d preemptions (slice %d cycles), %d -> %d cycles@."
+        label pre.Lz_eval.Switch_bench.preemptions slice
+        coop.Lz_eval.Switch_bench.total_cycles
+        pre.Lz_eval.Switch_bench.total_cycles;
+      Format.printf "  trace span coverage: %.1f%%@."
+        (100. *. pre.Lz_eval.Switch_bench.report.Lz_trace.Span.coverage);
+      Format.printf "  architectural state: %s@."
+        (if ok then "bit-identical to cooperative run"
+         else
+           Printf.sprintf "MISMATCH (%s vs %s)"
+             coop.Lz_eval.Switch_bench.digest pre.Lz_eval.Switch_bench.digest))
+    [ (Lz_cpu.Cost_model.carmel, Lz_eval.Switch_bench.Host, "Carmel Host");
+      (Lz_cpu.Cost_model.carmel, Lz_eval.Switch_bench.Guest, "Carmel Guest");
+      (Lz_cpu.Cost_model.cortex_a55, Lz_eval.Switch_bench.Host, "Cortex") ];
+  if !failures > 0 then begin
+    Format.printf "@.verdict: FAILURE (%d configuration(s) diverged)@."
+      !failures;
+    exit 1
+  end
+  else Format.printf "@.verdict: preemption is architecturally invisible@."
+
 let pp_series label paper_loss series =
   Format.printf "@.-- %s --@." label;
   let paper = try List.assoc label paper_loss with Not_found -> [] in
@@ -335,6 +380,8 @@ let all () =
   ablation ();
   pentest ()
 
+let preempt = ref false
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let args =
@@ -342,6 +389,10 @@ let () =
       (fun a ->
         if a = "quick" || a = "--quick" then begin
           quick := true;
+          false
+        end
+        else if a = "preempt" || a = "--preempt" then begin
+          preempt := true;
           false
         end
         else true)
@@ -354,7 +405,7 @@ let () =
         (function
           | "table1" -> table1 ()
           | "table4" -> table4 ()
-          | "table5" -> table5 ()
+          | "table5" -> if !preempt then table5_preempt () else table5 ()
           | "fig3" -> fig3 ()
           | "fig4" -> fig4 ()
           | "fig5" -> fig5 ()

@@ -162,7 +162,17 @@ let profile_cmd =
       (fun m ->
         Format.printf "%a@." Lz_workloads.Iso_profile.pp
           (Lz_eval.Profiles.profile cm env m))
-      Lz_eval.Profiles.all_mechs
+      Lz_eval.Profiles.all_mechs;
+    (* PMU-measured counters (§5.2.1 retention, TLB maintenance) from
+       an instrumented syscall-mix run of the zone. *)
+    let c = Lz_eval.Profiles.pmu_counters cm env in
+    let rate = Lz_eval.Profiles.retention_rate c in
+    Format.printf "PMU counters (measured):@.";
+    Format.printf "  context retention: %d hits / %d misses%s@."
+      c.Lz_eval.Profiles.retention_hits c.Lz_eval.Profiles.retention_misses
+      (if Float.is_nan rate then ""
+       else Printf.sprintf " (%.1f%% hit rate)" (100. *. rate));
+    Format.printf "  TLB flushes:       %d@." c.Lz_eval.Profiles.tlb_flushes
   in
   Cmd.v
     (Cmd.info "profile"

@@ -31,8 +31,11 @@ module Event = struct
   let dtlb_walk = 0x34
   let itlb_walk = 0x35
 
-  (* IMPLEMENTATION DEFINED event: TLB invalidate operations. *)
+  (* IMPLEMENTATION DEFINED events: TLB invalidate operations and
+     LightZone retention-cache probes (paper Section 5.2.1). *)
   let tlb_flush = 0xC0
+  let retention_hit = 0xC1
+  let retention_miss = 0xC2
 
   let name = function
     | 0x02 -> "L1I_TLB_REFILL"
@@ -44,6 +47,8 @@ module Event = struct
     | 0x34 -> "DTLB_WALK"
     | 0x35 -> "ITLB_WALK"
     | 0xC0 -> "TLB_FLUSH"
+    | 0xC1 -> "LZ_RETENTION_HIT"
+    | 0xC2 -> "LZ_RETENTION_MISS"
     | ev -> Printf.sprintf "EVENT_%04x" ev
 end
 
@@ -63,6 +68,7 @@ type t = {
   mutable long_cycle : bool;  (* PMCR_EL0.LC *)
   mutable cnten : int;  (* PMCNTENSET/CLR mask *)
   mutable ovs : int;  (* PMOVSSET/CLR overflow status *)
+  mutable inten : int;  (* PMINTENSET/CLR overflow-interrupt enables *)
   mutable cc_epoch : int;  (* cycle-counter bits 63:32 at last sync *)
   evtyper : int array;  (* PMEVTYPERn.evtCount *)
   acc : int array;
@@ -76,6 +82,7 @@ let create () =
     long_cycle = false;
     cnten = 0;
     ovs = 0;
+    inten = 0;
     cc_epoch = 0;
     evtyper = Array.make n_counters 0;
     acc = Array.make (n_counters + 1) 0;
@@ -218,8 +225,8 @@ let write_ccntr t ~cycles v =
   if slot_enabled t cycle_slot then t.snap.(cycle_slot) <- cycles
 
 (* PMOVSSET/PMOVSCLR_EL0: reads of either return the latched overflow
-   status; writes set / clear bits (no overflow interrupt is
-   modelled). *)
+   status; writes set / clear bits.  An overflow bit that is also
+   enabled in PMINTENSET drives the PMU PPI level ([irq_line]). *)
 
 let read_ovs t ~cycles ~insns =
   sync_all t ~cycles ~insns;
@@ -232,5 +239,19 @@ let write_ovsset t ~cycles ~insns v =
 let write_ovsclr t ~cycles ~insns v =
   sync_all t ~cycles ~insns;
   t.ovs <- t.ovs land lnot (v land enable_mask)
+
+(* PMINTENSET/PMINTENCLR_EL1: overflow-interrupt enables. *)
+
+let read_inten t = t.inten
+
+let write_intenset t v = t.inten <- t.inten lor (v land enable_mask)
+
+let write_intenclr t v = t.inten <- t.inten land lnot (v land enable_mask)
+
+(* The PMU PPI is level-sensitive: asserted while any latched overflow
+   bit has its interrupt enabled.  The cheap [inten = 0] guard keeps
+   the per-instruction poll free when no one asked for interrupts. *)
+let irq_line t ~cycles ~insns =
+  t.inten <> 0 && read_ovs t ~cycles ~insns land t.inten <> 0
 
 let event_total t event = t.totals.(event land 0xFF)

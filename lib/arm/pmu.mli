@@ -18,6 +18,8 @@ module Event : sig
   val dtlb_walk : int (* 0x34 *)
   val itlb_walk : int (* 0x35 *)
   val tlb_flush : int (* 0xC0, IMPLEMENTATION DEFINED *)
+  val retention_hit : int (* 0xC1, LightZone retention cache hit *)
+  val retention_miss : int (* 0xC2, LightZone retention cache miss *)
   val name : int -> string
 end
 
@@ -64,9 +66,20 @@ val read_ovs : t -> cycles:int -> insns:int -> int
 
 val write_ovsset : t -> cycles:int -> insns:int -> int -> unit
 val write_ovsclr : t -> cycles:int -> insns:int -> int -> unit
-(** Set / clear overflow-status bits. Overflow never delivers an
-    interrupt in this model; the flags are purely architectural
-    state. *)
+(** Set / clear overflow-status bits. *)
+
+val read_inten : t -> int
+val write_intenset : t -> int -> unit
+val write_intenclr : t -> int -> unit
+(** PMINTENSET/PMINTENCLR_EL1: per-counter overflow-interrupt enables
+    (bit [n] for event counter [n], bit 31 for the cycle counter). *)
+
+val irq_line : t -> cycles:int -> insns:int -> bool
+(** Level of the PMU overflow interrupt: true while any latched
+    overflow-status bit also has its PMINTENSET bit set. The core polls
+    this at instruction boundaries and drives the PMU PPI with it, so
+    an enabled overflow is delivered as a real asynchronous exception
+    through the GIC ({!Lz_irq}). *)
 
 val event_total : t -> int -> int
 (** Raw occurrence total for a discrete event, independent of counter

@@ -58,6 +58,24 @@ type t =
   | PMEVTYPER3_EL0 | PMEVTYPER4_EL0 | PMEVTYPER5_EL0
   | PMOVSCLR_EL0
   | PMOVSSET_EL0
+  | PMINTENSET_EL1
+  | PMINTENCLR_EL1
+  (* EL1 physical generic timer (serviced from an attached Lz_irq
+     timer, not the register file). *)
+  | CNTP_TVAL_EL0
+  | CNTP_CTL_EL0
+  | CNTP_CVAL_EL0
+  (* GICv3 CPU interface (serviced from an attached Lz_irq GIC). *)
+  | ICC_PMR_EL1
+  | ICC_IAR1_EL1
+  | ICC_EOIR1_EL1
+  | ICC_HPPIR1_EL1
+  | ICC_BPR1_EL1
+  | ICC_CTLR_EL1
+  | ICC_SRE_EL1
+  | ICC_IGRPEN1_EL1
+  | ICC_RPR_EL1
+  | ICC_SGI1R_EL1
 
 type enc = { op0 : int; op1 : int; crn : int; crm : int; op2 : int }
 
@@ -133,6 +151,21 @@ let encoding = function
   | PMEVTYPER5_EL0 -> enc 3 3 14 12 5
   | PMOVSCLR_EL0 -> enc 3 3 9 12 3
   | PMOVSSET_EL0 -> enc 3 3 9 14 3
+  | PMINTENSET_EL1 -> enc 3 0 9 14 1
+  | PMINTENCLR_EL1 -> enc 3 0 9 14 2
+  | CNTP_TVAL_EL0 -> enc 3 3 14 2 0
+  | CNTP_CTL_EL0 -> enc 3 3 14 2 1
+  | CNTP_CVAL_EL0 -> enc 3 3 14 2 2
+  | ICC_PMR_EL1 -> enc 3 0 4 6 0
+  | ICC_IAR1_EL1 -> enc 3 0 12 12 0
+  | ICC_EOIR1_EL1 -> enc 3 0 12 12 1
+  | ICC_HPPIR1_EL1 -> enc 3 0 12 12 2
+  | ICC_BPR1_EL1 -> enc 3 0 12 12 3
+  | ICC_CTLR_EL1 -> enc 3 0 12 12 4
+  | ICC_SRE_EL1 -> enc 3 0 12 12 5
+  | ICC_IGRPEN1_EL1 -> enc 3 0 12 12 7
+  | ICC_RPR_EL1 -> enc 3 0 12 11 3
+  | ICC_SGI1R_EL1 -> enc 3 0 12 11 5
 
 let pmu_event_counters = 6
 
@@ -173,7 +206,11 @@ let all =
     TCR_EL2; SCTLR_EL2; VBAR_EL2; ESR_EL2; ELR_EL2; SPSR_EL2; FAR_EL2;
     HPFAR_EL2; CPTR_EL2; MDCR_EL2; TPIDR_EL2; CNTHCTL_EL2; VPIDR_EL2;
     VMPIDR_EL2; PMCR_EL0; PMCNTENSET_EL0; PMCNTENCLR_EL0; PMCCNTR_EL0;
-    PMOVSCLR_EL0; PMOVSSET_EL0 ]
+    PMOVSCLR_EL0; PMOVSSET_EL0; PMINTENSET_EL1; PMINTENCLR_EL1;
+    CNTP_TVAL_EL0; CNTP_CTL_EL0; CNTP_CVAL_EL0; ICC_PMR_EL1;
+    ICC_IAR1_EL1; ICC_EOIR1_EL1; ICC_HPPIR1_EL1; ICC_BPR1_EL1;
+    ICC_CTLR_EL1; ICC_SRE_EL1; ICC_IGRPEN1_EL1; ICC_RPR_EL1;
+    ICC_SGI1R_EL1 ]
   @ List.init pmu_event_counters pmevcntr
   @ List.init pmu_event_counters pmevtyper
 
@@ -255,6 +292,21 @@ let name = function
   | PMEVTYPER5_EL0 -> "PMEVTYPER5_EL0"
   | PMOVSCLR_EL0 -> "PMOVSCLR_EL0"
   | PMOVSSET_EL0 -> "PMOVSSET_EL0"
+  | PMINTENSET_EL1 -> "PMINTENSET_EL1"
+  | PMINTENCLR_EL1 -> "PMINTENCLR_EL1"
+  | CNTP_TVAL_EL0 -> "CNTP_TVAL_EL0"
+  | CNTP_CTL_EL0 -> "CNTP_CTL_EL0"
+  | CNTP_CVAL_EL0 -> "CNTP_CVAL_EL0"
+  | ICC_PMR_EL1 -> "ICC_PMR_EL1"
+  | ICC_IAR1_EL1 -> "ICC_IAR1_EL1"
+  | ICC_EOIR1_EL1 -> "ICC_EOIR1_EL1"
+  | ICC_HPPIR1_EL1 -> "ICC_HPPIR1_EL1"
+  | ICC_BPR1_EL1 -> "ICC_BPR1_EL1"
+  | ICC_CTLR_EL1 -> "ICC_CTLR_EL1"
+  | ICC_SRE_EL1 -> "ICC_SRE_EL1"
+  | ICC_IGRPEN1_EL1 -> "ICC_IGRPEN1_EL1"
+  | ICC_RPR_EL1 -> "ICC_RPR_EL1"
+  | ICC_SGI1R_EL1 -> "ICC_SGI1R_EL1"
 
 let min_el r =
   match (encoding r).op1 with
@@ -333,8 +385,23 @@ let index = function
   | PMEVTYPER5_EL0 -> 65
   | PMOVSCLR_EL0 -> 66
   | PMOVSSET_EL0 -> 67
+  | PMINTENSET_EL1 -> 68
+  | PMINTENCLR_EL1 -> 69
+  | CNTP_TVAL_EL0 -> 70
+  | CNTP_CTL_EL0 -> 71
+  | CNTP_CVAL_EL0 -> 72
+  | ICC_PMR_EL1 -> 73
+  | ICC_IAR1_EL1 -> 74
+  | ICC_EOIR1_EL1 -> 75
+  | ICC_HPPIR1_EL1 -> 76
+  | ICC_BPR1_EL1 -> 77
+  | ICC_CTLR_EL1 -> 78
+  | ICC_SRE_EL1 -> 79
+  | ICC_IGRPEN1_EL1 -> 80
+  | ICC_RPR_EL1 -> 81
+  | ICC_SGI1R_EL1 -> 82
 
-let nregs = 68
+let nregs = 83
 
 (* Generation counters let cached derivations (the core's memoized
    MMU context, the watchpoint-armed flag) detect staleness without

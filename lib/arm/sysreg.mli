@@ -71,6 +71,26 @@ type t =
   | PMEVTYPER3_EL0 | PMEVTYPER4_EL0 | PMEVTYPER5_EL0
   | PMOVSCLR_EL0  (** Overflow status; writes clear bits. *)
   | PMOVSSET_EL0  (** Overflow status; writes set bits. *)
+  | PMINTENSET_EL1  (** Overflow interrupt enable; writes set bits. *)
+  | PMINTENCLR_EL1  (** Overflow interrupt enable; writes clear bits. *)
+  (* EL1 physical generic timer. Like the PMU registers these are not
+     backed by the register file: the core services accesses from an
+     attached {!Lz_irq} timer driven off the cycle counter. *)
+  | CNTP_TVAL_EL0
+  | CNTP_CTL_EL0
+  | CNTP_CVAL_EL0
+  (* GICv3 CPU interface. Serviced from an attached Lz_irq GIC;
+     IAR1 reads acknowledge, EOIR1 writes retire. *)
+  | ICC_PMR_EL1
+  | ICC_IAR1_EL1
+  | ICC_EOIR1_EL1
+  | ICC_HPPIR1_EL1
+  | ICC_BPR1_EL1
+  | ICC_CTLR_EL1
+  | ICC_SRE_EL1
+  | ICC_IGRPEN1_EL1
+  | ICC_RPR_EL1
+  | ICC_SGI1R_EL1
 
 val pmu_event_counters : int
 (** Number of modelled PMEVCNTRn/PMEVTYPERn pairs (6). *)

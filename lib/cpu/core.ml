@@ -12,6 +12,7 @@ type exception_class =
   | Ec_sysreg_trap of Insn.t
   | Ec_wfi
   | Ec_watchpoint of int
+  | Ec_irq of int
 
 type stop =
   | Trap_el2 of exception_class
@@ -39,6 +40,11 @@ type t = {
      bit-identical (the qcheck differential properties check this). *)
   mutable tracer : Lz_trace.Trace.t option;
   mutable pmu : Pmu.t option;
+  (* Interrupt fabric (GIC redistributor view + generic timer). Like
+     the PMU it defaults to [None]: with nothing attached the
+     per-boundary overhead is one null check and delivery never
+     happens, so existing workloads are untouched. *)
+  mutable irqc : Lz_irq.Irq.t option;
 }
 
 (* LZ_SLOW_PATH=1 forces the original un-cached path everywhere, for
@@ -61,7 +67,8 @@ let create ?(route_el1_to_harness = true) ?fast phys tlb cost el =
     route_el1_to_harness;
     fp = Fastpath.create ~enabled:fast;
     tracer = None;
-    pmu = None }
+    pmu = None;
+    irqc = None }
 
 let set_tracer t tr =
   t.tracer <- tr;
@@ -87,6 +94,21 @@ let attach_pmu t =
       p
 
 let pmu t = t.pmu
+
+(* The IRQ fabric attaches the same way: lazily on the first guest
+   ICC_*/CNTP_* access, or eagerly from the host ([?dist] shares one
+   distributor between cores for SGI/SPI routing). Attachment alone
+   never perturbs execution — delivery requires something to raise an
+   interrupt line first. *)
+let attach_irq ?dist t =
+  match t.irqc with
+  | Some iv -> iv
+  | None ->
+      let iv = Lz_irq.Irq.create ?dist () in
+      t.irqc <- Some iv;
+      iv
+
+let irq t = t.irqc
 
 let fast t = t.fp.Fastpath.enabled
 
@@ -310,6 +332,7 @@ let esr_of_class = function
   | Ec_sysreg_trap _ -> 0x18 lsl 26
   | Ec_wfi -> 0x01 lsl 26
   | Ec_watchpoint _ -> 0x34 lsl 26
+  | Ec_irq _ -> 0 (* asynchronous: ESR is not written on IRQ entry *)
 
 let fault_of_class = function
   | Ec_dabort f | Ec_iabort f -> Some f
@@ -354,6 +377,9 @@ let take_exception_to_el2 t cls =
   | _ -> ());
   t.pstate.el <- Pstate.EL2;
   t.pstate.sp_sel <- true;
+  (* Hardware exception entry masks DAIF; ERET restores it from the
+     SPSR capture above. *)
+  t.pstate.daif <- 0xF;
   charge t
     (if from = Pstate.EL0 then t.cost.exc_entry_el2_from_el0
      else t.cost.exc_entry_el2_from_el1)
@@ -372,6 +398,7 @@ let take_exception_to_el1 t cls ~ret =
   | _ -> ());
   t.pstate.el <- Pstate.EL1;
   t.pstate.sp_sel <- true;
+  t.pstate.daif <- 0xF;
   charge t t.cost.exc_entry_el1;
   (* Vector offset: 0x200 for current-EL-with-SPx, 0x400 from EL0. *)
   let vbar = Sysreg.read t.sys Sysreg.VBAR_EL1 in
@@ -388,6 +415,112 @@ let eret_from_el1 t =
   Pstate.of_spsr t.pstate (Sysreg.read t.sys Sysreg.SPSR_EL1);
   charge t t.cost.eret_el1;
   note_trap_exit t ~from_el:1
+
+let note_irq_enter t ~intid ~to_el =
+  (match t.pmu with
+  | Some p -> Pmu.record p Pmu.Event.exc_taken
+  | None -> ());
+  match t.tracer with
+  | Some tr ->
+      Lz_trace.Trace.emit tr ~cycles:t.cycles
+        (Lz_trace.Trace.Irq_enter
+           { intid; from_el = Pstate.el_number t.pstate.el; to_el })
+  | None -> ()
+
+(* Asynchronous interrupt delivery, polled at instruction boundaries —
+   identically in both [run] loops and in [step], so traced/untraced
+   and fast/slow runs take interrupts at the same instruction.
+   Delivery depends only on architectural state (DAIF, HCR, the GIC
+   latches) and the cycle counter, all of which are bit-identical
+   across those modes. IRQs route to EL2 when HCR_EL2.{IMO,TGE} claim
+   them (the hypervisor then re-injects into the guest as a virtual
+   interrupt); otherwise they take the EL1 vector at VBAR_EL1 + 0x280
+   (current EL, SPx) or + 0x480 (from EL0). No ESR is written — the
+   handler identifies the source by reading ICC_IAR1_EL1. *)
+let take_irq t intid =
+  let from = t.pstate.el in
+  if hcr t land (Sysreg.Hcr.imo lor Sysreg.Hcr.tge) <> 0 then begin
+    note_irq_enter t ~intid ~to_el:2;
+    Sysreg.write t.sys Sysreg.ELR_EL2 t.pc;
+    Sysreg.write t.sys Sysreg.SPSR_EL2 (Pstate.to_spsr t.pstate);
+    t.pstate.el <- Pstate.EL2;
+    t.pstate.sp_sel <- true;
+    t.pstate.daif <- 0xF;
+    charge t
+      (if from = Pstate.EL0 then t.cost.exc_entry_el2_from_el0
+       else t.cost.exc_entry_el2_from_el1);
+    Some (Trap_el2 (Ec_irq intid))
+  end
+  else begin
+    note_irq_enter t ~intid ~to_el:1;
+    Sysreg.write t.sys Sysreg.ELR_EL1 t.pc;
+    Sysreg.write t.sys Sysreg.SPSR_EL1 (Pstate.to_spsr t.pstate);
+    t.pstate.el <- Pstate.EL1;
+    t.pstate.sp_sel <- true;
+    t.pstate.daif <- 0xF;
+    charge t t.cost.exc_entry_el1;
+    let vbar = Sysreg.read t.sys Sysreg.VBAR_EL1 in
+    t.pc <- (vbar + if from = Pstate.EL0 then 0x480 else 0x280);
+    if t.route_el1_to_harness then Some (Trap_el1 (Ec_irq intid)) else None
+  end
+
+let poll_irq t iv =
+  if t.pstate.daif land 2 <> 0 then None
+  else
+    let pmu_line =
+      match t.pmu with
+      | Some p -> Pmu.irq_line p ~cycles:t.cycles ~insns:t.insns
+      | None -> false
+    in
+    match Lz_irq.Irq.pending iv ~now:t.cycles ~pmu_line with
+    | None -> None
+    | Some intid -> take_irq t intid
+
+let maybe_irq t =
+  match t.irqc with None -> None | Some iv -> poll_irq t iv
+
+(* Default end-of-interrupt quiescing for OCaml-modelled handlers: if
+   the acked source's level line is still asserted after the handler
+   ran (nothing reprogrammed the timer / cleared PMOVS), silence it so
+   a level-triggered PPI cannot re-pend forever. *)
+let quiesce_irq t intid =
+  match t.irqc with
+  | None -> ()
+  | Some iv ->
+      if
+        intid = Lz_irq.Gic.ppi_el1_timer
+        && Lz_irq.Timer.output iv.Lz_irq.Irq.timer ~now:t.cycles
+      then Lz_irq.Timer.stop iv.Lz_irq.Irq.timer
+      else if intid = Lz_irq.Gic.ppi_pmu then
+        match t.pmu with
+        | Some p when Pmu.irq_line p ~cycles:t.cycles ~insns:t.insns ->
+            Pmu.write_ovsclr p ~cycles:t.cycles ~insns:t.insns (-1)
+        | _ -> ()
+
+(* Emulate a guest taking an IRQ at its own EL1 vector while the core
+   is parked at EL2 (virtual-interrupt injection, as with HCR_EL2.VI).
+   The interrupted guest context captured in ELR_EL2/SPSR_EL2 is
+   re-banked into ELR_EL1/SPSR_EL1 and the EL2 return is redirected to
+   the guest's IRQ vector with interrupts masked, so the hypervisor's
+   next ERET lands in the guest handler exactly as hardware injection
+   would. Call only while stopped at a [Trap_el2] boundary. *)
+let inject_irq_to_el1 t ~intid =
+  let spsr = Sysreg.read t.sys Sysreg.SPSR_EL2 in
+  Sysreg.write t.sys Sysreg.SPSR_EL1 spsr;
+  Sysreg.write t.sys Sysreg.ELR_EL1 (Sysreg.read t.sys Sysreg.ELR_EL2);
+  let from_el = (spsr lsr 2) land 0x3 in
+  (match t.tracer with
+  | Some tr ->
+      Lz_trace.Trace.emit tr ~cycles:t.cycles
+        (Lz_trace.Trace.Irq_enter { intid; from_el; to_el = 1 })
+  | None -> ());
+  let handler = Pstate.make Pstate.EL1 in
+  handler.Pstate.daif <- 0xF;
+  Sysreg.write t.sys Sysreg.SPSR_EL2 (Pstate.to_spsr handler);
+  Sysreg.write t.sys Sysreg.ELR_EL2
+    (Sysreg.read t.sys Sysreg.VBAR_EL1
+    + if from_el = 0 then 0x480 else 0x280);
+  charge t t.cost.exc_entry_el1
 
 (* Exception routing: decides who handles an exception, performs the
    architectural entry, and reports whether the harness takes over. *)
@@ -504,6 +637,8 @@ let pmu_write t r v =
       Pmu.write_evtyper p ~cycles ~insns (Sysreg.pmev_slot r) v
   | Sysreg.PMOVSSET_EL0 -> Pmu.write_ovsset p ~cycles ~insns v
   | Sysreg.PMOVSCLR_EL0 -> Pmu.write_ovsclr p ~cycles ~insns v
+  | Sysreg.PMINTENSET_EL1 -> Pmu.write_intenset p v
+  | Sysreg.PMINTENCLR_EL1 -> Pmu.write_intenclr p v
   | _ -> assert false
 
 let pmu_read t r =
@@ -523,6 +658,58 @@ let pmu_read t r =
       Pmu.read_evtyper p (Sysreg.pmev_slot r)
   | Sysreg.PMOVSSET_EL0 | Sysreg.PMOVSCLR_EL0 ->
       Pmu.read_ovs p ~cycles ~insns
+  | Sysreg.PMINTENSET_EL1 | Sysreg.PMINTENCLR_EL1 -> Pmu.read_inten p
+  | _ -> assert false
+
+(* Generic-timer and GIC CPU-interface registers are serviced from the
+   attached IRQ fabric. ICC_IAR1_EL1 / ICC_HPPIR1_EL1 reads first
+   refresh the level-sensitive inputs (timer output, PMU overflow
+   line) so the acknowledged INTID reflects the lines at read time. *)
+let refresh_irq_inputs t iv =
+  let pmu_line =
+    match t.pmu with
+    | Some p -> Pmu.irq_line p ~cycles:t.cycles ~insns:t.insns
+    | None -> false
+  in
+  ignore (Lz_irq.Irq.pending iv ~now:t.cycles ~pmu_line)
+
+let irq_write t r v =
+  let iv = attach_irq t in
+  let gic = iv.Lz_irq.Irq.gic and timer = iv.Lz_irq.Irq.timer in
+  match r with
+  | Sysreg.CNTP_TVAL_EL0 -> Lz_irq.Timer.write_tval timer ~now:t.cycles v
+  | Sysreg.CNTP_CTL_EL0 -> Lz_irq.Timer.write_ctl timer v
+  | Sysreg.CNTP_CVAL_EL0 -> Lz_irq.Timer.write_cval timer v
+  | Sysreg.ICC_PMR_EL1 -> Lz_irq.Gic.write_pmr gic v
+  | Sysreg.ICC_EOIR1_EL1 -> Lz_irq.Gic.eoi gic (v land 0xFFFFFF)
+  | Sysreg.ICC_BPR1_EL1 -> Lz_irq.Gic.write_bpr1 gic v
+  | Sysreg.ICC_IGRPEN1_EL1 -> Lz_irq.Gic.write_igrpen1 gic v
+  | Sysreg.ICC_SGI1R_EL1 -> Lz_irq.Gic.write_sgi1r gic v
+  | Sysreg.ICC_CTLR_EL1 | Sysreg.ICC_SRE_EL1 | Sysreg.ICC_IAR1_EL1
+  | Sysreg.ICC_HPPIR1_EL1 | Sysreg.ICC_RPR_EL1 ->
+      () (* read-only or fixed-behaviour: writes are ignored *)
+  | _ -> assert false
+
+let irq_read t r =
+  let iv = attach_irq t in
+  let gic = iv.Lz_irq.Irq.gic and timer = iv.Lz_irq.Irq.timer in
+  match r with
+  | Sysreg.CNTP_TVAL_EL0 -> Lz_irq.Timer.read_tval timer ~now:t.cycles
+  | Sysreg.CNTP_CTL_EL0 -> Lz_irq.Timer.read_ctl timer ~now:t.cycles
+  | Sysreg.CNTP_CVAL_EL0 -> Lz_irq.Timer.read_cval timer
+  | Sysreg.ICC_PMR_EL1 -> Lz_irq.Gic.read_pmr gic
+  | Sysreg.ICC_IAR1_EL1 ->
+      refresh_irq_inputs t iv;
+      Lz_irq.Gic.acknowledge gic
+  | Sysreg.ICC_HPPIR1_EL1 ->
+      refresh_irq_inputs t iv;
+      Lz_irq.Gic.read_hppir1 gic
+  | Sysreg.ICC_BPR1_EL1 -> Lz_irq.Gic.read_bpr1 gic
+  | Sysreg.ICC_CTLR_EL1 -> 0
+  | Sysreg.ICC_SRE_EL1 -> 0x7 (* SRE|DFB|DIB: sysreg interface on *)
+  | Sysreg.ICC_IGRPEN1_EL1 -> Lz_irq.Gic.read_igrpen1 gic
+  | Sysreg.ICC_RPR_EL1 -> Lz_irq.Gic.read_rpr gic
+  | Sysreg.ICC_EOIR1_EL1 -> 0 (* write-only *)
   | _ -> assert false
 
 let exec_sysreg t insn ~ret =
@@ -539,8 +726,15 @@ let exec_sysreg t insn ~ret =
           | PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0 | PMEVCNTR3_EL0
           | PMEVCNTR4_EL0 | PMEVCNTR5_EL0 | PMEVTYPER0_EL0 | PMEVTYPER1_EL0
           | PMEVTYPER2_EL0 | PMEVTYPER3_EL0 | PMEVTYPER4_EL0
-          | PMEVTYPER5_EL0 | PMOVSSET_EL0 | PMOVSCLR_EL0 )) ->
+          | PMEVTYPER5_EL0 | PMOVSSET_EL0 | PMOVSCLR_EL0 | PMINTENSET_EL1
+          | PMINTENCLR_EL1 )) ->
           pmu_write t r (reg t rt)
+      | Sysreg.(
+          ( CNTP_TVAL_EL0 | CNTP_CTL_EL0 | CNTP_CVAL_EL0 | ICC_PMR_EL1
+          | ICC_IAR1_EL1 | ICC_EOIR1_EL1 | ICC_HPPIR1_EL1 | ICC_BPR1_EL1
+          | ICC_CTLR_EL1 | ICC_SRE_EL1 | ICC_IGRPEN1_EL1 | ICC_RPR_EL1
+          | ICC_SGI1R_EL1 )) ->
+          irq_write t r (reg t rt)
       | Sysreg.TTBR0_EL1 ->
           Sysreg.write t.sys r (reg t rt);
           (match t.tracer with
@@ -563,8 +757,15 @@ let exec_sysreg t insn ~ret =
           | PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0 | PMEVCNTR3_EL0
           | PMEVCNTR4_EL0 | PMEVCNTR5_EL0 | PMEVTYPER0_EL0 | PMEVTYPER1_EL0
           | PMEVTYPER2_EL0 | PMEVTYPER3_EL0 | PMEVTYPER4_EL0
-          | PMEVTYPER5_EL0 | PMOVSSET_EL0 | PMOVSCLR_EL0 )) ->
+          | PMEVTYPER5_EL0 | PMOVSSET_EL0 | PMOVSCLR_EL0 | PMINTENSET_EL1
+          | PMINTENCLR_EL1 )) ->
           set_reg t rt (pmu_read t r)
+      | Sysreg.(
+          ( CNTP_TVAL_EL0 | CNTP_CTL_EL0 | CNTP_CVAL_EL0 | ICC_PMR_EL1
+          | ICC_IAR1_EL1 | ICC_EOIR1_EL1 | ICC_HPPIR1_EL1 | ICC_BPR1_EL1
+          | ICC_CTLR_EL1 | ICC_SRE_EL1 | ICC_IGRPEN1_EL1 | ICC_RPR_EL1
+          | ICC_SGI1R_EL1 )) ->
+          set_reg t rt (irq_read t r)
       | r -> set_reg t rt (Sysreg.read t.sys r))
   | Insn.Msr_pstate (f, imm) -> (
       (match f with
@@ -786,15 +987,22 @@ let step_body t ~pc_cur ~next =
     None
   with Exc (cls, ret) -> deliver t cls ~ret
 
+(* The IRQ poll precedes the marker check: if delivery redirects the
+   PC into a handler, the original instruction's marker must not fire
+   this boundary (it fires when execution resumes there after ERET,
+   exactly once, as on hardware). *)
 let step t =
-  let pc_cur = t.pc in
-  (match t.tracer with
-  | None -> ()
-  | Some tr -> (
-      match Lz_trace.Trace.marker_at tr pc_cur with
-      | Some payload -> Lz_trace.Trace.emit tr ~cycles:t.cycles payload
-      | None -> ()));
-  step_body t ~pc_cur ~next:(pc_cur + 4)
+  match maybe_irq t with
+  | Some _ as stop -> stop
+  | None ->
+      let pc_cur = t.pc in
+      (match t.tracer with
+      | None -> ()
+      | Some tr -> (
+          match Lz_trace.Trace.marker_at tr pc_cur with
+          | Some payload -> Lz_trace.Trace.emit tr ~cycles:t.cycles payload
+          | None -> ()));
+      step_body t ~pc_cur ~next:(pc_cur + 4)
 
 (* The traced-vs-untraced dispatch happens once per [run], not once
    per instruction: tracers are attached between runs (trap servicing
@@ -806,10 +1014,13 @@ let run ?(max_insns = 10_000_000) t =
       let rec loop budget =
         if budget <= 0 then Limit
         else
-          let pc_cur = t.pc in
-          match step_body t ~pc_cur ~next:(pc_cur + 4) with
-          | None -> loop (budget - 1)
+          match maybe_irq t with
           | Some s -> s
+          | None -> (
+              let pc_cur = t.pc in
+              match step_body t ~pc_cur ~next:(pc_cur + 4) with
+              | None -> loop (budget - 1)
+              | Some s -> s)
       in
       loop max_insns
   | Some _ ->
@@ -830,6 +1041,7 @@ let pp_class ppf = function
   | Ec_sysreg_trap i -> Format.fprintf ppf "sysreg trap: %a" Insn.pp i
   | Ec_wfi -> Format.pp_print_string ppf "wfi"
   | Ec_watchpoint va -> Format.fprintf ppf "watchpoint va=0x%x" va
+  | Ec_irq intid -> Format.fprintf ppf "irq intid=%d" intid
 
 let pp_stop ppf = function
   | Trap_el2 c -> Format.fprintf ppf "trap->EL2 (%a)" pp_class c

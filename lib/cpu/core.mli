@@ -25,6 +25,9 @@ type exception_class =
   | Ec_sysreg_trap of Lz_arm.Insn.t  (** MSR/MRS/TLBI trapped by HCR. *)
   | Ec_wfi
   | Ec_watchpoint of int  (** faulting data address. *)
+  | Ec_irq of int
+      (** asynchronous interrupt routed to an OCaml handler; the
+          argument is the GIC INTID pending at delivery. *)
 
 type stop =
   | Trap_el2 of exception_class
@@ -48,6 +51,7 @@ type t = {
   fp : Fastpath.t;  (** fast-path caches; see {!fast}. *)
   mutable tracer : Lz_trace.Trace.t option;  (** see {!set_tracer}. *)
   mutable pmu : Lz_arm.Pmu.t option;  (** see {!attach_pmu}. *)
+  mutable irqc : Lz_irq.Irq.t option;  (** see {!attach_irq}. *)
 }
 
 val create :
@@ -139,5 +143,37 @@ val attach_pmu : t -> Lz_arm.Pmu.t
     implicitly, so calling this is only needed for host-side access. *)
 
 val pmu : t -> Lz_arm.Pmu.t option
+
+(** {1 Interrupts}
+
+    The GIC + generic-timer fabric attaches like the PMU: lazily on the
+    first guest ICC_*/CNTP_* system-register access, or eagerly via
+    {!attach_irq}. Once attached, pending-interrupt checks run at every
+    instruction boundary — identically in {!run} and {!step}, and
+    independent of the fast path — and deliver when PSTATE.DAIF.I is
+    clear: to EL2 (as a [Trap_el2 (Ec_irq _)] stop) when
+    HCR_EL2.{IMO,TGE} claim physical IRQs, otherwise architecturally to
+    the EL1 vector at VBAR_EL1 + 0x280 (current EL) / + 0x480 (from
+    EL0). Exception entry masks DAIF; ERET restores it from the SPSR. *)
+
+val attach_irq : ?dist:Lz_irq.Gic.dist -> t -> Lz_irq.Irq.t
+(** The core's interrupt fabric, created on first use. [?dist] shares
+    an existing distributor (SPI/SGI routing) between cores. *)
+
+val irq : t -> Lz_irq.Irq.t option
+
+val quiesce_irq : t -> int -> unit
+(** Silence the source of an acknowledged INTID whose level line is
+    still asserted (stop the timer, clear PMU overflow) — the
+    fallback for OCaml-modelled handlers that did not reprogram the
+    source themselves, preventing level-triggered re-delivery loops. *)
+
+val inject_irq_to_el1 : t -> intid:int -> unit
+(** Virtual-interrupt injection (HCR_EL2.VI style): while the core is
+    stopped at a [Trap_el2] boundary, re-bank the interrupted guest
+    context from ELR_EL2/SPSR_EL2 into ELR_EL1/SPSR_EL1 and redirect
+    the pending EL2 return to the guest's IRQ vector with interrupts
+    masked, so the hypervisor's next {!eret_from_el2} enters the guest
+    handler exactly as a hardware-injected IRQ would. *)
 
 val pp_stop : Format.formatter -> stop -> unit

@@ -34,6 +34,8 @@ type t = {
   lwc_switch_extra : int;
   fault_around_page : int;
   shallow_exit : int;
+  gic_ack : int;
+  gic_eoi : int;
 }
 
 (* Carmel: traps and system-register updates are expensive (paper
@@ -70,7 +72,9 @@ let carmel =
     nested_repoint = 3500;
     lwc_switch_extra = 9000;
     fault_around_page = 220;
-    shallow_exit = 600 }
+    shallow_exit = 600;
+    gic_ack = 110;
+    gic_eoi = 90 }
 
 (* Cortex A55: in line with prior profiling (KVM/ARM papers). *)
 let cortex_a55 =
@@ -104,7 +108,9 @@ let cortex_a55 =
     nested_repoint = 350;
     lwc_switch_extra = 1500;
     fault_around_page = 40;
-    shallow_exit = 90 }
+    shallow_exit = 90;
+    gic_ack = 9;
+    gic_eoi = 7 }
 
 let all = [ carmel; cortex_a55 ]
 
@@ -115,6 +121,8 @@ let sysreg_access t ~at reg =
   match reg with
   | Sysreg.HCR_EL2 -> t.hcr_write
   | Sysreg.VTTBR_EL2 -> t.vttbr_write
+  | Sysreg.ICC_IAR1_EL1 -> t.gic_ack
+  | Sysreg.ICC_EOIR1_EL1 -> t.gic_eoi
   | Sysreg.DBGWVR0_EL1 | Sysreg.DBGWVR1_EL1 | Sysreg.DBGWVR2_EL1
   | Sysreg.DBGWVR3_EL1 | Sysreg.DBGWCR0_EL1 | Sysreg.DBGWCR1_EL1
   | Sysreg.DBGWCR2_EL1 | Sysreg.DBGWCR3_EL1 ->

@@ -61,6 +61,10 @@ type t = {
   shallow_exit : int;     (** hypervisor shallow hypercall return:
                               exit bookkeeping without the vcpu
                               put/load world switch. *)
+  gic_ack : int;          (** ICC_IAR1_EL1 read (interrupt
+                              acknowledge at the GIC CPU interface). *)
+  gic_eoi : int;          (** ICC_EOIR1_EL1 write (end of
+                              interrupt). *)
 }
 
 val carmel : t

@@ -16,3 +16,25 @@ val profile :
   Lz_workloads.Iso_profile.t
 
 val clear_cache : unit -> unit
+
+(** {1 PMU-derived counters}
+
+    Measured (not modelled) §5.2.1 context-retention and TLB
+    maintenance totals: a zone runs a representative syscall mix with
+    the PMU attached, and the counters are read back from the raw
+    event totals. *)
+
+type pmu_counters = {
+  retention_hits : int;
+      (** forwarded syscalls that kept the zone's HCR/VTTBR loaded. *)
+  retention_misses : int;
+      (** forwarded syscalls that forced the host-context switch. *)
+  tlb_flushes : int;  (** TLB maintenance operations observed. *)
+}
+
+val retention_rate : pmu_counters -> float
+(** Hit fraction in [0,1]; [nan] when no forwarded syscalls ran
+    (guest zones forward through the Lowvisor instead). *)
+
+val pmu_counters :
+  ?syscalls:int -> Lz_cpu.Cost_model.t -> Switch_bench.env -> pmu_counters

@@ -122,7 +122,16 @@ let setup_proc kernel ~domains ~n =
 (* ------------------------------------------------------------------ *)
 (* LightZone measurement *)
 
-let run_lz ?tracer ?(fast_paths = false) cm ~env ~mech ~domains ~n =
+type lz_run = {
+  t : Kmod.t;
+  kernel : Kernel.t;
+  proc : Proc.t;
+  cycles : int;
+  preemptions : int;
+}
+
+let run_lz_full ?tracer ?(fast_paths = false) ?preempt ?(pmu = false) cm
+    ~env ~mech ~domains ~n =
   let machine = Machine.create ~cost:cm () in
   let kernel, backend =
     match env with
@@ -168,9 +177,70 @@ let run_lz ?tracer ?(fast_paths = false) cm ~env ~mech ~domains ~n =
   | _ -> assert false);
   let b = build_program ~mech ~domains ~n in
   Api.load_and_register t b ~va:code_va;
-  match Api.run ~max_insns:(200_000_000) t with
-  | Kmod.Exited _ -> t.Kmod.core.Core.cycles
+  if pmu then ignore (Core.attach_pmu t.Kmod.core);
+  let preemptions = ref 0 in
+  (match preempt with
+  | None -> ()
+  | Some slice ->
+      (* Preemptive run: attach the interrupt fabric to the zone core
+         and let the generic timer fire PPI 30 every [slice] cycles.
+         HCR_EL2.IMO (set by lz_enter) stops the zone at the module
+         boundary; the tick hook reprograms the next deadline, so the
+         zone keeps getting preempted mid-gate and mid-domain. *)
+      let core = t.Kmod.core in
+      let iv = Core.attach_irq core in
+      Lz_irq.Irq.init iv;
+      t.Kmod.on_irq <-
+        Some
+          (fun (core : Core.t) intid ->
+            if intid = Lz_irq.Gic.ppi_el1_timer then begin
+              incr preemptions;
+              (match Core.tracer core with
+              | Some tr ->
+                  Lz_trace.Trace.emit tr ~cycles:core.Core.cycles
+                    (Lz_trace.Trace.Preempt { task = 0 })
+              | None -> ());
+              Lz_irq.Timer.program iv.Lz_irq.Irq.timer
+                ~now:core.Core.cycles ~slice
+            end);
+      Lz_irq.Timer.program iv.Lz_irq.Irq.timer ~now:t.Kmod.core.Core.cycles
+        ~slice);
+  match Api.run ~max_insns:200_000_000 t with
+  | Kmod.Exited _ ->
+      { t; kernel; proc; cycles = t.Kmod.core.Core.cycles;
+        preemptions = !preemptions }
   | o -> failwith (Format.asprintf "switch bench (lz): %a" Kmod.pp_outcome o)
+
+let run_lz ?tracer ?fast_paths ?preempt cm ~env ~mech ~domains ~n =
+  (run_lz_full ?tracer ?fast_paths ?preempt cm ~env ~mech ~domains ~n).cycles
+
+(* Architectural state digest for the preemption-transparency check:
+   everything the program and the module can observe — GP registers,
+   PC/SPs, PSTATE, retired instruction count, translation root, zone
+   bookkeeping, and the data pages the workload touched. Cycle counts
+   are deliberately excluded: interrupt entries legitimately consume
+   cycles without changing architectural state. *)
+let arch_digest (r : lz_run) =
+  let core = r.t.Kmod.core in
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  Array.iter (fun v -> add "%x," v) core.Core.regs;
+  add "pc=%x sp0=%x sp1=%x spsr=%x insns=%d ttbr0=%x pgts=%d gates=%d;"
+    core.Core.pc core.Core.sp_el0 core.Core.sp_el1
+    (Pstate.to_spsr core.Core.pstate)
+    core.Core.insns
+    (Sysreg.read core.Core.sys Sysreg.TTBR0_EL1)
+    r.t.Kmod.next_pgt
+    (Hashtbl.length r.t.Kmod.pgts);
+  let domains =
+    match Proc.find_vma r.proc domains_va with
+    | Some vma -> (vma.Vma.len + 4095) / 4096
+    | None -> 0
+  in
+  Buffer.add_bytes b
+    (Kernel.read_user r.kernel r.proc ~va:domains_va
+       ~len:(domains * 4096));
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
 (* ------------------------------------------------------------------ *)
 (* Traced runs (lzctl trace / bench trace annotation) *)
@@ -181,15 +251,19 @@ type traced = {
   total_cycles : int;
   domains : int;
   switches : int;
+  preemptions : int;
+  digest : string;
 }
 
-let traced_run ?capacity ?fast_paths cm ~env ~domains ~n =
+let traced_run ?capacity ?fast_paths ?preempt cm ~env ~domains ~n =
   let tr = Lz_trace.Trace.create ?capacity () in
-  let cycles =
-    run_lz ~tracer:tr ?fast_paths cm ~env ~mech:(Mech Lz_ttbr) ~domains ~n
+  let r =
+    run_lz_full ~tracer:tr ?fast_paths ?preempt cm ~env
+      ~mech:(Mech Lz_ttbr) ~domains ~n
   in
-  let report = Lz_trace.Span.of_trace ~total_cycles:cycles tr in
-  { trace = tr; report; total_cycles = cycles; domains; switches = n }
+  let report = Lz_trace.Span.of_trace ~total_cycles:r.cycles tr in
+  { trace = tr; report; total_cycles = r.cycles; domains; switches = n;
+    preemptions = r.preemptions; digest = arch_digest r }
 
 (* ------------------------------------------------------------------ *)
 (* Baseline (EL0 process) measurement *)

@@ -20,11 +20,15 @@ type traced = {
   total_cycles : int;
   domains : int;
   switches : int;
+  preemptions : int;  (** timer ticks fielded (0 when cooperative). *)
+  digest : string;
+      (** architectural-state digest of the finished run; see
+          {!arch_digest}. *)
 }
 
 val traced_run :
-  ?capacity:int -> ?fast_paths:bool -> Lz_cpu.Cost_model.t -> env:env ->
-  domains:int -> n:int -> traced
+  ?capacity:int -> ?fast_paths:bool -> ?preempt:int ->
+  Lz_cpu.Cost_model.t -> env:env -> domains:int -> n:int -> traced
 (** One instrumented TTBR-mechanism run: [n] random domain switches
     across [domains] gate-attached domains with the tracer attached,
     returning the raw trace and its span report. Backs [lzctl trace]
@@ -32,7 +36,13 @@ val traced_run :
     enables the trap fast paths — Lowvisor steady-state forwarding,
     hypervisor shallow hypercall return, demand-fault clustering and
     the spurious-fault revalidation — for before/after comparison of
-    the trap.hvc / trap.dabort spans. *)
+    the trap.hvc / trap.dabort spans. [preempt] runs the zone under
+    the preemptive timer: the generic timer fires PPI 30 every
+    [preempt] cycles, each tick stopping the zone at the EL2 module
+    boundary (HCR_EL2.IMO) and reprogramming the next deadline.
+    Preemption must not change architectural state — compare
+    {!traced.digest} against a cooperative run's. *)
+
 
 val measure :
   Lz_cpu.Cost_model.t -> env:env -> mechanism:mechanism -> domains:int ->

@@ -107,6 +107,27 @@ let shallow_hypercall t _vm (core : Core.t) =
   Core.charge core core.Core.cost.Cost_model.dispatch;
   Core.charge core core.Core.cost.Cost_model.shallow_exit
 
+(* A physical interrupt forcing a guest exit (HCR_EL2.IMO): the host
+   fields it at the GIC — acknowledge, tick hook, quiesce, EOI — and,
+   when the VM opted in, re-injects it as a virtual interrupt so the
+   guest also observes it at its own EL1 vector on the resuming ERET
+   (HCR_EL2.VI style). OCaml-modelled guest kernels have no simulated
+   vector, so injection is per-VM opt-in ({!Vm.t.inject_virq}). *)
+let handle_guest_irq t (vm : Vm.t) (k : Kernel.t) (core : Core.t) =
+  match Core.irq core with
+  | None -> ()
+  | Some iv ->
+      let c = t.machine.Machine.cost in
+      Core.charge core c.Cost_model.gic_ack;
+      let intid = Lz_irq.Irq.ack iv in
+      if intid <> Lz_irq.Gic.spurious then begin
+        (match k.Kernel.on_tick with Some f -> f core intid | None -> ());
+        Core.quiesce_irq core intid;
+        Lz_irq.Irq.eoi iv intid;
+        Core.charge core c.Cost_model.gic_eoi;
+        if vm.Vm.inject_virq then Core.inject_irq_to_el1 core ~intid
+      end
+
 let run_guest_process ?(max_insns = 50_000_000) t vm (k : Kernel.t)
     (p : Proc.t) (core : Core.t) =
   let budget = ref max_insns in
@@ -138,6 +159,10 @@ let run_guest_process ?(max_insns = 50_000_000) t vm (k : Kernel.t)
               Kernel.Segv
                 (Format.asprintf "fatal stage-2 %a" Core.pp_stop
                    (Core.Trap_el2 cls)))
+      | Core.Trap_el2 (Core.Ec_irq _) ->
+          handle_guest_irq t vm k core;
+          Core.eret_from_el2 core;
+          loop ()
       | Core.Trap_el2 (Core.Ec_hvc _) ->
           (* Conventional guest hypercall: full world switch — unless
              the shallow fast-return path is enabled and the exit

@@ -50,6 +50,13 @@ val shallow_hypercall : t -> Vm.t -> Lz_cpu.Core.t -> unit
     returns straight to the same guest, so only the EL2 dispatch and
     a shallow-exit bookkeeping cost are paid. *)
 
+val handle_guest_irq :
+  t -> Vm.t -> Lz_kernel.Kernel.t -> Lz_cpu.Core.t -> unit
+(** Host-side servicing of a physical IRQ that exited the guest
+    (HCR_EL2.IMO): GIC acknowledge, {!Lz_kernel.Kernel.t.on_tick},
+    quiesce-if-still-asserted, EOI; then virtual-interrupt injection
+    into the guest's EL1 vector when [vm.inject_virq] is set. *)
+
 (** {1 Guest process driving} *)
 
 val run_guest_process :

@@ -1,0 +1,240 @@
+(* GICv3-shaped interrupt controller model.
+
+   One [dist] (distributor) holds shared SPI state; each core attaches
+   a [cpu] (redistributor + CPU interface) holding banked SGI/PPI state
+   and the ICC_* interface state.  Everything is plain latched state —
+   the model never charges cycles itself, so attaching a GIC does not
+   perturb the core's timing until an interrupt is actually taken.
+
+   Interrupt life cycle (per INTID): inactive -> pending (edge latch or
+   level input) -> active (on ICC_IAR1 acknowledge) -> inactive (on
+   ICC_EOIR1).  An active interrupt is not re-signaled until EOI; a
+   level-sensitive input that is still asserted at EOI immediately
+   re-pends, exactly like the generic timer's output line. *)
+
+(* INTID ranges. *)
+let nr_local = 32 (* SGIs 0..15 and PPIs 16..31 are banked per core *)
+let spi_base = 32
+let spurious = 1023
+
+(* PPI assignments (matching common SoC usage). *)
+let ppi_pmu = 23 (* PMU overflow *)
+let ppi_el1_timer = 30 (* EL1 physical generic timer *)
+
+let idle_priority = 0xFF
+
+type dist = {
+  nr_spis : int;
+  spi_enabled : bool array;
+  spi_pending : bool array;
+  spi_active : bool array;
+  spi_prio : int array;
+  spi_target : int array; (* attached-cpu index *)
+  mutable grp_en : bool; (* GICD_CTLR.EnableGrp1 *)
+  mutable cpus : cpu list; (* attach order; index = cpu id *)
+}
+
+and cpu = {
+  dist : dist;
+  id : int;
+  enabled : bool array; (* nr_local *)
+  pending : bool array; (* edge latches *)
+  level : bool array; (* level-sensitive inputs (timer, PMU) *)
+  active : bool array;
+  prio : int array;
+  mutable pmr : int; (* ICC_PMR_EL1; prio must be < pmr to signal *)
+  mutable igrpen1 : bool; (* ICC_IGRPEN1_EL1.Enable *)
+  mutable bpr1 : int; (* ICC_BPR1_EL1 (stored, not used for grouping) *)
+  (* Acknowledged-but-not-retired interrupts, innermost first; the
+     head's priority is the running priority. *)
+  mutable ack_stack : (int * int) list;
+}
+
+let create_dist ?(nr_spis = 32) () =
+  {
+    nr_spis;
+    spi_enabled = Array.make nr_spis false;
+    spi_pending = Array.make nr_spis false;
+    spi_active = Array.make nr_spis false;
+    spi_prio = Array.make nr_spis idle_priority;
+    spi_target = Array.make nr_spis 0;
+    grp_en = true;
+    cpus = [];
+  }
+
+let attach_cpu dist =
+  let cpu =
+    {
+      dist;
+      id = List.length dist.cpus;
+      enabled = Array.make nr_local false;
+      pending = Array.make nr_local false;
+      level = Array.make nr_local false;
+      active = Array.make nr_local false;
+      prio = Array.make nr_local idle_priority;
+      pmr = 0; (* reset: masks everything until software opens it *)
+      igrpen1 = false;
+      bpr1 = 0;
+      ack_stack = [];
+    }
+  in
+  dist.cpus <- dist.cpus @ [ cpu ];
+  cpu
+
+let cpu_dist t = t.dist
+
+let is_local intid = intid >= 0 && intid < nr_local
+
+let check_spi dist intid =
+  if intid < spi_base || intid >= spi_base + dist.nr_spis then
+    invalid_arg (Printf.sprintf "Gic: SPI INTID %d out of range" intid)
+
+(* Distributor-side configuration (host view of the GICD registers). *)
+
+let set_group_enable dist on = dist.grp_en <- on
+
+let spi_route dist ~intid ~cpu =
+  check_spi dist intid;
+  dist.spi_target.(intid - spi_base) <- cpu
+
+let set_pending_spi dist intid =
+  check_spi dist intid;
+  dist.spi_pending.(intid - spi_base) <- true
+
+(* Per-core configuration and inputs. *)
+
+let enable t intid =
+  if is_local intid then t.enabled.(intid) <- true
+  else begin
+    check_spi t.dist intid;
+    t.dist.spi_enabled.(intid - spi_base) <- true
+  end
+
+let disable t intid =
+  if is_local intid then t.enabled.(intid) <- false
+  else begin
+    check_spi t.dist intid;
+    t.dist.spi_enabled.(intid - spi_base) <- false
+  end
+
+let set_priority t intid p =
+  let p = p land 0xFF in
+  if is_local intid then t.prio.(intid) <- p
+  else begin
+    check_spi t.dist intid;
+    t.dist.spi_prio.(intid - spi_base) <- p
+  end
+
+let set_pending t intid =
+  if is_local intid then t.pending.(intid) <- true
+  else set_pending_spi t.dist intid
+
+let set_level t intid on =
+  if not (is_local intid) then
+    invalid_arg "Gic.set_level: only SGI/PPI inputs are level-capable";
+  t.level.(intid) <- on
+
+(* Open the CPU interface completely: unmask PMR and enable group 1.
+   Host-side convenience mirroring what early kernel init does with
+   ICC_PMR_EL1/ICC_IGRPEN1_EL1 writes. *)
+let unmask t =
+  t.pmr <- idle_priority + 1;
+  t.igrpen1 <- true
+
+let running_priority t =
+  match t.ack_stack with [] -> idle_priority + 1 | (_, p) :: _ -> p
+
+(* Highest-priority (lowest value) enabled, pending, inactive INTID;
+   ties resolve to the lowest INTID.  Group and PMR/running-priority
+   filtering happens in [signaled]. *)
+let best_candidate t =
+  let best = ref None in
+  let consider intid prio =
+    match !best with
+    | Some (_, bp) when bp <= prio -> ()
+    | _ -> best := Some (intid, prio)
+  in
+  for i = 0 to nr_local - 1 do
+    if t.enabled.(i) && (t.pending.(i) || t.level.(i)) && not t.active.(i)
+    then consider i t.prio.(i)
+  done;
+  let d = t.dist in
+  for i = 0 to d.nr_spis - 1 do
+    if
+      d.spi_enabled.(i) && d.spi_pending.(i)
+      && (not d.spi_active.(i))
+      && d.spi_target.(i) = t.id
+    then consider (spi_base + i) d.spi_prio.(i)
+  done;
+  !best
+
+let signaled t =
+  if not (t.igrpen1 && t.dist.grp_en) then None
+  else
+    match best_candidate t with
+    | Some (intid, prio) when prio < t.pmr && prio < running_priority t ->
+        Some intid
+    | _ -> None
+
+(* ICC_IAR1_EL1 read: acknowledge the signaled interrupt, moving it
+   pending -> active and raising the running priority. *)
+let acknowledge t =
+  match signaled t with
+  | None -> spurious
+  | Some intid ->
+      let prio =
+        if is_local intid then begin
+          t.pending.(intid) <- false;
+          t.active.(intid) <- true;
+          t.prio.(intid)
+        end
+        else begin
+          let i = intid - spi_base in
+          t.dist.spi_pending.(i) <- false;
+          t.dist.spi_active.(i) <- true;
+          t.dist.spi_prio.(i)
+        end
+      in
+      t.ack_stack <- (intid, prio) :: t.ack_stack;
+      intid
+
+(* ICC_EOIR1_EL1 write: retire an acknowledged interrupt, dropping the
+   running priority back to the interrupted context's. *)
+let eoi t intid =
+  if is_local intid then t.active.(intid) <- false
+  else if intid >= spi_base && intid < spi_base + t.dist.nr_spis then
+    t.dist.spi_active.(intid - spi_base) <- false;
+  let rec drop = function
+    | [] -> []
+    | (i, _) :: rest when i = intid -> rest
+    | frame :: rest -> frame :: drop rest
+  in
+  t.ack_stack <- drop t.ack_stack
+
+(* ICC_SGI1R_EL1 write: INTID in bits 27:24, target list in 15:0. *)
+let write_sgi1r t v =
+  let intid = (v lsr 24) land 0xF in
+  let targets = v land 0xFFFF in
+  List.iter
+    (fun cpu -> if targets land (1 lsl cpu.id) <> 0 then
+        cpu.pending.(intid) <- true)
+    t.dist.cpus
+
+let read_pmr t = t.pmr
+let write_pmr t v = t.pmr <- v land 0xFF
+let read_igrpen1 t = if t.igrpen1 then 1 else 0
+let write_igrpen1 t v = t.igrpen1 <- v land 1 <> 0
+let read_bpr1 t = t.bpr1
+let write_bpr1 t v = t.bpr1 <- v land 0x7
+let read_rpr t = running_priority t land 0xFF
+
+let read_hppir1 t =
+  match signaled t with None -> spurious | Some intid -> intid
+
+let pp_intid ppf intid =
+  if intid = spurious then Format.pp_print_string ppf "spurious"
+  else if intid = ppi_el1_timer then Format.pp_print_string ppf "timer"
+  else if intid = ppi_pmu then Format.pp_print_string ppf "pmu"
+  else if intid < 16 then Format.fprintf ppf "sgi%d" intid
+  else if intid < nr_local then Format.fprintf ppf "ppi%d" intid
+  else Format.fprintf ppf "spi%d" intid

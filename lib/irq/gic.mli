@@ -1,0 +1,100 @@
+(** GICv3-shaped interrupt controller model.
+
+    A shared {!dist} (distributor) owns SPI state; each simulated core
+    attaches a {!cpu} (redistributor + CPU interface) owning banked
+    SGI/PPI state and the ICC_* interface state. The model is pure
+    latched state and never charges cycles, so attaching a GIC does not
+    perturb core timing until an interrupt is actually taken.
+
+    Life cycle per INTID: inactive -> pending (edge latch or level
+    input) -> active (on {!acknowledge}) -> inactive (on {!eoi}).
+    Active interrupts are not re-signaled; a level input still asserted
+    at EOI re-pends immediately. *)
+
+type dist
+(** Distributor: shared SPI latches, priorities, routing, group
+    enable. *)
+
+type cpu
+(** Per-core redistributor + CPU interface. *)
+
+val nr_local : int
+(** 32: SGIs are INTIDs 0..15, PPIs 16..31, both banked per core. *)
+
+val spi_base : int
+(** 32: first shared peripheral INTID. *)
+
+val spurious : int
+(** 1023, returned by {!acknowledge} when nothing is signaled. *)
+
+val ppi_pmu : int
+(** PPI INTID 23: PMU overflow interrupt line. *)
+
+val ppi_el1_timer : int
+(** PPI INTID 30: EL1 physical generic-timer line. *)
+
+val idle_priority : int
+(** 0xFF, the lowest priority; the running priority when no interrupt
+    is active. *)
+
+val create_dist : ?nr_spis:int -> unit -> dist
+val cpu_dist : cpu -> dist
+val attach_cpu : dist -> cpu
+(** Attach a new core's redistributor; cores are numbered in attach
+    order (SPI routing targets these ids). *)
+
+(** {1 Distributor configuration (host view of the GICD registers)} *)
+
+val set_group_enable : dist -> bool -> unit
+val spi_route : dist -> intid:int -> cpu:int -> unit
+val set_pending_spi : dist -> int -> unit
+
+(** {1 Per-core configuration and inputs} *)
+
+val enable : cpu -> int -> unit
+val disable : cpu -> int -> unit
+val set_priority : cpu -> int -> int -> unit
+val set_pending : cpu -> int -> unit
+(** Edge-latch an interrupt pending (SGI/PPI on this core, or an SPI
+    through the distributor). *)
+
+val set_level : cpu -> int -> bool -> unit
+(** Drive a level-sensitive local input (e.g. the timer or PMU PPI).
+    The line is sampled by {!signaled}; deasserting clears the
+    pending condition unless an edge latch is also set. *)
+
+val unmask : cpu -> unit
+(** Open the CPU interface: PMR to lowest mask, group 1 enabled —
+    what early kernel init does via ICC_PMR_EL1/ICC_IGRPEN1_EL1. *)
+
+(** {1 CPU interface (the ICC system registers)} *)
+
+val signaled : cpu -> int option
+(** The INTID the interface is currently signaling to its core: the
+    highest-priority enabled pending inactive interrupt, if it beats
+    both ICC_PMR_EL1 and the running priority and group 1 is enabled at
+    both distributor and interface. *)
+
+val acknowledge : cpu -> int
+(** ICC_IAR1_EL1 read: pending -> active, raises the running priority;
+    {!spurious} when nothing is signaled. *)
+
+val eoi : cpu -> int -> unit
+(** ICC_EOIR1_EL1 write: retire an acknowledged INTID. *)
+
+val running_priority : cpu -> int
+
+val write_sgi1r : cpu -> int -> unit
+(** ICC_SGI1R_EL1 write: INTID in bits 27:24, target-list bitmap of
+    attached-cpu ids in bits 15:0. *)
+
+val read_pmr : cpu -> int
+val write_pmr : cpu -> int -> unit
+val read_igrpen1 : cpu -> int
+val write_igrpen1 : cpu -> int -> unit
+val read_bpr1 : cpu -> int
+val write_bpr1 : cpu -> int -> unit
+val read_rpr : cpu -> int
+val read_hppir1 : cpu -> int
+
+val pp_intid : Format.formatter -> int -> unit

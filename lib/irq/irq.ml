@@ -1,0 +1,33 @@
+(* Per-core interrupt plumbing: one redistributor/CPU-interface view of
+   a (possibly shared) distributor plus the core's private generic
+   timer.  The core polls [pending] at instruction boundaries: the poll
+   refreshes the level-sensitive PPI inputs (timer condition, PMU
+   overflow line) and asks the CPU interface what it is signaling. *)
+
+type t = { gic : Gic.cpu; timer : Timer.t }
+
+let create ?dist () =
+  let dist = match dist with Some d -> d | None -> Gic.create_dist () in
+  { gic = Gic.attach_cpu dist; timer = Timer.create () }
+
+let shared_dist t = Gic.cpu_dist t.gic
+
+(* Kernel-init convenience: open the CPU interface and enable the two
+   PPIs the simulator's kernels use, at a middling priority. *)
+let init t =
+  Gic.unmask t.gic;
+  Gic.set_priority t.gic Gic.ppi_el1_timer 0x80;
+  Gic.enable t.gic Gic.ppi_el1_timer;
+  Gic.set_priority t.gic Gic.ppi_pmu 0x80;
+  Gic.enable t.gic Gic.ppi_pmu
+
+let pending t ~now ~pmu_line =
+  Gic.set_level t.gic Gic.ppi_el1_timer (Timer.output t.timer ~now);
+  Gic.set_level t.gic Gic.ppi_pmu pmu_line;
+  Gic.signaled t.gic
+
+(* Host-side (OCaml-modelled kernel) fast paths for servicing a tick:
+   acknowledge + retire, mirroring the ICC_IAR1/ICC_EOIR1 pair a
+   simulated handler would execute. *)
+let ack t = Gic.acknowledge t.gic
+let eoi t intid = Gic.eoi t.gic intid

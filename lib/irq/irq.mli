@@ -1,0 +1,32 @@
+(** Per-core interrupt bundle: a {!Gic.cpu} view of a (possibly shared)
+    {!Gic.dist} plus the core's private generic {!Timer}.
+
+    The simulated core polls {!pending} at instruction boundaries;
+    the poll drives the level-sensitive timer and PMU PPI inputs and
+    returns the INTID the CPU interface is signaling, if any. Whether
+    the core then takes the interrupt depends on PSTATE.DAIF and
+    HCR_EL2 routing — that logic lives in the core, not here. *)
+
+type t = { gic : Gic.cpu; timer : Timer.t }
+
+val create : ?dist:Gic.dist -> unit -> t
+(** Attach a fresh redistributor to [dist] (fresh distributor when
+    omitted) and a private timer. Cores sharing a distributor see each
+    other's SGIs and SPIs. *)
+
+val shared_dist : t -> Gic.dist
+
+val init : t -> unit
+(** Kernel-init convenience: unmask the CPU interface and enable the
+    timer and PMU PPIs at priority 0x80. *)
+
+val pending : t -> now:int -> pmu_line:bool -> int option
+(** Refresh level inputs (timer condition at cycle [now], PMU overflow
+    line) and return the signaled INTID, if any. *)
+
+val ack : t -> int
+(** Host-side ICC_IAR1_EL1: acknowledge ({!Gic.spurious} if nothing is
+    signaled). *)
+
+val eoi : t -> int -> unit
+(** Host-side ICC_EOIR1_EL1: retire. *)

@@ -1,0 +1,45 @@
+(* ARM generic timer (EL1 physical: CNTP_CTL/CVAL/TVAL), driven off the
+   core's cycle counter as the count source (the same source CNTVCT_EL0
+   reads).  The timer holds only CTL and CVAL; TVAL is a view
+   (CVAL - now), and ISTATUS is computed, so the model needs no ticking
+   and costs nothing until the core polls [output]. *)
+
+let ctl_enable = 1
+let ctl_imask = 2
+let ctl_istatus = 4
+
+type t = { mutable ctl : int; mutable cval : int }
+
+let create () = { ctl = 0; cval = 0 }
+
+let condition t ~now = t.ctl land ctl_enable <> 0 && now >= t.cval
+
+(* Interrupt output line: condition met and not masked. *)
+let output t ~now = condition t ~now && t.ctl land ctl_imask = 0
+
+let read_ctl t ~now =
+  t.ctl land (ctl_enable lor ctl_imask)
+  lor (if condition t ~now then ctl_istatus else 0)
+
+let write_ctl t v = t.ctl <- v land (ctl_enable lor ctl_imask)
+
+let read_cval t = t.cval
+let write_cval t v = t.cval <- v
+
+let mask32 = 0xFFFF_FFFF
+
+(* TVAL is a signed 32-bit downcounter view of CVAL. *)
+let read_tval t ~now = (t.cval - now) land mask32
+
+let write_tval t ~now v =
+  let v = v land mask32 in
+  let signed = if v land 0x8000_0000 <> 0 then v - mask32 - 1 else v in
+  t.cval <- now + signed
+
+(* Host-side convenience: arm a one-shot tick [slice] cycles from now,
+   or quiesce the timer entirely. *)
+let program t ~now ~slice =
+  t.cval <- now + slice;
+  t.ctl <- ctl_enable
+
+let stop t = t.ctl <- 0

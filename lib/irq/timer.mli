@@ -1,0 +1,33 @@
+(** ARM generic timer (EL1 physical timer: CNTP_CTL_EL0, CNTP_CVAL_EL0,
+    CNTP_TVAL_EL0), driven off the core's cycle counter — the same
+    count source CNTVCT_EL0 reads.
+
+    Only CTL and CVAL are stored: TVAL is the [CVAL - now] view and
+    ISTATUS is computed on read, so the model never ticks on its own.
+    The timer's interrupt {!output} drives the EL1 physical-timer PPI
+    ({!Gic.ppi_el1_timer}) as a level. *)
+
+type t
+
+val ctl_enable : int (* CNTP_CTL.ENABLE *)
+val ctl_imask : int (* CNTP_CTL.IMASK *)
+val ctl_istatus : int (* CNTP_CTL.ISTATUS, read-only *)
+
+val create : unit -> t
+
+val output : t -> now:int -> bool
+(** Level of the timer interrupt line: enabled, condition met
+    ([now >= CVAL]) and not masked. *)
+
+val read_ctl : t -> now:int -> int
+val write_ctl : t -> int -> unit
+val read_cval : t -> int
+val write_cval : t -> int -> unit
+val read_tval : t -> now:int -> int
+val write_tval : t -> now:int -> int -> unit
+
+val program : t -> now:int -> slice:int -> unit
+(** Arm a one-shot tick [slice] cycles from [now] (ENABLE set, IMASK
+    clear). *)
+
+val stop : t -> unit

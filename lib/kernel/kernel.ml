@@ -19,6 +19,7 @@ type t = {
   mutable syscall_count : int;
   mutable fault_around : int;
   mutable spurious_fast : bool;
+  mutable on_tick : (Core.t -> int -> unit) option;
 }
 
 module Nr = struct
@@ -45,7 +46,8 @@ let create machine mode =
     custom_trap = None;
     syscall_count = 0;
     fault_around = 1;
-    spurious_fast = false }
+    spurious_fast = false;
+    on_tick = None }
 
 let create_process t =
   let p = Proc.create t.machine ~pid:t.next_pid ~asid:t.next_asid in
@@ -323,6 +325,29 @@ let do_syscall t (p : Proc.t) (core : Core.t) =
   else ret errnosys
 
 (* ------------------------------------------------------------------ *)
+(* Interrupts *)
+
+(* A physical interrupt claimed by this kernel (HCR_EL2.TGE routes the
+   host's IRQs to EL2; a guest kernel's arrive at its EL1 vector).
+   Acknowledge at the GIC CPU interface, run the tick hook — the
+   preemptive scheduler installs itself here — then EOI. Sources the
+   hook left asserted are quiesced so a level-triggered PPI cannot
+   re-deliver forever. *)
+let service_irq t (core : Core.t) =
+  let c = t.machine.Machine.cost in
+  match Core.irq core with
+  | None -> ()
+  | Some iv ->
+      Core.charge core c.Cost_model.gic_ack;
+      let intid = Lz_irq.Irq.ack iv in
+      if intid <> Lz_irq.Gic.spurious then begin
+        (match t.on_tick with Some f -> f core intid | None -> ());
+        Core.quiesce_irq core intid;
+        Lz_irq.Irq.eoi iv intid;
+        Core.charge core c.Cost_model.gic_eoi
+      end
+
+(* ------------------------------------------------------------------ *)
 (* Trap servicing and the run loop *)
 
 (* Cycle charges of the kernel's generic entry/exit code around a
@@ -367,6 +392,9 @@ let service_trap t (p : Proc.t) (core : Core.t) cls ~at =
         | Core.Ec_watchpoint va ->
             `Stop (Segv (Printf.sprintf "watchpoint hit at 0x%x" va))
         | Core.Ec_wfi -> `Continue
+        | Core.Ec_irq _ ->
+            service_irq t core;
+            `Continue
         | Core.Ec_hvc _ | Core.Ec_smc _ ->
             `Stop (Segv "unexpected hypercall from user process")
         | Core.Ec_sysreg_trap i ->

@@ -42,6 +42,11 @@ type t = {
       (** revalidate spurious faults (page already resident) with a
           single descriptor fetch instead of the full fault dispatch
           (off by default). *)
+  mutable on_tick : (Lz_cpu.Core.t -> int -> unit) option;
+      (** IRQ hook, called with the acknowledged INTID between the GIC
+          ack and EOI of every interrupt this kernel services — the
+          preemptive scheduler's tick. Sources the hook leaves
+          asserted are quiesced before EOI. *)
 }
 
 val create : Machine.t -> mode -> t
@@ -96,6 +101,12 @@ val handle_fault :
 val do_syscall : t -> Proc.t -> Lz_cpu.Core.t -> unit
 (** Dispatch the syscall in x8 with args in x0..x5; result into x0.
     Unknown syscalls return -ENOSYS (-38). *)
+
+val service_irq : t -> Lz_cpu.Core.t -> unit
+(** Service one physical interrupt: GIC acknowledge (cost-charged),
+    {!t.on_tick}, quiesce-if-still-asserted, EOI. Called from
+    {!service_trap} on [Ec_irq]; exposed for run loops that field
+    interrupts themselves. *)
 
 (** {1 Running} *)
 

@@ -1,0 +1,134 @@
+(* Preemptive round-robin scheduler driven by the per-core generic
+   timer (CNTP) firing PPI 30 through the GIC.
+
+   Each task owns a simulated core; the scheduler programs a timeslice
+   deadline into the task's timer before resuming it, and the timer
+   interrupt — delivered asynchronously at an instruction boundary by
+   the core's IRQ poll — returns control here, where the task is
+   rotated to the back of the run queue. Everything the kernel's
+   cooperative [Kernel.run] loop does (trap servicing, syscalls,
+   demand paging) happens identically; the only addition is the tick. *)
+
+open Lz_arm
+open Lz_cpu
+
+type task = {
+  tid : int;
+  proc : Proc.t;
+  core : Core.t;
+  mutable outcome : Kernel.outcome option;
+  mutable slices : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  slice : int;
+  mutable queue : task list;
+  mutable next_tid : int;
+  mutable preemptions : int;
+  mutable ticks : int;
+}
+
+let create ?(slice = 20_000) kernel =
+  { kernel; slice; queue = []; next_tid = 0; preemptions = 0; ticks = 0 }
+
+let add t proc core =
+  let task =
+    { tid = t.next_tid; proc; core; outcome = None; slices = 0 }
+  in
+  t.next_tid <- t.next_tid + 1;
+  let iv = Core.attach_irq core in
+  Lz_irq.Irq.init iv;
+  t.queue <- t.queue @ [ task ];
+  task
+
+let note_preempt (core : Core.t) ~next =
+  match Core.tracer core with
+  | Some tr ->
+      Lz_trace.Trace.emit tr ~cycles:core.Core.cycles
+        (Lz_trace.Trace.Preempt { task = next })
+  | None -> ()
+
+(* Resume [task] until its timeslice expires, it exits, or [budget]
+   instructions have retired; returns the stop reason and the number
+   of instructions consumed. *)
+let run_slice t task ~budget =
+  let core = task.core in
+  let iv =
+    match Core.irq core with Some iv -> iv | None -> assert false
+  in
+  task.slices <- task.slices + 1;
+  Lz_irq.Timer.program iv.Lz_irq.Irq.timer ~now:core.Core.cycles
+    ~slice:t.slice;
+  let start = core.Core.insns in
+  let consumed () = core.Core.insns - start in
+  let rec loop () =
+    if consumed () >= budget then (`Budget, consumed ())
+    else begin
+      let stop = Core.run ~max_insns:(budget - consumed ()) core in
+      match stop with
+      | Core.Limit -> (`Budget, consumed ())
+      | Core.Trap_el2 cls -> handle cls ~at:Pstate.EL2
+      | Core.Trap_el1 cls -> handle cls ~at:Pstate.EL1
+    end
+  and handle cls ~at =
+    match Kernel.service_trap t.kernel task.proc core cls ~at with
+    | `Stop o ->
+        task.outcome <- Some o;
+        (`Exited, consumed ())
+    | `Continue -> (
+        match task.proc.Proc.exit_code with
+        | Some code ->
+            task.outcome <- Some (Kernel.Exited code);
+            (`Exited, consumed ())
+        | None -> (
+            (match at with
+            | Pstate.EL2 -> Core.eret_from_el2 core
+            | _ -> Core.eret_from_el1 core);
+            match cls with
+            | Core.Ec_irq intid when intid = Lz_irq.Gic.ppi_el1_timer
+              ->
+                t.ticks <- t.ticks + 1;
+                (`Tick, consumed ())
+            | _ -> loop ()))
+  in
+  let result = loop () in
+  (* Disarm the deadline while descheduled: a stale CVAL would fire
+     the instant the task is resumed with a fresh now. *)
+  Lz_irq.Timer.stop iv.Lz_irq.Irq.timer;
+  result
+
+let outcomes t =
+  List.map
+    (fun task ->
+      ( task.tid,
+        match task.outcome with
+        | Some o -> o
+        | None -> Kernel.Limit_reached ))
+    (List.sort (fun a b -> compare a.tid b.tid) t.queue)
+
+let run ?(max_insns = 50_000_000) t =
+  let budget = ref max_insns in
+  let rec sched () =
+    match List.filter (fun task -> task.outcome = None) t.queue with
+    | [] -> outcomes t
+    | runnable when !budget <= 0 ->
+        ignore runnable;
+        outcomes t
+    | task :: rest ->
+        let stop, used = run_slice t task ~budget:!budget in
+        budget := !budget - used;
+        (match stop with
+        | `Tick ->
+            (* Rotate: the preempted task goes to the back. *)
+            t.queue <-
+              List.filter (fun x -> x != task) t.queue @ [ task ];
+            t.preemptions <- t.preemptions + 1;
+            let next = match rest with [] -> task | n :: _ -> n in
+            note_preempt task.core ~next:next.tid
+        | `Exited | `Budget -> ());
+        sched ()
+  in
+  (* The scheduler only orders runnable tasks; completed ones keep
+     their outcome. *)
+  sched ()

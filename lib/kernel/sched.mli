@@ -1,0 +1,41 @@
+(** Preemptive round-robin scheduler.
+
+    Tasks are ordinary EL0 processes, each on its own simulated core
+    with an attached interrupt fabric ({!Lz_cpu.Core.attach_irq}).
+    Before resuming a task the scheduler programs its generic timer
+    with the timeslice; the timer PPI (INTID 30) preempts the task at
+    an arbitrary instruction boundary and rotates it to the back of
+    the run queue. All other traps (syscalls, faults) are serviced by
+    the kernel exactly as under the cooperative {!Kernel.run} loop, so
+    a preempted run is architecturally identical to an unpreempted one
+    apart from the interrupt entries themselves. *)
+
+type task = {
+  tid : int;
+  proc : Proc.t;
+  core : Lz_cpu.Core.t;
+  mutable outcome : Kernel.outcome option;
+  mutable slices : int;  (** times this task was scheduled. *)
+}
+
+type t = {
+  kernel : Kernel.t;
+  slice : int;  (** timeslice in cycles. *)
+  mutable queue : task list;  (** run queue, head runs next. *)
+  mutable next_tid : int;
+  mutable preemptions : int;
+  mutable ticks : int;  (** timer interrupts fielded. *)
+}
+
+val create : ?slice:int -> Kernel.t -> t
+(** [slice] defaults to 20k cycles. *)
+
+val add : t -> Proc.t -> Lz_cpu.Core.t -> task
+(** Enqueue a task; attaches and initializes the core's IRQ fabric. *)
+
+val run : ?max_insns:int -> t -> (int * Kernel.outcome) list
+(** Round-robin all tasks to completion (or [max_insns] total retired
+    instructions across tasks); returns per-tid outcomes, tid-sorted.
+    Tasks still running at the budget report [Limit_reached]. A
+    {!Lz_trace.Trace.Preempt} event is emitted at every rotation on
+    the preempted core's tracer. *)

@@ -36,6 +36,8 @@ type t = {
   mutable traps : int;
   mutable syscall_traps : int;
   mutable fault_traps : int;
+  mutable irq_traps : int;
+  mutable on_irq : (Core.t -> int -> unit) option;
 }
 
 (* Extra per-module state kept out of the public record. *)
@@ -199,7 +201,8 @@ let enter ?(backend = Host) ~allow_scalable ~san_mode ~vmid ~entry ~sp kernel
       scalable = allow_scalable; san_mode; vmid; s2_root; fake; ttbr1;
       gatetab_pa = 0; ttbrtab_pa = 0;
       pgts = Hashtbl.create 16; next_pgt = 0; next_asid = 1;
-      terminated = None; traps = 0; syscall_traps = 0; fault_traps = 0 }
+      terminated = None; traps = 0; syscall_traps = 0; fault_traps = 0;
+      irq_traps = 0; on_irq = None }
   in
   Hashtbl.replace shadows vmid
     { prot = Hashtbl.create 64; mapped_in = Hashtbl.create 256;
@@ -210,8 +213,11 @@ let enter ?(backend = Host) ~allow_scalable ~san_mode ~vmid ~entry ~sp kernel
   let pgt0 = new_pgt t in
   assert (pgt0 = 0);
   (* Configure the virtual environment. *)
+  (* IMO: physical interrupts are claimed by EL2 while the zone runs,
+     so asynchronous preemption stops the core at the module boundary
+     instead of entering the (synchronous-only) EL1 vector stub. *)
   let hcr =
-    Sysreg.Hcr.vm lor Sysreg.Hcr.twi
+    Sysreg.Hcr.vm lor Sysreg.Hcr.twi lor Sysreg.Hcr.imo
     lor (if allow_scalable then 0 else Sysreg.Hcr.tvm lor Sysreg.Hcr.trvm)
   in
   Sysreg.write core.Core.sys Sysreg.HCR_EL2 hcr;
@@ -613,10 +619,17 @@ let do_forwarded_syscall t =
   | Host ->
       (* §5.2.1 retention: a hit means HCR/VTTBR kept the process's
          values across the syscall; a miss pays the double update. *)
+      let hit = not (needs_host_ctx nr) in
       (match Core.tracer t.core with
       | Some tr ->
           Trace.emit tr ~cycles:t.core.Core.cycles
-            (Trace.Retention { nr; hit = not (needs_host_ctx nr) })
+            (Trace.Retention { nr; hit })
+      | None -> ());
+      (match Core.pmu t.core with
+      | Some p ->
+          Pmu.record p
+            (if hit then Pmu.Event.retention_hit
+             else Pmu.Event.retention_miss)
       | None -> ());
       if needs_host_ctx nr then charge_host_ctx_switch t
   | Guest _ -> ());
@@ -766,6 +779,30 @@ let do_sigreturn t =
       Core.charge_sysreg t.core ~at:Pstate.EL2 Sysreg.TTBR0_EL1
 
 
+(* A physical interrupt claimed by EL2 while the zone runs
+   (HCR_EL2.IMO): the module saves the interrupted context, acks at
+   the GIC CPU interface, runs the registered handler (the preemptive
+   scheduler's tick), EOIs, and resumes. Queued signals are delivered
+   on the way out, so asynchronous preemption exercises the same
+   signal-frame capture/restore as synchronous traps — including when
+   the interrupt lands mid-gate or with a zone open. *)
+let handle_irq t =
+  t.irq_traps <- t.irq_traps + 1;
+  let c = cost t in
+  Core.charge t.core c.Cost_model.gp_save;
+  (match Core.irq t.core with
+  | None -> ()
+  | Some iv ->
+      Core.charge t.core c.Cost_model.gic_ack;
+      let intid = Lz_irq.Irq.ack iv in
+      if intid <> Lz_irq.Gic.spurious then begin
+        (match t.on_irq with Some f -> f t.core intid | None -> ());
+        Core.quiesce_irq t.core intid;
+        Lz_irq.Irq.eoi iv intid;
+        Core.charge t.core c.Cost_model.gic_eoi
+      end);
+  Core.charge t.core c.Cost_model.gp_restore
+
 (* ------------------------------------------------------------------ *)
 (* Run loop *)
 
@@ -786,6 +823,15 @@ let run ?(max_insns = 50_000_000) t =
           | Core.Trap_el1 _ ->
               (* Unreachable: the stub handles EL1 vectors. *)
               Terminated "unexpected harness-routed EL1 trap"
+          | Core.Trap_el2 (Core.Ec_irq _) -> (
+              handle_irq t;
+              match (t.terminated, t.proc.Proc.exit_code) with
+              | Some reason, _ -> Terminated reason
+              | None, Some code -> Exited code
+              | None, None ->
+                  maybe_deliver_signal t;
+                  Core.eret_from_el2 t.core;
+                  loop ())
           | Core.Trap_el2 cls -> (
               if Sys.getenv_opt "LZ_DEBUG" <> None then
                 Format.eprintf "[lz] trap: %a (pc=0x%x)@." Core.pp_stop
@@ -818,7 +864,8 @@ let run ?(max_insns = 50_000_000) t =
               | Core.Ec_undef _ ->
                   terminate t "undefined instruction at EL2 boundary"
               | Core.Ec_watchpoint _ ->
-                  terminate t "unexpected watchpoint exception");
+                  terminate t "unexpected watchpoint exception"
+              | Core.Ec_irq _ -> assert false (* matched above *));
               charge_suffix t;
               match (t.terminated, t.proc.Proc.exit_code) with
               | Some reason, _ -> Terminated reason

@@ -47,6 +47,13 @@ type t = {
   mutable traps : int;
   mutable syscall_traps : int;
   mutable fault_traps : int;
+  mutable irq_traps : int;
+      (** asynchronous interrupts fielded at EL2 (HCR_EL2.IMO). *)
+  mutable on_irq : (Lz_cpu.Core.t -> int -> unit) option;
+      (** called with the acknowledged INTID between GIC ack and EOI
+          of every interrupt the module fields — the preemption hook.
+          Sources left asserted are quiesced before EOI; queued
+          signals are delivered before the resuming ERET. *)
 }
 
 val enter :

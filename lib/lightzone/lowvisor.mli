@@ -15,7 +15,12 @@
       the roundtrip instead of two);
     - shared system resources (FP state, timers, counters, interrupt
       state) are not switched at all — only a small partial set of
-      EL1 registers moves, plus VTTBR_EL2.
+      EL1 registers moves, plus VTTBR_EL2. Concretely, the core's
+      interrupt fabric ({!Lz_cpu.Core.t.irqc}: GIC redistributor
+      latches, priorities, active stack, and the CNTP timer
+      programming) stays live and untouched across every forward, so
+      a timer armed by the zone still fires while the guest kernel
+      runs and vice versa.
 
     After a scheduling event the pointer to the current thread's
     shared context must be re-located, which makes the forwarding cost

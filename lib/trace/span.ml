@@ -60,6 +60,15 @@ let ec_name = function
   | 0x3C -> "brk"
   | ec -> Printf.sprintf "ec%02x" ec
 
+(* IRQ span names keyed by the well-known PPI INTIDs the simulator
+   raises (Lz_irq.Gic assignments: 30 = EL1 physical timer, 23 = PMU
+   overflow). *)
+let irq_name = function
+  | 30 -> "irq.timer"
+  | 23 -> "irq.pmu"
+  | intid when intid < 16 -> Printf.sprintf "irq.sgi%d" intid
+  | intid -> Printf.sprintf "irq.%d" intid
+
 (* One open trap: [resume] is the span interrupted by the enter,
    [trap] the trap's own name, [handler_el] the EL the handler runs at
    (the enter's [to_el]), [enter_cycles] the entry timestamp. *)
@@ -101,6 +110,15 @@ let analyze ?(start_cycles = 0) ?(decimate = 1) ~total_cycles ~dropped events
       | Trace.Gate_exit _ -> close_at e.cycles "mainline"
       | Trace.Trap_enter { ec; to_el; _ } ->
           let trap = "trap." ^ ec_name ec in
+          stack :=
+            { resume = !cur; trap; handler_el = to_el;
+              enter_cycles = e.cycles }
+            :: !stack;
+          close_at e.cycles trap
+      | Trace.Irq_enter { intid; to_el; _ } ->
+          (* An asynchronous entry nests exactly like a trap: the
+             handler's ERET emits the matching Trap_exit. *)
+          let trap = irq_name intid in
           stack :=
             { resume = !cur; trap; handler_el = to_el;
               enter_cycles = e.cycles }

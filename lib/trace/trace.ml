@@ -31,6 +31,8 @@ type payload =
   | Tlb_flush of { scope : flush_scope; vmid : int }
   | Syscall of { nr : int }
   | Nested_forward of { enter : bool; repoint : bool }
+  | Irq_enter of { intid : int; from_el : int; to_el : int }
+  | Preempt of { task : int }
 
 type event = { seq : int; cycles : int; payload : payload }
 
@@ -71,7 +73,8 @@ let decimation t = t.decimate
    two spans and skew every cycle attribution after it.  Only point
    events (flushes, faults, retention, ...) are sampled 1-in-N. *)
 let is_boundary = function
-  | Trap_enter _ | Trap_exit _ | Gate_entry _ | Gate_check _ | Gate_exit _ ->
+  | Trap_enter _ | Trap_exit _ | Gate_entry _ | Gate_check _ | Gate_exit _
+  | Irq_enter _ ->
       true
   | _ -> false
 
@@ -143,6 +146,8 @@ let payload_name = function
   | Tlb_flush _ -> "tlb_flush"
   | Syscall _ -> "syscall"
   | Nested_forward _ -> "nested_forward"
+  | Irq_enter _ -> "irq_enter"
+  | Preempt _ -> "preempt"
 
 let payload_fields_json = function
   | Trap_enter { ec; from_el; to_el } ->
@@ -165,6 +170,10 @@ let payload_fields_json = function
   | Syscall { nr } -> Printf.sprintf {|,"nr":%d|} nr
   | Nested_forward { enter; repoint } ->
       Printf.sprintf {|,"enter":%b,"repoint":%b|} enter repoint
+  | Irq_enter { intid; from_el; to_el } ->
+      Printf.sprintf {|,"intid":%d,"from_el":%d,"to_el":%d|} intid from_el
+        to_el
+  | Preempt { task } -> Printf.sprintf {|,"task":%d|} task
 
 let event_to_json e =
   Printf.sprintf {|{"seq":%d,"cycles":%d,"type":%S%s}|} e.seq e.cycles

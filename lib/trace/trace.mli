@@ -26,6 +26,13 @@ type payload =
   | Syscall of { nr : int }
   | Nested_forward of { enter : bool; repoint : bool }
       (** Lowvisor forward of a nested-virt trap (§5.3). *)
+  | Irq_enter of { intid : int; from_el : int; to_el : int }
+      (** Asynchronous interrupt taken; [intid] is the GIC INTID of the
+          highest-priority pending interrupt at delivery. Matched by a
+          {!Trap_exit} from the handler's EL, like a synchronous trap. *)
+  | Preempt of { task : int }
+      (** Scheduler timeslice rotation: [task] is the task switched
+          to. *)
 
 type event = { seq : int; cycles : int; payload : payload }
 
