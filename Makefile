@@ -13,9 +13,13 @@ test:
 bench: build
 	dune exec bench/throughput.exe
 
-# Quick harness check (small iteration count) via the dune alias.
+# Quick harness check (small iteration count) via the dune alias,
+# then the full-iteration throughput run gated against the committed
+# baseline: exits non-zero if any workload's fast-engine MIPS
+# regressed more than 20% (LZ_BENCH_TOLERANCE overrides).
 bench-smoke:
 	dune build @bench-smoke
+	dune exec bench/throughput.exe -- --check BENCH_throughput.json
 
 # Cycle attribution of a 128-domain gate-switch run (lz_trace demo).
 trace-demo: build

@@ -1,18 +1,32 @@
-(* Host-throughput benchmark for the fast-path execution engine.
+(* Host-throughput benchmark for the execution engines.
 
-   Runs each Microbench program twice — fast path and forced slow path
-   — on the same iteration count, measures host wall-clock, and emits
-   BENCH_throughput.json with MIPS (millions of simulated instructions
-   per host second) and the fast/slow speedup per workload.
+   Runs each Microbench program three ways — superblock engine,
+   per-instruction fast path, forced slow path — on the same iteration
+   count, measures host wall-clock, and emits BENCH_throughput.json
+   with MIPS (millions of simulated instructions per host second), the
+   speedups and the block-cache statistics per workload.
 
    LZ_BENCH_ITERS overrides the iteration count (default 300_000);
-   `--smoke` runs a small count just to prove the harness works. *)
+   `--smoke` runs a small count just to prove the harness works.
+
+   `--check [FILE]` (default BENCH_throughput.json) additionally reads
+   the previous results before overwriting them and exits 1 if any
+   workload's fast-engine MIPS regressed by more than the tolerance
+   (20%, LZ_BENCH_TOLERANCE overrides). Baselines taken at a different
+   iteration count are skipped — smoke and full runs are not
+   comparable. *)
 
 open Lz_workloads
 module Core = Lz_cpu.Core
+module Fastpath = Lz_cpu.Fastpath
 module Pmu = Lz_arm.Pmu
 
-type run = { insns : int; seconds : float; mips : float }
+type run = {
+  insns : int;
+  seconds : float;
+  mips : float;
+  blk : Fastpath.stats;
+}
 
 (* Program INST_RETIRED and CPU_CYCLES onto PMU counters before the
    run, then cross-check the architectural counter reads against the
@@ -52,8 +66,8 @@ let cross_check name core p ~c0 ~i0 =
     exit 1
   end
 
-let time_run ~fast ~iters name =
-  let env = Microbench.build ~fast ~iters name in
+let time_once ~fast ~blocks ~iters name =
+  let env = Microbench.build ~fast ~blocks ~iters name in
   let core = env.Microbench.core in
   let p = arm_pmu core in
   let c0 = core.Core.cycles and i0 = core.Core.insns in
@@ -62,10 +76,91 @@ let time_run ~fast ~iters name =
   let dt = Unix.gettimeofday () -. t0 in
   cross_check name core p ~c0 ~i0;
   let insns = env.Microbench.core.insns in
-  { insns; seconds = dt; mips = float_of_int insns /. dt /. 1e6 }
+  { insns; seconds = dt; mips = float_of_int insns /. dt /. 1e6;
+    blk = Fastpath.stats core.Core.fp }
+
+(* Best-of-[reps] wall clock: host scheduling noise only ever slows a
+   run down, so the fastest repetition is the most faithful one — and
+   the one stable enough for the --check regression gate. *)
+let time_run ?(reps = 1) ~fast ~blocks ~iters name =
+  let best = ref (time_once ~fast ~blocks ~iters name) in
+  for _ = 2 to reps do
+    let r = time_once ~fast ~blocks ~iters name in
+    if r.mips > !best.mips then best := r
+  done;
+  !best
+
+(* JSON cannot carry nan (empty-run ratios). *)
+let num x = if Float.is_nan x then 0. else x
+
+(* ------------------------------------------------------------------ *)
+(* Baseline parsing for --check: just enough string scanning to pull
+   "iters" and each workload's fast-engine "mips" back out of the JSON
+   this program writes — no JSON dependency. *)
+
+let str_index s pat ~from =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  if from >= n then None else go from
+
+let number_after s ~from =
+  let n = String.length s in
+  let rec skip i =
+    if i < n && (s.[i] = ' ' || s.[i] = '\n') then skip (i + 1) else i
+  in
+  let start = skip from in
+  let rec stop i =
+    if i < n
+       && (match s.[i] with '0' .. '9' | '.' | '-' | 'e' | '+' -> true
+           | _ -> false)
+    then stop (i + 1)
+    else i
+  in
+  let fin = stop start in
+  if fin = start then None
+  else float_of_string_opt (String.sub s start (fin - start))
+
+let baseline_iters json =
+  match str_index json "\"iters\":" ~from:0 with
+  | None -> None
+  | Some at -> Option.map int_of_float (number_after json ~from:at)
+
+(* The fast object is emitted first per workload, so the first "mips"
+   after the workload key is the fast engine's. *)
+let baseline_fast_mips json name =
+  match str_index json (Printf.sprintf "\"workload\": %S" name) ~from:0 with
+  | None -> None
+  | Some at -> (
+      match str_index json "\"mips\":" ~from:at with
+      | None -> None
+      | Some at -> number_after json ~from:at)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let argv = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" argv in
+  let check =
+    let rec find = function
+      | "--check" :: path :: _ when String.length path > 0 && path.[0] <> '-'
+        -> Some path
+      | "--check" :: _ -> Some "BENCH_throughput.json"
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    find argv
+  in
   let iters =
     match Sys.getenv_opt "LZ_BENCH_ITERS" with
     | Some s -> (
@@ -78,35 +173,112 @@ let () =
             exit 2)
     | None -> if smoke then 5_000 else 300_000
   in
+  (* Read the baseline before overwriting it. *)
+  let baseline =
+    match check with
+    | Some path when Sys.file_exists path -> Some (path, read_file path)
+    | Some path ->
+        Printf.printf "throughput: no baseline %s yet, writing one\n%!" path;
+        None
+    | None -> None
+  in
+  let reps = if smoke then 1 else 3 in
   let results =
     List.map
       (fun name ->
         (* Warm the OCaml heap/code paths once before timing. *)
-        ignore (time_run ~fast:true ~iters:1_000 name);
-        let fast = time_run ~fast:true ~iters name in
-        let slow = time_run ~fast:false ~iters name in
+        ignore (time_run ~fast:true ~blocks:true ~iters:1_000 name);
+        let fast = time_run ~reps ~fast:true ~blocks:true ~iters name in
+        let insn = time_run ~reps ~fast:true ~blocks:false ~iters name in
+        let slow = time_run ~reps ~fast:false ~blocks:false ~iters name in
         let speedup = fast.mips /. slow.mips in
+        let blk_speedup = fast.mips /. insn.mips in
         Printf.printf
-          "%-8s %9d insns   fast %8.2f MIPS   slow %8.2f MIPS   speedup %.2fx\n%!"
-          name fast.insns fast.mips slow.mips speedup;
-        (name, fast, slow, speedup))
+          "%-8s %9d insns   fast %8.2f MIPS   per-insn %8.2f MIPS   slow \
+           %8.2f MIPS   speedup %.2fx (%.2fx over per-insn)\n%!"
+          name fast.insns fast.mips insn.mips slow.mips speedup blk_speedup;
+        Printf.printf
+          "         blocks: %5.1f%% cache hits   %4.1f insns/block   %5.1f%% \
+           chained entries\n%!"
+          (100. *. num (Fastpath.hit_rate fast.blk))
+          (num (Fastpath.avg_block_len fast.blk))
+          (100. *. num (Fastpath.chain_ratio fast.blk));
+        (name, fast, insn, slow, speedup, blk_speedup))
       Microbench.names
   in
   let json =
-    let item (name, fast, slow, speedup) =
+    let item (name, fast, insn, slow, speedup, blk_speedup) =
       Printf.sprintf
         {|    { "workload": %S, "insns": %d,
-      "fast": { "seconds": %.6f, "mips": %.3f },
+      "fast": { "seconds": %.6f, "mips": %.3f,
+        "blk_hit_rate": %.4f, "avg_block_len": %.2f, "chain_ratio": %.4f },
+      "fast_per_insn": { "seconds": %.6f, "mips": %.3f },
       "slow": { "seconds": %.6f, "mips": %.3f },
-      "speedup": %.3f }|}
-        name fast.insns fast.seconds fast.mips slow.seconds slow.mips speedup
+      "speedup": %.3f, "block_speedup": %.3f }|}
+        name fast.insns fast.seconds fast.mips
+        (num (Fastpath.hit_rate fast.blk))
+        (num (Fastpath.avg_block_len fast.blk))
+        (num (Fastpath.chain_ratio fast.blk))
+        insn.seconds insn.mips slow.seconds slow.mips speedup blk_speedup
     in
     Printf.sprintf
-      "{\n  \"bench\": \"throughput\",\n  \"iters\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+      "{\n  \"bench\": \"throughput\",\n  \"iters\": %d,\n  \"results\": \
+       [\n%s\n  ]\n}\n"
       iters
-      (String.concat ",\n" (List.map item results))
+      (String.concat ",\n"
+         (List.map item results))
   in
   let out = open_out "BENCH_throughput.json" in
   output_string out json;
   close_out out;
-  Printf.printf "wrote BENCH_throughput.json\n%!"
+  Printf.printf "wrote BENCH_throughput.json\n%!";
+  match baseline with
+  | None -> ()
+  | Some (path, base) -> (
+      match baseline_iters base with
+      | Some bi when bi <> iters ->
+          Printf.printf
+            "throughput: baseline %s ran %d iters, this run %d — check \
+             skipped\n%!"
+            path bi iters
+      | _ ->
+          let tolerance =
+            match Sys.getenv_opt "LZ_BENCH_TOLERANCE" with
+            | Some s -> (
+                match float_of_string_opt s with
+                | Some f when f > 0. && f < 1. -> f
+                | _ ->
+                    Printf.eprintf
+                      "throughput: LZ_BENCH_TOLERANCE must be in (0,1), got \
+                       %S\n"
+                      s;
+                    exit 2)
+            | None -> 0.20
+          in
+          let regressed =
+            List.filter_map
+              (fun (name, fast, _, _, _, _) ->
+                match baseline_fast_mips base name with
+                | None ->
+                    Printf.printf
+                      "throughput: %s not in baseline %s, skipped\n%!" name
+                      path;
+                    None
+                | Some m0 when fast.mips < (1. -. tolerance) *. m0 ->
+                    Some (name, fast.mips, m0)
+                | Some _ -> None)
+              results
+          in
+          if regressed = [] then
+            Printf.printf "throughput: --check ok (within %.0f%% of %s)\n%!"
+              (100. *. tolerance) path
+          else begin
+            List.iter
+              (fun (name, now, m0) ->
+                Printf.eprintf
+                  "throughput: %s regressed: %.2f MIPS vs baseline %.2f \
+                   (-%.0f%%)\n"
+                  name now m0 (100. *. (1. -. (now /. m0))))
+              regressed;
+            exit 1
+          end)

@@ -172,7 +172,17 @@ let profile_cmd =
       c.Lz_eval.Profiles.retention_hits c.Lz_eval.Profiles.retention_misses
       (if Float.is_nan rate then ""
        else Printf.sprintf " (%.1f%% hit rate)" (100. *. rate));
-    Format.printf "  TLB flushes:       %d@." c.Lz_eval.Profiles.tlb_flushes
+    Format.printf "  TLB flushes:       %d@." c.Lz_eval.Profiles.tlb_flushes;
+    let b = c.Lz_eval.Profiles.blocks in
+    if b.Lz_cpu.Fastpath.blk_entries = 0 then
+      Format.printf "  superblocks:       off@."
+    else
+      Format.printf
+        "  superblocks:       %.1f%% cache hits, %.1f insns/block, %.1f%% \
+         chained entries@."
+        (100. *. Lz_cpu.Fastpath.hit_rate b)
+        (Lz_cpu.Fastpath.avg_block_len b)
+        (100. *. Lz_cpu.Fastpath.chain_ratio b)
   in
   Cmd.v
     (Cmd.info "profile"

@@ -51,8 +51,12 @@ type t = {
    differential runs against the fast engine. *)
 let default_fast () = Sys.getenv_opt "LZ_SLOW_PATH" <> Some "1"
 
-let create ?(route_el1_to_harness = true) ?fast phys tlb cost el =
+let create ?(route_el1_to_harness = true) ?fast ?blocks phys tlb cost el =
   let fast = match fast with Some f -> f | None -> default_fast () in
+  let fp = Fastpath.create ~enabled:fast in
+  (match blocks with
+  | Some b -> fp.Fastpath.blocks <- fast && b
+  | None -> ());
   { regs = Array.make 31 0;
     pc = 0;
     sp_el0 = 0;
@@ -65,7 +69,7 @@ let create ?(route_el1_to_harness = true) ?fast phys tlb cost el =
     cycles = 0;
     insns = 0;
     route_el1_to_harness;
-    fp = Fastpath.create ~enabled:fast;
+    fp;
     tracer = None;
     pmu = None;
     irqc = None }
@@ -114,6 +118,13 @@ let fast t = t.fp.Fastpath.enabled
 
 let set_fast t enabled =
   t.fp.Fastpath.enabled <- enabled;
+  t.fp.Fastpath.blocks <- enabled && !Fastpath.default_blocks;
+  Fastpath.reset t.fp
+
+let blocks t = t.fp.Fastpath.blocks
+
+let set_blocks t on =
+  t.fp.Fastpath.blocks <- on && t.fp.Fastpath.enabled;
   Fastpath.reset t.fp
 
 let charge t c = t.cycles <- t.cycles + c
@@ -1004,25 +1015,223 @@ let step t =
           | None -> ()));
       step_body t ~pc_cur ~next:(pc_cur + 4)
 
+(* ------------------------------------------------------------------ *)
+(* Block execution engine.
+
+   The superblock dispatcher amortizes the per-instruction dispatch
+   work (IRQ poll, iTLB front probe, decode-cache lookup) over
+   straight-line runs of instructions, while staying bit-identical to
+   the per-instruction path on every piece of architectural state —
+   registers, memory, cycles, insns, TLB hit/miss statistics, and the
+   exact instruction boundary at which asynchronous interrupts are
+   taken.  The three-way qcheck differential property and
+   `bench table5 --preempt` enforce this.
+
+   Correctness argument, per elided per-boundary check:
+
+   - IRQ poll -> interrupt horizon.  [irq_horizon] lower-bounds the
+     cycle at which [maybe_irq] could next return [Some _] given it
+     just returned [None].  Its inputs (DAIF, GIC filters, timer
+     CVAL/CTL, PMU PMINTEN) change only via MSR/exception entry/ERET,
+     which are block terminators, so inside a block — and across
+     chain-followed plain branches — the bound stays valid and a
+     cheap [cycles >= horizon] compare at each boundary is exact:
+     below the horizon the full poll provably returns [None]; at or
+     above it the engine bails to the dispatcher, which re-polls.
+
+   - iTLB front probe -> TLB generation check.  A front probe hits
+     iff the TLB generation is unchanged since the last real fetch of
+     the same page (and blocks never cross pages, and the ASID/VMID
+     context can only change at a terminator), so an unchanged
+     generation lets the block count the hit without probing; any
+     change falls back to the real, fully accounted [fetch_pa].
+
+   - decode lookup -> frame write-generation check.  Before every
+     in-block instruction the frame generation is compared against
+     the block's build-time capture; a store into the code page
+     (self-modifying code) bails to the dispatcher, which re-forms
+     the block from the fresh bytes exactly as the per-insn path
+     re-decodes them. *)
+
+let irq_horizon t =
+  if t.pstate.daif land 2 <> 0 then max_int
+  else
+    match t.irqc with
+    | None -> max_int
+    | Some iv ->
+        let pmu_hot =
+          match t.pmu with Some p -> Pmu.read_inten p <> 0 | None -> false
+        in
+        Lz_irq.Irq.horizon iv ~now:t.cycles ~pmu_hot
+
+type blk_exit =
+  | Bend  (* ran through the terminator; t.pc is the successor *)
+  | Bbail  (* stopped early (generation/horizon/budget/translation) *)
+  | Bstop of stop  (* trap delivered to the harness *)
+  | Bdeliv  (* trap delivered architecturally; execution continues *)
+
+(* Execute (a prefix of) [blk], whose first instruction is at [t.pc]
+   with its instruction fetch already performed and accounted by the
+   dispatcher.  [tgen] is the TLB generation right after that fetch;
+   [max_n] caps retired instructions (budget); [horizon] is the
+   current interrupt horizon.  Each instruction replicates the
+   per-insn path's ordering exactly: boundary checks (standing in for
+   the IRQ poll), then insns++/insn_base, then ifetch accounting,
+   then [exec]. *)
+let exec_block t (blk : Fastpath.block) ~max_n ~horizon ~tgen =
+  let fp = t.fp in
+  let code = blk.Fastpath.b_code in
+  let len = Array.length code in
+  let n = if max_n < len then max_n else len in
+  let phys = t.phys and tlb = t.tlb in
+  fp.Fastpath.st_entries <- fp.Fastpath.st_entries + 1;
+  let count = ref 0 in
+  let result = ref Bend in
+  (try
+     let rec go i tg =
+       if i >= n then begin
+         if n < len then result := Bbail
+       end
+       else if
+         i > 0
+         && (Phys.page_gen phys blk.Fastpath.b_page <> blk.Fastpath.b_dgen
+            || t.cycles >= horizon)
+       then result := Bbail
+       else begin
+         t.insns <- t.insns + 1;
+         charge t t.cost.insn_base;
+         incr count;
+         if i = 0 then begin
+           (* The dispatcher already fetched and accounted insn 0. *)
+           let pc_cur = t.pc in
+           exec t code.(0) ~pc_cur ~next:(pc_cur + 4);
+           go 1 tg
+         end
+         else begin
+           let g = Tlb.gen tlb in
+           if g = tg then begin
+             Tlb.account_front_hit tlb;
+             let pc_cur = t.pc in
+             exec t code.(i) ~pc_cur ~next:(pc_cur + 4);
+             go (i + 1) tg
+           end
+           else begin
+             (* A data-side walk moved the shared TLB under us: redo
+                the architectural instruction fetch exactly as the
+                per-insn path would (front probe, walk charges,
+                possible fault). *)
+             let pc_cur = t.pc in
+             let pa = fetch_pa t ~pc_cur in
+             let tg' = Tlb.gen tlb in
+             if pa = blk.Fastpath.b_pa + (4 * i) then begin
+               exec t code.(i) ~pc_cur ~next:(pc_cur + 4);
+               go (i + 1) tg'
+             end
+             else begin
+               (* The code mapping itself changed mid-block: run this
+                  one instruction through the generic fetch path and
+                  resynchronize via the dispatcher. *)
+               let insn = Fastpath.fetch fp phys pa in
+               exec t insn ~pc_cur ~next:(pc_cur + 4);
+               result := Bbail
+             end
+           end
+         end
+       end
+     in
+     go 0 tgen
+   with Exc (cls, ret) ->
+     result :=
+       (match deliver t cls ~ret with Some s -> Bstop s | None -> Bdeliv));
+  fp.Fastpath.st_insns <- fp.Fastpath.st_insns + !count;
+  !result
+
+let run_blocks t max_insns =
+  let fp = t.fp in
+  let phys = t.phys in
+  let remaining = ref max_insns in
+  let rec full () =
+    if !remaining <= 0 then Limit
+    else
+      match maybe_irq t with
+      | Some s -> s
+      | None -> entry ~horizon:(irq_horizon t) ~src:None
+  (* Enter the block at [t.pc].  Precondition: either the dispatcher
+     just polled ([src = None] path via [full]), or the previous block
+     ended in a plain branch with [t.cycles < horizon], in which case
+     the poll would provably return [None].  The instruction fetch is
+     always performed for real — it is the architectural act that
+     accounts TLB statistics and can fault; chaining only elides the
+     block-cache lookup. *)
+  and entry ~horizon ~src =
+    let pc_cur = t.pc in
+    match
+      match fetch_pa t ~pc_cur with
+      | pa -> Ok pa
+      | exception Exc (cls, ret) -> Error (cls, ret)
+    with
+    | Error (cls, ret) ->
+        (* The per-insn path counts the instruction before fetching;
+           replicate that for a faulting boundary fetch. *)
+        t.insns <- t.insns + 1;
+        charge t t.cost.insn_base;
+        decr remaining;
+        (match deliver t cls ~ret with Some s -> s | None -> full ())
+    | Ok pa -> (
+        let blk =
+          match src with
+          | Some sb -> (
+              match Fastpath.chain_lookup fp phys sb ~va:pc_cur ~pa with
+              | Some b ->
+                  fp.Fastpath.st_chain_follows <-
+                    fp.Fastpath.st_chain_follows + 1;
+                  b
+              | None ->
+                  let b = Fastpath.block_at fp phys pa in
+                  Fastpath.chain_store sb ~va:pc_cur b;
+                  b)
+          | None -> Fastpath.block_at fp phys pa
+        in
+        let tgen = Tlb.gen t.tlb in
+        let before = t.insns in
+        let r = exec_block t blk ~max_n:!remaining ~horizon ~tgen in
+        remaining := !remaining - (t.insns - before);
+        match r with
+        | Bstop s -> s
+        | Bdeliv | Bbail -> full ()
+        | Bend ->
+            if blk.Fastpath.b_chainable && !remaining > 0 && t.cycles < horizon
+            then entry ~horizon ~src:(Some blk)
+            else full ())
+  in
+  full ()
+
 (* The traced-vs-untraced dispatch happens once per [run], not once
    per instruction: tracers are attached between runs (trap servicing
    happens outside [run]), so the untraced loop — the benchmark hot
-   path — carries no per-step tracer check at all. *)
+   path — carries no per-step tracer check at all.  With the block
+   layer enabled the untraced loop is the superblock dispatcher; a
+   traced run always uses the per-instruction loop so the event
+   stream (markers, per-insn ordering) is identical with and without
+   blocks. *)
 let run ?(max_insns = 10_000_000) t =
   match t.tracer with
   | None ->
-      let rec loop budget =
-        if budget <= 0 then Limit
-        else
-          match maybe_irq t with
-          | Some s -> s
-          | None -> (
-              let pc_cur = t.pc in
-              match step_body t ~pc_cur ~next:(pc_cur + 4) with
-              | None -> loop (budget - 1)
-              | Some s -> s)
-      in
-      loop max_insns
+      if t.fp.Fastpath.enabled && t.fp.Fastpath.blocks then
+        run_blocks t max_insns
+      else
+        let rec loop budget =
+          if budget <= 0 then Limit
+          else
+            match maybe_irq t with
+            | Some s -> s
+            | None -> (
+                let pc_cur = t.pc in
+                match step_body t ~pc_cur ~next:(pc_cur + 4) with
+                | None -> loop (budget - 1)
+                | Some s -> s)
+        in
+        loop max_insns
   | Some _ ->
       let rec loop budget =
         if budget <= 0 then Limit

@@ -57,17 +57,33 @@ type t = {
 val create :
   ?route_el1_to_harness:bool ->
   ?fast:bool ->
+  ?blocks:bool ->
   Lz_mem.Phys.t -> Lz_mem.Tlb.t -> Cost_model.t -> Lz_arm.Pstate.el -> t
 (** [?fast] selects the fast-path execution engine (decoded-insn
     cache, micro-TLBs, memoized MMU context). Architectural behaviour
     — registers, memory, cycles, insns, TLB statistics — is identical
     either way; only host speed differs. Defaults to [true] unless the
-    [LZ_SLOW_PATH=1] environment variable is set. *)
+    [LZ_SLOW_PATH=1] environment variable is set.
+
+    [?blocks] additionally selects the superblock layer on top of the
+    fast path (block translation cache with chaining and an
+    interrupt-horizon guard; ignored when the fast path is off).
+    Equally architecturally invisible — asynchronous interrupts are
+    taken at exactly the same instruction boundary as the
+    per-instruction path. Defaults to [fast] unless [LZ_NO_BLOCKS=1]
+    is set. *)
 
 val fast : t -> bool
 
 val set_fast : t -> bool -> unit
-(** Toggle the fast path, resetting all its caches. *)
+(** Toggle the fast path, resetting all its caches. The block layer
+    follows {!Fastpath.default_blocks}. *)
+
+val blocks : t -> bool
+
+val set_blocks : t -> bool -> unit
+(** Toggle the superblock layer (no-op force-off while the fast path
+    is disabled), resetting the fast-path caches. *)
 
 val charge : t -> int -> unit
 (** Add cycles (used by OCaml-modelled kernel/hypervisor work). *)

@@ -1,15 +1,43 @@
 open Lz_arm
 open Lz_mem
 
+(* ------------------------------------------------------------------ *)
+(* Superblocks: straight-line runs of decoded instructions, cached by
+   (physical page, offset) on top of the per-page decode cache and
+   executed by Core's block dispatcher.  A block ends at the first
+   branch, exception-generating or system instruction, at the page
+   boundary, or at [max_block_insns].  Validity is anchored to the
+   frame's write generation captured at build time ([b_dgen]) and to
+   the cache epoch ([b_epoch], bumped by flush/reset to sever chain
+   links into dropped blocks). *)
+
+type block = {
+  b_pa : int;  (* physical address of the first instruction *)
+  b_page : int;  (* page-aligned base of [b_pa] *)
+  b_dgen : int;  (* Phys.page_gen at build time *)
+  b_code : Insn.t array;  (* >= 1 insns; straight-line except the last *)
+  b_chainable : bool;  (* last insn is a plain branch / fall-through *)
+  b_epoch : int;
+  (* Memoized successors (fall-through and taken targets), validated
+     on follow against epoch, generation and the live translation. *)
+  mutable b_succ_va : int;
+  mutable b_succ : block option;
+  mutable b_succ2_va : int;
+  mutable b_succ2 : block option;
+}
+
 (* One decoded physical page: 1024 instruction slots, filled lazily,
-   revalidated against the frame's write generation. *)
+   revalidated against the frame's write generation; [blk] caches the
+   superblock starting at each slot. *)
 type dpage = {
   mutable dgen : int;
   code : Insn.t option array;
+  blk : block option array;
 }
 
 type t = {
   mutable enabled : bool;
+  mutable blocks : bool;
   itlb : Tlb.front;
   dtlb : Tlb.front;
   (* Memoized MMU context (unpriv = false), rebuilt only when a
@@ -21,14 +49,29 @@ type t = {
   dcache : (int, dpage) Hashtbl.t;
   mutable dlast_page : int;
   mutable dlast : dpage option;
+  (* Bumped whenever cached blocks are dropped wholesale: a chain link
+     into a block from an older epoch is never followed. *)
+  mutable epoch : int;
   (* Cached "any watchpoint armed" flag, revalidated against the
      sysreg file's debug generation. *)
   mutable wp_gen : int;
   mutable wp_armed : bool;
+  (* Block-engine statistics (host-side observability only). *)
+  mutable st_lookups : int;
+  mutable st_hits : int;
+  mutable st_builds : int;
+  mutable st_entries : int;
+  mutable st_insns : int;
+  mutable st_chain_follows : int;
 }
+
+(* LZ_NO_BLOCKS=1 keeps the per-instruction fast path but disables the
+   block layer, for three-way differential runs. *)
+let default_blocks = ref (Sys.getenv_opt "LZ_NO_BLOCKS" <> Some "1")
 
 let create ~enabled =
   { enabled;
+    blocks = enabled && !default_blocks;
     itlb = Tlb.front_create ();
     dtlb = Tlb.front_create ();
     ctx = None;
@@ -36,13 +79,23 @@ let create ~enabled =
     dcache = Hashtbl.create 64;
     dlast_page = -1;
     dlast = None;
+    epoch = 0;
     wp_gen = -1;
-    wp_armed = false }
+    wp_armed = false;
+    st_lookups = 0;
+    st_hits = 0;
+    st_builds = 0;
+    st_entries = 0;
+    st_insns = 0;
+    st_chain_follows = 0 }
 
 let flush_decode t =
   Hashtbl.reset t.dcache;
   t.dlast_page <- -1;
-  t.dlast <- None
+  t.dlast <- None;
+  (* Sever every chain link: blocks built before this point must not
+     be re-entered even if a stale reference survives in a caller. *)
+  t.epoch <- t.epoch + 1
 
 let reset t =
   flush_decode t;
@@ -64,7 +117,11 @@ let dpage_of t phys ppage =
           match Hashtbl.find t.dcache ppage with
           | dp -> dp
           | exception Not_found ->
-              let dp = { dgen = -1; code = Array.make insns_per_page None } in
+              let dp =
+                { dgen = -1;
+                  code = Array.make insns_per_page None;
+                  blk = Array.make insns_per_page None }
+              in
               Hashtbl.add t.dcache ppage dp;
               dp
         in
@@ -76,8 +133,9 @@ let dpage_of t phys ppage =
   if dp.dgen <> g then begin
     (* The frame was written since these decodes were cached (page
        generations cover simulated stores and OCaml-side loads
-       alike): drop them. *)
+       alike): drop them, blocks included. *)
     Array.fill dp.code 0 insns_per_page None;
+    Array.fill dp.blk 0 insns_per_page None;
     dp.dgen <- g
   end;
   dp
@@ -91,3 +149,142 @@ let fetch t phys pa =
       let i = Encoding.decode (Phys.read32 phys pa) in
       dp.code.(idx) <- Some i;
       i
+
+(* ------------------------------------------------------------------ *)
+(* Block formation *)
+
+let max_block_insns = 64
+
+(* How an instruction ends (or doesn't end) a block.  [Chain]: plain
+   control flow that cannot touch interrupt-delivery state, so the
+   dispatcher may follow a memoized chain link under the same
+   interrupt horizon.  [Stop]: exception-generating or system
+   instructions (MSR/MRS, barriers, cache/TLB maintenance, ERET...)
+   that can change translation, DAIF, GIC/timer/PMU state or flush
+   this very cache — the dispatcher must return to a full poll. *)
+type ending = Straight | Chain | Stop
+
+let ending_of = function
+  | Insn.Movz _ | Insn.Movk _ | Insn.Mov_reg _ | Insn.Add _ | Insn.Sub _
+  | Insn.Subs _ | Insn.And_reg _ | Insn.Orr_reg _ | Insn.Eor_reg _
+  | Insn.Lsl_imm _ | Insn.Lsr_imm _ | Insn.Nop | Insn.Ldr _ | Insn.Str _
+  | Insn.Ldrb _ | Insn.Ldr32 _ | Insn.Str32 _ | Insn.Strb _ | Insn.Ldr_reg _
+  | Insn.Str_reg _ | Insn.Ldtr _ | Insn.Sttr _ | Insn.Ldtrb _ | Insn.Sttrb _
+    ->
+      Straight
+  | Insn.B _ | Insn.Bcond _ | Insn.Bl _ | Insn.Br _ | Insn.Blr _ | Insn.Ret _
+  | Insn.Cbz _ | Insn.Cbnz _ ->
+      Chain
+  | _ -> Stop
+
+let build_block t phys pa =
+  let dp = dpage_of t phys (pa / Phys.page_size) in
+  let idx0 = (pa land (Phys.page_size - 1)) lsr 2 in
+  let buf = ref [] in
+  let n = ref 0 in
+  let chainable = ref true in
+  let stop = ref false in
+  while (not !stop) && !n < max_block_insns && idx0 + !n < insns_per_page do
+    let insn = fetch t phys (pa + (4 * !n)) in
+    (match ending_of insn with
+    | Straight -> ()
+    | Chain -> stop := true
+    | Stop ->
+        stop := true;
+        chainable := false);
+    buf := insn :: !buf;
+    incr n
+  done;
+  let code = Array.of_list (List.rev !buf) in
+  let b =
+    { b_pa = pa;
+      b_page = pa land lnot (Phys.page_size - 1);
+      b_dgen = dp.dgen;
+      b_code = code;
+      b_chainable = !chainable;
+      b_epoch = t.epoch;
+      b_succ_va = min_int;
+      b_succ = None;
+      b_succ2_va = min_int;
+      b_succ2 = None }
+  in
+  dp.blk.(idx0) <- Some b;
+  b
+
+(* The block starting at physical address [pa], from cache or freshly
+   built.  [dpage_of] has already dropped stale blocks if the frame's
+   generation moved, so a cached block here is valid by construction;
+   the [b_dgen] check is defensive. *)
+let block_at t phys pa =
+  let dp = dpage_of t phys (pa / Phys.page_size) in
+  let idx = (pa land (Phys.page_size - 1)) lsr 2 in
+  t.st_lookups <- t.st_lookups + 1;
+  match dp.blk.(idx) with
+  | Some b when b.b_dgen = dp.dgen && b.b_epoch = t.epoch ->
+      t.st_hits <- t.st_hits + 1;
+      b
+  | _ ->
+      t.st_builds <- t.st_builds + 1;
+      build_block t phys pa
+
+(* ------------------------------------------------------------------ *)
+(* Chaining: each block memoizes up to two successor blocks keyed by
+   target VA (fall-through and taken).  A link is only followed if the
+   target block is from the current epoch, its frame generation still
+   matches, and the dispatcher's live instruction-fetch translation
+   resolved the VA to the block's physical address. *)
+
+let chain_lookup t phys b ~va ~pa =
+  let ok = function
+    | Some sb
+      when sb.b_epoch = t.epoch && sb.b_pa = pa
+           && Phys.page_gen phys sb.b_page = sb.b_dgen ->
+        Some sb
+    | _ -> None
+  in
+  if b.b_succ_va = va then ok b.b_succ
+  else if b.b_succ2_va = va then ok b.b_succ2
+  else None
+
+let chain_store b ~va succ =
+  if b.b_succ_va = va then b.b_succ <- Some succ
+  else begin
+    b.b_succ2_va <- b.b_succ_va;
+    b.b_succ2 <- b.b_succ;
+    b.b_succ_va <- va;
+    b.b_succ <- Some succ
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statistics *)
+
+type stats = {
+  blk_lookups : int;
+  blk_hits : int;
+  blk_builds : int;
+  blk_entries : int;
+  blk_insns : int;
+  chain_follows : int;
+}
+
+let stats t =
+  { blk_lookups = t.st_lookups;
+    blk_hits = t.st_hits;
+    blk_builds = t.st_builds;
+    blk_entries = t.st_entries;
+    blk_insns = t.st_insns;
+    chain_follows = t.st_chain_follows }
+
+let reset_stats t =
+  t.st_lookups <- 0;
+  t.st_hits <- 0;
+  t.st_builds <- 0;
+  t.st_entries <- 0;
+  t.st_insns <- 0;
+  t.st_chain_follows <- 0
+
+let ratio num den = if den = 0 then nan else float_of_int num /. float_of_int den
+
+let hit_rate s = ratio s.blk_hits s.blk_lookups
+let avg_block_len s = ratio s.blk_insns s.blk_entries
+let chain_ratio s = ratio s.chain_follows s.blk_entries

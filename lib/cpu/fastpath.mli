@@ -3,19 +3,41 @@
     Bundles everything {!Core.step}'s fast path caches between
     instructions: the decoded-instruction cache (keyed by physical
     page, invalidated by frame write generations and [IC IALLU]), the
-    1-entry iTLB/dTLB front caches, the memoized MMU translation
-    context, and the cached watchpoint-armed flag. None of it is
-    architectural state — with [enabled = false] the core ignores all
-    of it and runs the original un-cached path, which the differential
-    property tests compare against. *)
+    superblock cache layered on it, the 1-entry iTLB/dTLB front
+    caches, the memoized MMU translation context, and the cached
+    watchpoint-armed flag. None of it is architectural state — with
+    [enabled = false] the core ignores all of it and runs the original
+    un-cached path, which the differential property tests compare
+    against; with [blocks = false] the per-instruction fast path runs
+    without the block layer (the three-way differential mode). *)
+
+type block = {
+  b_pa : int;  (** physical address of the first instruction. *)
+  b_page : int;  (** page-aligned base of [b_pa]. *)
+  b_dgen : int;  (** {!Lz_mem.Phys.page_gen} at build time. *)
+  b_code : Lz_arm.Insn.t array;
+      (** >= 1 decoded insns; straight-line except possibly the last. *)
+  b_chainable : bool;
+      (** the block ends in a plain branch or falls through — control
+          flow that cannot disturb interrupt-delivery state, so the
+          dispatcher may follow a chain link under the same interrupt
+          horizon. *)
+  b_epoch : int;
+  mutable b_succ_va : int;
+  mutable b_succ : block option;
+  mutable b_succ2_va : int;
+  mutable b_succ2 : block option;
+}
 
 type dpage = {
   mutable dgen : int;  (** {!Lz_mem.Phys.page_gen} at decode time. *)
   code : Lz_arm.Insn.t option array;
+  blk : block option array;  (** superblock starting at each slot. *)
 }
 
 type t = {
   mutable enabled : bool;
+  mutable blocks : bool;
   itlb : Lz_mem.Tlb.front;
   dtlb : Lz_mem.Tlb.front;
   mutable ctx : Lz_mem.Mmu.ctx option;
@@ -23,9 +45,21 @@ type t = {
   dcache : (int, dpage) Hashtbl.t;
   mutable dlast_page : int;
   mutable dlast : dpage option;
+  mutable epoch : int;
   mutable wp_gen : int;
   mutable wp_armed : bool;
+  mutable st_lookups : int;
+  mutable st_hits : int;
+  mutable st_builds : int;
+  mutable st_entries : int;
+  mutable st_insns : int;
+  mutable st_chain_follows : int;
 }
+
+val default_blocks : bool ref
+(** Initial [blocks] flag for new cores with the fast path enabled.
+    Defaults to [true] unless [LZ_NO_BLOCKS=1] is set — the
+    three-way differential mode (slow / per-insn fast / blocks). *)
 
 val create : enabled:bool -> t
 
@@ -36,9 +70,55 @@ val fetch : t -> Lz_mem.Phys.t -> int -> Lz_arm.Insn.t
     code behaves exactly as with a fresh [Encoding.decode]. *)
 
 val flush_decode : t -> unit
-(** Drop every cached decode ([IC IALLU]). *)
+(** Drop every cached decode and superblock ([IC IALLU]) and bump the
+    epoch so chain links into dropped blocks are never followed. *)
 
 val reset : t -> unit
-(** Drop all cached state (decode cache, front TLBs, memoized
-    context, watchpoint flag). Safe at any point: everything is
-    rebuilt on demand. *)
+(** Drop all cached state (decode cache, blocks + chains, front TLBs,
+    memoized context, watchpoint flag). Safe at any point: everything
+    is rebuilt on demand. *)
+
+(** {1 Superblocks}
+
+    Used by [Core]'s block dispatcher; exposed for tests. *)
+
+val max_block_insns : int
+
+val block_at : t -> Lz_mem.Phys.t -> int -> block
+(** The superblock starting at physical address [pa], from cache or
+    freshly built (decoding forward until a branch, an exception-
+    generating/system instruction, the page boundary or
+    {!max_block_insns}). Counts a lookup plus a hit or build. *)
+
+val chain_lookup :
+  t -> Lz_mem.Phys.t -> block -> va:int -> pa:int -> block option
+(** A memoized successor of [block] for target [va], only if it is
+    from the current epoch, its frame generation still matches and it
+    starts at the freshly translated [pa]. *)
+
+val chain_store : block -> va:int -> block -> unit
+(** Memoize [succ] as [block]'s successor for target [va] (keeps the
+    two most recent targets: fall-through and taken). *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  blk_lookups : int;  (** {!block_at} consultations. *)
+  blk_hits : int;  (** served from cache. *)
+  blk_builds : int;  (** built fresh. *)
+  blk_entries : int;  (** blocks entered by the dispatcher. *)
+  blk_insns : int;  (** instructions retired inside blocks. *)
+  chain_follows : int;  (** entries that followed a chain link. *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val hit_rate : stats -> float
+(** [blk_hits / blk_lookups]; [nan] before any lookup. *)
+
+val avg_block_len : stats -> float
+(** [blk_insns / blk_entries]; [nan] before any entry. *)
+
+val chain_ratio : stats -> float
+(** [chain_follows / blk_entries]; [nan] before any entry. *)

@@ -105,6 +105,9 @@ type pmu_counters = {
   retention_misses : int;
       (** forwarded syscalls that forced the host-context switch. *)
   tlb_flushes : int;  (** TLB maintenance operations observed. *)
+  blocks : Lz_cpu.Fastpath.stats;
+      (** superblock-engine counters for the same run (all zero when
+          the block layer is disabled). *)
 }
 
 let retention_rate c =
@@ -186,4 +189,5 @@ let pmu_counters ?(syscalls = 256) cm env =
   let open Lz_arm in
   { retention_hits = Pmu.event_total p Pmu.Event.retention_hit;
     retention_misses = Pmu.event_total p Pmu.Event.retention_miss;
-    tlb_flushes = Pmu.event_total p Pmu.Event.tlb_flush }
+    tlb_flushes = Pmu.event_total p Pmu.Event.tlb_flush;
+    blocks = Fastpath.stats t.Lightzone.Kmod.core.Core.fp }

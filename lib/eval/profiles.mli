@@ -30,6 +30,9 @@ type pmu_counters = {
   retention_misses : int;
       (** forwarded syscalls that forced the host-context switch. *)
   tlb_flushes : int;  (** TLB maintenance operations observed. *)
+  blocks : Lz_cpu.Fastpath.stats;
+      (** superblock-engine counters for the same run (all zero when
+          the block layer is disabled). *)
 }
 
 val retention_rate : pmu_counters -> float

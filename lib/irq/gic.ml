@@ -168,6 +168,23 @@ let best_candidate t =
   done;
   !best
 
+(* Would [intid], if its input line asserted right now, pass every
+   static delivery filter on this CPU interface?  "Static" means the
+   inputs only change via ICC_*/GICD writes or acknowledge/EOI — all
+   instruction-boundary events — so the answer is stable across a
+   straight-line block.  Note the one model-specific subtlety: a
+   higher-priority candidate that is itself PMR-masked shadows
+   everything in [signaled], so a [true] here does not promise
+   delivery, only that delivery is *possible*; callers using this for
+   an interrupt horizon must still poll at the horizon. *)
+let deliverable t intid =
+  is_local intid
+  && t.igrpen1 && t.dist.grp_en
+  && t.enabled.(intid)
+  && (not t.active.(intid))
+  && t.prio.(intid) < t.pmr
+  && t.prio.(intid) < running_priority t
+
 let signaled t =
   if not (t.igrpen1 && t.dist.grp_en) then None
   else

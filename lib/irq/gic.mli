@@ -69,6 +69,17 @@ val unmask : cpu -> unit
 
 (** {1 CPU interface (the ICC system registers)} *)
 
+val deliverable : cpu -> int -> bool
+(** [deliverable cpu intid]: would the local INTID pass every static
+    delivery filter (group enables, per-INTID enable, not active,
+    priority vs PMR and running priority) if its line asserted now?
+    All inputs change only at instruction boundaries (ICC_*/GICD
+    writes, acknowledge, EOI), so the answer is stable across a
+    straight-line block — the core's interrupt-horizon computation
+    relies on this. A [true] result does not promise delivery (a
+    masked higher-priority candidate can shadow it in {!signaled});
+    it only bounds when delivery is possible. *)
+
 val signaled : cpu -> int option
 (** The INTID the interface is currently signaling to its core: the
     highest-priority enabled pending inactive interrupt, if it beats

@@ -26,6 +26,27 @@ let pending t ~now ~pmu_line =
   Gic.set_level t.gic Gic.ppi_pmu pmu_line;
   Gic.signaled t.gic
 
+(* Interrupt horizon: a lower bound on the cycle count at which
+   [pending] could first return [Some _], given that it returned
+   [None] at cycle [now] and that only the level-sensitive inputs
+   (timer condition, PMU overflow) can change before the next
+   exception-generating or system instruction.  Everything else that
+   feeds delivery — GIC latches/filters, DAIF, HCR routing — mutates
+   only at such instructions, which the block engine treats as block
+   terminators, so the bound stays valid across a straight-line block.
+   [pmu_hot] marks a PMU whose overflow interrupt is enabled
+   (PMINTENSET != 0): its assert time depends on the instruction mix,
+   so the bound degrades to "right now" and blocks shrink to single
+   dispatch steps rather than risk a late delivery. *)
+let horizon t ~now ~pmu_hot =
+  let timer_h =
+    if Gic.deliverable t.gic Gic.ppi_el1_timer then
+      match Timer.fire_at t.timer with Some c -> c | None -> max_int
+    else max_int
+  in
+  if pmu_hot && Gic.deliverable t.gic Gic.ppi_pmu then min now timer_h
+  else timer_h
+
 (* Host-side (OCaml-modelled kernel) fast paths for servicing a tick:
    acknowledge + retire, mirroring the ICC_IAR1/ICC_EOIR1 pair a
    simulated handler would execute. *)

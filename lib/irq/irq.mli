@@ -24,6 +24,16 @@ val pending : t -> now:int -> pmu_line:bool -> int option
 (** Refresh level inputs (timer condition at cycle [now], PMU overflow
     line) and return the signaled INTID, if any. *)
 
+val horizon : t -> now:int -> pmu_hot:bool -> int
+(** Lower bound on the cycle count at which {!pending} could first
+    return [Some _], assuming it returned [None] at [now] and that no
+    exception-generating or system instruction executes in between
+    (those can reconfigure the GIC/timer/PMU and invalidate the
+    bound). [max_int] when no attached source can ever assert.
+    [pmu_hot] flags a PMU with overflow interrupts enabled, whose
+    assert time is instruction-dependent: the bound then collapses to
+    [now]. Drives the block engine's interrupt-horizon guard. *)
+
 val ack : t -> int
 (** Host-side ICC_IAR1_EL1: acknowledge ({!Gic.spurious} if nothing is
     signaled). *)

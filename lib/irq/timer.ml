@@ -36,6 +36,14 @@ let write_tval t ~now v =
   let signed = if v land 0x8000_0000 <> 0 then v - mask32 - 1 else v in
   t.cval <- now + signed
 
+(* Earliest count value at which the interrupt output can assert:
+   CVAL while enabled and unmasked, never otherwise. Used by the block
+   engine's interrupt-horizon computation — only CTL/CVAL writes (MSR,
+   block terminators) can change the answer. *)
+let fire_at t =
+  if t.ctl land ctl_enable <> 0 && t.ctl land ctl_imask = 0 then Some t.cval
+  else None
+
 (* Host-side convenience: arm a one-shot tick [slice] cycles from now,
    or quiesce the timer entirely. *)
 let program t ~now ~slice =

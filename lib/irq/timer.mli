@@ -26,6 +26,12 @@ val write_cval : t -> int -> unit
 val read_tval : t -> now:int -> int
 val write_tval : t -> now:int -> int -> unit
 
+val fire_at : t -> int option
+(** Earliest count value at which {!output} can become true: [Some
+    CVAL] while the timer is enabled and unmasked, [None] otherwise
+    (the line then cannot assert until a CTL/CVAL write). Feeds the
+    core's interrupt-horizon computation. *)
+
 val program : t -> now:int -> slice:int -> unit
 (** Arm a one-shot tick [slice] cycles from [now] (ENABLE set, IMASK
     clear). *)

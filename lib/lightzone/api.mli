@@ -16,6 +16,11 @@
 
 type t = Kmod.t
 
+val next_vmid : int ref
+(** The process-global LightZone VMID allocator (starts at 0x100, one
+    per {!lz_enter}, never reused). Exposed so determinism tests that
+    compare two complete runs byte-for-byte can pin it. *)
+
 val lz_enter :
   ?backend:Kmod.backend ->
   allow_scalable:bool ->

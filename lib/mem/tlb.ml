@@ -161,6 +161,11 @@ let account t = function
       t.miss_count <- t.miss_count + 1;
       None
 
+(* The block execution engine proves (via the generation counter) that
+   a front probe it is about to skip would have hit, and accounts the
+   hit directly instead of re-running the probe. *)
+let account_front_hit t = t.hit_count <- t.hit_count + 1
+
 let front_probe t fr ~vmid ~asid ~va =
   set_ctx_pair t ~vmid ~asid;
   let key = pack ~ctx:t.last_ctx ~vpage:(Lz_arm.Bits.align_down va 4096) in

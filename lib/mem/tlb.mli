@@ -52,6 +52,12 @@ val gen : t -> int
 (** Mutation generation: bumped by every insert, eviction and flush.
     Equal generations guarantee identical lookup outcomes. *)
 
+val account_front_hit : t -> unit
+(** Count one front-cache hit without re-running the probe. For the
+    block execution engine, which proves via {!gen} that the probe it
+    elides would have hit; keeps hit/miss statistics bit-identical to
+    the per-instruction path. *)
+
 val insert :
   t -> vmid:int -> asid:int -> va:int -> global:bool -> entry -> unit
 

@@ -97,7 +97,7 @@ let program_of_name ~iters = function
   | "nginx" -> nginx_program ~iters
   | n -> invalid_arg ("Microbench.build: unknown program " ^ n)
 
-let build ?fast ~iters name =
+let build ?fast ?blocks ~iters name =
   let program = program_of_name ~iters name in
   let phys = Phys.create () in
   let tlb = Tlb.create () in
@@ -123,7 +123,7 @@ let build ?fast ~iters name =
   List.iteri
     (fun i insn -> Phys.write32 phys (code_pa + (4 * i)) (Encoding.encode insn))
     program;
-  let core = Core.create ?fast phys tlb Cost_model.cortex_a55 Pstate.EL1 in
+  let core = Core.create ?fast ?blocks phys tlb Cost_model.cortex_a55 Pstate.EL1 in
   Sysreg.write core.sys Sysreg.TTBR0_EL1 (Mmu.ttbr_value ~root ~asid:1);
   core.pc <- code_va;
   { core; data_pas }
@@ -144,8 +144,8 @@ type summary = {
   tlb_misses : int;
 }
 
-let run_summary ?fast ~iters name =
-  let env = build ?fast ~iters name in
+let run_summary ?fast ?blocks ~iters name =
+  let env = build ?fast ?blocks ~iters name in
   run_to_brk env;
   let core = env.core in
   let buf = Buffer.create (data_pages * 4096) in

@@ -23,9 +23,9 @@ type env = {
   data_pas : int list;  (** physical frames backing the data pages. *)
 }
 
-val build : ?fast:bool -> iters:int -> string -> env
+val build : ?fast:bool -> ?blocks:bool -> iters:int -> string -> env
 (** [build name] assembles the named program with an [iters]-iteration
-    loop into a fresh machine. [?fast] is passed to
+    loop into a fresh machine. [?fast] and [?blocks] are passed to
     {!Lz_cpu.Core.create}. Raises [Invalid_argument] on an unknown
     name. *)
 
@@ -45,4 +45,4 @@ type summary = {
     program are architecturally identical iff their summaries are
     equal. *)
 
-val run_summary : ?fast:bool -> iters:int -> string -> summary
+val run_summary : ?fast:bool -> ?blocks:bool -> iters:int -> string -> summary

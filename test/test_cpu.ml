@@ -417,6 +417,128 @@ let test_run_limit () =
   | Core.Limit -> ()
   | s -> Alcotest.failf "expected limit, got %a" Core.pp_stop s
 
+(* ------------------------------------------------------------------ *)
+(* Superblock cache invalidation *)
+
+(* Like [build_env] but with a writable, executable code page, for
+   self-modifying programs. *)
+let build_env_wx ?(fast = true) ?(blocks = true) program =
+  let phys = Phys.create () in
+  let tlb = Tlb.create () in
+  let root = Stage1.create_root phys in
+  let code_pa = Phys.alloc_frame phys in
+  let data_pa = Phys.alloc_frame phys in
+  Stage1.map_page phys ~root ~va:code_va ~pa:code_pa
+    { Pte.user = false; read_only = false; uxn = true; pxn = false;
+      ng = true };
+  Stage1.map_page phys ~root ~va:data_va ~pa:data_pa
+    { Pte.user = false; read_only = false; uxn = true; pxn = true; ng = true };
+  List.iteri
+    (fun i insn -> Phys.write32 phys (code_pa + (4 * i)) (Encoding.encode insn))
+    program;
+  let core = Core.create ~fast ~blocks phys tlb Cost_model.cortex_a55
+      Pstate.EL1 in
+  Sysreg.write core.sys Sysreg.TTBR0_EL1 (Mmu.ttbr_value ~root ~asid:1);
+  core.pc <- code_va;
+  { phys; core; root }
+
+(* IC IALLU mid-loop: each iteration patches the MOVZ at the patch
+   site with the loop counter, flushes the decode caches, executes it
+   and accumulates. The superblock covering the loop body is chained
+   to itself, so a stale-block bug would re-run the old immediate.
+   x6 must equal 1+2+...+iters — and the run must be bit-identical to
+   the slow engine's. *)
+let smc_ic_iallu_program ~iters ~with_ic =
+  let open Insn in
+  let base = Encoding.encode (Movz (5, 0, 0)) in
+  [ Movz (0, iters, 0);                   (*  0 *)
+    Movz (1, code_va land 0xFFFF, 0);     (*  1 *)
+    Movk (1, code_va lsr 16, 16);         (*  2 *)
+    Movz (9, base land 0xFFFF, 0);        (*  3 *)
+    Movk (9, base lsr 16, 16);            (*  4 *)
+    Lsl_imm (8, 0, 5);                    (*  5: loop head *)
+    Orr_reg (10, 9, 8);                   (*  6 *)
+    Str32 (10, 1, 4 * 9);                 (*  7: patch slot 9 *)
+    (if with_ic then Ic_iallu else Nop);  (*  8 *)
+    Movz (5, 0, 0);                       (*  9: patch site *)
+    Add (6, 6, Reg 5);                    (* 10 *)
+    Sub (0, 0, Imm 1);                    (* 11 *)
+    Cbnz (0, 4 * (5 - 12));               (* 12 *)
+    Brk 0 ]                               (* 13 *)
+
+let run_smc ~fast ~blocks ~iters ~with_ic =
+  let env = build_env_wx ~fast ~blocks (smc_ic_iallu_program ~iters ~with_ic)
+  in
+  expect_brk (run env);
+  (env.core.insns, env.core.cycles, Core.reg env.core 6)
+
+let test_smc_ic_iallu_mid_loop () =
+  let iters = 40 in
+  let want = iters * (iters + 1) / 2 in
+  List.iter
+    (fun with_ic ->
+      let (_, _, sum) as blk = run_smc ~fast:true ~blocks:true ~iters
+          ~with_ic in
+      let slow = run_smc ~fast:false ~blocks:false ~iters ~with_ic in
+      check_int "patched sum" want sum;
+      check_bool "blocks = slow" true (blk = slow))
+    [ true; false ]
+
+let test_flush_decode_drops_blocks () =
+  let env =
+    Lz_workloads.Microbench.build ~fast:true ~blocks:true ~iters:50 "aes"
+  in
+  Lz_workloads.Microbench.run_to_brk env;
+  let fp = env.Lz_workloads.Microbench.core.Core.fp in
+  let st = Fastpath.stats fp in
+  check_bool "blocks entered" true (st.Fastpath.blk_entries > 0);
+  check_bool "blocks cached" true (st.Fastpath.blk_hits > 0);
+  check_bool "chains followed" true (st.Fastpath.chain_follows > 0);
+  check_bool "multi-insn blocks" true (Fastpath.avg_block_len st > 1.0);
+  let epoch0 = fp.Fastpath.epoch in
+  Fastpath.flush_decode fp;
+  check_int "decode+block cache dropped" 0 (Hashtbl.length fp.Fastpath.dcache);
+  check_bool "epoch bumped" true (fp.Fastpath.epoch > epoch0);
+  let epoch1 = fp.Fastpath.epoch in
+  Fastpath.reset fp;
+  check_bool "reset also bumps the epoch" true (fp.Fastpath.epoch > epoch1)
+
+(* Chain links must die with their target: a frame write-generation
+   bump (self- or cross-modifying code) and an epoch bump (IC IALLU)
+   must each make [chain_lookup] refuse a memoized successor. *)
+let test_chain_links_severed () =
+  let phys = Phys.create () in
+  let fp = Fastpath.create ~enabled:true in
+  let enc = Encoding.encode in
+  let pa1 = Phys.alloc_frame phys and pa2 = Phys.alloc_frame phys in
+  Phys.write32 phys pa1 (enc (Insn.Movz (1, 1, 0)));
+  Phys.write32 phys (pa1 + 4) (enc (Insn.B 8));
+  Phys.write32 phys pa2 (enc (Insn.Movz (2, 2, 0)));
+  Phys.write32 phys (pa2 + 4) (enc (Insn.Brk 0));
+  let a = Fastpath.block_at fp phys pa1 in
+  let b = Fastpath.block_at fp phys pa2 in
+  check_bool "branch-terminated block is chainable" true a.Fastpath.b_chainable;
+  Fastpath.chain_store a ~va:0x2000 b;
+  (match Fastpath.chain_lookup fp phys a ~va:0x2000 ~pa:pa2 with
+  | Some b' -> check_bool "chain link live" true (b' == b)
+  | None -> Alcotest.fail "fresh chain link not returned");
+  (* A store anywhere in the target's page severs the link. *)
+  Phys.write32 phys (pa2 + 64) 0;
+  check_bool "severed by write-generation bump" true
+    (Fastpath.chain_lookup fp phys a ~va:0x2000 ~pa:pa2 = None);
+  (* Rebuild and re-link, then IC IALLU: the epoch severs it. *)
+  let b2 = Fastpath.block_at fp phys pa2 in
+  Fastpath.chain_store a ~va:0x2000 b2;
+  Fastpath.flush_decode fp;
+  check_bool "severed by epoch bump" true
+    (Fastpath.chain_lookup fp phys a ~va:0x2000 ~pa:pa2 = None);
+  (* A mismatching translated target also refuses the link. *)
+  let a3 = Fastpath.block_at fp phys pa1 in
+  let b3 = Fastpath.block_at fp phys pa2 in
+  Fastpath.chain_store a3 ~va:0x2000 b3;
+  check_bool "severed by pa mismatch" true
+    (Fastpath.chain_lookup fp phys a3 ~va:0x2000 ~pa:(pa2 + 4) = None)
+
 let () =
   Alcotest.run "lz_cpu"
     [ ( "execute",
@@ -450,4 +572,11 @@ let () =
       ( "accounting",
         [ Alcotest.test_case "cycles" `Quick test_cycles_accumulate;
           Alcotest.test_case "cntvct" `Quick test_cntvct_reads_cycles;
-          Alcotest.test_case "tlbi" `Quick test_tlbi_flushes ] ) ]
+          Alcotest.test_case "tlbi" `Quick test_tlbi_flushes ] );
+      ( "superblocks",
+        [ Alcotest.test_case "ic iallu mid-loop smc" `Quick
+            test_smc_ic_iallu_mid_loop;
+          Alcotest.test_case "flush drops blocks" `Quick
+            test_flush_decode_drops_blocks;
+          Alcotest.test_case "chain links severed" `Quick
+            test_chain_links_severed ] ) ]

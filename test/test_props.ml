@@ -288,28 +288,147 @@ let prop_lz_policy =
       !violated = expected_violation)
 
 (* ------------------------------------------------------------------ *)
-(* Fast path vs slow path: the fast execution engine (decoded-insn
-   cache, micro-TLBs, memoized MMU context) must be architecturally
-   invisible. Run each microbench program both ways on a random
+(* Execution-engine differential: the per-instruction fast path
+   (decoded-insn cache, micro-TLBs, memoized MMU context) and the
+   superblock engine layered on it must both be architecturally
+   invisible. Run each microbench program all three ways on a random
    iteration count and require bit-identical registers, memory,
    cycle/instruction totals and TLB statistics. *)
 
+module Core = Lz_cpu.Core
+
 let prop_fast_slow_equivalent =
-  QCheck2.Test.make ~name:"core: fast path is architecturally invisible"
+  QCheck2.Test.make
+    ~name:"core: fast path and superblocks are architecturally invisible"
     ~count:20
     QCheck2.Gen.(
       pair (oneofl Lz_workloads.Microbench.names) (int_range 1 500))
     (fun (name, iters) ->
       let open Lz_workloads.Microbench in
-      let fast = run_summary ~fast:true ~iters name in
       let slow = run_summary ~fast:false ~iters name in
-      fast.regs = slow.regs
-      && fast.final_pc = slow.final_pc
-      && fast.mem_digest = slow.mem_digest
-      && fast.cycles = slow.cycles
-      && fast.insns = slow.insns
-      && fast.tlb_hits = slow.tlb_hits
-      && fast.tlb_misses = slow.tlb_misses)
+      let fast = run_summary ~fast:true ~blocks:false ~iters name in
+      let blk = run_summary ~fast:true ~blocks:true ~iters name in
+      slow = fast && slow = blk)
+
+(* Self-modifying code: every iteration computes a fresh MOVZ
+   encoding, stores it over the patch site in its own (writable,
+   executable) code page — optionally followed by IC IALLU — and then
+   executes it. All three engines must observe each patched
+   instruction at exactly the same iteration, so the accumulated sum
+   in x6 (and every counter) distinguishes any stale-decode bug. *)
+let smc_summary ~fast ~blocks ~iters ~with_ic =
+  let code_va = 0x10000 in
+  let phys = Phys.create () in
+  let tlb = Tlb.create () in
+  let root = Stage1.create_root phys in
+  let code_pa = Phys.alloc_frame phys in
+  Stage1.map_page phys ~root ~va:code_va ~pa:code_pa
+    { Pte.user = false; read_only = false; uxn = true; pxn = false;
+      ng = true };
+  let base = Encoding.encode (Insn.Movz (5, 0, 0)) in
+  let patch_idx = 12 in
+  let program =
+    [ Insn.Movz (0, iters, 0);                        (*  0 *)
+      Insn.Movz (1, code_va land 0xFFFF, 0);          (*  1 *)
+      Insn.Movk (1, code_va lsr 16, 16);              (*  2 *)
+      Insn.Movz (7, 0xFFFF, 0);                       (*  3 *)
+      Insn.Movz (9, base land 0xFFFF, 0);             (*  4 *)
+      Insn.Movk (9, base lsr 16, 16);                 (*  5 *)
+      Insn.And_reg (8, 0, 7);                         (*  6: loop head *)
+      Insn.Lsl_imm (8, 8, 5);                         (*  7 *)
+      Insn.Orr_reg (10, 9, 8);                        (*  8 *)
+      Insn.Str32 (10, 1, 4 * patch_idx);              (*  9 *)
+      (if with_ic then Insn.Ic_iallu else Insn.Nop);  (* 10 *)
+      Insn.Nop;                                       (* 11 *)
+      Insn.Movz (5, 0, 0);                            (* 12: patch site *)
+      Insn.Add (6, 6, Insn.Reg 5);                    (* 13 *)
+      Insn.Sub (0, 0, Insn.Imm 1);                    (* 14 *)
+      Insn.Cbnz (0, 4 * (6 - 15));                    (* 15 *)
+      Insn.Brk 0 ]                                    (* 16 *)
+  in
+  List.iteri
+    (fun i insn -> Phys.write32 phys (code_pa + (4 * i))
+        (Encoding.encode insn))
+    program;
+  let core =
+    Core.create ~fast ~blocks phys tlb Lz_cpu.Cost_model.cortex_a55
+      Pstate.EL1
+  in
+  Sysreg.write core.Core.sys Sysreg.TTBR0_EL1 (Mmu.ttbr_value ~root ~asid:1);
+  core.Core.pc <- code_va;
+  (match Core.run ~max_insns:max_int core with
+  | Core.Trap_el1 (Core.Ec_brk _) | Core.Trap_el2 (Core.Ec_brk _) -> ()
+  | s -> Alcotest.failf "smc: unexpected stop %a" Core.pp_stop s);
+  ( Array.init 31 (Core.reg core), core.Core.pc, core.Core.cycles,
+    core.Core.insns, Tlb.hits tlb, Tlb.misses tlb )
+
+let prop_smc_equivalent =
+  QCheck2.Test.make
+    ~name:"core: self-modifying code is engine-invariant (3-way)"
+    ~count:15
+    QCheck2.Gen.(pair (int_range 1 200) bool)
+    (fun (iters, with_ic) ->
+      let slow = smc_summary ~fast:false ~blocks:false ~iters ~with_ic in
+      let fast = smc_summary ~fast:true ~blocks:false ~iters ~with_ic in
+      let blk = smc_summary ~fast:true ~blocks:true ~iters ~with_ic in
+      let (regs, _, _, insns, _, _) = slow in
+      (* sanity: the patch actually took effect at least once *)
+      regs.(6) > 0 && insns > 0 && slow = fast && slow = blk)
+
+(* Preemption slices: drive each microbench under the generic timer
+   with a random slice, servicing every tick harness-side, and require
+   the three engines to agree bit-for-bit — interrupts must land at
+   identical instruction boundaries (the interrupt-horizon guard). *)
+let preempted_summary ~fast ~blocks ~iters ~slice name =
+  let open Lz_workloads.Microbench in
+  let env = build ~fast ~blocks ~iters name in
+  let core = env.core in
+  let iv = Core.attach_irq core in
+  Lz_irq.Irq.init iv;
+  Lz_irq.Timer.program iv.Lz_irq.Irq.timer ~now:core.Core.cycles ~slice;
+  let ticks = ref 0 in
+  let rec loop () =
+    match Core.run ~max_insns:max_int core with
+    | Core.Trap_el1 (Core.Ec_brk _) | Core.Trap_el2 (Core.Ec_brk _) -> ()
+    | Core.Trap_el1 (Core.Ec_irq intid) ->
+        ignore (Lz_irq.Irq.ack iv);
+        if intid = Lz_irq.Gic.ppi_el1_timer then begin
+          incr ticks;
+          Lz_irq.Timer.program iv.Lz_irq.Irq.timer ~now:core.Core.cycles
+            ~slice
+        end;
+        Core.quiesce_irq core intid;
+        Lz_irq.Irq.eoi iv intid;
+        Core.eret_from_el1 core;
+        loop ()
+    | s -> Alcotest.failf "preempt: unexpected stop %a" Core.pp_stop s
+  in
+  loop ();
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun pa -> Buffer.add_bytes buf (Phys.read_bytes core.Core.phys pa 4096))
+    env.data_pas;
+  ( Array.init 31 (Core.reg core), core.Core.pc,
+    Digest.string (Buffer.contents buf), core.Core.cycles, core.Core.insns,
+    Tlb.hits core.Core.tlb, Tlb.misses core.Core.tlb, !ticks )
+
+let prop_preempt_equivalent =
+  QCheck2.Test.make
+    ~name:"core: preemption slices are engine-invariant (3-way)"
+    ~count:20
+    QCheck2.Gen.(
+      triple (oneofl Lz_workloads.Microbench.names) (int_range 20 200)
+        (int_range 97 2_000))
+    (fun (name, iters, slice) ->
+      let slow = preempted_summary ~fast:false ~blocks:false ~iters ~slice
+          name in
+      let fast = preempted_summary ~fast:true ~blocks:false ~iters ~slice
+          name in
+      let blk = preempted_summary ~fast:true ~blocks:true ~iters ~slice
+          name in
+      (* tick counts are compared via the tuples; a short run with a
+         long slice may legitimately see zero ticks *)
+      slow = fast && slow = blk)
 
 (* ------------------------------------------------------------------ *)
 (* Fault-around equivalence: clustering demand faults (and the
@@ -410,7 +529,10 @@ let () =
           q prop_el1_never_executes_user_pages ] );
       ( "stage1", [ q prop_s1_model_agreement ] );
       ( "tlb", [ q prop_tlb_transparent ] );
-      ( "fastpath", [ q prop_fast_slow_equivalent ] );
+      ( "fastpath",
+        [ q prop_fast_slow_equivalent;
+          q prop_smc_equivalent;
+          q prop_preempt_equivalent ] );
       ( "fault-around", [ q prop_fault_around_equivalent ] );
       ( "aes", [ q prop_aes_roundtrip; q prop_aes_cbc_roundtrip ] );
       ( "lightzone", [ q prop_lz_policy ] ) ]

@@ -269,6 +269,37 @@ let test_traced_run_coverage () =
     (try List.assoc "domain_switch" rep.Span.points with Not_found -> 0)
 
 (* ------------------------------------------------------------------ *)
+(* Superblock engine under trace: traced runs fall back to the
+   per-instruction loop, so toggling the block layer must leave a
+   traced 128-domain Table 5 run completely untouched — byte-identical
+   event stream, identical architectural digest, full span coverage. *)
+
+let test_blocks_invisible_under_trace () =
+  let run () =
+    (* Pin the global VMID allocator so the flush events of two
+       complete runs can be compared byte-for-byte. *)
+    Lightzone.Api.next_vmid := 0x100;
+    Lz_eval.Switch_bench.traced_run ~fast_paths:true Cost_model.cortex_a55
+      ~env:Lz_eval.Switch_bench.Host ~domains:128 ~n:300
+  in
+  let saved = !Fastpath.default_blocks in
+  Fastpath.default_blocks := true;
+  let on = run () in
+  Fastpath.default_blocks := false;
+  let off = run () in
+  Fastpath.default_blocks := saved;
+  let bytes (r : Lz_eval.Switch_bench.traced) =
+    String.concat "\n" (List.map Trace.event_to_json (Trace.events r.trace))
+  in
+  check_bool "event stream byte-identical" true (bytes on = bytes off);
+  check_bool "architectural digest identical" true
+    (on.Lz_eval.Switch_bench.digest = off.Lz_eval.Switch_bench.digest);
+  check_int "no drops" 0 on.Lz_eval.Switch_bench.report.Span.dropped;
+  check_bool "span coverage stays 100%" true
+    (on.Lz_eval.Switch_bench.report.Span.coverage >= 0.999
+    && off.Lz_eval.Switch_bench.report.Span.coverage >= 0.999)
+
+(* ------------------------------------------------------------------ *)
 (* Exclusive vs inclusive accounting on a synthetic nested stream *)
 
 let test_exclusive_inclusive () =
@@ -485,6 +516,8 @@ let () =
           Alcotest.test_case "forwarded-trap attribution (regression)"
             `Quick test_forwarded_trap_attribution;
           Alcotest.test_case "fast paths shrink the hot trap spans" `Quick
-            test_fast_paths_shrink_traps ] );
+            test_fast_paths_shrink_traps;
+          Alcotest.test_case "superblocks invisible under trace (128 dom)"
+            `Quick test_blocks_invisible_under_trace ] );
       ( "invisibility",
         [ q prop_tracing_invisible; q prop_fast_slow_with_tracing ] ) ]
