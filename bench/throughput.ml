@@ -4,22 +4,31 @@
    per-instruction fast path, forced slow path — on the same iteration
    count, measures host wall-clock, and emits BENCH_throughput.json
    with MIPS (millions of simulated instructions per host second), the
-   speedups and the block-cache statistics per workload.
+   speedups and the block-cache statistics per workload.  A fourth and
+   fifth timing measure the traced configurations (tracer attached,
+   a PC marker on the code page — the worst case for block-aware
+   tracing, since every block then runs per-insn marker checks) with
+   and without blocks, reporting the traced block speedup.
 
    LZ_BENCH_ITERS overrides the iteration count (default 300_000);
    `--smoke` runs a small count just to prove the harness works.
 
    `--check [FILE]` (default BENCH_throughput.json) additionally reads
    the previous results before overwriting them and exits 1 if any
-   workload's fast-engine MIPS regressed by more than the tolerance
-   (20%, LZ_BENCH_TOLERANCE overrides). Baselines taken at a different
-   iteration count are skipped — smoke and full runs are not
-   comparable. *)
+   workload's fast-engine MIPS — or its block_speedup over the
+   per-insn engine — regressed by more than the tolerance (20%,
+   LZ_BENCH_TOLERANCE overrides), or if nginx misses its absolute
+   floors (block_speedup >= 1.5, avg_block_len >= 10: the trace-tree
+   formation gains must not silently reopen). Baselines taken at a
+   different iteration count are skipped — smoke and full runs are
+   not comparable — and the absolute floors only apply to full-size
+   runs, where timing noise is amortized. *)
 
 open Lz_workloads
 module Core = Lz_cpu.Core
 module Fastpath = Lz_cpu.Fastpath
 module Pmu = Lz_arm.Pmu
+module Trace = Lz_trace.Trace
 
 type run = {
   insns : int;
@@ -66,9 +75,19 @@ let cross_check name core p ~c0 ~i0 =
     exit 1
   end
 
-let time_once ~fast ~blocks ~iters name =
+let time_once ?(traced = false) ~fast ~blocks ~iters name =
   let env = Microbench.build ~fast ~blocks ~iters name in
   let core = env.Microbench.core in
+  if traced then begin
+    (* Marker on the code page: every block in the program must run
+       its per-insn marker checks — the conservative bound on what
+       always-on observability costs the block engine. The marker
+       itself sits on the prologue pc, so it fires exactly once and
+       the ring never drops. *)
+    let tr = Trace.create ~capacity:1024 () in
+    Core.set_tracer core (Some tr);
+    Trace.add_marker tr ~pc:Microbench.code_va (Trace.Syscall { nr = 0 })
+  end;
   let p = arm_pmu core in
   let c0 = core.Core.cycles and i0 = core.Core.insns in
   let t0 = Unix.gettimeofday () in
@@ -82,10 +101,10 @@ let time_once ~fast ~blocks ~iters name =
 (* Best-of-[reps] wall clock: host scheduling noise only ever slows a
    run down, so the fastest repetition is the most faithful one — and
    the one stable enough for the --check regression gate. *)
-let time_run ?(reps = 1) ~fast ~blocks ~iters name =
-  let best = ref (time_once ~fast ~blocks ~iters name) in
+let time_run ?(reps = 1) ?(traced = false) ~fast ~blocks ~iters name =
+  let best = ref (time_once ~traced ~fast ~blocks ~iters name) in
   for _ = 2 to reps do
-    let r = time_once ~fast ~blocks ~iters name in
+    let r = time_once ~traced ~fast ~blocks ~iters name in
     if r.mips > !best.mips then best := r
   done;
   !best
@@ -130,14 +149,19 @@ let baseline_iters json =
   | Some at -> Option.map int_of_float (number_after json ~from:at)
 
 (* The fast object is emitted first per workload, so the first "mips"
-   after the workload key is the fast engine's. *)
-let baseline_fast_mips json name =
+   after the workload key is the fast engine's; likewise the first
+   occurrence of any per-workload scalar key belongs to that
+   workload. *)
+let baseline_field json name key =
   match str_index json (Printf.sprintf "\"workload\": %S" name) ~from:0 with
   | None -> None
   | Some at -> (
-      match str_index json "\"mips\":" ~from:at with
+      match str_index json (Printf.sprintf "%S:" key) ~from:at with
       | None -> None
       | Some at -> number_after json ~from:at)
+
+let baseline_fast_mips json name = baseline_field json name "mips"
+let baseline_block_speedup json name = baseline_field json name "block_speedup"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -191,35 +215,58 @@ let () =
         let fast = time_run ~reps ~fast:true ~blocks:true ~iters name in
         let insn = time_run ~reps ~fast:true ~blocks:false ~iters name in
         let slow = time_run ~reps ~fast:false ~blocks:false ~iters name in
+        let traced =
+          time_run ~reps ~traced:true ~fast:true ~blocks:true ~iters name
+        in
+        let traced_insn =
+          time_run ~reps ~traced:true ~fast:true ~blocks:false ~iters name
+        in
         let speedup = fast.mips /. slow.mips in
         let blk_speedup = fast.mips /. insn.mips in
+        let traced_speedup = traced.mips /. traced_insn.mips in
         Printf.printf
           "%-8s %9d insns   fast %8.2f MIPS   per-insn %8.2f MIPS   slow \
            %8.2f MIPS   speedup %.2fx (%.2fx over per-insn)\n%!"
           name fast.insns fast.mips insn.mips slow.mips speedup blk_speedup;
         Printf.printf
           "         blocks: %5.1f%% cache hits   %4.1f insns/block   %5.1f%% \
-           chained entries\n%!"
+           chained entries   %d side exits   depth %d   %d retrains\n%!"
           (100. *. num (Fastpath.hit_rate fast.blk))
           (num (Fastpath.avg_block_len fast.blk))
-          (100. *. num (Fastpath.chain_ratio fast.blk));
-        (name, fast, insn, slow, speedup, blk_speedup))
+          (100. *. num (Fastpath.chain_ratio fast.blk))
+          fast.blk.Fastpath.side_exits fast.blk.Fastpath.depth_max
+          fast.blk.Fastpath.retrains;
+        Printf.printf
+          "         traced: %8.2f MIPS   per-insn %8.2f MIPS   (%.2fx over \
+           per-insn)\n%!"
+          traced.mips traced_insn.mips traced_speedup;
+        (name, fast, insn, slow, traced, traced_insn, speedup, blk_speedup,
+         traced_speedup))
       Microbench.names
   in
   let json =
-    let item (name, fast, insn, slow, speedup, blk_speedup) =
+    let item
+        (name, fast, insn, slow, traced, traced_insn, speedup, blk_speedup,
+         traced_speedup) =
       Printf.sprintf
         {|    { "workload": %S, "insns": %d,
       "fast": { "seconds": %.6f, "mips": %.3f,
-        "blk_hit_rate": %.4f, "avg_block_len": %.2f, "chain_ratio": %.4f },
+        "blk_hit_rate": %.4f, "avg_block_len": %.2f, "chain_ratio": %.4f,
+        "side_exits": %d, "folds": %d, "depth_max": %d, "retrains": %d },
       "fast_per_insn": { "seconds": %.6f, "mips": %.3f },
       "slow": { "seconds": %.6f, "mips": %.3f },
-      "speedup": %.3f, "block_speedup": %.3f }|}
+      "traced": { "seconds": %.6f, "mips": %.3f },
+      "traced_per_insn": { "seconds": %.6f, "mips": %.3f },
+      "speedup": %.3f, "block_speedup": %.3f, "traced_block_speedup": %.3f }|}
         name fast.insns fast.seconds fast.mips
         (num (Fastpath.hit_rate fast.blk))
         (num (Fastpath.avg_block_len fast.blk))
         (num (Fastpath.chain_ratio fast.blk))
-        insn.seconds insn.mips slow.seconds slow.mips speedup blk_speedup
+        fast.blk.Fastpath.side_exits fast.blk.Fastpath.folds
+        fast.blk.Fastpath.depth_max fast.blk.Fastpath.retrains
+        insn.seconds insn.mips slow.seconds slow.mips
+        traced.seconds traced.mips traced_insn.seconds traced_insn.mips
+        speedup blk_speedup traced_speedup
     in
     Printf.sprintf
       "{\n  \"bench\": \"throughput\",\n  \"iters\": %d,\n  \"results\": \
@@ -256,29 +303,58 @@ let () =
             | None -> 0.20
           in
           let regressed =
-            List.filter_map
-              (fun (name, fast, _, _, _, _) ->
-                match baseline_fast_mips base name with
-                | None ->
-                    Printf.printf
-                      "throughput: %s not in baseline %s, skipped\n%!" name
-                      path;
-                    None
-                | Some m0 when fast.mips < (1. -. tolerance) *. m0 ->
-                    Some (name, fast.mips, m0)
-                | Some _ -> None)
+            List.concat_map
+              (fun (name, fast, _, _, _, _, _, blk_speedup, _) ->
+                let against key now = function
+                  | None ->
+                      Printf.printf
+                        "throughput: %s %s not in baseline %s, skipped\n%!"
+                        name key path;
+                      []
+                  | Some m0 when now < (1. -. tolerance) *. m0 ->
+                      [ (name, key, now, m0) ]
+                  | Some _ -> []
+                in
+                against "mips" fast.mips (baseline_fast_mips base name)
+                @ against "block_speedup" blk_speedup
+                    (baseline_block_speedup base name))
               results
           in
-          if regressed = [] then
+          (* Absolute floors (full-size runs only, where best-of-reps
+             has amortized host noise): the nginx trace-tree gains
+             must not silently reopen. *)
+          let floors =
+            if iters < 100_000 then []
+            else
+              List.concat_map
+                (fun (name, fast, _, _, _, _, _, blk_speedup, _) ->
+                  if name <> "nginx" then []
+                  else
+                    let len = num (Fastpath.avg_block_len fast.blk) in
+                    (if blk_speedup < 1.5 then
+                       [ (name, "block_speedup floor 1.5", blk_speedup, 1.5) ]
+                     else [])
+                    @
+                    if len < 10. then
+                      [ (name, "avg_block_len floor 10", len, 10.) ]
+                    else [])
+                results
+          in
+          if regressed = [] && floors = [] then
             Printf.printf "throughput: --check ok (within %.0f%% of %s)\n%!"
               (100. *. tolerance) path
           else begin
             List.iter
-              (fun (name, now, m0) ->
+              (fun (name, key, now, m0) ->
                 Printf.eprintf
-                  "throughput: %s regressed: %.2f MIPS vs baseline %.2f \
+                  "throughput: %s %s regressed: %.3f vs baseline %.3f \
                    (-%.0f%%)\n"
-                  name now m0 (100. *. (1. -. (now /. m0))))
+                  name key now m0 (100. *. (1. -. (now /. m0))))
               regressed;
+            List.iter
+              (fun (name, what, now, want) ->
+                Printf.eprintf "throughput: %s below %s: %.3f < %.3f\n" name
+                  what now want)
+              floors;
             exit 1
           end)

@@ -1019,9 +1019,11 @@ let step t =
 (* Block execution engine.
 
    The superblock dispatcher amortizes the per-instruction dispatch
-   work (IRQ poll, iTLB front probe, decode-cache lookup) over
-   straight-line runs of instructions, while staying bit-identical to
-   the per-instruction path on every piece of architectural state —
+   work (IRQ poll, iTLB front probe, decode-cache lookup) over runs
+   of instructions — straight-line code plus folded hot conditional
+   branches (trace trees with side exits, see DESIGN.md §12) — while
+   staying bit-identical to the per-instruction path on every piece
+   of architectural state —
    registers, memory, cycles, insns, TLB hit/miss statistics, and the
    exact instruction boundary at which asynchronous interrupts are
    taken.  The three-way qcheck differential property and
@@ -1066,6 +1068,12 @@ let irq_horizon t =
 
 type blk_exit =
   | Bend  (* ran through the terminator; t.pc is the successor *)
+  | Bside of Fastpath.side_exit
+      (* left mid-block through a folded branch's cold direction;
+         t.pc is the cold target.  Side exits are intra-block control
+         flow (pure PC writes), so the interrupt horizon computed at
+         block entry is still valid and the dispatcher may chain
+         straight into the cold target under it. *)
   | Bbail  (* stopped early (generation/horizon/budget/translation) *)
   | Bstop of stop  (* trap delivered to the harness *)
   | Bdeliv  (* trap delivered architecturally; execution continues *)
@@ -1074,18 +1082,37 @@ type blk_exit =
    with its instruction fetch already performed and accounted by the
    dispatcher.  [tgen] is the TLB generation right after that fetch;
    [max_n] caps retired instructions (budget); [horizon] is the
-   current interrupt horizon.  Each instruction replicates the
-   per-insn path's ordering exactly: boundary checks (standing in for
-   the IRQ poll), then insns++/insn_base, then ifetch accounting,
-   then [exec]. *)
-let exec_block t (blk : Fastpath.block) ~max_n ~horizon ~tgen =
+   current interrupt horizon; [tmark] is the tracer iff the entry
+   VA's page carries PC markers (blocks never cross pages, so one
+   page check at entry covers every in-block instruction).  Each
+   instruction replicates the per-insn path's ordering exactly:
+   boundary checks (standing in for the IRQ poll), then the marker
+   check, then insns++/insn_base, then ifetch accounting, then
+   [exec].  The boundary generation re-checks are elided after
+   instructions whose [b_eff] bits prove they cannot have moved the
+   page or TLB generation — only the just-executed instruction can
+   move either between two in-block boundaries — and the proven
+   front-probe hits are accounted in one batch at exit.  After a
+   folded conditional branch, [t.pc] is compared
+   against the recorded hot direction: a match continues the trace,
+   a mismatch leaves through the side exit with the cold target in
+   [t.pc]. *)
+let exec_block t (blk : Fastpath.block) ~max_n ~horizon ~tgen ~tmark =
   let fp = t.fp in
   let code = blk.Fastpath.b_code in
+  let ipa = blk.Fastpath.b_ipa in
+  let sxs = blk.Fastpath.b_sx in
+  let eff = blk.Fastpath.b_eff in
   let len = Array.length code in
   let n = if max_n < len then max_n else len in
   let phys = t.phys and tlb = t.tlb in
   fp.Fastpath.st_entries <- fp.Fastpath.st_entries + 1;
   let count = ref 0 in
+  (* Instruction-fetch front hits proven by an unchanged TLB
+     generation are tallied here and folded into the TLB statistics in
+     one call at block exit; the counters are unobservable mid-block,
+     so batching them is invisible. *)
+  let pending_hits = ref 0 in
   let result = ref Bend in
   (try
      let rec go i tg =
@@ -1094,10 +1121,23 @@ let exec_block t (blk : Fastpath.block) ~max_n ~horizon ~tgen =
        end
        else if
          i > 0
-         && (Phys.page_gen phys blk.Fastpath.b_page <> blk.Fastpath.b_dgen
+         && ((eff.(i - 1) land 2 <> 0
+             && Phys.page_gen phys blk.Fastpath.b_page <> blk.Fastpath.b_dgen
+             )
             || t.cycles >= horizon)
        then result := Bbail
        else begin
+         (* Marker check for traced runs on a marked page.  Insn 0's
+            marker was already checked by the dispatcher (before the
+            entry fetch, as in [step]); a bailed iteration re-enters
+            through the dispatcher which re-checks, so the check sits
+            after the boundary bails to avoid double emission. *)
+         (match tmark with
+         | Some tr when i > 0 -> (
+             match Lz_trace.Trace.marker_at tr t.pc with
+             | Some payload -> Lz_trace.Trace.emit tr ~cycles:t.cycles payload
+             | None -> ())
+         | _ -> ());
          t.insns <- t.insns + 1;
          charge t t.cost.insn_base;
          incr count;
@@ -1105,15 +1145,24 @@ let exec_block t (blk : Fastpath.block) ~max_n ~horizon ~tgen =
            (* The dispatcher already fetched and accounted insn 0. *)
            let pc_cur = t.pc in
            exec t code.(0) ~pc_cur ~next:(pc_cur + 4);
-           go 1 tg
+           post 0 pc_cur tg
+         end
+         else if eff.(i - 1) land 1 = 0 then begin
+           (* The previous instruction touched no memory, so the TLB
+              generation still equals [tg] and the front probe would
+              hit — account it without even re-reading the counter. *)
+           incr pending_hits;
+           let pc_cur = t.pc in
+           exec t code.(i) ~pc_cur ~next:(pc_cur + 4);
+           post i pc_cur tg
          end
          else begin
            let g = Tlb.gen tlb in
            if g = tg then begin
-             Tlb.account_front_hit tlb;
+             incr pending_hits;
              let pc_cur = t.pc in
              exec t code.(i) ~pc_cur ~next:(pc_cur + 4);
-             go (i + 1) tg
+             post i pc_cur tg
            end
            else begin
              (* A data-side walk moved the shared TLB under us: redo
@@ -1123,9 +1172,9 @@ let exec_block t (blk : Fastpath.block) ~max_n ~horizon ~tgen =
              let pc_cur = t.pc in
              let pa = fetch_pa t ~pc_cur in
              let tg' = Tlb.gen tlb in
-             if pa = blk.Fastpath.b_pa + (4 * i) then begin
+             if pa = ipa.(i) then begin
                exec t code.(i) ~pc_cur ~next:(pc_cur + 4);
-               go (i + 1) tg'
+               post i pc_cur tg'
              end
              else begin
                (* The code mapping itself changed mid-block: run this
@@ -1138,13 +1187,40 @@ let exec_block t (blk : Fastpath.block) ~max_n ~horizon ~tgen =
            end
          end
        end
+     (* Post-exec continuation: straight instructions and folded
+        branches that went hot continue the trace; a cold folded
+        branch leaves through its side exit. *)
+     and post i pc_cur tg =
+       match sxs.(i) with
+       | None ->
+           if i = len - 1 && blk.Fastpath.b_term_slot >= 0 then
+             Fastpath.note_term_outcome fp phys blk
+               ~taken:(t.pc <> pc_cur + 4);
+           go (i + 1) tg
+       | Some sx ->
+           if t.pc = pc_cur + sx.Fastpath.sx_hot_delta then begin
+             sx.Fastpath.sx_hot <- sx.Fastpath.sx_hot + 1;
+             go (i + 1) tg
+           end
+           else begin
+             Fastpath.note_side_exit fp phys blk sx;
+             result := Bside sx
+           end
      in
      go 0 tgen
    with Exc (cls, ret) ->
      result :=
        (match deliver t cls ~ret with Some s -> Bstop s | None -> Bdeliv));
+  if !pending_hits > 0 then Tlb.account_front_hits tlb !pending_hits;
   fp.Fastpath.st_insns <- fp.Fastpath.st_insns + !count;
   !result
+
+(* Where a chained block entry got its chain memo from: the previous
+   block's successor slots, or a folded branch's side exit. *)
+type chain_src =
+  | Cnone
+  | Cblk of Fastpath.block
+  | Csx of Fastpath.side_exit
 
 let run_blocks t max_insns =
   let fp = t.fp in
@@ -1155,16 +1231,31 @@ let run_blocks t max_insns =
     else
       match maybe_irq t with
       | Some s -> s
-      | None -> entry ~horizon:(irq_horizon t) ~src:None
+      | None -> entry ~horizon:(irq_horizon t) ~src:Cnone
   (* Enter the block at [t.pc].  Precondition: either the dispatcher
-     just polled ([src = None] path via [full]), or the previous block
-     ended in a plain branch with [t.cycles < horizon], in which case
-     the poll would provably return [None].  The instruction fetch is
-     always performed for real — it is the architectural act that
-     accounts TLB statistics and can fault; chaining only elides the
-     block-cache lookup. *)
+     just polled ([Cnone] path via [full]), or the previous block
+     ended in a plain branch — or left through a side exit — with
+     [t.cycles < horizon], in which case the poll would provably
+     return [None].  The instruction fetch is always performed for
+     real — it is the architectural act that accounts TLB statistics
+     and can fault; chaining only elides the block-cache lookup. *)
   and entry ~horizon ~src =
     let pc_cur = t.pc in
+    (* Traced runs stay block-aware: one page query decides whether
+       this block needs per-instruction marker checks.  The entry
+       marker fires here, before the (possibly faulting) entry fetch,
+       exactly as [step] checks markers before [step_body]. *)
+    let tmark =
+      match t.tracer with
+      | Some tr when Lz_trace.Trace.page_marked tr pc_cur -> Some tr
+      | _ -> None
+    in
+    (match tmark with
+    | Some tr -> (
+        match Lz_trace.Trace.marker_at tr pc_cur with
+        | Some payload -> Lz_trace.Trace.emit tr ~cycles:t.cycles payload
+        | None -> ())
+    | None -> ());
     match
       match fetch_pa t ~pc_cur with
       | pa -> Ok pa
@@ -1178,48 +1269,69 @@ let run_blocks t max_insns =
         decr remaining;
         (match deliver t cls ~ret with Some s -> s | None -> full ())
     | Ok pa -> (
-        let blk =
+        let blk, cached =
           match src with
-          | Some sb -> (
+          | Cblk sb -> (
               match Fastpath.chain_lookup fp phys sb ~va:pc_cur ~pa with
               | Some b ->
                   fp.Fastpath.st_chain_follows <-
                     fp.Fastpath.st_chain_follows + 1;
-                  b
+                  (b, true)
               | None ->
-                  let b = Fastpath.block_at fp phys pa in
+                  let b, c = Fastpath.block_at_cached fp phys pa in
                   Fastpath.chain_store sb ~va:pc_cur b;
-                  b)
-          | None -> Fastpath.block_at fp phys pa
+                  (b, c))
+          | Csx sx -> (
+              match Fastpath.sx_chain_lookup fp phys sx ~va:pc_cur ~pa with
+              | Some b ->
+                  fp.Fastpath.st_chain_follows <-
+                    fp.Fastpath.st_chain_follows + 1;
+                  (b, true)
+              | None ->
+                  let b, c = Fastpath.block_at_cached fp phys pa in
+                  Fastpath.sx_chain_store sx ~va:pc_cur b;
+                  (b, c))
+          | Cnone -> Fastpath.block_at_cached fp phys pa
         in
+        if cached then fp.Fastpath.st_hits <- fp.Fastpath.st_hits + 1;
         let tgen = Tlb.gen t.tlb in
         let before = t.insns in
-        let r = exec_block t blk ~max_n:!remaining ~horizon ~tgen in
+        let r = exec_block t blk ~max_n:!remaining ~horizon ~tgen ~tmark in
         remaining := !remaining - (t.insns - before);
         match r with
         | Bstop s -> s
         | Bdeliv | Bbail -> full ()
+        | Bside sx ->
+            (* Side exits are pure PC writes: the horizon computed at
+               entry is still a valid lower bound, so chain straight
+               into the cold target (which memoizes its own chain
+               link, making side-exit targets first-class chain
+               candidates). *)
+            if !remaining > 0 && t.cycles < horizon then
+              entry ~horizon ~src:(Csx sx)
+            else full ()
         | Bend ->
             if blk.Fastpath.b_chainable && !remaining > 0 && t.cycles < horizon
-            then entry ~horizon ~src:(Some blk)
+            then entry ~horizon ~src:(Cblk blk)
             else full ())
   in
   full ()
 
-(* The traced-vs-untraced dispatch happens once per [run], not once
-   per instruction: tracers are attached between runs (trap servicing
-   happens outside [run]), so the untraced loop — the benchmark hot
-   path — carries no per-step tracer check at all.  With the block
-   layer enabled the untraced loop is the superblock dispatcher; a
-   traced run always uses the per-instruction loop so the event
-   stream (markers, per-insn ordering) is identical with and without
-   blocks. *)
+(* The engine dispatch happens once per [run], not once per
+   instruction: tracers are attached between runs (trap servicing
+   happens outside [run]), so the untraced block dispatcher — the
+   benchmark hot path — carries one tracer null-check per block
+   entry and nothing per instruction.  Traced runs are block-aware
+   too: [run_blocks] checks markers at block entry and, on pages
+   that carry markers, per instruction, keeping the event stream
+   byte-identical to the per-insn loop (the three-way trace
+   differential enforces this) while retaining most of the block
+   speedup. *)
 let run ?(max_insns = 10_000_000) t =
-  match t.tracer with
-  | None ->
-      if t.fp.Fastpath.enabled && t.fp.Fastpath.blocks then
-        run_blocks t max_insns
-      else
+  if t.fp.Fastpath.enabled && t.fp.Fastpath.blocks then run_blocks t max_insns
+  else
+    match t.tracer with
+    | None ->
         let rec loop budget =
           if budget <= 0 then Limit
           else
@@ -1232,12 +1344,12 @@ let run ?(max_insns = 10_000_000) t =
                 | Some s -> s)
         in
         loop max_insns
-  | Some _ ->
-      let rec loop budget =
-        if budget <= 0 then Limit
-        else match step t with None -> loop (budget - 1) | Some s -> s
-      in
-      loop max_insns
+    | Some _ ->
+        let rec loop budget =
+          if budget <= 0 then Limit
+          else match step t with None -> loop (budget - 1) | Some s -> s
+        in
+        loop max_insns
 
 let pp_class ppf = function
   | Ec_svc i -> Format.fprintf ppf "svc #%d" i

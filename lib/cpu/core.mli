@@ -66,12 +66,13 @@ val create :
     [LZ_SLOW_PATH=1] environment variable is set.
 
     [?blocks] additionally selects the superblock layer on top of the
-    fast path (block translation cache with chaining and an
-    interrupt-horizon guard; ignored when the fast path is off).
-    Equally architecturally invisible — asynchronous interrupts are
-    taken at exactly the same instruction boundary as the
-    per-instruction path. Defaults to [fast] unless [LZ_NO_BLOCKS=1]
-    is set. *)
+    fast path (trace-tree translation cache with hot-branch folding,
+    side exits, chaining and an interrupt-horizon guard; ignored when
+    the fast path is off). Equally architecturally invisible —
+    asynchronous interrupts are taken at exactly the same instruction
+    boundary as the per-instruction path, and traced runs stay
+    block-aware with a byte-identical event stream. Defaults to
+    [fast] unless [LZ_NO_BLOCKS=1] is set. *)
 
 val fast : t -> bool
 

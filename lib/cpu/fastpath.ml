@@ -2,22 +2,61 @@ open Lz_arm
 open Lz_mem
 
 (* ------------------------------------------------------------------ *)
-(* Superblocks: straight-line runs of decoded instructions, cached by
+(* Superblocks / trace trees: runs of decoded instructions, cached by
    (physical page, offset) on top of the per-page decode cache and
-   executed by Core's block dispatcher.  A block ends at the first
-   branch, exception-generating or system instruction, at the page
-   boundary, or at [max_block_insns].  Validity is anchored to the
-   frame's write generation captured at build time ([b_dgen]) and to
-   the cache epoch ([b_epoch], bumped by flush/reset to sever chain
-   links into dropped blocks). *)
+   executed by Core's block dispatcher.  A block is straight-line
+   except that *hot* conditional branches (B.cond, CBZ, CBNZ) and
+   unconditional in-page B are folded into it: the block continues
+   along the observed hot direction and the other direction leaves
+   through a recorded side exit that re-enters block dispatch.  A
+   block ends at the first unfolded branch, exception-generating or
+   system instruction, at the page boundary, or at [max_block_insns].
+   Validity is anchored to the frame's write generation captured at
+   build time ([b_dgen]) and to the cache epoch ([b_epoch], bumped by
+   flush/reset to sever chain links into dropped blocks); [b_dead]
+   marks blocks retired individually (bias retraining) so chain memos
+   into them are never followed. *)
 
-type block = {
+type side_exit = {
+  sx_hot_delta : int;
+      (* byte delta from the branch pc along the folded hot direction;
+         the cold direction is whatever [exec] left in [t.pc]. *)
+  sx_slot : int;  (* branch's instruction slot in its dpage (bias) *)
+  mutable sx_hot : int;  (* hot continuations since last decay *)
+  mutable sx_cold : int;  (* cold exits since last decay *)
+  (* Memoized chain target for the cold direction: side-exit targets
+     are first-class chain candidates, validated exactly like block
+     successors (epoch + both page generations + live translation). *)
+  mutable sx_chain_va : int;
+  mutable sx_chain : block option;
+}
+
+and block = {
   b_pa : int;  (* physical address of the first instruction *)
   b_page : int;  (* page-aligned base of [b_pa] *)
   b_dgen : int;  (* Phys.page_gen at build time *)
-  b_code : Insn.t array;  (* >= 1 insns; straight-line except the last *)
+  b_code : Insn.t array;  (* >= 1 insns *)
+  b_ipa : int array;
+      (* physical address of each instruction; no longer an arithmetic
+         progression once branches are folded. *)
+  b_sx : side_exit option array;  (* Some at folded conditionals *)
+  b_eff : int array;
+      (* per-instruction effect bits (see [eff_of]); the executor skips
+         boundary revalidation that only memory traffic can defeat. *)
+  b_folds : int;  (* number of folded conditionals (tree depth) *)
   b_chainable : bool;  (* last insn is a plain branch / fall-through *)
   b_epoch : int;
+  mutable b_dead : bool;
+  (* Terminator-bias profiling: when the block ends at an unfolded
+     conditional branch, [b_term_slot] is that branch's dpage slot and
+     the dispatcher records taken/not-taken outcomes into [b_prof]
+     (the owning dpage's bias array) at each [Bend].  The fold_ok
+     flags capture, at build time, whether folding each direction
+     would be legal (target in-page, room left in the block). *)
+  b_prof : int array;
+  b_term_slot : int;  (* -1 when the terminator is not conditional *)
+  b_fold_taken_ok : bool;
+  b_fold_fall_ok : bool;
   (* Memoized successors (fall-through and taken targets), validated
      on follow against epoch, generation and the live translation. *)
   mutable b_succ_va : int;
@@ -28,11 +67,13 @@ type block = {
 
 (* One decoded physical page: 1024 instruction slots, filled lazily,
    revalidated against the frame's write generation; [blk] caches the
-   superblock starting at each slot. *)
+   superblock starting at each slot and [bias] holds the per-slot
+   saturating taken/not-taken counter driving branch folding. *)
 type dpage = {
   mutable dgen : int;
   code : Insn.t option array;
   blk : block option array;
+  bias : int array;
 }
 
 type t = {
@@ -57,12 +98,15 @@ type t = {
   mutable wp_gen : int;
   mutable wp_armed : bool;
   (* Block-engine statistics (host-side observability only). *)
-  mutable st_lookups : int;
   mutable st_hits : int;
   mutable st_builds : int;
   mutable st_entries : int;
   mutable st_insns : int;
   mutable st_chain_follows : int;
+  mutable st_side_exits : int;
+  mutable st_folds : int;
+  mutable st_depth_max : int;
+  mutable st_retrains : int;
 }
 
 (* LZ_NO_BLOCKS=1 keeps the per-instruction fast path but disables the
@@ -82,19 +126,26 @@ let create ~enabled =
     epoch = 0;
     wp_gen = -1;
     wp_armed = false;
-    st_lookups = 0;
     st_hits = 0;
     st_builds = 0;
     st_entries = 0;
     st_insns = 0;
-    st_chain_follows = 0 }
+    st_chain_follows = 0;
+    st_side_exits = 0;
+    st_folds = 0;
+    st_depth_max = 0;
+    st_retrains = 0 }
 
 let flush_decode t =
-  Hashtbl.reset t.dcache;
-  t.dlast_page <- -1;
-  t.dlast <- None;
-  (* Sever every chain link: blocks built before this point must not
-     be re-entered even if a stale reference survives in a caller. *)
+  (* IC IALLU: every cached block and memoized chain link predates the
+     flush — bump the epoch so none is ever re-entered, even if a
+     stale reference survives in a caller.  Decoded words need no
+     wholesale drop: they are revalidated against the frame's write
+     generation on every dispatch, which is what keeps them coherent
+     in the first place.  The branch-bias profile describes unchanged
+     bytes and survives too — JIT-style code that patches and flushes
+     in a loop would otherwise never accumulate enough bias to re-form
+     its trace trees. *)
   t.epoch <- t.epoch + 1
 
 let reset t =
@@ -120,7 +171,8 @@ let dpage_of t phys ppage =
               let dp =
                 { dgen = -1;
                   code = Array.make insns_per_page None;
-                  blk = Array.make insns_per_page None }
+                  blk = Array.make insns_per_page None;
+                  bias = Array.make insns_per_page 0 }
               in
               Hashtbl.add t.dcache ppage dp;
               dp
@@ -133,9 +185,10 @@ let dpage_of t phys ppage =
   if dp.dgen <> g then begin
     (* The frame was written since these decodes were cached (page
        generations cover simulated stores and OCaml-side loads
-       alike): drop them, blocks included. *)
+       alike): drop them, blocks and branch bias included. *)
     Array.fill dp.code 0 insns_per_page None;
     Array.fill dp.blk 0 insns_per_page None;
+    Array.fill dp.bias 0 insns_per_page 0;
     dp.dgen <- g
   end;
   dp
@@ -155,14 +208,29 @@ let fetch t phys pa =
 
 let max_block_insns = 64
 
+(* |bias| at which a conditional branch is folded into the block. *)
+let fold_threshold = 4
+
+(* Saturation bound for the per-slot bias counters. *)
+let bias_sat = 16
+
+(* Minimum cold exits through one side exit before its hot/cold ratio
+   is examined for retraining. *)
+let retrain_min = 16
+
 (* How an instruction ends (or doesn't end) a block.  [Chain]: plain
    control flow that cannot touch interrupt-delivery state, so the
    dispatcher may follow a memoized chain link under the same
-   interrupt horizon.  [Stop]: exception-generating or system
-   instructions (MSR/MRS, barriers, cache/TLB maintenance, ERET...)
-   that can change translation, DAIF, GIC/timer/PMU state or flush
-   this very cache — the dispatcher must return to a full poll. *)
-type ending = Straight | Chain | Stop
+   interrupt horizon.  [Cond off]: a conditional branch with taken
+   byte-offset [off] — fold candidate; when unfolded it behaves as
+   [Chain].  Folded or not, these are pure PC writes: they can never
+   change DAIF, translation, GIC/timer/PMU state, so side exits keep
+   the interrupt horizon valid (horizon inputs change only at [Stop]
+   terminators).  [Stop]: exception-generating or system instructions
+   (MSR/MRS, barriers, cache/TLB maintenance, ERET...) that can change
+   translation, DAIF, GIC/timer/PMU state or flush this very cache —
+   the dispatcher must return to a full poll. *)
+type ending = Straight | Chain | Cond of int | Stop
 
 let ending_of = function
   | Insn.Movz _ | Insn.Movk _ | Insn.Mov_reg _ | Insn.Add _ | Insn.Sub _
@@ -172,78 +240,232 @@ let ending_of = function
   | Insn.Str_reg _ | Insn.Ldtr _ | Insn.Sttr _ | Insn.Ldtrb _ | Insn.Sttrb _
     ->
       Straight
-  | Insn.B _ | Insn.Bcond _ | Insn.Bl _ | Insn.Br _ | Insn.Blr _ | Insn.Ret _
-  | Insn.Cbz _ | Insn.Cbnz _ ->
-      Chain
+  | Insn.Bcond (_, off) | Insn.Cbz (_, off) | Insn.Cbnz (_, off) -> Cond off
+  | Insn.B _ | Insn.Bl _ | Insn.Br _ | Insn.Blr _ | Insn.Ret _ -> Chain
   | _ -> Stop
 
+(* Per-instruction effect class, consumed by the block executor to
+   elide boundary revalidation that only memory traffic can defeat:
+   bit 0 — the instruction may access memory (a data-side miss can
+   move the shared TLB generation mid-block); bit 1 — it may write
+   memory (a store can move the code frame's write generation
+   mid-block).  After an instruction with a bit clear, the matching
+   generation re-check at the next boundary is provably a no-op.
+   Anything unrecognized conservatively carries both bits, which is
+   always sound. *)
+let eff_of = function
+  | Insn.Ldr _ | Insn.Ldrb _ | Insn.Ldr32 _ | Insn.Ldr_reg _ | Insn.Ldtr _
+  | Insn.Ldtrb _ ->
+      1
+  | Insn.Str _ | Insn.Strb _ | Insn.Str32 _ | Insn.Str_reg _ | Insn.Sttr _
+  | Insn.Sttrb _ ->
+      3
+  | Insn.Movz _ | Insn.Movk _ | Insn.Mov_reg _ | Insn.Add _ | Insn.Sub _
+  | Insn.Subs _ | Insn.And_reg _ | Insn.Orr_reg _ | Insn.Eor_reg _
+  | Insn.Lsl_imm _ | Insn.Lsr_imm _ | Insn.Nop | Insn.Bcond _ | Insn.Cbz _
+  | Insn.Cbnz _ | Insn.B _ | Insn.Bl _ | Insn.Br _ | Insn.Blr _ | Insn.Ret _
+    ->
+      0
+  | _ -> 3
+
 let build_block t phys pa =
+  let page = pa land lnot (Phys.page_size - 1) in
   let dp = dpage_of t phys (pa / Phys.page_size) in
-  let idx0 = (pa land (Phys.page_size - 1)) lsr 2 in
-  let buf = ref [] in
+  let in_page p = p land lnot (Phys.page_size - 1) = page in
+  let slot_of p = (p land (Phys.page_size - 1)) lsr 2 in
+  let idx0 = slot_of pa in
+  let code = ref [] and ipa = ref [] and sxs = ref [] and effs = ref [] in
   let n = ref 0 in
+  let folds = ref 0 in
   let chainable = ref true in
+  let term_slot = ref (-1) in
+  let fold_taken_ok = ref false in
+  let fold_fall_ok = ref false in
   let stop = ref false in
-  while (not !stop) && !n < max_block_insns && idx0 + !n < insns_per_page do
-    let insn = fetch t phys (pa + (4 * !n)) in
-    (match ending_of insn with
-    | Straight -> ()
-    | Chain -> stop := true
+  let pos = ref pa in
+  while not !stop do
+    let p = !pos in
+    let insn = fetch t phys p in
+    let push sx =
+      code := insn :: !code;
+      ipa := p :: !ipa;
+      sxs := sx :: !sxs;
+      effs := eff_of insn :: !effs;
+      incr n
+    in
+    (* Folding needs room for at least one instruction after the
+       branch; otherwise the branch becomes a plain terminator. *)
+    let room = !n + 1 < max_block_insns in
+    match ending_of insn with
+    | Straight ->
+        push None;
+        pos := p + 4;
+        if !n >= max_block_insns || not (in_page !pos) then stop := true
+    | Cond off ->
+        let bias = dp.bias.(slot_of p) in
+        if bias >= fold_threshold && room && in_page (p + off) then begin
+          (* Hot taken: fold, side exit covers fall-through. *)
+          push
+            (Some
+               { sx_hot_delta = off;
+                 sx_slot = slot_of p;
+                 sx_hot = 0;
+                 sx_cold = 0;
+                 sx_chain_va = min_int;
+                 sx_chain = None });
+          incr folds;
+          pos := p + off
+        end
+        else if bias <= -fold_threshold && room && in_page (p + 4) then begin
+          (* Hot fall-through: fold, side exit covers taken. *)
+          push
+            (Some
+               { sx_hot_delta = 4;
+                 sx_slot = slot_of p;
+                 sx_hot = 0;
+                 sx_cold = 0;
+                 sx_chain_va = min_int;
+                 sx_chain = None });
+          incr folds;
+          pos := p + 4
+        end
+        else begin
+          (* Unfolded conditional terminator: record enough for the
+             dispatcher to profile its outcomes and re-form the block
+             once a foldable bias builds up. *)
+          push None;
+          term_slot := slot_of p;
+          fold_taken_ok := room && in_page (p + off);
+          fold_fall_ok := room && in_page (p + 4);
+          stop := true
+        end
+    | Chain -> push None; stop := true
     | Stop ->
-        stop := true;
-        chainable := false);
-    buf := insn :: !buf;
-    incr n
+        push None;
+        chainable := false;
+        stop := true
   done;
-  let code = Array.of_list (List.rev !buf) in
   let b =
     { b_pa = pa;
-      b_page = pa land lnot (Phys.page_size - 1);
+      b_page = page;
       b_dgen = dp.dgen;
-      b_code = code;
+      b_code = Array.of_list (List.rev !code);
+      b_ipa = Array.of_list (List.rev !ipa);
+      b_sx = Array.of_list (List.rev !sxs);
+      b_eff = Array.of_list (List.rev !effs);
+      b_folds = !folds;
       b_chainable = !chainable;
       b_epoch = t.epoch;
+      b_dead = false;
+      b_prof = dp.bias;
+      b_term_slot = !term_slot;
+      b_fold_taken_ok = !fold_taken_ok;
+      b_fold_fall_ok = !fold_fall_ok;
       b_succ_va = min_int;
       b_succ = None;
       b_succ2_va = min_int;
       b_succ2 = None }
   in
+  t.st_folds <- t.st_folds + !folds;
+  if !folds > t.st_depth_max then t.st_depth_max <- !folds;
   dp.blk.(idx0) <- Some b;
   b
 
 (* The block starting at physical address [pa], from cache or freshly
-   built.  [dpage_of] has already dropped stale blocks if the frame's
-   generation moved, so a cached block here is valid by construction;
-   the [b_dgen] check is defensive. *)
-let block_at t phys pa =
+   built, plus whether it was served from cache.  [dpage_of] has
+   already dropped stale blocks if the frame's generation moved, so a
+   cached block here is valid by construction; the [b_dgen] check is
+   defensive. *)
+let block_at_cached t phys pa =
   let dp = dpage_of t phys (pa / Phys.page_size) in
   let idx = (pa land (Phys.page_size - 1)) lsr 2 in
-  t.st_lookups <- t.st_lookups + 1;
   match dp.blk.(idx) with
-  | Some b when b.b_dgen = dp.dgen && b.b_epoch = t.epoch ->
-      t.st_hits <- t.st_hits + 1;
-      b
+  | Some b when b.b_dgen = dp.dgen && b.b_epoch = t.epoch && not b.b_dead ->
+      (b, true)
   | _ ->
       t.st_builds <- t.st_builds + 1;
-      build_block t phys pa
+      (build_block t phys pa, false)
+
+let block_at t phys pa = fst (block_at_cached t phys pa)
+
+(* Retire one block (bias retraining, never correctness): mark it dead
+   so chain memos refuse it and clear its cache slot so the next
+   dispatch re-forms it from the live bias. *)
+let kill_block t phys b =
+  if not b.b_dead then begin
+    b.b_dead <- true;
+    let dp = dpage_of t phys (b.b_page / Phys.page_size) in
+    let idx = (b.b_pa land (Phys.page_size - 1)) lsr 2 in
+    match dp.blk.(idx) with
+    | Some cur when cur == b -> dp.blk.(idx) <- None
+    | _ -> ()
+  end
+
+(* Called by the dispatcher on the cold direction of a folded branch.
+   The hot/cold window decides retraining: while cold exits stay rare
+   relative to hot continuations the tree matches the observed bias
+   and the window is periodically decayed; once cold catches up with
+   hot the bias has flipped, so the block is killed, the branch's
+   bias reset to neutral, and the next entry re-forms the tree (the
+   block ends at the branch again until a fresh bias builds up). *)
+let note_side_exit t phys b sx =
+  t.st_side_exits <- t.st_side_exits + 1;
+  sx.sx_cold <- sx.sx_cold + 1;
+  if sx.sx_cold >= retrain_min then
+    if sx.sx_cold >= sx.sx_hot then begin
+      b.b_prof.(sx.sx_slot) <- 0;
+      kill_block t phys b;
+      t.st_retrains <- t.st_retrains + 1
+    end
+    else begin
+      sx.sx_hot <- sx.sx_hot / 2;
+      sx.sx_cold <- 0
+    end
+
+(* Called by the dispatcher at [Bend] when the terminator is an
+   unfolded conditional branch: bump the saturating bias counter, and
+   once it crosses the fold threshold in a direction that formation
+   recorded as foldable, kill the block so the next entry re-forms it
+   with the branch folded in (growing the trace tree). *)
+let note_term_outcome t phys b ~taken =
+  let v = b.b_prof.(b.b_term_slot) in
+  let v' =
+    if taken then if v < bias_sat then v + 1 else v
+    else if v > -bias_sat then v - 1
+    else v
+  in
+  b.b_prof.(b.b_term_slot) <- v';
+  if
+    (v' >= fold_threshold && b.b_fold_taken_ok)
+    || (v' <= -fold_threshold && b.b_fold_fall_ok)
+  then kill_block t phys b
 
 (* ------------------------------------------------------------------ *)
 (* Chaining: each block memoizes up to two successor blocks keyed by
-   target VA (fall-through and taken).  A link is only followed if the
-   target block is from the current epoch, its frame generation still
+   target VA (fall-through and taken); each side exit memoizes one
+   cold-direction target.  A link is only followed if the target block
+   is from the current epoch and alive, its frame generation still
    matches, and the dispatcher's live instruction-fetch translation
-   resolved the VA to the block's physical address. *)
+   resolved the VA to the block's physical address.  Links may cross
+   pages: the source side is covered by [chain_lookup]'s source-page
+   check (and, for side exits, by the per-instruction generation check
+   the block just ran under), so a store or IC IALLU touching *either*
+   page severs the link. *)
+
+let target_ok t phys ~pa = function
+  | Some sb
+    when sb.b_epoch = t.epoch && (not sb.b_dead) && sb.b_pa = pa
+         && Phys.page_gen phys sb.b_page = sb.b_dgen ->
+      Some sb
+  | _ -> None
 
 let chain_lookup t phys b ~va ~pa =
-  let ok = function
-    | Some sb
-      when sb.b_epoch = t.epoch && sb.b_pa = pa
-           && Phys.page_gen phys sb.b_page = sb.b_dgen ->
-        Some sb
-    | _ -> None
-  in
-  if b.b_succ_va = va then ok b.b_succ
-  else if b.b_succ2_va = va then ok b.b_succ2
+  if
+    b.b_dead || b.b_epoch <> t.epoch
+    || Phys.page_gen phys b.b_page <> b.b_dgen
+  then None
+  else if b.b_succ_va = va then target_ok t phys ~pa b.b_succ
+  else if b.b_succ2_va = va then target_ok t phys ~pa b.b_succ2
   else None
 
 let chain_store b ~va succ =
@@ -255,36 +477,52 @@ let chain_store b ~va succ =
     b.b_succ <- Some succ
   end
 
+let sx_chain_lookup t phys sx ~va ~pa =
+  if sx.sx_chain_va = va then target_ok t phys ~pa sx.sx_chain else None
+
+let sx_chain_store sx ~va succ =
+  sx.sx_chain_va <- va;
+  sx.sx_chain <- Some succ
+
 (* ------------------------------------------------------------------ *)
 (* Statistics *)
 
 type stats = {
-  blk_lookups : int;
+  blk_entries : int;
   blk_hits : int;
   blk_builds : int;
-  blk_entries : int;
   blk_insns : int;
   chain_follows : int;
+  side_exits : int;
+  folds : int;
+  depth_max : int;
+  retrains : int;
 }
 
 let stats t =
-  { blk_lookups = t.st_lookups;
+  { blk_entries = t.st_entries;
     blk_hits = t.st_hits;
     blk_builds = t.st_builds;
-    blk_entries = t.st_entries;
     blk_insns = t.st_insns;
-    chain_follows = t.st_chain_follows }
+    chain_follows = t.st_chain_follows;
+    side_exits = t.st_side_exits;
+    folds = t.st_folds;
+    depth_max = t.st_depth_max;
+    retrains = t.st_retrains }
 
 let reset_stats t =
-  t.st_lookups <- 0;
   t.st_hits <- 0;
   t.st_builds <- 0;
   t.st_entries <- 0;
   t.st_insns <- 0;
-  t.st_chain_follows <- 0
+  t.st_chain_follows <- 0;
+  t.st_side_exits <- 0;
+  t.st_folds <- 0;
+  t.st_depth_max <- 0;
+  t.st_retrains <- 0
 
 let ratio num den = if den = 0 then nan else float_of_int num /. float_of_int den
 
-let hit_rate s = ratio s.blk_hits s.blk_lookups
+let hit_rate s = ratio s.blk_hits s.blk_entries
 let avg_block_len s = ratio s.blk_insns s.blk_entries
 let chain_ratio s = ratio s.chain_follows s.blk_entries

@@ -2,27 +2,60 @@
 
     Bundles everything {!Core.step}'s fast path caches between
     instructions: the decoded-instruction cache (keyed by physical
-    page, invalidated by frame write generations and [IC IALLU]), the
-    superblock cache layered on it, the 1-entry iTLB/dTLB front
-    caches, the memoized MMU translation context, and the cached
-    watchpoint-armed flag. None of it is architectural state — with
-    [enabled = false] the core ignores all of it and runs the original
-    un-cached path, which the differential property tests compare
-    against; with [blocks = false] the per-instruction fast path runs
-    without the block layer (the three-way differential mode). *)
+    page, invalidated by frame write generations), the
+    superblock / trace-tree cache layered on it, the 2-entry MRU
+    iTLB/dTLB front caches, the memoized MMU translation context, and
+    the cached watchpoint-armed flag. None of it is architectural
+    state — with [enabled = false] the core ignores all of it and runs
+    the original un-cached path, which the differential property tests
+    compare against; with [blocks = false] the per-instruction fast
+    path runs without the block layer (the three-way differential
+    mode). *)
 
-type block = {
+type side_exit = {
+  sx_hot_delta : int;
+      (** byte delta from the folded branch's pc along the hot
+          direction; the cold direction exits the block. *)
+  sx_slot : int;  (** the branch's instruction slot in its dpage. *)
+  mutable sx_hot : int;  (** hot continuations since the last decay. *)
+  mutable sx_cold : int;  (** cold exits since the last decay. *)
+  mutable sx_chain_va : int;
+  mutable sx_chain : block option;
+      (** memoized cold-direction chain target — side-exit targets are
+          first-class chain candidates. *)
+}
+
+and block = {
   b_pa : int;  (** physical address of the first instruction. *)
   b_page : int;  (** page-aligned base of [b_pa]. *)
   b_dgen : int;  (** {!Lz_mem.Phys.page_gen} at build time. *)
-  b_code : Lz_arm.Insn.t array;
-      (** >= 1 decoded insns; straight-line except possibly the last. *)
+  b_code : Lz_arm.Insn.t array;  (** >= 1 decoded insns. *)
+  b_ipa : int array;
+      (** per-instruction physical address (folded branches break the
+          [b_pa + 4*i] progression). *)
+  b_sx : side_exit option array;
+      (** [Some] exactly at folded conditional branches. *)
+  b_eff : int array;
+      (** per-instruction effect bits (see {!eff_of}): bit 0 — may
+          access memory, bit 1 — may write memory. The executor skips
+          the matching boundary re-check after instructions with the
+          bit clear. *)
+  b_folds : int;  (** folded conditionals in this block (tree depth). *)
   b_chainable : bool;
       (** the block ends in a plain branch or falls through — control
           flow that cannot disturb interrupt-delivery state, so the
           dispatcher may follow a chain link under the same interrupt
-          horizon. *)
+          horizon. Folded branches and side exits preserve the same
+          invariant: horizon inputs change only at Stop terminators. *)
   b_epoch : int;
+  mutable b_dead : bool;
+      (** retired by bias retraining; never re-entered via memos. *)
+  b_prof : int array;  (** the owning dpage's bias array. *)
+  b_term_slot : int;
+      (** dpage slot of an unfolded conditional terminator, [-1]
+          otherwise; outcomes recorded at [Bend] drive folding. *)
+  b_fold_taken_ok : bool;
+  b_fold_fall_ok : bool;
   mutable b_succ_va : int;
   mutable b_succ : block option;
   mutable b_succ2_va : int;
@@ -33,6 +66,9 @@ type dpage = {
   mutable dgen : int;  (** {!Lz_mem.Phys.page_gen} at decode time. *)
   code : Lz_arm.Insn.t option array;
   blk : block option array;  (** superblock starting at each slot. *)
+  bias : int array;
+      (** per-slot saturating taken/not-taken counters driving branch
+          folding; reset with the decodes when the frame changes. *)
 }
 
 type t = {
@@ -48,12 +84,15 @@ type t = {
   mutable epoch : int;
   mutable wp_gen : int;
   mutable wp_armed : bool;
-  mutable st_lookups : int;
   mutable st_hits : int;
   mutable st_builds : int;
   mutable st_entries : int;
   mutable st_insns : int;
   mutable st_chain_follows : int;
+  mutable st_side_exits : int;
+  mutable st_folds : int;
+  mutable st_depth_max : int;
+  mutable st_retrains : int;
 }
 
 val default_blocks : bool ref
@@ -70,13 +109,17 @@ val fetch : t -> Lz_mem.Phys.t -> int -> Lz_arm.Insn.t
     code behaves exactly as with a fresh [Encoding.decode]. *)
 
 val flush_decode : t -> unit
-(** Drop every cached decode and superblock ([IC IALLU]) and bump the
-    epoch so chain links into dropped blocks are never followed. *)
+(** [IC IALLU]: bump the epoch so every cached superblock and chain
+    link is refused from now on.  Decoded words stay cached — they are
+    revalidated against frame write generations on every dispatch —
+    and so does the branch-bias profile (unchanged bytes), letting
+    patch-and-flush loops re-form their trace trees immediately. *)
 
 val reset : t -> unit
-(** Drop all cached state (decode cache, blocks + chains, front TLBs,
-    memoized context, watchpoint flag). Safe at any point: everything
-    is rebuilt on demand. *)
+(** Drop all cached execution state (blocks + chains via an epoch
+    bump, front TLBs, memoized context, watchpoint flag). Safe at any
+    point: everything is rebuilt on demand; decoded words persist
+    under their generation checks. *)
 
 (** {1 Superblocks}
 
@@ -84,38 +127,97 @@ val reset : t -> unit
 
 val max_block_insns : int
 
+val fold_threshold : int
+(** |bias| at which a conditional branch is folded into the block. *)
+
+val retrain_min : int
+(** Cold side exits through one stub before its hot/cold ratio is
+    examined for retraining. *)
+
+type ending = Straight | Chain | Cond of int | Stop
+
+val ending_of : Lz_arm.Insn.t -> ending
+(** Block-formation class of one instruction. [Cond off] (B.cond,
+    CBZ, CBNZ — fold candidates) and [Chain] are pure PC writes: they
+    can never change DAIF, translation or GIC/timer/PMU state, which
+    is what keeps the interrupt horizon valid across side exits and
+    chain follows (horizon inputs change only at [Stop]
+    terminators). *)
+
+val eff_of : Lz_arm.Insn.t -> int
+(** Effect bits of one instruction: bit 0 — may access memory (a
+    data-side miss can move the shared TLB generation mid-block),
+    bit 1 — may write memory (a store can move the code frame's write
+    generation mid-block). Pure instructions return [0]; anything
+    unrecognized conservatively returns both bits. The block executor
+    elides the per-boundary generation re-checks after instructions
+    whose bits are clear — an exact equivalence, since only the
+    just-executed instruction can move those generations between two
+    in-block boundaries. *)
+
 val block_at : t -> Lz_mem.Phys.t -> int -> block
 (** The superblock starting at physical address [pa], from cache or
-    freshly built (decoding forward until a branch, an exception-
-    generating/system instruction, the page boundary or
-    {!max_block_insns}). Counts a lookup plus a hit or build. *)
+    freshly built (decoding forward, folding hot branches, until an
+    unfolded branch, an exception-generating/system instruction, the
+    page boundary or {!max_block_insns}). *)
+
+val block_at_cached : t -> Lz_mem.Phys.t -> int -> block * bool
+(** {!block_at} plus whether the block was served from cache — the
+    dispatcher counts cached dispatches from this. *)
+
+val kill_block : t -> Lz_mem.Phys.t -> block -> unit
+(** Retire one block (bias retraining): mark it dead and clear its
+    cache slot so the next dispatch re-forms it. *)
+
+val note_side_exit : t -> Lz_mem.Phys.t -> block -> side_exit -> unit
+(** Record one cold-direction exit through [side_exit]; retrains (kills
+    the block, resets the branch bias) when cold exits catch up with
+    hot continuations. *)
+
+val note_term_outcome : t -> Lz_mem.Phys.t -> block -> taken:bool -> unit
+(** Record an unfolded conditional terminator's outcome at [Bend];
+    kills the block for re-formation once the bias crosses the fold
+    threshold in a foldable direction. *)
 
 val chain_lookup :
   t -> Lz_mem.Phys.t -> block -> va:int -> pa:int -> block option
-(** A memoized successor of [block] for target [va], only if it is
-    from the current epoch, its frame generation still matches and it
-    starts at the freshly translated [pa]. *)
+(** A memoized successor of [block] for target [va], only if both the
+    source and target blocks are alive, from the current epoch, with
+    unchanged page generations, and the target starts at the freshly
+    translated [pa] — cross-page links are revalidated against both
+    pages. *)
 
 val chain_store : block -> va:int -> block -> unit
 (** Memoize [succ] as [block]'s successor for target [va] (keeps the
     two most recent targets: fall-through and taken). *)
 
+val sx_chain_lookup :
+  t -> Lz_mem.Phys.t -> side_exit -> va:int -> pa:int -> block option
+(** The side exit's memoized cold-direction target, validated exactly
+    like {!chain_lookup} targets. *)
+
+val sx_chain_store : side_exit -> va:int -> block -> unit
+
 (** {1 Statistics} *)
 
 type stats = {
-  blk_lookups : int;  (** {!block_at} consultations. *)
-  blk_hits : int;  (** served from cache. *)
-  blk_builds : int;  (** built fresh. *)
-  blk_entries : int;  (** blocks entered by the dispatcher. *)
+  blk_entries : int;  (** blocks dispatched (executions). *)
+  blk_hits : int;  (** dispatches served from a cached block. *)
+  blk_builds : int;  (** blocks built fresh. *)
   blk_insns : int;  (** instructions retired inside blocks. *)
-  chain_follows : int;  (** entries that followed a chain link. *)
+  chain_follows : int;  (** dispatches that followed a chain memo. *)
+  side_exits : int;  (** cold-direction exits through side-exit stubs. *)
+  folds : int;  (** conditional branches folded at build time. *)
+  depth_max : int;  (** most folded branches in a single block. *)
+  retrains : int;  (** blocks retired after a bias flip. *)
 }
 
 val stats : t -> stats
 val reset_stats : t -> unit
 
 val hit_rate : stats -> float
-(** [blk_hits / blk_lookups]; [nan] before any lookup. *)
+(** [blk_hits / blk_entries] — the fraction of dispatched block
+    executions served from cache; [nan] before any dispatch. *)
 
 val avg_block_len : stats -> float
 (** [blk_insns / blk_entries]; [nan] before any entry. *)

@@ -28,13 +28,15 @@ val create : ?capacity:int -> unit -> t
 (** Default capacity 1024 combined entries. *)
 
 type front
-(** A 1-entry front cache (micro-TLB) holding the outcome of the last
-    lookup for one exact (VMID, ASID, 4 KiB page) probe, revalidated
-    against {!gen}. A core keeps one for instruction fetches and one
-    for data accesses; hits bypass every hashtable probe while
-    charging the main TLB's hit/miss counters exactly as a full
-    lookup would (the cached outcome is only reused while the table
-    is untouched, so the accounting cannot diverge). *)
+(** A 2-entry MRU front cache (micro-TLB) holding the outcomes of the
+    most recent lookups by exact (VMID, ASID, 4 KiB page) probe,
+    revalidated against {!gen}. Two slots, not one, so copy loops that
+    alternate between a source and a destination page still hit. A
+    core keeps one front for instruction fetches and one for data
+    accesses; hits bypass every hashtable probe while charging the
+    main TLB's hit/miss counters exactly as a full lookup would (the
+    cached outcome is only reused while the table is untouched, so
+    the accounting cannot diverge). *)
 
 val front_create : unit -> front
 val front_reset : front -> unit
@@ -52,11 +54,13 @@ val gen : t -> int
 (** Mutation generation: bumped by every insert, eviction and flush.
     Equal generations guarantee identical lookup outcomes. *)
 
-val account_front_hit : t -> unit
-(** Count one front-cache hit without re-running the probe. For the
-    block execution engine, which proves via {!gen} that the probe it
-    elides would have hit; keeps hit/miss statistics bit-identical to
-    the per-instruction path. *)
+val account_front_hits : t -> int -> unit
+(** Count [n] front-cache hits without re-running the probes. For the
+    block execution engine, which proves — via {!gen}, or statically
+    when no memory traffic intervened — that the probes it elides
+    would have hit, and accounts them in one batch at block exit;
+    keeps hit/miss statistics bit-identical to the per-instruction
+    path (the counters are unobservable mid-block). *)
 
 val insert :
   t -> vmid:int -> asid:int -> va:int -> global:bool -> entry -> unit

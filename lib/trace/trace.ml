@@ -46,6 +46,10 @@ type t = {
   mutable points_seen : int;
   mutable clock : unit -> int;
   markers : (int, payload) Hashtbl.t;
+  (* Live marker count per 4 KiB VA page, so a block dispatcher can
+     decide with one lookup whether a whole block (blocks never cross
+     pages) needs per-instruction marker checks. *)
+  marker_pages : (int, int) Hashtbl.t;
 }
 
 let default_capacity = 1 lsl 16
@@ -63,6 +67,7 @@ let create ?(capacity = default_capacity) ?(decimate = 1) () =
     points_seen = 0;
     clock = (fun () -> 0);
     markers = Hashtbl.create 64;
+    marker_pages = Hashtbl.create 16;
   }
 
 let set_clock t f = t.clock <- f
@@ -119,9 +124,32 @@ let clear t =
    gate check phase, post-gate return site) into events without any
    cooperation from the traced code. *)
 
-let add_marker t ~pc payload = Hashtbl.replace t.markers pc payload
-let remove_marker t ~pc = Hashtbl.remove t.markers pc
+let marker_page pc = pc lsr 12 (* blocks are bounded by 4 KiB pages *)
+
+let add_marker t ~pc payload =
+  (* Replacing an existing marker must not inflate the page count. *)
+  if not (Hashtbl.mem t.markers pc) then begin
+    let pg = marker_page pc in
+    let n = match Hashtbl.find_opt t.marker_pages pg with
+      | Some n -> n
+      | None -> 0
+    in
+    Hashtbl.replace t.marker_pages pg (n + 1)
+  end;
+  Hashtbl.replace t.markers pc payload
+
+let remove_marker t ~pc =
+  if Hashtbl.mem t.markers pc then begin
+    let pg = marker_page pc in
+    (match Hashtbl.find_opt t.marker_pages pg with
+    | Some n when n > 1 -> Hashtbl.replace t.marker_pages pg (n - 1)
+    | Some _ -> Hashtbl.remove t.marker_pages pg
+    | None -> ());
+    Hashtbl.remove t.markers pc
+  end
+
 let marker_at t pc = Hashtbl.find_opt t.markers pc
+let page_marked t pc = Hashtbl.mem t.marker_pages (marker_page pc)
 
 (* Names and JSONL export. *)
 

@@ -80,6 +80,13 @@ val add_marker : t -> pc:int -> payload -> unit
 val remove_marker : t -> pc:int -> unit
 val marker_at : t -> int -> payload option
 
+val page_marked : t -> int -> bool
+(** [page_marked t pc] is [true] iff any marker is registered in
+    [pc]'s 4 KiB VA page. The block dispatcher asks this once per
+    block entry: superblocks never cross a page, so a [false] answer
+    proves no in-block instruction can have a marker and the whole
+    block may run without per-instruction marker checks. *)
+
 val scope_name : flush_scope -> string
 val payload_name : payload -> string
 val event_to_json : event -> string

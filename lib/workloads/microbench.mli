@@ -18,6 +18,10 @@
 val names : string list
 (** ["aes"; "mysql"; "nginx"]. *)
 
+val code_va : int
+(** VA of the (single) code page every program is assembled at — also
+    the entry pc, useful for planting PC markers on the code page. *)
+
 type env = {
   core : Lz_cpu.Core.t;
   data_pas : int list;  (** physical frames backing the data pages. *)

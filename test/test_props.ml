@@ -431,6 +431,364 @@ let prop_preempt_equivalent =
       slow = fast && slow = blk)
 
 (* ------------------------------------------------------------------ *)
+(* Trace-tree properties. The superblock engine folds biased
+   conditional branches into blocks with side exits; these properties
+   pin down the three invariants that make that sound:
+
+   - the horizon invariant: everything the builder classifies as
+     Straight/Cond/Chain is a pure register/memory/pc operation, so
+     the interrupt-horizon inputs (DAIF, GIC, timer, PMU) can only
+     move at Stop terminators and side exits never invalidate a
+     computed horizon;
+   - architectural invisibility under *retraining*: generated
+     branch-heavy programs that flip branch bias mid-run (so trees
+     form along one direction and must re-form along the other) stay
+     bit-identical across slow / per-insn fast / blocks, with and
+     without preemption slices (which may land inside side-exit
+     stubs) and with tracing attached;
+   - SMC at a side-exit target: a cross-page side-exit chain is
+     revalidated against the *target* page's generation and the
+     IC IALLU epoch, so patching the cold-path page severs it. *)
+
+module Fastpath = Lz_cpu.Fastpath
+module Trace = Lz_trace.Trace
+
+let prop_ending_horizon_pure =
+  QCheck2.Test.make
+    ~name:"fastpath: only Stop terminators can move the interrupt horizon"
+    ~count:5000 arbitrary_word (fun w ->
+      let insn = Encoding.decode w in
+      match Fastpath.ending_of insn with
+      | Fastpath.Stop -> true
+      | Fastpath.Cond _ -> (
+          (* Cond must be exactly the foldable branches: a pc-relative
+             conditional whose both outcomes are static. *)
+          match insn with
+          | Insn.Bcond _ | Insn.Cbz _ | Insn.Cbnz _ -> true
+          | _ -> false)
+      | Fastpath.Straight | Fastpath.Chain -> (
+          (* Nothing that can touch DAIF, sysregs, the GIC/timer or
+             cache/TLB maintenance may be folded into a block body. *)
+          match insn with
+          | Insn.Msr _ | Insn.Mrs _ | Insn.Msr_pstate _ | Insn.Svc _
+          | Insn.Hvc _ | Insn.Smc _ | Insn.Brk _ | Insn.Eret | Insn.Wfi
+          | Insn.Isb | Insn.Dsb | Insn.Tlbi_vmalle1 | Insn.Tlbi_aside1 _
+          | Insn.At_s1e1r _ | Insn.Dc_civac _ | Insn.Ic_iallu
+          | Insn.Udf _ ->
+              false
+          | _ -> true))
+
+(* A tiny two-pass assembler with symbolic labels, so generated
+   branchy programs don't hand-compute byte offsets. *)
+type asm =
+  | Lbl of int
+  | Ins of Insn.t
+  | Bc of Insn.cond * int
+  | Cz of int * int
+  | Cnz of int * int
+  | Jmp of int
+
+let assemble items =
+  let n_labels =
+    List.fold_left
+      (fun a -> function Lbl l -> max a (l + 1) | _ -> a)
+      0 items
+  in
+  let addr = Array.make (max n_labels 1) 0 in
+  let idx = ref 0 in
+  List.iter (function Lbl l -> addr.(l) <- !idx | _ -> incr idx) items;
+  let out = ref [] and i = ref 0 in
+  List.iter
+    (fun it ->
+      let off l = 4 * (addr.(l) - !i) in
+      (match it with
+      | Lbl _ -> ()
+      | Ins insn -> out := insn :: !out
+      | Bc (c, l) -> out := Insn.Bcond (c, off l) :: !out
+      | Cz (r, l) -> out := Insn.Cbz (r, off l) :: !out
+      | Cnz (r, l) -> out := Insn.Cbnz (r, off l) :: !out
+      | Jmp l -> out := Insn.B (off l) :: !out);
+      match it with Lbl _ -> () | _ -> incr i)
+    items;
+  List.rev !out
+
+(* Branch-heavy loop bodies whose bias *changes* mid-run. [Phase]
+   compares the countdown register against a flip point, so the branch
+   goes one way for the first part of the run and permanently flips;
+   [MaskZ] tests masked bits of the counter, giving periodic cold
+   directions (the nginx pattern). Both arms do distinct arithmetic
+   and memory traffic so any stale-tree bug lands in the summary. *)
+type seg =
+  | Phase of bool * int * int * int  (* ge?, flip point, k_then, k_else *)
+  | MaskZ of bool * int * int * int  (* cbz?, mask, k_then, k_else *)
+
+let branchy_code_va = 0x10000
+let branchy_data_va = 0x20000
+
+let branchy_items segs iters =
+  let next = ref 1 in
+  let seg_items s =
+    let le = !next and lj = !next + 1 in
+    next := !next + 2;
+    match s with
+    | Phase (ge, flip, k1, k2) ->
+        [ Ins (Insn.Subs (9, 0, Insn.Imm flip));
+          Bc ((if ge then Insn.GE else Insn.LT), le);
+          Ins (Insn.Add (5, 5, Insn.Imm k1));
+          Ins (Insn.Str (5, 1, 8));
+          Jmp lj;
+          Lbl le;
+          Ins (Insn.Add (6, 6, Insn.Imm k2));
+          Ins (Insn.Ldr (4, 1, 0));
+          Lbl lj ]
+    | MaskZ (z, mask, k1, k2) ->
+        [ Ins (Insn.Movz (7, mask, 0));
+          Ins (Insn.And_reg (8, 0, 7));
+          (if z then Cz (8, le) else Cnz (8, le));
+          Ins (Insn.Add (5, 5, Insn.Imm k1));
+          Jmp lj;
+          Lbl le;
+          Ins (Insn.Add (6, 6, Insn.Imm k2));
+          Ins (Insn.Str (6, 1, 16));
+          Lbl lj ]
+  in
+  [ Ins (Insn.Movz (0, iters, 0));
+    Ins (Insn.Movz (1, branchy_data_va land 0xFFFF, 0));
+    Ins (Insn.Movk (1, branchy_data_va lsr 16, 16));
+    Lbl 0 ]
+  @ List.concat_map seg_items segs
+  @ [ Ins (Insn.Sub (0, 0, Insn.Imm 1)); Cnz (0, 0); Ins (Insn.Brk 0) ]
+
+let seg_gen =
+  QCheck2.Gen.(
+    oneof
+      [ map4
+          (fun ge flip k1 k2 -> Phase (ge, flip, k1 + 1, k2 + 1))
+          bool (int_bound 400) (int_bound 62) (int_bound 62);
+        map4
+          (fun z m k1 k2 -> MaskZ (z, [| 1; 3; 7; 15 |].(m), k1 + 1, k2 + 1))
+          bool (int_bound 3) (int_bound 62) (int_bound 62) ])
+
+let branchy_env ?tracer ~fast ~blocks prog =
+  let phys = Phys.create () in
+  let tlb = Tlb.create () in
+  let root = Stage1.create_root phys in
+  let code_pa = Phys.alloc_frame phys in
+  let data_pa = Phys.alloc_frame phys in
+  Stage1.map_page phys ~root ~va:branchy_code_va ~pa:code_pa
+    { Pte.user = false; read_only = true; uxn = true; pxn = false;
+      ng = true };
+  Stage1.map_page phys ~root ~va:branchy_data_va ~pa:data_pa
+    { Pte.user = false; read_only = false; uxn = true; pxn = true;
+      ng = true };
+  List.iteri
+    (fun i insn ->
+      Phys.write32 phys (code_pa + (4 * i)) (Encoding.encode insn))
+    prog;
+  let core =
+    Core.create ~fast ~blocks phys tlb Lz_cpu.Cost_model.cortex_a55
+      Pstate.EL1
+  in
+  (match tracer with
+  | Some tr -> Core.set_tracer core (Some tr)
+  | None -> ());
+  Sysreg.write core.Core.sys Sysreg.TTBR0_EL1 (Mmu.ttbr_value ~root ~asid:1);
+  core.Core.pc <- branchy_code_va;
+  (core, data_pa)
+
+let branchy_finish (core, data_pa) =
+  ( Array.init 31 (Core.reg core), core.Core.pc,
+    Digest.bytes (Phys.read_bytes core.Core.phys data_pa 4096),
+    core.Core.cycles, core.Core.insns, Tlb.hits core.Core.tlb,
+    Tlb.misses core.Core.tlb )
+
+let branchy_summary ?tracer ~fast ~blocks prog =
+  let ((core, _) as env) = branchy_env ?tracer ~fast ~blocks prog in
+  (match Core.run ~max_insns:max_int core with
+  | Core.Trap_el1 (Core.Ec_brk _) | Core.Trap_el2 (Core.Ec_brk _) -> ()
+  | s -> Alcotest.failf "branchy: unexpected stop %a" Core.pp_stop s);
+  branchy_finish env
+
+let prop_branchy_equivalent =
+  QCheck2.Test.make
+    ~name:"core: trace trees are invisible under branch-bias flips (3-way)"
+    ~count:40
+    QCheck2.Gen.(pair (list_size (int_range 1 4) seg_gen) (int_range 1 400))
+    (fun (segs, iters) ->
+      let prog = assemble (branchy_items segs iters) in
+      let slow = branchy_summary ~fast:false ~blocks:false prog in
+      let fast = branchy_summary ~fast:true ~blocks:false prog in
+      let blk = branchy_summary ~fast:true ~blocks:true prog in
+      slow = fast && slow = blk)
+
+(* Preemption slices landing anywhere — including inside a side-exit
+   stub, between a block's early exit and the dispatcher's re-entry —
+   must deliver the IRQ at the identical instruction boundary as the
+   per-insn engines (the PR 4 transparency property, extended to
+   trace trees over the branchy generator). *)
+let branchy_preempted_summary ~fast ~blocks ~slice prog =
+  let ((core, _) as env) = branchy_env ~fast ~blocks prog in
+  let iv = Core.attach_irq core in
+  Lz_irq.Irq.init iv;
+  Lz_irq.Timer.program iv.Lz_irq.Irq.timer ~now:core.Core.cycles ~slice;
+  let ticks = ref 0 in
+  let rec loop () =
+    match Core.run ~max_insns:max_int core with
+    | Core.Trap_el1 (Core.Ec_brk _) | Core.Trap_el2 (Core.Ec_brk _) -> ()
+    | Core.Trap_el1 (Core.Ec_irq intid) ->
+        ignore (Lz_irq.Irq.ack iv);
+        if intid = Lz_irq.Gic.ppi_el1_timer then begin
+          incr ticks;
+          Lz_irq.Timer.program iv.Lz_irq.Irq.timer ~now:core.Core.cycles
+            ~slice
+        end;
+        Core.quiesce_irq core intid;
+        Lz_irq.Irq.eoi iv intid;
+        Core.eret_from_el1 core;
+        loop ()
+    | s -> Alcotest.failf "branchy preempt: unexpected stop %a" Core.pp_stop s
+  in
+  loop ();
+  let summary = branchy_finish env in
+  (summary, !ticks)
+
+let prop_branchy_preempt_equivalent =
+  QCheck2.Test.make
+    ~name:"core: preemption inside side-exit stubs is engine-invariant"
+    ~count:20
+    QCheck2.Gen.(
+      triple (list_size (int_range 1 3) seg_gen) (int_range 20 300)
+        (int_range 97 1500))
+    (fun (segs, iters, slice) ->
+      let prog = assemble (branchy_items segs iters) in
+      let slow = branchy_preempted_summary ~fast:false ~blocks:false ~slice
+          prog in
+      let fast = branchy_preempted_summary ~fast:true ~blocks:false ~slice
+          prog in
+      let blk = branchy_preempted_summary ~fast:true ~blocks:true ~slice
+          prog in
+      slow = fast && slow = blk)
+
+(* Block-aware traced dispatch: with PC markers planted at random
+   instructions of the code page, the blocks engine must emit the
+   exact event stream (same payloads, same order, same cycle stamps)
+   as the per-insn fast path, on top of an identical summary. *)
+let prop_branchy_traced_equivalent =
+  QCheck2.Test.make
+    ~name:"core: block-aware tracing emits identical event streams"
+    ~count:25
+    QCheck2.Gen.(
+      triple (list_size (int_range 1 3) seg_gen) (int_range 1 300)
+        (list_size (int_range 1 4) (int_bound 40)))
+    (fun (segs, iters, marks) ->
+      let prog = assemble (branchy_items segs iters) in
+      let n = List.length prog in
+      let run blocks =
+        let tr = Trace.create ~capacity:100_000 () in
+        List.iteri
+          (fun i idx ->
+            Trace.add_marker tr
+              ~pc:(branchy_code_va + (4 * (idx mod n)))
+              (Trace.Syscall { nr = i }))
+          marks;
+        let s = branchy_summary ~tracer:tr ~fast:true ~blocks prog in
+        ( s,
+          List.map
+            (fun (e : Trace.event) -> (e.Trace.seq, e.Trace.cycles, e.Trace.payload))
+            (Trace.events tr) )
+      in
+      run false = run true)
+
+(* SMC at a cross-page side-exit target. Page A's loop folds a
+   mostly-not-taken CBZ whose cold direction branches onto page B;
+   page B patches its own first instruction (the one the side-exit
+   chain would re-enter) with a value derived from the live counter,
+   optionally IC IALLU, and jumps back. A side-exit chain memo that
+   skips revalidating the *target* page's generation (or the IALLU
+   epoch) replays the stale decode and shifts the accumulator. *)
+let sx_smc_summary ~fast ~blocks ~iters ~with_ic =
+  let page_a = 0x10000 and page_b = 0x11000 in
+  let phys = Phys.create () in
+  let tlb = Tlb.create () in
+  let root = Stage1.create_root phys in
+  let pa_a = Phys.alloc_frame phys in
+  let pa_b = Phys.alloc_frame phys in
+  let wx va pa =
+    Stage1.map_page phys ~root ~va ~pa
+      { Pte.user = false; read_only = false; uxn = true; pxn = false;
+        ng = true }
+  in
+  wx page_a pa_a;
+  wx page_b pa_b;
+  let base = Encoding.encode (Insn.Movz (5, 0, 0)) in
+  let prog_a =
+    [ Insn.Movz (0, iters, 0);                      (*  0 *)
+      Insn.Movz (1, page_b land 0xFFFF, 0);         (*  1 *)
+      Insn.Movk (1, page_b lsr 16, 16);             (*  2 *)
+      Insn.Movz (9, base land 0xFFFF, 0);           (*  3 *)
+      Insn.Movk (9, base lsr 16, 16);               (*  4 *)
+      Insn.Movz (7, 3, 0);                          (*  5 *)
+      Insn.And_reg (8, 0, 7);                       (*  6: loop head *)
+      Insn.Cbz (8, page_b - (page_a + (4 * 7)));    (*  7: cold, cross-page *)
+      Insn.Add (6, 6, Insn.Reg 5);                  (*  8: cont *)
+      Insn.Sub (0, 0, Insn.Imm 1);                  (*  9 *)
+      Insn.Cbnz (0, 4 * (6 - 10));                  (* 10 *)
+      Insn.Brk 0 ]                                  (* 11 *)
+  in
+  let prog_b =
+    [ Insn.Movz (5, 0, 0);                          (* b0: patch site *)
+      Insn.Movz (11, 0xFF, 0);                      (* b1 *)
+      Insn.And_reg (12, 0, 11);                     (* b2 *)
+      Insn.Lsl_imm (12, 12, 5);                     (* b3 *)
+      Insn.Orr_reg (12, 9, 12);                     (* b4 *)
+      Insn.Str32 (12, 1, 0);                        (* b5: patch b0 *)
+      (if with_ic then Insn.Ic_iallu else Insn.Nop);(* b6 *)
+      Insn.B (page_a + (4 * 8) - (page_b + (4 * 7))) ]  (* b7: back to cont *)
+  in
+  let load pa prog =
+    List.iteri
+      (fun i insn ->
+        Phys.write32 phys (pa + (4 * i)) (Encoding.encode insn))
+      prog
+  in
+  load pa_a prog_a;
+  load pa_b prog_b;
+  let core =
+    Core.create ~fast ~blocks phys tlb Lz_cpu.Cost_model.cortex_a55
+      Pstate.EL1
+  in
+  Sysreg.write core.Core.sys Sysreg.TTBR0_EL1 (Mmu.ttbr_value ~root ~asid:1);
+  core.Core.pc <- page_a;
+  (match Core.run ~max_insns:max_int core with
+  | Core.Trap_el1 (Core.Ec_brk _) | Core.Trap_el2 (Core.Ec_brk _) -> ()
+  | s -> Alcotest.failf "sx smc: unexpected stop %a" Core.pp_stop s);
+  if blocks && iters >= 64 then begin
+    let st = Fastpath.stats core.Core.fp in
+    if st.Fastpath.folds = 0 || st.Fastpath.side_exits = 0 then
+      Alcotest.failf
+        "sx smc: expected folded branches with side exits (entries=%d \
+         builds=%d hits=%d folds=%d side_exits=%d retrains=%d iters=%d \
+         ic=%b)"
+        st.Fastpath.blk_entries st.Fastpath.blk_builds st.Fastpath.blk_hits
+        st.Fastpath.folds st.Fastpath.side_exits st.Fastpath.retrains iters
+        with_ic
+  end;
+  ( Array.init 31 (Core.reg core), core.Core.pc, core.Core.cycles,
+    core.Core.insns, Tlb.hits tlb, Tlb.misses tlb )
+
+let prop_sx_smc_equivalent =
+  QCheck2.Test.make
+    ~name:"core: SMC at a cross-page side-exit target severs the chain"
+    ~count:15
+    QCheck2.Gen.(pair (int_range 8 200) bool)
+    (fun (iters, with_ic) ->
+      let slow = sx_smc_summary ~fast:false ~blocks:false ~iters ~with_ic in
+      let fast = sx_smc_summary ~fast:true ~blocks:false ~iters ~with_ic in
+      let blk = sx_smc_summary ~fast:true ~blocks:true ~iters ~with_ic in
+      let (regs, _, _, _, _, _) = slow in
+      regs.(6) > 0 && slow = fast && slow = blk)
+
+(* ------------------------------------------------------------------ *)
 (* Fault-around equivalence: clustering demand faults (and the
    spurious-fault revalidation) is a pure cost optimisation. For any
    random access pattern over a multi-page VMA, running with
@@ -533,6 +891,12 @@ let () =
         [ q prop_fast_slow_equivalent;
           q prop_smc_equivalent;
           q prop_preempt_equivalent ] );
+      ( "trace-trees",
+        [ q prop_ending_horizon_pure;
+          q prop_branchy_equivalent;
+          q prop_branchy_preempt_equivalent;
+          q prop_branchy_traced_equivalent;
+          q prop_sx_smc_equivalent ] );
       ( "fault-around", [ q prop_fault_around_equivalent ] );
       ( "aes", [ q prop_aes_roundtrip; q prop_aes_cbc_roundtrip ] );
       ( "lightzone", [ q prop_lz_policy ] ) ]
