@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-smoke trace-demo clean
+.PHONY: all build test bench bench-smoke fleet fleet-smoke snap-demo \
+	trace-demo clean
 
 all: build
 
@@ -20,6 +21,20 @@ bench: build
 bench-smoke:
 	dune build @bench-smoke
 	dune exec bench/throughput.exe -- --check BENCH_throughput.json
+
+# Fleet-forking benchmark: 1024 instances off one warm 128-domain
+# image, writes BENCH_fleet.json in the repo root; fails if forking
+# is not >= 10x cheaper than cold setup.
+fleet: build
+	dune exec bench/fleet.exe
+
+# CI variant: 64 forks, digest-identity assertions only.
+fleet-smoke: build
+	dune exec bench/fleet.exe -- --smoke
+
+# Snapshot/fork/replay walkthrough (lz_snap demo).
+snap-demo: build
+	dune exec examples/snapshot_fork.exe
 
 # Cycle attribution of a 128-domain gate-switch run (lz_trace demo).
 trace-demo: build

@@ -185,7 +185,24 @@ let profile_cmd =
         (Lz_cpu.Fastpath.avg_block_len b)
         (100. *. Lz_cpu.Fastpath.chain_ratio b)
         b.Lz_cpu.Fastpath.folds b.Lz_cpu.Fastpath.depth_max
-        b.Lz_cpu.Fastpath.side_exits b.Lz_cpu.Fastpath.retrains
+        b.Lz_cpu.Fastpath.side_exits b.Lz_cpu.Fastpath.retrains;
+    (* CoW frame-store economics of snapshot+fork (host machinery, so
+       measured on a host image regardless of --env). *)
+    let w = Lz_eval.Memory_eval.cow cm in
+    Format.printf "CoW frame store (%d forks off one warm image):@."
+      w.Lz_eval.Memory_eval.forks;
+    Format.printf "  frames:            %d logical (%d shared / %d private)@."
+      w.Lz_eval.Memory_eval.logical_frames
+      w.Lz_eval.Memory_eval.shared_frames
+      w.Lz_eval.Memory_eval.private_frames;
+    Format.printf
+      "  store:             %d slots, %d CoW breaks, %.1fx dedup (%.1f MiB \
+       saved)@."
+      w.Lz_eval.Memory_eval.store_slots w.Lz_eval.Memory_eval.unshares
+      w.Lz_eval.Memory_eval.dedup_factor
+      (Lz_eval.Memory_eval.cow_saved_mib w);
+    Format.printf "  dirty pages:       %.1f mean per churned fork (%d ran)@."
+      w.Lz_eval.Memory_eval.dirty_mean w.Lz_eval.Memory_eval.churned
   in
   Cmd.v
     (Cmd.info "profile"

@@ -255,3 +255,46 @@ let irq_line t ~cycles ~insns =
   t.inten <> 0 && read_ovs t ~cycles ~insns land t.inten <> 0
 
 let event_total t event = t.totals.(event land 0xFF)
+
+(* Whole-PMU capture/restore for machine snapshots. Everything is
+   plain latched state (counters accumulate over monotonic sources
+   sampled at sync points), so a field-for-field copy is exact —
+   provided the owning core's cycle/instruction totals are restored
+   with it, since [snap] values are samples of those sources. *)
+
+type state = {
+  s_enabled : bool;
+  s_long_cycle : bool;
+  s_cnten : int;
+  s_ovs : int;
+  s_inten : int;
+  s_cc_epoch : int;
+  s_evtyper : int array;
+  s_acc : int array;
+  s_snap : int array;
+  s_totals : int array;
+}
+
+let capture t =
+  { s_enabled = t.enabled;
+    s_long_cycle = t.long_cycle;
+    s_cnten = t.cnten;
+    s_ovs = t.ovs;
+    s_inten = t.inten;
+    s_cc_epoch = t.cc_epoch;
+    s_evtyper = Array.copy t.evtyper;
+    s_acc = Array.copy t.acc;
+    s_snap = Array.copy t.snap;
+    s_totals = Array.copy t.totals }
+
+let restore t s =
+  t.enabled <- s.s_enabled;
+  t.long_cycle <- s.s_long_cycle;
+  t.cnten <- s.s_cnten;
+  t.ovs <- s.s_ovs;
+  t.inten <- s.s_inten;
+  t.cc_epoch <- s.s_cc_epoch;
+  Array.blit s.s_evtyper 0 t.evtyper 0 (Array.length t.evtyper);
+  Array.blit s.s_acc 0 t.acc 0 (Array.length t.acc);
+  Array.blit s.s_snap 0 t.snap 0 (Array.length t.snap);
+  Array.blit s.s_totals 0 t.totals 0 (Array.length t.totals)

@@ -84,3 +84,15 @@ val irq_line : t -> cycles:int -> insns:int -> bool
 val event_total : t -> int -> int
 (** Raw occurrence total for a discrete event, independent of counter
     programming (host-side convenience). *)
+
+(** {1 Snapshot} *)
+
+type state
+(** A captured PMU image (configuration, latched status, counter
+    accumulators, source samples, discrete-event totals). *)
+
+val capture : t -> state
+
+val restore : t -> state -> unit
+(** Exact iff the owning core's cycle/instruction totals are restored
+    alongside: counter source samples refer to those totals. *)

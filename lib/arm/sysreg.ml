@@ -435,6 +435,16 @@ let dbg_gen (f : file) = f.dbg_gen
 let copy_file (f : file) =
   { v = Array.copy f.v; mmu_gen = f.mmu_gen; dbg_gen = f.dbg_gen }
 
+(* Overwrite [dst]'s contents with [src]'s. The generation counters
+   are bumped forward, never copied: a rewind that restored an old
+   generation value could let a context memoized in the abandoned
+   timeline revalidate against a same-numbered generation in the new
+   one. Bumping forces every cached derivation to recompute once. *)
+let restore_file ~src ~dst =
+  Array.blit src.v 0 dst.v 0 nregs;
+  dst.mmu_gen <- dst.mmu_gen + 1;
+  dst.dbg_gen <- dst.dbg_gen + 1
+
 let transfer ~src ~dst regs =
   List.iter (fun r -> write dst r (read src r)) regs
 

@@ -156,6 +156,12 @@ val copy_file : file -> file
 val transfer : src:file -> dst:file -> t list -> unit
 (** [transfer ~src ~dst regs] copies each register in [regs]. *)
 
+val restore_file : src:file -> dst:file -> unit
+(** Overwrite [dst]'s register values with [src]'s (all of them, unlike
+    {!transfer}). [dst]'s generation counters are bumped forward — not
+    copied from [src] — so contexts memoized against them are forced to
+    recompute rather than risk revalidating across a rewind. *)
+
 (** {1 HCR_EL2 bits}
 
     Hypervisor configuration bits used by LightZone (paper Sections 2.1

@@ -116,3 +116,61 @@ let nvm cm =
     ~paper:(0.0, 0.0, 12.1) cm
 
 let all cm = [ nginx cm; mysql cm; nvm cm ]
+
+(* Copy-on-write frame-store accounting: fork a fleet off one warm
+   image and count what the store actually holds versus what [forks+1]
+   independent machines would. *)
+
+type cow_report = {
+  forks : int;
+  churned : int;
+  logical_frames : int;
+  shared_frames : int;
+  private_frames : int;
+  store_slots : int;
+  unshares : int;
+  dirty_mean : float;
+  dedup_factor : float;
+}
+
+let frame_bytes = 4096
+
+let cow ?(forks = 16) ?(churn = 4) ?(domains = 128) ?(switches = 300) cm =
+  let r = Switch_bench.prepare cm ~env:Switch_bench.Host ~domains ~n:switches in
+  let z = r.Switch_bench.t in
+  let image = Lz_snap.Snapshot.capture z in
+  let fleet = Array.init forks (fun _ -> Lz_snap.Snapshot.fork z image) in
+  let churned = min churn forks in
+  for i = 0 to churned - 1 do
+    Switch_bench.run_slice fleet.(i)
+  done;
+  let dirty =
+    Array.init churned (fun i -> Lz_snap.Snapshot.dirty_pages fleet.(i) image)
+  in
+  let dirty_mean =
+    if churned = 0 then 0.
+    else
+      float_of_int (Array.fold_left ( + ) 0 dirty) /. float_of_int churned
+  in
+  (* Shared/private split read from a churned fork's view — that is
+     where private (unshared) frames accumulate; the source stayed
+     read-only. *)
+  let observer = if churned > 0 then fleet.(0) else z in
+  let st = Lz_mem.Phys.stats observer.Lightzone.Kmod.machine.Machine.phys in
+  Lz_snap.Snapshot.release z image;
+  { forks;
+    churned;
+    logical_frames = st.Lz_mem.Phys.allocated;
+    shared_frames = st.Lz_mem.Phys.shared;
+    private_frames = st.Lz_mem.Phys.private_;
+    store_slots = st.Lz_mem.Phys.store_slots;
+    unshares = st.Lz_mem.Phys.unshares;
+    dirty_mean;
+    dedup_factor =
+      float_of_int ((forks + 1) * st.Lz_mem.Phys.allocated)
+      /. float_of_int (max 1 st.Lz_mem.Phys.store_slots) }
+
+let cow_saved_mib r =
+  float_of_int
+    ((((r.forks + 1) * r.logical_frames) - r.store_slots) * frame_bytes)
+  /. (1024. *. 1024.)

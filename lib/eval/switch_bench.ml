@@ -214,14 +214,15 @@ let run_lz_full ?tracer ?(fast_paths = false) ?preempt ?(pmu = false) cm
 let run_lz ?tracer ?fast_paths ?preempt cm ~env ~mech ~domains ~n =
   (run_lz_full ?tracer ?fast_paths ?preempt cm ~env ~mech ~domains ~n).cycles
 
-(* Architectural state digest for the preemption-transparency check:
-   everything the program and the module can observe — GP registers,
-   PC/SPs, PSTATE, retired instruction count, translation root, zone
-   bookkeeping, and the data pages the workload touched. Cycle counts
-   are deliberately excluded: interrupt entries legitimately consume
-   cycles without changing architectural state. *)
-let arch_digest (r : lz_run) =
-  let core = r.t.Kmod.core in
+(* Architectural state digest for the preemption- and snapshot-
+   transparency checks: everything the program and the module can
+   observe — GP registers, PC/SPs, PSTATE, retired instruction count,
+   translation root, zone bookkeeping, and the data pages the workload
+   touched. Cycle counts are deliberately excluded: interrupt entries
+   legitimately consume cycles without changing architectural state
+   (and a forked machine re-walks from a cold TLB). *)
+let zone_digest (t : Kmod.t) =
+  let core = t.Kmod.core in
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   Array.iter (fun v -> add "%x," v) core.Core.regs;
@@ -230,17 +231,51 @@ let arch_digest (r : lz_run) =
     (Pstate.to_spsr core.Core.pstate)
     core.Core.insns
     (Sysreg.read core.Core.sys Sysreg.TTBR0_EL1)
-    r.t.Kmod.next_pgt
-    (Hashtbl.length r.t.Kmod.pgts);
+    t.Kmod.next_pgt
+    (Hashtbl.length t.Kmod.pgts);
   let domains =
-    match Proc.find_vma r.proc domains_va with
+    match Proc.find_vma t.Kmod.proc domains_va with
     | Some vma -> (vma.Vma.len + 4095) / 4096
     | None -> 0
   in
   Buffer.add_bytes b
-    (Kernel.read_user r.kernel r.proc ~va:domains_va
+    (Kernel.read_user t.Kmod.kernel t.Kmod.proc ~va:domains_va
        ~len:(domains * 4096));
   Digest.to_hex (Digest.string (Buffer.contents b))
+
+let arch_digest (r : lz_run) = zone_digest r.t
+
+(* ------------------------------------------------------------------ *)
+(* Warm images for snapshot forking (the fleet benchmark)
+
+   [prepare] builds the Table 5 TTBR-mechanism setup and runs the
+   program once end-to-end — demand paging done, gates registered,
+   every domain sanitized and touched — then rewinds PC and the exit
+   latch to the entry point. The resulting machine is a warm image:
+   running it (or any snapshot-fork of it) executes one more
+   [n]-switch slice from identical architectural state. *)
+
+let rewind_slice (t : Kmod.t) =
+  (* The exit [brk] trapped to EL2 and the run loop stopped without
+     returning: the core is parked at EL2 with interrupts masked.
+     ERET back into the interrupted EL1 context (restoring PSTATE,
+     DAIF included) before rewinding PC, so the next slice runs at
+     EL1 and stays preemptible. *)
+  Core.eret_from_el2 t.Kmod.core;
+  t.Kmod.proc.Proc.exit_code <- None;
+  t.Kmod.core.Core.pc <- code_va
+
+let prepare ?fast_paths ?preempt cm ~env ~domains ~n =
+  let r =
+    run_lz_full ?fast_paths ?preempt cm ~env ~mech:(Mech Lz_ttbr) ~domains ~n
+  in
+  rewind_slice r.t;
+  r
+
+let run_slice ?(max_insns = 200_000_000) (t : Kmod.t) =
+  match Api.run ~max_insns t with
+  | Kmod.Exited _ -> rewind_slice t
+  | o -> failwith (Format.asprintf "switch bench (slice): %a" Kmod.pp_outcome o)
 
 (* ------------------------------------------------------------------ *)
 (* Traced runs (lzctl trace / bench trace annotation) *)

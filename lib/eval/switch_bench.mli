@@ -44,6 +44,39 @@ val traced_run :
     {!traced.digest} against a cooperative run's. *)
 
 
+(** {1 Warm images (snapshot forking / fleet benchmark)} *)
+
+type lz_run = {
+  t : Lightzone.Kmod.t;
+  kernel : Lz_kernel.Kernel.t;
+  proc : Lz_kernel.Proc.t;
+  cycles : int;
+  preemptions : int;
+}
+
+val prepare :
+  ?fast_paths:bool -> ?preempt:int ->
+  Lz_cpu.Cost_model.t -> env:env -> domains:int -> n:int -> lz_run
+(** Build the Table 5 TTBR-mechanism setup ([domains] gate-attached
+    domains) and run one [n]-switch slice end-to-end — demand paging
+    done, every domain sanitized and touched — then rewind PC and the
+    exit latch to the entry. The machine is a {e warm image}: running
+    it again (or a snapshot-fork of it) executes one more identical
+    slice. *)
+
+val run_slice : ?max_insns:int -> Lightzone.Kmod.t -> unit
+(** Run one slice on a prepared (or forked) machine and rewind it
+    again. Fails if the slice does not run to completion. *)
+
+val zone_digest : Lightzone.Kmod.t -> string
+(** Architectural-state digest: GP registers, PC/SPs, PSTATE, retired
+    instructions, TTBR0, zone bookkeeping and the domain data pages.
+    Cycle counts and TLB statistics are excluded (interrupts and cold
+    TLBs legitimately change them without changing architectural
+    state). Equal digests across a cooperative run, a preempted run,
+    a restored snapshot and a fork mean the mechanisms are
+    transparent. *)
+
 val measure :
   Lz_cpu.Cost_model.t -> env:env -> mechanism:mechanism -> domains:int ->
   ?iterations:int -> unit -> float

@@ -248,6 +248,66 @@ let read_rpr t = running_priority t land 0xFF
 let read_hppir1 t =
   match signaled t with None -> spurious | Some intid -> intid
 
+(* Whole-interface capture for machine snapshots: one CPU interface's
+   banked SGI/PPI state plus its distributor's SPI state. Everything
+   in the model is latched, so copies are exact. Restoring the
+   distributor portion assumes the snapshotted machine owns it (one
+   core per machine in this simulator); other interfaces attached to
+   the same distributor would see their SPI state rewound too. *)
+
+type state = {
+  s_enabled : bool array;
+  s_pending : bool array;
+  s_level : bool array;
+  s_active : bool array;
+  s_prio : int array;
+  s_pmr : int;
+  s_igrpen1 : bool;
+  s_bpr1 : int;
+  s_ack_stack : (int * int) list;
+  s_spi_enabled : bool array;
+  s_spi_pending : bool array;
+  s_spi_active : bool array;
+  s_spi_prio : int array;
+  s_spi_target : int array;
+  s_grp_en : bool;
+}
+
+let capture t =
+  { s_enabled = Array.copy t.enabled;
+    s_pending = Array.copy t.pending;
+    s_level = Array.copy t.level;
+    s_active = Array.copy t.active;
+    s_prio = Array.copy t.prio;
+    s_pmr = t.pmr;
+    s_igrpen1 = t.igrpen1;
+    s_bpr1 = t.bpr1;
+    s_ack_stack = t.ack_stack;
+    s_spi_enabled = Array.copy t.dist.spi_enabled;
+    s_spi_pending = Array.copy t.dist.spi_pending;
+    s_spi_active = Array.copy t.dist.spi_active;
+    s_spi_prio = Array.copy t.dist.spi_prio;
+    s_spi_target = Array.copy t.dist.spi_target;
+    s_grp_en = t.dist.grp_en }
+
+let restore t s =
+  let blit src dst = Array.blit src 0 dst 0 (Array.length dst) in
+  blit s.s_enabled t.enabled;
+  blit s.s_pending t.pending;
+  blit s.s_level t.level;
+  blit s.s_active t.active;
+  blit s.s_prio t.prio;
+  t.pmr <- s.s_pmr;
+  t.igrpen1 <- s.s_igrpen1;
+  t.bpr1 <- s.s_bpr1;
+  t.ack_stack <- s.s_ack_stack;
+  blit s.s_spi_enabled t.dist.spi_enabled;
+  blit s.s_spi_pending t.dist.spi_pending;
+  blit s.s_spi_active t.dist.spi_active;
+  blit s.s_spi_prio t.dist.spi_prio;
+  blit s.s_spi_target t.dist.spi_target;
+  t.dist.grp_en <- s.s_grp_en
+
 let pp_intid ppf intid =
   if intid = spurious then Format.pp_print_string ppf "spurious"
   else if intid = ppi_el1_timer then Format.pp_print_string ppf "timer"

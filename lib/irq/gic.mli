@@ -108,4 +108,17 @@ val write_bpr1 : cpu -> int -> unit
 val read_rpr : cpu -> int
 val read_hppir1 : cpu -> int
 
+(** {1 Snapshot} *)
+
+type state
+(** One CPU interface's banked state plus its distributor's SPI
+    state. *)
+
+val capture : cpu -> state
+
+val restore : cpu -> state -> unit
+(** Restores the interface {e and} its distributor — meant for
+    single-core machines where the snapshotted core owns the
+    distributor. *)
+
 val pp_intid : Format.formatter -> int -> unit

@@ -51,3 +51,13 @@ let program t ~now ~slice =
   t.ctl <- ctl_enable
 
 let stop t = t.ctl <- 0
+
+(* Snapshot support: CTL and CVAL are the whole state. *)
+
+type state = { s_ctl : int; s_cval : int }
+
+let capture t = { s_ctl = t.ctl; s_cval = t.cval }
+
+let restore t s =
+  t.ctl <- s.s_ctl;
+  t.cval <- s.s_cval

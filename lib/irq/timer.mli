@@ -37,3 +37,10 @@ val program : t -> now:int -> slice:int -> unit
     clear). *)
 
 val stop : t -> unit
+
+(** {1 Snapshot} *)
+
+type state
+
+val capture : t -> state
+val restore : t -> state -> unit

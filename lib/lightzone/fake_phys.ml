@@ -36,3 +36,25 @@ let fake_of_real t real =
 
 let assigned t =
   match t.mode with Identity -> 0 | Sequential -> Hashtbl.length t.fwd
+
+let clone t =
+  { mode = t.mode;
+    next = t.next;
+    fwd = Hashtbl.copy t.fwd;
+    rev = Hashtbl.copy t.rev }
+
+type state = {
+  s_next : int;
+  s_fwd : (int, int) Hashtbl.t;
+  s_rev : (int, int) Hashtbl.t;
+}
+
+let capture t =
+  { s_next = t.next; s_fwd = Hashtbl.copy t.fwd; s_rev = Hashtbl.copy t.rev }
+
+let restore t s =
+  t.next <- s.s_next;
+  Hashtbl.reset t.fwd;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.fwd k v) s.s_fwd;
+  Hashtbl.reset t.rev;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.rev k v) s.s_rev

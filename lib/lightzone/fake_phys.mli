@@ -26,3 +26,13 @@ val fake_of_real : t -> int -> int option
 
 val assigned : t -> int
 (** Number of frames with fake addresses (table memory accounting). *)
+
+val clone : t -> t
+(** Independent copy of the assignment tables (machine forking). *)
+
+(** {1 Snapshot} *)
+
+type state
+
+val capture : t -> state
+val restore : t -> state -> unit

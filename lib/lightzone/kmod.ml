@@ -38,6 +38,7 @@ type t = {
   mutable fault_traps : int;
   mutable irq_traps : int;
   mutable on_irq : (Core.t -> int -> unit) option;
+  mutable on_quiescent : (unit -> unit) option;
 }
 
 (* Extra per-module state kept out of the public record. *)
@@ -56,6 +57,42 @@ let shadows : (int, shadow) Hashtbl.t = Hashtbl.create 8
 (* keyed by vmid — one LightZone process per VM. *)
 
 let shadow_of t = Hashtbl.find shadows t.vmid
+
+(* Snapshotting the shadow registry: deep-copy so later mutation of
+   the live tables (or of a restored machine) can never reach the
+   captured image. [page_prot] records and the [int list ref] cells
+   are the only mutable leaves; [signal_frame] is immutable. *)
+let copy_shadow sh =
+  let copy_prot h =
+    let out = Hashtbl.create (max 16 (Hashtbl.length h)) in
+    Hashtbl.iter
+      (fun k p ->
+        Hashtbl.replace out k
+          { pgt_ids = p.pgt_ids; perm = p.perm; pan = p.pan })
+      h;
+    out
+  in
+  let copy_refs h =
+    let out = Hashtbl.create (max 16 (Hashtbl.length h)) in
+    Hashtbl.iter (fun k r -> Hashtbl.replace out k (ref !r)) h;
+    out
+  in
+  { prot = copy_prot sh.prot;
+    mapped_in = copy_refs sh.mapped_in;
+    exec_frames = Hashtbl.copy sh.exec_frames;
+    frame_vas = copy_refs sh.frame_vas;
+    sig_pending = sh.sig_pending;
+    sig_stack = sh.sig_stack }
+
+type shadow_state = shadow
+
+let capture_shadow t = copy_shadow (shadow_of t)
+
+(* Install a fresh copy each time, so one captured image can be
+   restored repeatedly without the live tables aliasing it. *)
+let restore_shadow t st = Hashtbl.replace shadows t.vmid (copy_shadow st)
+
+let install_shadow ~vmid st = Hashtbl.replace shadows vmid (copy_shadow st)
 
 let cost t = t.machine.Machine.cost
 
@@ -179,6 +216,14 @@ let note_mapping t ~va ~pgt_id ~fake =
 (* ------------------------------------------------------------------ *)
 (* Entering LightZone *)
 
+(* Keep LightZone views in sync with the Linux-managed tables
+   (Section 5.1.2: "synchronized with the kernel-managed page
+   tables"). Separate from [enter] so a forked machine can rebind the
+   hooks of its own (copied) process record to its own module state. *)
+let install_sync_hooks t =
+  t.proc.Proc.on_unmap <- Some (fun ~va -> unmap_everywhere t ~va);
+  t.proc.Proc.on_protect <- Some (fun ~va ~prot:_ -> unmap_everywhere t ~va)
+
 let table_memory_frames t =
   Hashtbl.fold (fun _ tbl acc -> acc + tbl.Lz_table.table_frames) t.pgts
     t.ttbr1.Lz_table.table_frames
@@ -202,7 +247,7 @@ let enter ?(backend = Host) ~allow_scalable ~san_mode ~vmid ~entry ~sp kernel
       gatetab_pa = 0; ttbrtab_pa = 0;
       pgts = Hashtbl.create 16; next_pgt = 0; next_asid = 1;
       terminated = None; traps = 0; syscall_traps = 0; fault_traps = 0;
-      irq_traps = 0; on_irq = None }
+      irq_traps = 0; on_irq = None; on_quiescent = None }
   in
   Hashtbl.replace shadows vmid
     { prot = Hashtbl.create 64; mapped_in = Hashtbl.create 256;
@@ -228,11 +273,7 @@ let enter ?(backend = Host) ~allow_scalable ~san_mode ~vmid ~entry ~sp kernel
   Sysreg.write core.Core.sys Sysreg.VBAR_EL1 Gate.stub_base;
   core.Core.pc <- entry;
   Core.set_sp core sp;
-  (* Keep LightZone views in sync with the Linux-managed tables
-     (Section 5.1.2: "synchronized with the kernel-managed page
-     tables"). *)
-  proc.Proc.on_unmap <- Some (fun ~va -> unmap_everywhere t ~va);
-  proc.Proc.on_protect <- Some (fun ~va ~prot:_ -> unmap_everywhere t ~va);
+  install_sync_hooks t;
   t
 
 (* ------------------------------------------------------------------ *)
@@ -831,6 +872,10 @@ let run ?(max_insns = 50_000_000) t =
               | None, None ->
                   maybe_deliver_signal t;
                   Core.eret_from_el2 t.core;
+                  (* The trap is fully retired and the core sits at a
+                     resumable architectural state: the only clean
+                     point for periodic snapshots. *)
+                  (match t.on_quiescent with Some f -> f () | None -> ());
                   loop ())
           | Core.Trap_el2 cls -> (
               if Sys.getenv_opt "LZ_DEBUG" <> None then
@@ -892,6 +937,7 @@ let run ?(max_insns = 50_000_000) t =
                                })
                       | None -> ())
                   | _ -> ());
+                  (match t.on_quiescent with Some f -> f () | None -> ());
                   loop ())
         end
   in

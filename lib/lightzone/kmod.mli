@@ -54,6 +54,12 @@ type t = {
           of every interrupt the module fields — the preemption hook.
           Sources left asserted are quiesced before EOI; queued
           signals are delivered before the resuming ERET. *)
+  mutable on_quiescent : (unit -> unit) option;
+      (** called by {!run} after each trap (or fielded interrupt) has
+          been fully serviced and the resuming ERET executed — the
+          machine is at a clean, resumable architectural state.
+          Periodic snapshot recorders hook here: mid-handler OCaml
+          control flow is not machine state and cannot be captured. *)
 }
 
 val enter :
@@ -139,5 +145,29 @@ val pgt_ttbr : t -> int -> int
 val table_memory_frames : t -> int
 (** Frames consumed by LightZone page tables (memory-overhead
     accounting, Section 9). *)
+
+(** {1 Snapshot support}
+
+    The protection registry, domain membership, sanitized-frame set
+    and signal state live in a module-private shadow registry keyed by
+    VMID. Machine snapshots capture and restore it through these. *)
+
+type shadow_state
+(** Deep copy of one process's shadow registry. *)
+
+val capture_shadow : t -> shadow_state
+
+val restore_shadow : t -> shadow_state -> unit
+(** Replaces the live registry with a fresh copy of the captured one
+    (the image stays valid for further restores). *)
+
+val install_shadow : vmid:int -> shadow_state -> unit
+(** Install a copy of a captured registry under a {e different} VMID —
+    machine forking, where the fork re-enters under a fresh VMID. *)
+
+val install_sync_hooks : t -> unit
+(** (Re)bind [proc.on_unmap]/[on_protect] to this module handle.
+    {!enter} does this; a forked machine calls it again so its copied
+    process record synchronizes its own LightZone views. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,11 +1,17 @@
-(** Simulated physical memory.
+(** Simulated physical memory: 4 KiB frames in a refcounted,
+    copy-on-write slot store backed by a Bigarray of 64-bit words.
 
-    Memory is a sparse collection of 4 KiB frames allocated on first
-    touch, plus a bump allocator for explicit frame allocation (page
-    tables, anonymous pages). All multi-byte accesses are
-    little-endian. 64-bit reads are truncated to OCaml's 62 tagged
-    bits; page-table entries and simulated data never use bits 62–63,
-    so the truncation is unobservable inside the machine. *)
+    Every [t] is a *view*: a map from frame numbers to slots in a
+    shared backing store. Views created by {!cow_clone} (and images
+    captured by {!snapshot}) share slots; a write to a shared slot
+    copies it first (unshare-on-write), so forking a machine or
+    restoring a snapshot costs O(frames touched since), never
+    O(image size).
+
+    All multi-byte accesses are little-endian. 64-bit reads are
+    truncated to OCaml's 62 tagged bits; page-table entries and
+    simulated data never use bits 62–63, so the truncation is
+    unobservable inside the machine. *)
 
 type t
 
@@ -13,9 +19,10 @@ val page_size : int
 (** 4096. *)
 
 val create : ?size_mib:int -> unit -> t
-(** Fresh physical memory. [size_mib] bounds the bump allocator
-    (default 512 MiB) — reads and writes beyond it still succeed (the
-    address space is sparse), only allocation is bounded. *)
+(** Fresh view over a fresh backing store. [size_mib] bounds the bump
+    allocator (default 512 MiB) — reads and writes beyond it still
+    succeed (the address space is sparse), only allocation is
+    bounded. *)
 
 val alloc_frame : t -> int
 (** Allocate a zeroed 4 KiB frame; returns its physical address.
@@ -53,3 +60,49 @@ val page_gen : t -> int -> int
     (including [zero_frame] and [write_bytes]). The decoded-
     instruction cache uses it to revalidate cached pages; equal
     generations guarantee the frame's contents are unchanged. *)
+
+(** {1 Snapshot, restore and fork} *)
+
+type snapshot
+(** A point-in-time image of one view: frame map (slots pinned by
+    refcount), generation counters, allocator state. Holding one costs
+    O(frame map), not O(contents). *)
+
+val snapshot : t -> snapshot
+(** Capture the view. No frame contents are copied — slots are pinned
+    by refcount and copied lazily by subsequent unshare-on-write. *)
+
+val restore : t -> snapshot -> int
+(** Rewind the view to the captured image. Returns the number of
+    dirty frames (frames whose slot binding diverged since capture) —
+    the restore work is proportional to that count. Dirty frames'
+    generation counters are bumped {e forward} (never rewound), so
+    decode/superblock caches from the abandoned timeline revalidate
+    or drop correctly without a flush. The snapshot remains live and
+    can be restored again. *)
+
+val release : t -> snapshot -> unit
+(** Drop the snapshot's pins. The snapshot must not be used again. *)
+
+val dirty_pages : t -> snapshot -> int
+(** Number of frames whose slot binding differs from the capture,
+    without restoring. *)
+
+val cow_clone : t -> t
+(** Fork the view: a new [t] over the same backing store with every
+    frame initially shared. Writes on either side unshare per-frame.
+    Allocator state and generation counters are copied, so the clone
+    allocates and invalidates independently. *)
+
+(** {1 Accounting} *)
+
+type stats = {
+  allocated : int;  (** frames handed out by this view's allocator *)
+  resident : int;  (** frames with materialized (non-zero) contents *)
+  shared : int;  (** resident frames whose slot is CoW-shared *)
+  private_ : int;  (** resident frames exclusively owned *)
+  store_slots : int;  (** live slots in the shared backing store *)
+  unshares : int;  (** CoW copies performed store-wide since creation *)
+}
+
+val stats : t -> stats

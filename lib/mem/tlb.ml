@@ -308,3 +308,64 @@ let size t = Hashtbl.length t.table
 let fifo_length t = Queue.length t.order
 
 let gen t = t.gen
+let capacity t = t.capacity
+
+(* Whole-TLB capture for machine snapshots: entries (immutable, so
+   shared), FIFO order, hit/miss counters and the (vmid, asid) context
+   interning. The generation counter is *not* restored — it is bumped
+   forward instead, so front caches and block-engine proofs anchored
+   on a generation from the abandoned timeline can never revalidate
+   against a same-numbered generation in the new one. Fronts cache
+   hits only and every probe is accounted exactly once either way, so
+   the bump is invisible to hit/miss statistics. *)
+
+type state = {
+  st_table : (int, entry) Hashtbl.t;
+  st_order : int Queue.t;
+  st_hits : int;
+  st_misses : int;
+  st_ctx_ids : (int, int) Hashtbl.t;
+  st_ctx_vmid : int array;
+  st_ctx_asid : int array;
+  st_n_ctx : int;
+}
+
+let capture t =
+  { st_table = Hashtbl.copy t.table;
+    st_order = Queue.copy t.order;
+    st_hits = t.hit_count;
+    st_misses = t.miss_count;
+    st_ctx_ids = Hashtbl.copy t.ctx_ids;
+    st_ctx_vmid = Array.copy t.ctx_vmid;
+    st_ctx_asid = Array.copy t.ctx_asid;
+    st_n_ctx = t.n_ctx }
+
+(* [retag (old_vmid, new_vmid)] rewrites context tags while restoring:
+   entries of [old_vmid] come back under [new_vmid]. Packed table keys
+   embed dense context ids, not VMIDs, so retagging touches only the
+   interning maps — a forked machine adopts the warm image's TLB under
+   its own VMID without rebuilding a single entry. *)
+let restore ?retag t s =
+  Hashtbl.reset t.table;
+  Hashtbl.iter (fun k e -> Hashtbl.replace t.table k e) s.st_table;
+  Queue.clear t.order;
+  Queue.iter (fun k -> Queue.add k t.order) s.st_order;
+  t.hit_count <- s.st_hits;
+  t.miss_count <- s.st_misses;
+  let map_vmid =
+    match retag with
+    | Some (old_vmid, new_vmid) ->
+        fun v -> if v = old_vmid then new_vmid else v
+    | None -> fun v -> v
+  in
+  Hashtbl.reset t.ctx_ids;
+  Hashtbl.iter
+    (fun comb id ->
+      let vmid = map_vmid (comb lsr 15) and asid_p1 = comb land 0x7FFF in
+      Hashtbl.replace t.ctx_ids ((vmid lsl 15) lor asid_p1) id)
+    s.st_ctx_ids;
+  t.ctx_vmid <- Array.map map_vmid s.st_ctx_vmid;
+  t.ctx_asid <- Array.copy s.st_ctx_asid;
+  t.n_ctx <- s.st_n_ctx;
+  t.last_comb <- min_int;
+  t.gen <- t.gen + 1

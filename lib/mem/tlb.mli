@@ -54,6 +54,10 @@ val gen : t -> int
 (** Mutation generation: bumped by every insert, eviction and flush.
     Equal generations guarantee identical lookup outcomes. *)
 
+val capacity : t -> int
+(** The entry bound this TLB was created with (so a forked machine can
+    build a TLB of matching geometry). *)
+
 val account_front_hits : t -> int -> unit
 (** Count [n] front-cache hits without re-running the probes. For the
     block execution engine, which proves — via {!gen}, or statically
@@ -99,3 +103,20 @@ val pmu : t -> Lz_arm.Pmu.t option
 val set_tracer : t -> Lz_trace.Trace.t option -> unit
 (** Tracer receiving a [Tlb_flush] event per flush, timestamped via
     the tracer's clock (installed by the owning core). *)
+
+(** {1 Snapshot} *)
+
+type state
+(** Captured TLB image: entries, FIFO order, hit/miss counters,
+    context interning. *)
+
+val capture : t -> state
+
+val restore : ?retag:int * int -> t -> state -> unit
+(** Restores contents and statistics. The mutation generation is
+    bumped forward rather than rewound, so front caches from the
+    abandoned timeline cannot revalidate; this is invisible to
+    hit/miss accounting. PMU/tracer attachments are untouched.
+    [?retag:(old_vmid, new_vmid)] rewrites context tags on the way
+    in — machine forking: the fork adopts the warm image's TLB under
+    its own VMID (entries of other VMIDs keep theirs). *)

@@ -74,6 +74,27 @@ let set_clock t f = t.clock <- f
 
 let decimation t = t.decimate
 
+let points_seen t = t.points_seen
+
+(* A fresh, empty tracer with [t]'s configuration and marker table —
+   the replay harness attaches one to a restored machine so the
+   re-execution emits into its own ring. Seeding [total] and
+   [points_seen] with the original's capture-time values makes
+   replayed sequence numbers and the decimation phase continue exactly
+   where the snapshot was taken, so replayed events compare
+   byte-identical against the reference ring's suffix. *)
+let clone_config ?total ?points_seen t =
+  { ring = Array.make t.capacity None;
+    capacity = t.capacity;
+    decimate = t.decimate;
+    len = 0;
+    total = (match total with Some n -> n | None -> 0);
+    dropped = 0;
+    points_seen = (match points_seen with Some n -> n | None -> 0);
+    clock = (fun () -> 0);
+    markers = Hashtbl.copy t.markers;
+    marker_pages = Hashtbl.copy t.marker_pages }
+
 (* Span boundaries must never be decimated — dropping one would merge
    two spans and skew every cycle attribution after it.  Only point
    events (flushes, faults, retention, ...) are sampled 1-in-N. *)

@@ -54,6 +54,19 @@ val decimation : t -> int
 (** The 1-in-N point-event sampling factor this tracer was created
     with. *)
 
+val points_seen : t -> int
+(** Point events considered by the decimator so far (the decimation
+    phase). Captured by machine snapshots so a replayed tracer can
+    continue the sampling pattern exactly. *)
+
+val clone_config : ?total:int -> ?points_seen:int -> t -> t
+(** A fresh, empty tracer with the same capacity, decimation and
+    registered markers. [total] and [points_seen] (default 0) seed the
+    sequence counter and decimation phase — pass the values captured
+    at snapshot time and a deterministic re-execution emits events
+    byte-identical to the original ring's suffix. The clock is not
+    copied; attach the clone to a core to install one. *)
+
 val set_clock : t -> (unit -> int) -> unit
 (** Clock used by {!emit_now} for emitters that do not carry a cycle
     counter (e.g. the TLB). The core installs [fun () -> core.cycles]
