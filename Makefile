@@ -1,5 +1,5 @@
-.PHONY: all build test bench bench-smoke fleet fleet-smoke snap-demo \
-	trace-demo clean
+.PHONY: all build test bench bench-smoke fleet fleet-smoke fuzz \
+	fuzz-smoke snap-demo trace-demo clean
 
 all: build
 
@@ -31,6 +31,19 @@ fleet: build
 # CI variant: 64 forks, digest-identity assertions only.
 fleet-smoke: build
 	dune exec bench/fleet.exe -- --smoke
+
+# Coverage-guided differential fuzzing of the gate/sanitizer/trap
+# surface: 6000 cases, corpus under fuzz-corpus/, writes
+# BENCH_fuzz.json in the repo root.
+fuzz: build
+	dune exec bench/fuzz.exe
+
+# CI variant: fixed seed, 2000 cases, gated against the committed
+# baseline — exits non-zero on any engine divergence or on losing a
+# baseline coverage key (coverage regression). Deterministic: two
+# consecutive runs produce identical key sets and corpora.
+fuzz-smoke: build
+	dune exec bench/fuzz.exe -- --smoke --check BENCH_fuzz.json
 
 # Snapshot/fork/replay walkthrough (lz_snap demo).
 snap-demo: build

@@ -209,9 +209,110 @@ let profile_cmd =
        ~doc:"print measured isolation profiles for a configuration")
     Term.(const run $ platform $ env)
 
+let fuzz_cmd =
+  let corpus_dir =
+    Arg.(value & opt string "fuzz-corpus"
+         & info [ "corpus"; "c" ] ~doc:"corpus directory")
+  in
+  let domains =
+    Arg.(value & opt int 128 & info [ "domains"; "d" ] ~doc:"domain count")
+  in
+  let run_cmd =
+    let cases =
+      Arg.(value & opt int 2000 & info [ "cases"; "n" ] ~doc:"case count")
+    in
+    let seed =
+      Arg.(value & opt int 0xF022 & info [ "seed"; "s" ] ~doc:"campaign seed")
+    in
+    let run cm cases seed dir domains =
+      let cfg =
+        {
+          Lz_fuzz.Campaign.default_config with
+          Lz_fuzz.Campaign.seed;
+          cases;
+          domains;
+          dir = Some dir;
+          log = (fun s -> Format.printf "%s@." s);
+        }
+      in
+      let env =
+        Lz_fuzz.Oracle.create ~recycle_every:cfg.Lz_fuzz.Campaign.recycle_every
+          ~domains cm
+      in
+      let stats = Lz_fuzz.Campaign.run ~env cfg in
+      Format.printf "%d cases: %d corpus entries, %d coverage keys, %d \
+                     divergences@."
+        stats.Lz_fuzz.Campaign.cases_run
+        (List.length stats.Lz_fuzz.Campaign.corpus_entries)
+        (List.length stats.Lz_fuzz.Campaign.keys)
+        (List.length stats.Lz_fuzz.Campaign.failures);
+      List.iter
+        (fun (f : Lz_fuzz.Campaign.failure) ->
+          Format.printf "DIVERGENCE %s@.  shrunk: %a@."
+            f.Lz_fuzz.Campaign.detail Lz_fuzz.Fuzz_case.pp
+            f.Lz_fuzz.Campaign.case)
+        stats.Lz_fuzz.Campaign.failures;
+      if stats.Lz_fuzz.Campaign.failures <> [] then exit 1
+    in
+    Cmd.v (Cmd.info "run" ~doc:"run a coverage-guided campaign")
+      Term.(const run $ platform $ cases $ seed $ corpus_dir $ domains)
+  in
+  let corpus_cmd =
+    let run dir =
+      let entries = Lz_fuzz.Corpus.list dir in
+      List.iter
+        (fun (e : Lz_fuzz.Corpus.entry) ->
+          Format.printf "%s  %a  (%d keys)@."
+            (String.sub e.Lz_fuzz.Corpus.signature 0 12)
+            Lz_fuzz.Fuzz_case.pp e.Lz_fuzz.Corpus.case
+            (List.length e.Lz_fuzz.Corpus.keys))
+        entries;
+      Format.printf "%d entries, %d distinct coverage keys@."
+        (List.length entries)
+        (List.length (Lz_fuzz.Corpus.all_keys entries))
+    in
+    Cmd.v (Cmd.info "corpus" ~doc:"list the on-disk corpus")
+      Term.(const run $ corpus_dir)
+  in
+  let repro_cmd =
+    let file =
+      Arg.(required & pos 0 (some file) None
+           & info [] ~docv:"CASE" ~doc:"a .case file to replay")
+    in
+    let run cm file domains =
+      match Lz_fuzz.Corpus.load_file file with
+      | None -> Format.printf "could not parse %s@." file; exit 2
+      | Some e ->
+          let env = Lz_fuzz.Oracle.create ~domains cm in
+          let r = Lz_fuzz.Campaign.repro ~env ~domains e.Lz_fuzz.Corpus.case in
+          Format.printf "case: %a@." Lz_fuzz.Fuzz_case.pp
+            e.Lz_fuzz.Corpus.case;
+          List.iter
+            (fun (run : Lz_fuzz.Oracle.run) ->
+              Format.printf "  %-8s %s (%d insns, %d cycles)@."
+                (Lz_fuzz.Oracle.engine_name run.Lz_fuzz.Oracle.engine)
+                run.Lz_fuzz.Oracle.outcome run.Lz_fuzz.Oracle.insns
+                run.Lz_fuzz.Oracle.cycles)
+            r.Lz_fuzz.Oracle.runs;
+          List.iter (Format.printf "  %s@.") r.Lz_fuzz.Oracle.keys;
+          (match r.Lz_fuzz.Oracle.divergence with
+          | Some d ->
+              Format.printf "DIVERGES: %a@." Lz_fuzz.Oracle.pp_divergence d;
+              exit 1
+          | None -> Format.printf "engines agree@.")
+    in
+    Cmd.v (Cmd.info "repro" ~doc:"replay one corpus case under the oracle")
+      Term.(const run $ platform $ file $ domains)
+  in
+  Cmd.group
+    (Cmd.info "fuzz"
+       ~doc:"differential fuzzing of the gate/sanitizer/trap surface")
+    [ run_cmd; corpus_cmd; repro_cmd ]
+
 let () =
   let info = Cmd.info "lzctl" ~doc:"LightZone reproduction driver" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ traps_cmd; switch_cmd; pentest_cmd; profile_cmd; trace_cmd ]))
+          [ traps_cmd; switch_cmd; pentest_cmd; profile_cmd; trace_cmd;
+            fuzz_cmd ]))

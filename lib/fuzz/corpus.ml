@@ -1,0 +1,80 @@
+(* On-disk corpus: one text file per coverage signature.
+
+   <dir>/<signature>.case holds the case fields plus the sorted
+   coverage keys that earned it a slot; <dir>/failures/ holds shrunk
+   divergent reproducers under the same format. Files are plain
+   line-oriented text so reproducers can be read, diffed and
+   committed as regression inputs. *)
+
+type entry = {
+  signature : string;
+  case : Fuzz_case.t;
+  keys : string list;
+}
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let path dir signature = Filename.concat dir (signature ^ ".case")
+
+(* One "key " line per coverage key — keys are free-form text (scrubbed
+   outcome strings include commas and parentheses), so no in-line
+   separator is safe. *)
+let entry_lines e =
+  Fuzz_case.to_lines e.case
+  @ List.map (Printf.sprintf "key %s") e.keys
+
+let save dir e =
+  ensure_dir dir;
+  let oc = open_out (path dir e.signature) in
+  List.iter (fun l -> output_string oc (l ^ "\n")) (entry_lines e);
+  close_out oc
+
+let save_failure dir ~index case ~detail =
+  let fdir = Filename.concat dir "failures" in
+  ensure_dir dir;
+  ensure_dir fdir;
+  let oc = open_out (Filename.concat fdir (Printf.sprintf "%04d.case" index)) in
+  List.iter (fun l -> output_string oc (l ^ "\n")) (Fuzz_case.to_lines case);
+  output_string oc ("divergence " ^ detail ^ "\n");
+  close_out oc
+
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let load_file file =
+  let lines = read_lines file in
+  match Fuzz_case.of_lines lines with
+  | None -> None
+  | Some case ->
+      let keys =
+        List.filter_map
+          (fun l ->
+            if String.length l > 4 && String.sub l 0 4 = "key " then
+              Some (String.sub l 4 (String.length l - 4))
+            else None)
+          lines
+      in
+      let signature =
+        Filename.remove_extension (Filename.basename file)
+      in
+      Some { signature; case; keys }
+
+let list dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+    |> List.sort compare
+    |> List.filter_map (fun f -> load_file (Filename.concat dir f))
+
+let all_keys entries =
+  List.sort_uniq compare (List.concat_map (fun e -> e.keys) entries)

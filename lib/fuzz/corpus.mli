@@ -1,0 +1,18 @@
+(** On-disk corpus: one line-oriented text file per coverage
+    signature ([<dir>/<signature>.case]), plus shrunk divergent
+    reproducers under [<dir>/failures/]. *)
+
+type entry = {
+  signature : string;
+  case : Fuzz_case.t;
+  keys : string list;  (** the coverage keys that earned the slot. *)
+}
+
+val save : string -> entry -> unit
+val save_failure : string -> index:int -> Fuzz_case.t -> detail:string -> unit
+val load_file : string -> entry option
+val list : string -> entry list
+(** Entries of a corpus directory, sorted by signature. *)
+
+val all_keys : entry list -> string list
+(** Distinct coverage keys across entries, sorted. *)

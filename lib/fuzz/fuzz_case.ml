@@ -1,0 +1,266 @@
+(* One fuzz case: a seed-pinned, self-contained adversarial scenario.
+
+   Cases are plain data — a scenario kind plus a payload of raw
+   instruction words and a few integer knobs — so they serialize to
+   the on-disk corpus, shrink structurally, and replay bit-identically
+   from a fixed seed. The payload generator aims squarely at the
+   Table 3 mask/value boundaries: it draws from a pool of canonical
+   sensitive encodings (every sanitizer rule has a representative) and
+   flips bits biased into the system-instruction field positions, so
+   most mutants land exactly one bit away from an accept/reject
+   edge. *)
+
+open Lz_arm
+
+type kind =
+  | Stream  (** raw adversarial words executed as zone code. *)
+  | Gate_stream  (** a legitimate gate switch, then raw words. *)
+  | Smc_block  (** hot loop folded into a superblock, SMC on the cold exit. *)
+  | Selfmod  (** W^X JIT: patch own code page, re-execute through resanitize. *)
+  | Pte_poke  (** write a stage-1-aliased last-level table page. *)
+  | Irq_storm  (** timer+SGI ticks landed across gate phase markers. *)
+  | Churn  (** lz_alloc / lz_map_gate_pgt / lz_free churn, then a switch. *)
+
+let all_kinds =
+  [| Stream; Gate_stream; Smc_block; Selfmod; Pte_poke; Irq_storm; Churn |]
+
+let kind_name = function
+  | Stream -> "stream"
+  | Gate_stream -> "gate-stream"
+  | Smc_block -> "smc-block"
+  | Selfmod -> "selfmod"
+  | Pte_poke -> "pte-poke"
+  | Irq_storm -> "irq-storm"
+  | Churn -> "churn"
+
+let kind_of_name s =
+  match s with
+  | "stream" -> Some Stream
+  | "gate-stream" -> Some Gate_stream
+  | "smc-block" -> Some Smc_block
+  | "selfmod" -> Some Selfmod
+  | "pte-poke" -> Some Pte_poke
+  | "irq-storm" -> Some Irq_storm
+  | "churn" -> Some Churn
+  | _ -> None
+
+type t = {
+  kind : kind;
+  words : int array;  (** payload instruction words (kind-dependent use). *)
+  gate : int;  (** gate / domain selector, in [0, domains). *)
+  param : int;  (** loop count / churn count / poke offset. *)
+  slice : int;  (** IRQ-storm tick period in cycles. *)
+  budget : int;  (** instruction budget per engine run. *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Boundary-word pool *)
+
+(* Assemble a system-space word from its Table 3 fields (base bits
+   31..22 = 0b1101010100). *)
+let sys_word ?(l = 0) ~op0 ~op1 ~crn ~crm ~op2 ?(rt = 0) () =
+  0xD5000000 lor (l lsl 21) lor (op0 lsl 19) lor (op1 lsl 16)
+  lor (crn lsl 12) lor (crm lsl 8) lor (op2 lsl 5) lor rt
+
+let e = Encoding.encode
+
+(* Canonical words sitting on (or one field-step away from) every
+   sanitizer rule: MSR-immediate PSTATE writes, cache/AT/TLBI SYS
+   ops, the CRn=4 NZCV/FPCR/FPSR row and its forbidden DAIF/SPSR/ELR
+   neighbours, TTBR0/TTBR1 accesses, the ERET family, unprivileged
+   loads/stores and their LDUR neighbours, and exception generation. *)
+let boundary_pool =
+  [|
+    (* MSR (immediate): PAN allowed; SPSel / DAIFSet / DAIFClr not. *)
+    sys_word ~op0:0 ~op1:0 ~crn:4 ~crm:1 ~op2:4 ~rt:31 ();
+    sys_word ~op0:0 ~op1:0 ~crn:4 ~crm:0 ~op2:5 ~rt:31 ();
+    sys_word ~op0:0 ~op1:3 ~crn:4 ~crm:6 ~op2:6 ~rt:31 ();
+    sys_word ~op0:0 ~op1:3 ~crn:4 ~crm:2 ~op2:7 ~rt:31 ();
+    (* op0=3, CRn=4 row: NZCV / FPCR / FPSR allowed, neighbours not. *)
+    sys_word ~op0:3 ~op1:3 ~crn:4 ~crm:2 ~op2:0 ();
+    sys_word ~l:1 ~op0:3 ~op1:3 ~crn:4 ~crm:2 ~op2:0 ();
+    sys_word ~op0:3 ~op1:3 ~crn:4 ~crm:2 ~op2:1 ();  (* DAIF *)
+    sys_word ~op0:3 ~op1:3 ~crn:4 ~crm:4 ~op2:0 ();  (* FPCR *)
+    sys_word ~op0:3 ~op1:3 ~crn:4 ~crm:4 ~op2:1 ();  (* FPSR *)
+    sys_word ~op0:3 ~op1:3 ~crn:4 ~crm:4 ~op2:2 ();  (* unallocated *)
+    sys_word ~op0:3 ~op1:0 ~crn:4 ~crm:0 ~op2:0 ();  (* SPSR_EL1 *)
+    sys_word ~op0:3 ~op1:0 ~crn:4 ~crm:0 ~op2:1 ();  (* ELR_EL1 *)
+    sys_word ~op0:3 ~op1:0 ~crn:4 ~crm:1 ~op2:0 ();  (* SP_EL0 *)
+    (* TTBR0 (gate-only in mode 1) and its TTBR1 / SCTLR neighbours. *)
+    sys_word ~op0:3 ~op1:0 ~crn:2 ~crm:0 ~op2:0 ();
+    sys_word ~l:1 ~op0:3 ~op1:0 ~crn:2 ~crm:0 ~op2:0 ();
+    sys_word ~op0:3 ~op1:0 ~crn:2 ~crm:0 ~op2:1 ();
+    sys_word ~op0:3 ~op1:0 ~crn:1 ~crm:0 ~op2:0 ();
+    (* SYS op0=1: cache/AT (CRn=7) forbidden, TLBI (CRn=8) passes. *)
+    sys_word ~op0:1 ~op1:0 ~crn:7 ~crm:5 ~op2:0 ~rt:31 ();  (* IC IALLU *)
+    sys_word ~op0:1 ~op1:3 ~crn:7 ~crm:14 ~op2:1 ();  (* DC CIVAC *)
+    sys_word ~op0:1 ~op1:0 ~crn:7 ~crm:8 ~op2:0 ();  (* AT S1E1R *)
+    sys_word ~op0:1 ~op1:0 ~crn:8 ~crm:7 ~op2:0 ~rt:31 ();  (* TLBI *)
+    (* EL0-accessible op1=3 targets (allowed). *)
+    sys_word ~l:1 ~op0:3 ~op1:3 ~crn:13 ~crm:0 ~op2:2 ();  (* TPIDR_EL0 *)
+    sys_word ~l:1 ~op0:3 ~op1:3 ~crn:14 ~crm:0 ~op2:2 ();  (* CNTVCT *)
+    (* The ERET family. *)
+    0xD69F03E0; 0xD69F0BFF; 0xD69F0FFF;
+    (* Unprivileged load/store and their plain LDUR/STUR neighbours
+       (bit 10 distinguishes them). *)
+    e (Insn.Ldtr (1, 0, 0));
+    e (Insn.Sttr (5, 0, 8));
+    e (Insn.Ldtrb (1, 0, 0));
+    e (Insn.Sttrb (5, 0, 0));
+    e (Insn.Ldtr (1, 0, 0)) lxor 0x400;  (* LDUR x1, [x0] *)
+    (* Exception generation / barriers. *)
+    e (Insn.Svc 0); e (Insn.Hvc 0); e (Insn.Hvc 3); e (Insn.Smc 0);
+    e (Insn.Brk 7); e Insn.Isb; e Insn.Dsb; e Insn.Wfi;
+  |]
+
+(* Benign glue the streams interleave so adversarial words execute in
+   varied dataflow/branch contexts (x0 = scratch data, x5/x6 = work
+   registers seeded by the oracle). *)
+let glue_pool =
+  [|
+    e Insn.Nop;
+    e (Insn.Movz (5, 7, 0));
+    e (Insn.Add (5, 5, Insn.Imm 1));
+    e (Insn.Sub (6, 5, Insn.Imm 2));
+    e (Insn.Subs (31, 5, Insn.Imm 3));
+    e (Insn.Eor_reg (6, 5, 6));
+    e (Insn.Ldr (7, 0, 0));
+    e (Insn.Str (5, 0, 8));
+    e (Insn.Ldrb (7, 0, 16));
+    e (Insn.Bcond (Insn.NE, 8));
+    e (Insn.Cbz (6, 8));
+  |]
+
+(* Flip up to [flips] bits, biased into the system-space field
+   positions (bits 5..21: op2/CRm/CRn/op1/op0/L) so mutants probe the
+   mask boundaries instead of wandering off into unrelated space. *)
+let mutate_word rng w =
+  let flips = Random.State.int rng 3 in
+  let w = ref w in
+  for _ = 1 to flips do
+    let bit =
+      if Random.State.int rng 4 > 0 then 5 + Random.State.int rng 17
+      else Random.State.int rng 32
+    in
+    w := !w lxor (1 lsl bit)
+  done;
+  !w land 0xFFFFFFFF
+
+let gen_word rng =
+  if Random.State.int rng 3 = 0 then
+    glue_pool.(Random.State.int rng (Array.length glue_pool))
+  else
+    mutate_word rng
+      boundary_pool.(Random.State.int rng (Array.length boundary_pool))
+
+let gen_words rng =
+  Array.init (1 + Random.State.int rng 11) (fun _ -> gen_word rng)
+
+let default_budget = 4_000
+
+(* Self-modifying cases can ping-pong the W^X break-before-make (each
+   round is two stage-2 faults plus a full page re-scan, three times
+   over under the oracle), so they get a tighter budget. *)
+let budget_for = function Selfmod -> 400 | _ -> default_budget
+
+let generate ~domains rng =
+  let kind = all_kinds.(Random.State.int rng (Array.length all_kinds)) in
+  {
+    kind;
+    words = gen_words rng;
+    gate = Random.State.int rng (max 1 domains);
+    param = 1 + Random.State.int rng 12;
+    slice = 32 + Random.State.int rng 480;
+    budget = budget_for kind;
+  }
+
+(* One structural mutation of an existing (corpus) case. *)
+let mutate ~domains rng c =
+  match Random.State.int rng 6 with
+  | 0 when Array.length c.words > 0 ->
+      let i = Random.State.int rng (Array.length c.words) in
+      let words = Array.copy c.words in
+      words.(i) <- mutate_word rng words.(i);
+      { c with words }
+  | 1 ->
+      let words = Array.append c.words [| gen_word rng |] in
+      { c with words }
+  | 2 when Array.length c.words > 1 ->
+      let i = Random.State.int rng (Array.length c.words) in
+      let words =
+        Array.of_list
+          (List.filteri (fun j _ -> j <> i) (Array.to_list c.words))
+      in
+      { c with words }
+  | 3 -> { c with gate = Random.State.int rng (max 1 domains) }
+  | 4 -> { c with param = 1 + Random.State.int rng 12 }
+  | 5 ->
+      let kind = all_kinds.(Random.State.int rng (Array.length all_kinds)) in
+      { c with kind; budget = budget_for kind }
+  | _ -> { c with slice = 32 + Random.State.int rng 480 }
+
+(* ------------------------------------------------------------------ *)
+(* Corpus serialization (one key/value pair per line) *)
+
+let to_lines c =
+  [
+    Printf.sprintf "kind %s" (kind_name c.kind);
+    Printf.sprintf "gate %d" c.gate;
+    Printf.sprintf "param %d" c.param;
+    Printf.sprintf "slice %d" c.slice;
+    Printf.sprintf "budget %d" c.budget;
+    Printf.sprintf "words %s"
+      (String.concat " "
+         (List.map (Printf.sprintf "%08x") (Array.to_list c.words)));
+  ]
+
+let of_lines lines =
+  let field name =
+    List.find_map
+      (fun l ->
+        let p = name ^ " " in
+        if String.length l > String.length p
+           && String.sub l 0 (String.length p) = p
+        then Some (String.sub l (String.length p)
+                     (String.length l - String.length p))
+        else if l = name then Some ""
+        else None)
+      lines
+  in
+  match field "kind" with
+  | None -> None
+  | Some k -> (
+      match kind_of_name k with
+      | None -> None
+      | Some kind ->
+          let int name def =
+            match field name with
+            | Some v -> ( try int_of_string (String.trim v) with _ -> def)
+            | None -> def
+          in
+          let words =
+            match field "words" with
+            | None | Some "" -> [||]
+            | Some ws ->
+                Array.of_list
+                  (List.filter_map
+                     (fun w ->
+                       if w = "" then None
+                       else int_of_string_opt ("0x" ^ w))
+                     (String.split_on_char ' ' ws))
+          in
+          Some
+            {
+              kind;
+              words;
+              gate = int "gate" 0;
+              param = int "param" 1;
+              slice = int "slice" 128;
+              budget = int "budget" default_budget;
+            })
+
+let pp ppf c =
+  Format.fprintf ppf "%s gate=%d param=%d slice=%d [%s]" (kind_name c.kind)
+    c.gate c.param c.slice
+    (String.concat " "
+       (List.map (Printf.sprintf "%08x") (Array.to_list c.words)))

@@ -1,0 +1,438 @@
+(* The three-way differential oracle.
+
+   Every case forks one warm 128-domain snapshot, applies its
+   scenario setup (program bytes, gate registrations, PTE aliases,
+   IRQ fabric), captures that as the per-case baseline, then runs the
+   identical machine three times — slow engine, per-instruction fast
+   engine, superblock engine — restoring the baseline in between.
+   The engines must be architecturally indistinguishable: same
+   outcome, same architectural digest, same cycle and instruction
+   counts, and a byte-identical traced event stream. Any difference
+   is a divergence — a real bug in one of the engines or in the
+   isolation machinery they drive.
+
+   Determinism: the campaign never reads the clock, the VMID
+   allocator is pinned (every fork re-enters under the same VMID, so
+   event streams carrying VMIDs compare equal across cases and runs),
+   and dropped fork views are reclaimed by rebuilding the warm image
+   every [recycle_every] cases (the CoW store has no per-view
+   disposal). *)
+
+module Sb = Lz_eval.Switch_bench
+module Snapshot = Lz_snap.Snapshot
+module Trace = Lz_trace.Trace
+module Span = Lz_trace.Span
+module Core = Lz_cpu.Core
+module Fastpath = Lz_cpu.Fastpath
+open Lz_arm
+open Lz_kernel
+open Lightzone
+
+(* Scenario VA layout, clear of the warm image's regions (code
+   0x400000, funcs 0x420000, array 0x500000, domains 0x600000+). *)
+let scratch_code_va = 0x700000
+let scratch_data_va = 0x720000
+let poke_va = 0x740000
+
+(* Mirrors Switch_bench's (private) domain-data base. *)
+let warm_domains_va = 0x600000
+
+(* Pinned VMID plan: the warm image enters under [vmid_base]; every
+   per-case fork re-enters under [vmid_base + 1]. (VMIDs double as
+   the VTTBR ASID field, so they must stay under Mmu.asid_mask.) *)
+let vmid_base = 0x3000
+
+(* Deliberately-broken cost knob for harness meta-tests: extra cycles
+   charged to the superblock engine's core before its run, keyed on
+   the case. Production value is [None] — any [Some] makes the oracle
+   diverge on purpose so shrinking can be tested end to end. *)
+let debug_cost_skew : (Fuzz_case.t -> int) option ref = ref None
+
+type engine = Slow | Per_insn | Blocks
+
+let engine_name = function
+  | Slow -> "slow"
+  | Per_insn -> "per-insn"
+  | Blocks -> "blocks"
+
+let engines = [ Slow; Per_insn; Blocks ]
+
+type env = {
+  cm : Lz_cpu.Cost_model.t;
+  domains : int;
+  slice_n : int;
+  recycle_every : int;
+  mutable z : Kmod.t;
+  mutable image : Snapshot.t;
+  mutable cases_since_build : int;
+}
+
+let build cm ~domains ~slice_n =
+  Api.next_vmid := vmid_base;
+  let r = Sb.prepare cm ~env:Sb.Host ~domains ~n:slice_n in
+  (r.Sb.t, Snapshot.capture r.Sb.t)
+
+let create ?(recycle_every = 400) ?slice_n ~domains cm =
+  let slice_n =
+    match slice_n with Some n -> n | None -> max 64 (2 * domains)
+  in
+  let z, image = build cm ~domains ~slice_n in
+  { cm; domains; slice_n; recycle_every; z; image; cases_since_build = 0 }
+
+let maybe_recycle env =
+  if env.cases_since_build >= env.recycle_every then begin
+    Snapshot.release env.z env.image;
+    let z, image = build env.cm ~domains:env.domains ~slice_n:env.slice_n in
+    env.z <- z;
+    env.image <- image;
+    env.cases_since_build <- 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scenario setup on a fresh fork *)
+
+let e = Encoding.encode
+
+let brk_exit = e (Insn.Brk 0)
+
+let site_words ~gate = List.map e (Gate.switch_site_code ~gate_id:gate)
+
+let install_words f ~va words =
+  let words = Array.of_list words in
+  let bytes = Bytes.create (4 * Array.length words) in
+  Array.iteri
+    (fun i w ->
+      Bytes.set_int32_le bytes (4 * i) (Int32.of_int (w land 0xFFFFFFFF)))
+    words;
+  Kernel.write_user f.Kmod.kernel f.Kmod.proc ~va bytes
+
+let seed_registers core =
+  Core.set_reg core 0 scratch_data_va;
+  Core.set_reg core 1 warm_domains_va;
+  Core.set_reg core 2 Gate.ttbrtab_base;
+  Core.set_reg core 3 Gate.gatetab_base;
+  Core.set_reg core 5 0x1111;
+  Core.set_reg core 6 3;
+  Core.set_reg core 7 0
+
+(* Per-kind setup: mutate the fork (register gates, build aliases,
+   attach the IRQ fabric), and return the program words plus an
+   optional per-engine-run reset for any host-side closure state the
+   scenario keeps (tick counters must restart identically for every
+   engine). *)
+let setup env f (c : Fuzz_case.t) =
+  let core = f.Kmod.core in
+  match c.kind with
+  | Fuzz_case.Stream -> (Array.to_list c.words @ [ brk_exit ], None)
+  | Fuzz_case.Gate_stream ->
+      let site = site_words ~gate:c.gate in
+      Kmod.register_gate_entry f ~gate:c.gate
+        ~entry:(scratch_code_va + (4 * List.length site));
+      (site @ Array.to_list c.words @ [ brk_exit ], None)
+  | Fuzz_case.Smc_block ->
+      (* A loop hot enough to fold its CBNZ into a superblock; the
+         final iteration leaves through the cold side exit straight
+         onto the SMC — the trap must land identically whether the
+         branch was folded, chained or interpreted. *)
+      let n = 1 + (c.param land 0xFF) in
+      ( List.map e
+          [
+            Insn.Movz (9, n, 0);
+            Insn.Sub (9, 9, Insn.Imm 1);
+            Insn.Add (5, 5, Insn.Imm 1);
+            Insn.Eor_reg (6, 5, 9);
+            Insn.Cbnz (9, -12);
+            Insn.Smc 0;
+            Insn.Brk 0;
+          ],
+        None )
+  | Fuzz_case.Selfmod ->
+      (* W^X JIT: store a payload word over the NOP at [patch_off] in
+         the page being executed (break-before-make flips the frame
+         writable), then fall through into it (the exec refault
+         rescans the page — the payload passes or the zone dies). *)
+      let payload =
+        if Array.length c.words > 0 then c.words.(0) land 0xFFFFFFFF
+        else e Insn.Nop
+      in
+      let patch_off = 4 * 6 in
+      ( List.map e (Gate.mov_addr 10 (scratch_code_va + patch_off))
+        @ List.map e
+            [
+              Insn.Movz (11, payload land 0xFFFF, 0);
+              Insn.Movk (11, (payload lsr 16) land 0xFFFF, 16);
+              Insn.Str32 (11, 10, 0);
+              Insn.Nop (* patch site *);
+              Insn.Brk 0;
+            ],
+        None )
+  | Fuzz_case.Pte_poke ->
+      (* Alias the last-level table page that translates one domain's
+         data page into pgt 0 as writable data, then store through the
+         alias: stage 1 allows the write, the read-only stage-2
+         mapping of table frames must catch it. *)
+      let pgt = 1 + (c.gate mod max 1 env.domains) in
+      let dva = warm_domains_va + ((pgt - 1) * 4096) in
+      let tbl = Hashtbl.find f.Kmod.pgts pgt in
+      Kmod.set_current_pgt f pgt;
+      if not (Lz_table.mapped tbl ~va:dva) then
+        Kmod.prefault f ~va:dva ~access:Lz_mem.Mmu.Read;
+      (match Lz_table.last_level_table_fake tbl ~va:dva with
+      | Some table_fake ->
+          let tbl0 = Hashtbl.find f.Kmod.pgts 0 in
+          Lz_table.map_page tbl0 ~va:poke_va ~fake_pa:table_fake
+            { Lz_mem.Pte.user = false; read_only = false; uxn = true;
+              pxn = true; ng = false }
+      | None -> failwith "pte-poke: leaf table walk failed on warm image");
+      Kmod.set_current_pgt f 0;
+      Core.set_reg core 4 poke_va;
+      ([ e (Insn.Str (5, 4, c.param * 8 land 0xFF8)); brk_exit ], None)
+  | Fuzz_case.Irq_storm ->
+      (* Timer ticks every [slice] cycles with an SGI burst every
+         third tick, across a run of gate switches: interrupts must
+         land at identical instruction boundaries in all engines,
+         including exactly on gate phase markers. *)
+      let iv = Core.attach_irq core in
+      Lz_irq.Irq.init iv;
+      Lz_irq.Gic.enable iv.Lz_irq.Irq.gic 1;
+      Lz_irq.Gic.set_priority iv.Lz_irq.Irq.gic 1 0x80;
+      let ticks = ref 0 in
+      f.Kmod.on_irq <-
+        Some
+          (fun core intid ->
+            if intid = Lz_irq.Gic.ppi_el1_timer then begin
+              incr ticks;
+              Lz_irq.Timer.program iv.Lz_irq.Irq.timer
+                ~now:core.Core.cycles ~slice:c.slice;
+              if !ticks mod 3 = 0 then
+                Lz_irq.Gic.set_pending iv.Lz_irq.Irq.gic 1
+            end);
+      Lz_irq.Timer.program iv.Lz_irq.Irq.timer ~now:core.Core.cycles
+        ~slice:c.slice;
+      let k = max 1 (min c.param (min env.domains 8)) in
+      let sites = ref [] in
+      for j = k - 1 downto 0 do
+        let gate = (c.gate + j) mod max 1 env.domains in
+        sites := site_words ~gate :: !sites
+      done;
+      List.iteri
+        (fun j site ->
+          let gate = (c.gate + j) mod max 1 env.domains in
+          Kmod.register_gate_entry f ~gate
+            ~entry:(scratch_code_va + (4 * List.length site * (j + 1))))
+        !sites;
+      ( List.concat !sites @ Array.to_list c.words @ [ brk_exit ],
+        Some (fun () -> ticks := 0) )
+  | Fuzz_case.Churn ->
+      (* Allocate page tables, attach them to high gates, free half —
+         then switch through a surviving original gate. The create /
+         destroy churn must leave the shadow registry and gate tables
+         in a state every engine agrees on. *)
+      let spare_gates = Gate.max_gates - env.domains in
+      let allocated =
+        List.init
+          (max 1 (min c.param 8))
+          (fun i ->
+            let id = Kmod.lz_alloc f in
+            if spare_gates > 0 then
+              Kmod.lz_map_gate_pgt f ~pgt:id
+                ~gate:(env.domains + ((c.gate + i) mod spare_gates));
+            id)
+      in
+      List.iteri (fun i id -> if i mod 2 = 0 then Kmod.lz_free f id) allocated;
+      let site = site_words ~gate:c.gate in
+      Kmod.register_gate_entry f ~gate:c.gate
+        ~entry:(scratch_code_va + (4 * List.length site));
+      (site @ Array.to_list c.words @ [ brk_exit ], None)
+
+(* ------------------------------------------------------------------ *)
+(* Running one engine *)
+
+(* Collapse hex literals so outcome/coverage keys are stable across
+   address-layout changes; raw strings still back the differential
+   comparison. *)
+let scrub s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let is_hex c =
+    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+  in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '0' && s.[!i + 1] = 'x' then begin
+      Buffer.add_string b "0xN";
+      i := !i + 2;
+      while !i < n && is_hex s.[!i] do incr i done
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let outcome_string = function
+  | Kmod.Exited code -> Printf.sprintf "exited:%d" code
+  | Kmod.Terminated why -> "terminated:" ^ why
+  | Kmod.Limit_reached -> "limit"
+
+type run = {
+  engine : engine;
+  outcome : string;
+  digest : string;
+  cycles : int;
+  insns : int;
+  ev_json : string list;  (** byte-compared across engines. *)
+  raw_events : Trace.event list;
+  span_rows : string list;
+  fp : Fastpath.stats;
+}
+
+let run_one f base tr0 reset (c : Fuzz_case.t) engine =
+  ignore (Snapshot.restore f base);
+  (match reset with Some r -> r () | None -> ());
+  let core = f.Kmod.core in
+  (match engine with
+  | Slow -> Core.set_fast core false
+  | Per_insn ->
+      Core.set_fast core true;
+      Core.set_blocks core false
+  | Blocks ->
+      Core.set_fast core true;
+      Core.set_blocks core true);
+  (match !debug_cost_skew with
+  | Some k when engine = Blocks -> Core.charge core (k c)
+  | _ -> ());
+  let tr = Trace.clone_config tr0 in
+  Kmod.set_tracer f (Some tr);
+  Fastpath.reset_stats core.Core.fp;
+  let start_cycles = core.Core.cycles in
+  let outcome = Kmod.run ~max_insns:c.budget f in
+  let raw_events = Trace.events tr in
+  let report =
+    Span.of_trace ~start_cycles
+      ~total_cycles:(core.Core.cycles - start_cycles) tr
+  in
+  {
+    engine;
+    outcome = outcome_string outcome;
+    digest = Sb.zone_digest f;
+    cycles = core.Core.cycles;
+    insns = core.Core.insns;
+    ev_json = List.map Trace.event_to_json raw_events;
+    raw_events;
+    span_rows = List.map (fun (r : Span.row) -> r.Span.name) report.Span.rows;
+    fp = Fastpath.stats core.Core.fp;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Differential comparison and coverage keys *)
+
+type divergence = { field : string; a : engine; b : engine; detail : string }
+
+let compare_runs (r1 : run) (r2 : run) =
+  let mk field detail = Some { field; a = r1.engine; b = r2.engine; detail } in
+  if r1.outcome <> r2.outcome then
+    mk "outcome" (Printf.sprintf "%s vs %s" r1.outcome r2.outcome)
+  else if r1.digest <> r2.digest then
+    mk "digest" (Printf.sprintf "%s vs %s" r1.digest r2.digest)
+  else if r1.insns <> r2.insns then
+    mk "insns" (Printf.sprintf "%d vs %d" r1.insns r2.insns)
+  else if r1.cycles <> r2.cycles then
+    mk "cycles" (Printf.sprintf "%d vs %d" r1.cycles r2.cycles)
+  else if r1.ev_json <> r2.ev_json then begin
+    let rec first i a b =
+      match (a, b) with
+      | [], [] -> Printf.sprintf "event streams differ (lengths equal?)"
+      | x :: _, [] | [], x :: _ ->
+          Printf.sprintf "event %d only on one side: %s" i x
+      | x :: xs, y :: ys ->
+          if x <> y then Printf.sprintf "event %d: %s vs %s" i x y
+          else first (i + 1) xs ys
+    in
+    mk "events" (first 0 r1.ev_json r2.ev_json)
+  end
+  else None
+
+let first_divergence runs =
+  match runs with
+  | base :: rest ->
+      List.fold_left
+        (fun acc r -> match acc with Some _ -> acc | None -> compare_runs base r)
+        None rest
+  | [] -> None
+
+let verdict_key = function
+  | Sanitizer.Allowed -> "san:allowed"
+  | Sanitizer.Gate_only -> "san:gate-only"
+  | Sanitizer.Forbidden _ -> "san:forbidden"
+
+let term_key w =
+  match Fastpath.ending_of (Encoding.decode w) with
+  | Fastpath.Straight -> "term:straight"
+  | Fastpath.Chain -> "term:chain"
+  | Fastpath.Cond _ -> "term:cond"
+  | Fastpath.Stop -> "term:stop"
+
+(* Coverage signature keys of one case, from the superblock run (the
+   richest path) plus the static classification of the payload. *)
+let keys_of (c : Fuzz_case.t) (b : run) =
+  let tbl = Hashtbl.create 64 in
+  let add k = Hashtbl.replace tbl k () in
+  add ("kind:" ^ Fuzz_case.kind_name c.kind);
+  add ("out:" ^ scrub b.outcome);
+  Array.iter
+    (fun w ->
+      add (verdict_key (Sanitizer.classify Sanitizer.Ttbr_mode w));
+      add (term_key w))
+    c.words;
+  List.iter
+    (fun (ev : Trace.event) ->
+      match ev.Trace.payload with
+      | Trace.Trap_enter { ec; _ } -> add ("trap:" ^ Span.ec_name ec)
+      | Trace.Sanitizer_scan { ok; _ } ->
+          add (if ok then "scan:ok" else "scan:fail")
+      | p -> add ("ev:" ^ Trace.payload_name p))
+    b.raw_events;
+  List.iter (fun name -> add ("span:" ^ name)) b.span_rows;
+  if b.fp.Fastpath.folds > 0 then add "blk:folds";
+  if b.fp.Fastpath.side_exits > 0 then add "blk:side-exits";
+  if b.fp.Fastpath.chain_follows > 0 then add "blk:chains";
+  if b.fp.Fastpath.retrains > 0 then add "blk:retrains";
+  List.sort_uniq compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let signature keys = Digest.to_hex (Digest.string (String.concat "\n" keys))
+
+type result = {
+  runs : run list;
+  divergence : divergence option;
+  keys : string list;  (** sorted, distinct coverage keys. *)
+}
+
+let run_case env (c : Fuzz_case.t) =
+  maybe_recycle env;
+  env.cases_since_build <- env.cases_since_build + 1;
+  Api.next_vmid := vmid_base + 1;
+  let f = Snapshot.fork env.z env.image in
+  let tr0 = Trace.create ~capacity:16384 () in
+  Kmod.set_tracer f (Some tr0);
+  ignore
+    (Kernel.map_anon f.Kmod.kernel f.Kmod.proc ~at:scratch_code_va
+       ~len:0x4000 Vma.rwx);
+  ignore
+    (Kernel.map_anon f.Kmod.kernel f.Kmod.proc ~at:scratch_data_va
+       ~len:0x4000 Vma.rw);
+  seed_registers f.Kmod.core;
+  let words, reset = setup env f c in
+  install_words f ~va:scratch_code_va words;
+  f.Kmod.core.Core.pc <- scratch_code_va;
+  let base = Snapshot.capture f in
+  let runs = List.map (run_one f base tr0 reset c) engines in
+  Snapshot.release f base;
+  let divergence = first_divergence runs in
+  let blocks_run = List.nth runs (List.length runs - 1) in
+  { runs; divergence; keys = keys_of c blocks_run }
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "%s: %s vs %s: %s" d.field (engine_name d.a)
+    (engine_name d.b) d.detail

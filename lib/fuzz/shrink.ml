@@ -1,0 +1,53 @@
+(* Shrinking divergent cases to minimal reproducers.
+
+   Greedy first-improvement over QCheck's shrinking iterators: each
+   step proposes candidates — payload word removal and per-word
+   integer shrinking via [QCheck.Shrink.list ~shrink:Shrink.int],
+   then the scalar knobs via [Shrink.int] — and takes the first one
+   that still diverges, repeating to a fixpoint. The candidate order
+   is fixed by QCheck's iterators and the predicate is the
+   deterministic oracle, so the same failing case always shrinks to
+   the same reproducer. *)
+
+exception Found of Fuzz_case.t
+
+let first_failing still_fails iter =
+  try
+    iter (fun c -> if still_fails c then raise (Found c));
+    None
+  with Found c -> Some c
+
+let candidates (c : Fuzz_case.t) =
+  let open QCheck in
+  let words =
+    Iter.map
+      (fun ws -> { c with Fuzz_case.words = Array.of_list ws })
+      (Shrink.list ~shrink:Shrink.int (Array.to_list c.Fuzz_case.words))
+  in
+  let param =
+    Iter.map
+      (fun p -> { c with Fuzz_case.param = max 1 p })
+      (Shrink.int c.Fuzz_case.param)
+  in
+  let gate =
+    Iter.map (fun g -> { c with Fuzz_case.gate = max 0 g })
+      (Shrink.int c.Fuzz_case.gate)
+  in
+  let slice =
+    Iter.map
+      (fun s -> { c with Fuzz_case.slice = max 16 s })
+      (Shrink.int c.Fuzz_case.slice)
+  in
+  Iter.append words (Iter.append param (Iter.append gate slice))
+
+let max_steps = 200
+
+let minimize ~still_fails c =
+  let rec fix c steps =
+    if steps = 0 then c
+    else
+      match first_failing still_fails (candidates c) with
+      | Some c' when c' <> c -> fix c' (steps - 1)
+      | _ -> c
+  in
+  fix c max_steps

@@ -857,7 +857,15 @@ let run ?(max_insns = 50_000_000) t =
         else begin
           let before = t.core.Core.insns in
           let stop = Core.run ~max_insns:!budget t.core in
-          budget := !budget - (t.core.Core.insns - before);
+          (* An interrupt storm can stop the core without retiring a
+             single instruction: a timer reprogrammed from its handler
+             with a slice shorter than the exception entry/return
+             cycle cost is already expired when the guest resumes, so
+             the next poll re-traps at the same pc forever. Charge
+             such zero-progress stops one budget unit so [max_insns]
+             still bounds the host loop. Identical across engines —
+             interrupt delivery points are architectural. *)
+          budget := !budget - max 1 (t.core.Core.insns - before);
           t.traps <- t.traps + 1;
           match stop with
           | Core.Limit -> Limit_reached

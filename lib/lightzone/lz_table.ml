@@ -71,6 +71,24 @@ let rec leaf_pte_addr t ~table_real ~level ~va =
       | None -> None
     else None
 
+(* Fake address of the level-3 table page whose entries translate
+   [va] — the page a PTE-poking attack would try to alias and write.
+   Table frames are stage-2-mapped read-only, so handing this address
+   to an adversarial scenario must still end in a stage-2 permission
+   fault. *)
+let rec last_level t ~table_real ~level ~va =
+  if level = 3 then Fake_phys.fake_of_real t.fake table_real
+  else
+    let pte = Phys.read64 t.phys (table_real + (8 * index ~level va)) in
+    if Pte.is_table ~level pte then
+      match Fake_phys.real_of_fake t.fake (Pte.out_addr pte) with
+      | Some real -> last_level t ~table_real:real ~level:(level + 1) ~va
+      | None -> None
+    else None
+
+let last_level_table_fake t ~va =
+  last_level t ~table_real:t.root_real ~level:0 ~va
+
 let unmap t ~va =
   match leaf_pte_addr t ~table_real:t.root_real ~level:0 ~va with
   | Some a -> Phys.write64 t.phys a 0

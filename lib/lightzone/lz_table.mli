@@ -31,6 +31,13 @@ val map_page :
     tables (each new table frame gets its own fake address and a
     read-only stage-2 mapping). *)
 
+val last_level_table_fake : t -> va:int -> int option
+(** Fake physical address of the level-3 table page whose entries
+    translate [va], or [None] if the walk to level 3 is incomplete.
+    Table frames are stage-2 read-only: aliasing this address into a
+    writable stage-1 mapping (the PTE-poking attack) must still fault
+    at stage 2. Used by the pentest and fuzzing scenarios. *)
+
 val unmap : t -> va:int -> unit
 val set_attrs : t -> va:int -> Lz_mem.Pte.s1_attrs -> bool
 val mapped : t -> va:int -> bool

@@ -4,7 +4,14 @@ type mode = Ttbr_mode | Pan_mode
 
 type verdict = Allowed | Gate_only | Forbidden of string
 
+(* ERET and its pointer-authenticated variants ERETAA/ERETAB — any of
+   them fabricates an exception return from attacker-chosen
+   ELR_EL1/SPSR_EL1, so the whole class is forbidden. *)
 let eret_word = 0xD69F03E0
+let eretaa_word = 0xD69F0BFF
+let eretab_word = 0xD69F0FFF
+
+let is_eret w = w = eret_word || w = eretaa_word || w = eretab_word
 
 (* Unprivileged load/store: size(2) 111 0 00 opc(2) 0 imm9 10 Rn Rt.
    Mask out size, opc, imm9, registers. *)
@@ -32,9 +39,14 @@ let classify_system mode w =
   | _ ->
       (* op0 = 3: MSR/MRS register forms. *)
       if crn = 4 then
-        (* Only NZCV / FPCR / FPSR (all op1=3, CRn=4, CRm=2 or 4). *)
-        if op1 = 3 && (crm = 2 || crm = 4) then Allowed
-        else Forbidden "access to SPSR/ELR/SP-class register (CRn=4)"
+        (* Only NZCV (op1=3, CRm=2, op2=0) and FPCR/FPSR (op1=3,
+           CRm=4, op2=0/1). The rest of the CRm=2/4 rows are PSTATE
+           accessors — DAIF (CRm=2, op2=1) would let a zone mask its
+           own preemption; DIT/SSBS/TCO and the unallocated slots are
+           rejected with the SPSR/ELR class rather than whitelisted. *)
+        if op1 = 3 && ((crm = 2 && op2 = 0) || (crm = 4 && op2 <= 1)) then
+          Allowed
+        else Forbidden "access to SPSR/ELR/SP/DAIF-class register (CRn=4)"
       else if op1 = 3 then Allowed (* EL0-accessible registers *)
       else if
         op0 = ttbr0_enc.Sysreg.op0 && op1 = ttbr0_enc.Sysreg.op1
@@ -48,7 +60,7 @@ let classify_system mode w =
 
 let classify mode w =
   let w = w land 0xFFFFFFFF in
-  if w = eret_word then Forbidden "ERET"
+  if is_eret w then Forbidden "ERET"
   else if is_unpriv_ls w then
     match mode with
     | Ttbr_mode -> Allowed

@@ -5,16 +5,18 @@
     the system-instruction space (bits 31..22 = 0b1101010100, op0 =
     bits 20..19, op1 = 18..16, CRn = 15..12, op2 = 7..5):
 
-    - [ERET] — forbidden in both modes (would fabricate an exception
-      return).
+    - [ERET] (and the pointer-authenticated [ERETAA]/[ERETAB]) —
+      forbidden in both modes (would fabricate an exception return).
     - Unprivileged load/stores ([LDTR*]/[STTR*]) — allowed under
       TTBR-based isolation (mode ①), forbidden under PAN-based
       isolation (mode ②) where they would bypass PAN.
     - MSR (immediate), op0=0b00 ∧ CRn=0b0100: only the PAN field
       (op1=0, op2=0b100) is allowed.
     - SYS, op0=0b01 ∧ CRn=7 (cache maintenance / AT) — forbidden.
-    - op0=0b11 ∧ CRn=4: only NZCV / FPCR / FPSR targets allowed
-      (SPSR_EL1, ELR_EL1, SP_EL0 are not).
+    - op0=0b11 ∧ CRn=4: only NZCV (op1=3, CRm=2, op2=0) and
+      FPCR/FPSR (op1=3, CRm=4, op2=0/1) — SPSR_EL1, ELR_EL1, SP_EL0
+      and the register-form PSTATE accessors (DAIF, DIT, SSBS, TCO)
+      are not.
     - op0=0b11 ∧ CRn≠4: op1=3 (EL0 registers) allowed; TTBR0_EL1 is
       allowed *only inside the call gate* in mode ① and forbidden in
       mode ②; every other target is forbidden.

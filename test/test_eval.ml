@@ -142,7 +142,7 @@ let test_pentest_all () =
   let rs = Lz_eval.Pentest.run_all ~domains:32 Lz_cpu.Cost_model.cortex_a55 in
   check_bool "all attacks handled as the paper claims" true
     (Lz_eval.Pentest.all_prevented rs);
-  Alcotest.(check int) "seven scenarios" 7 (List.length rs)
+  Alcotest.(check int) "eight scenarios" 8 (List.length rs)
 
 let () =
   Alcotest.run "lz_eval"

@@ -414,6 +414,111 @@ let test_signal_while_zone_open_preempted () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Gate-phase transparency: land an interrupt (the timer, plus an SGI
+   injected from its handler) exactly on each gate phase marker cycle
+   — entry, check, exit — and require the run to end architecturally
+   identical to the cooperative run, with the span report still
+   balanced and the interrupt attributed to its own trap row rather
+   than smeared into the gate phases. Found via the fuzzer's irq-storm
+   scenario; kept as a directed regression. *)
+let test_sgi_on_gate_phase_markers () =
+  let data_va = 0x600000 and stack_va = 0x7F0000000000 in
+  let build () =
+    Api.next_vmid := 0x2800;
+    let machine = Machine.create () in
+    let kernel = Kernel.create machine Kernel.Host_vhe in
+    let proc = Kernel.create_process kernel in
+    ignore
+      (Kernel.map_anon kernel proc ~at:(stack_va - 0x10000) ~len:0x10000
+         Vma.rw);
+    ignore (Kernel.map_anon kernel proc ~at:data_va ~len:0x1000 Vma.rw);
+    let t =
+      Api.lz_enter ~allow_scalable:true ~insn_san:1 ~entry:0x400000
+        ~sp:stack_va kernel proc
+    in
+    let p1 = Api.lz_alloc t in
+    Api.lz_map_gate_pgt t ~pgt:p1 ~gate:0;
+    Api.lz_prot t ~addr:data_va ~len:4096 ~pgt:p1
+      ~perm:(Perm.read lor Perm.write);
+    let tr = Lz_trace.Trace.create ~capacity:4096 () in
+    Api.set_tracer t (Some tr);
+    let b = Builder.create ~base:0x400000 in
+    Builder.switch_gate b ~gate:0;
+    Builder.mov_imm64 b 0 data_va;
+    Builder.emit b [ Insn.Movz (1, 0x77, 0); Insn.Str (1, 0, 0) ];
+    Builder.emit b [ Insn.Ldr (2, 0, 0); Insn.Brk 0 ];
+    Api.load_and_register t b ~va:0x400000;
+    (t, tr)
+  in
+  (* Cooperative pass: no interrupts; note each phase marker's cycle
+     stamp and the final architectural digest. *)
+  let t0, tr0 = build () in
+  (match Api.run t0 with
+  | Kmod.Exited 0 -> ()
+  | o -> Alcotest.failf "cooperative run: %a" Kmod.pp_outcome o);
+  let digest0 = Lz_eval.Switch_bench.zone_digest t0 in
+  (* The final BRK -> exit trap pair never ERETs back, so even the
+     cooperative run carries a constant unbalanced tail; interrupts
+     must not add to it. *)
+  let unbalanced0 =
+    (Lz_trace.Span.of_trace ~total_cycles:t0.Kmod.core.Core.cycles tr0)
+      .Lz_trace.Span.unbalanced
+  in
+  let stamps =
+    List.filter_map
+      (fun (e : Lz_trace.Trace.event) ->
+        match e.Lz_trace.Trace.payload with
+        | Lz_trace.Trace.Gate_entry _ | Lz_trace.Trace.Gate_check _
+        | Lz_trace.Trace.Gate_exit _ ->
+            Some e.Lz_trace.Trace.cycles
+        | _ -> None)
+      (Lz_trace.Trace.events tr0)
+  in
+  check_bool "saw all three gate phase markers" true
+    (List.length stamps >= 3);
+  List.iter
+    (fun stamp ->
+      let t, tr = build () in
+      let iv = Core.attach_irq t.Kmod.core in
+      Irq.init iv;
+      Gic.enable iv.Irq.gic 1;
+      Gic.set_priority iv.Irq.gic 1 0x80;
+      t.Kmod.on_irq <-
+        Some
+          (fun _ intid ->
+            (* One-shot: the default quiesce silences the expired
+               timer; ride an SGI in right behind it so a second
+               interrupt lands inside whatever the gate was doing. *)
+            if intid = Gic.ppi_el1_timer then Gic.set_pending iv.Irq.gic 1);
+      Timer.program iv.Irq.timer ~now:0 ~slice:stamp;
+      (match Api.run t with
+      | Kmod.Exited 0 -> ()
+      | o -> Alcotest.failf "interrupted at cycle %d: %a" stamp
+               Kmod.pp_outcome o);
+      check_bool
+        (Printf.sprintf "digest matches cooperative (stamp %d)" stamp)
+        true
+        (Lz_eval.Switch_bench.zone_digest t = digest0);
+      check_bool (Printf.sprintf "took the interrupt (stamp %d)" stamp) true
+        (t.Kmod.irq_traps > 0);
+      let report =
+        Lz_trace.Span.of_trace
+          ~total_cycles:t.Kmod.core.Core.cycles tr
+      in
+      check_int
+        (Printf.sprintf "irq adds no unbalanced spans (stamp %d)" stamp)
+        unbalanced0 report.Lz_trace.Span.unbalanced;
+      let row name =
+        List.exists
+          (fun (r : Lz_trace.Span.row) -> r.Lz_trace.Span.name = name)
+          report.Lz_trace.Span.rows
+      in
+      check_bool (Printf.sprintf "irq row attributed (stamp %d)" stamp) true
+        (row "irq.timer" || row "irq.sgi1");
+      check_bool (Printf.sprintf "gate rows survive (stamp %d)" stamp) true
+        (row "gate.switch" && row "gate.check"))
+    stamps
+
 let () =
   Alcotest.run "lz_irq"
     [ ( "gic",
@@ -436,4 +541,6 @@ let () =
       ( "transparency",
         [ q prop_preemption_transparent;
           Alcotest.test_case "signal while zone open (async)" `Quick
-            test_signal_while_zone_open_preempted ] ) ]
+            test_signal_while_zone_open_preempted;
+          Alcotest.test_case "sgi on gate phase markers" `Quick
+            test_sgi_on_gate_phase_markers ] ) ]

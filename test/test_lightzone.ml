@@ -127,6 +127,95 @@ let test_sanitizer_sys_ops () =
     && cls Sanitizer.Pan_mode Insn.Isb = Sanitizer.Allowed
     && cls Sanitizer.Pan_mode (Insn.Svc 0) = Sanitizer.Allowed)
 
+(* Table 3 boundary audit: canonical encodings sitting one field
+   value away from an accept/reject edge of the sanitizer, assembled
+   from raw (op0, op1, CRn, CRm, op2) fields so the test pins the
+   mask/value pairs themselves, not the [Insn] constructors. Found the
+   original CRn=4 off-by-one (DAIF/DIT/SSBS/TCO and the unallocated
+   CRm=2/4 slots classified Allowed) via the fuzz generator's
+   bit-flip mutator. *)
+let test_sanitizer_boundary () =
+  let w = Lz_fuzz.Fuzz_case.sys_word in
+  let rows =
+    [ (* CRn=4 accept islands and their immediate neighbours. *)
+      ("nzcv mrs", `Both, w ~l:1 ~op0:3 ~op1:3 ~crn:4 ~crm:2 ~op2:0 (), `A);
+      ("nzcv msr", `Both, w ~op0:3 ~op1:3 ~crn:4 ~crm:2 ~op2:0 (), `A);
+      ("daif (nzcv op2+1)", `Both, w ~op0:3 ~op1:3 ~crn:4 ~crm:2 ~op2:1 (), `F);
+      ("crm=2 op2=2 unalloc", `Both, w ~op0:3 ~op1:3 ~crn:4 ~crm:2 ~op2:2 (), `F);
+      ("dit", `Both, w ~op0:3 ~op1:3 ~crn:4 ~crm:2 ~op2:5 (), `F);
+      ("ssbs", `Both, w ~op0:3 ~op1:3 ~crn:4 ~crm:2 ~op2:6 (), `F);
+      ("tco", `Both, w ~op0:3 ~op1:3 ~crn:4 ~crm:2 ~op2:7 (), `F);
+      ("crm=3 unalloc", `Both, w ~op0:3 ~op1:3 ~crn:4 ~crm:3 ~op2:0 (), `F);
+      ("fpcr", `Both, w ~op0:3 ~op1:3 ~crn:4 ~crm:4 ~op2:0 (), `A);
+      ("fpsr", `Both, w ~l:1 ~op0:3 ~op1:3 ~crn:4 ~crm:4 ~op2:1 (), `A);
+      ("crm=4 op2=2 (fpsr op2+1)", `Both,
+       w ~op0:3 ~op1:3 ~crn:4 ~crm:4 ~op2:2 (), `F);
+      ("crm=5 (fpcr crm+1)", `Both, w ~op0:3 ~op1:3 ~crn:4 ~crm:5 ~op2:0 (), `F);
+      ("nzcv fields, op1=2", `Both, w ~op0:3 ~op1:2 ~crn:4 ~crm:2 ~op2:0 (), `F);
+      ("spsr_el1", `Both, w ~op0:3 ~op1:0 ~crn:4 ~crm:0 ~op2:0 (), `F);
+      ("elr_el1", `Both, w ~op0:3 ~op1:0 ~crn:4 ~crm:0 ~op2:1 (), `F);
+      ("sp_el0", `Both, w ~op0:3 ~op1:0 ~crn:4 ~crm:1 ~op2:0 (), `F);
+      (* TTBR0 is the gate's own instruction; its op2 neighbour is
+         TTBR1. *)
+      ("ttbr0 ttbr-mode", `Ttbr, w ~op0:3 ~op1:0 ~crn:2 ~crm:0 ~op2:0 (), `G);
+      ("ttbr0 pan-mode", `Pan, w ~op0:3 ~op1:0 ~crn:2 ~crm:0 ~op2:0 (), `F);
+      ("ttbr1 (op2+1)", `Both, w ~op0:3 ~op1:0 ~crn:2 ~crm:0 ~op2:1 (), `F);
+      ("sctlr", `Both, w ~op0:3 ~op1:0 ~crn:1 ~crm:0 ~op2:0 (), `F);
+      (* op1=3 EL0 space outside CRn=4 stays open. *)
+      ("tpidr_el0", `Both, w ~op0:3 ~op1:3 ~crn:13 ~crm:0 ~op2:2 (), `A);
+      ("cntvct_el0", `Both, w ~l:1 ~op0:3 ~op1:3 ~crn:14 ~crm:0 ~op2:2 (), `A);
+      (* SYS space: CRn=7 maintenance rejected, CRn=8 TLBI passes to
+         the HCR trap bits. *)
+      ("dc civac", `Both, w ~op0:1 ~op1:3 ~crn:7 ~crm:14 ~op2:1 (), `F);
+      ("ic iallu", `Both, w ~op0:1 ~op1:0 ~crn:7 ~crm:5 ~op2:0 (), `F);
+      ("at s1e1r", `Both, w ~op0:1 ~op1:0 ~crn:7 ~crm:8 ~op2:0 (), `F);
+      ("tlbi vmalle1 (crn 7+1)", `Both,
+       w ~op0:1 ~op1:0 ~crn:8 ~crm:7 ~op2:0 (), `A);
+      (* MSR (immediate): PAN's op2 island only. *)
+      ("msr pan imm", `Both, w ~op0:0 ~op1:0 ~crn:4 ~crm:1 ~op2:4 ~rt:31 (), `A);
+      ("msr uao imm (op2-1)", `Both,
+       w ~op0:0 ~op1:0 ~crn:4 ~crm:1 ~op2:3 ~rt:31 (), `F);
+      ("msr spsel imm", `Both, w ~op0:0 ~op1:0 ~crn:4 ~crm:1 ~op2:5 ~rt:31 (), `F);
+      ("msr daifset imm", `Both,
+       w ~op0:0 ~op1:3 ~crn:4 ~crm:0xF ~op2:6 ~rt:31 (), `F);
+      ("msr daifclr imm", `Both,
+       w ~op0:0 ~op1:3 ~crn:4 ~crm:0xF ~op2:7 ~rt:31 (), `F);
+      ("hint space (crn 4-2)", `Both,
+       w ~op0:0 ~op1:3 ~crn:2 ~crm:0 ~op2:0 ~rt:31 (), `A);
+      (* The exception-return class, including the pointer-signed
+         variants. *)
+      ("eret", `Both, 0xD69F03E0, `F);
+      ("eretaa", `Both, 0xD69F0BFF, `F);
+      ("eretab", `Both, 0xD69F0FFF, `F);
+      (* Unprivileged load/store flips verdict with the isolation
+         mode; dropping the unpriv bit (LDUR) is plain EL0 code. *)
+      ("ldtr", `Ttbr, 0xF8400820, `A);
+      ("ldtr", `Pan, 0xF8400820, `F);
+      ("ldur (ldtr - unpriv bit)", `Both, 0xF8400020, `A) ]
+  in
+  let verdict mode word =
+    match Sanitizer.classify mode word with
+    | Sanitizer.Allowed -> `A
+    | Sanitizer.Gate_only -> `G
+    | Sanitizer.Forbidden _ -> `F
+  in
+  let name v = match v with `A -> "allowed" | `G -> "gate-only" | `F -> "forbidden" in
+  List.iter
+    (fun (label, modes, word, expect) ->
+      let check mode mname =
+        let got = verdict mode word in
+        if got <> expect then
+          Alcotest.failf "%s (0x%08X, %s): expected %s, got %s" label word
+            mname (name expect) (name got)
+      in
+      (match modes with
+      | `Both ->
+          check Sanitizer.Ttbr_mode "ttbr";
+          check Sanitizer.Pan_mode "pan"
+      | `Ttbr -> check Sanitizer.Ttbr_mode "ttbr"
+      | `Pan -> check Sanitizer.Pan_mode "pan"))
+    rows
+
 let test_scan_page () =
   let phys = Lz_mem.Phys.create () in
   let pa = Lz_mem.Phys.alloc_frame phys in
@@ -480,6 +569,8 @@ let () =
           Alcotest.test_case "pan toggle" `Quick test_sanitizer_pan_toggle;
           Alcotest.test_case "sysregs" `Quick test_sanitizer_sysregs;
           Alcotest.test_case "sys ops" `Quick test_sanitizer_sys_ops;
+          Alcotest.test_case "table 3 boundary" `Quick
+            test_sanitizer_boundary;
           Alcotest.test_case "scan page" `Quick test_scan_page ] );
       ( "kernel-mode process",
         [ Alcotest.test_case "basic run" `Quick test_lz_basic_run;
