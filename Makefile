@@ -1,5 +1,5 @@
 .PHONY: all build test bench bench-smoke fleet fleet-smoke fuzz \
-	fuzz-smoke snap-demo trace-demo clean
+	fuzz-smoke smp smp-smoke snap-demo trace-demo clean
 
 all: build
 
@@ -44,6 +44,20 @@ fuzz: build
 # consecutive runs produce identical key sets and corpora.
 fuzz-smoke: build
 	dune exec bench/fuzz.exe -- --smoke --check BENCH_fuzz.json
+
+# Multi-core simulation benchmark: MIPS vs core count (1/2/4/8) on
+# one host domain per core, plus shootdown ack latency; writes
+# BENCH_smp.json in the repo root. With --check, enforces the gates:
+# 2-core sequential ≡ parallel digest, shootdown acks <= 2 barriers,
+# and (only on hosts with >= 4 cpus) 4-core aggregate MIPS >= 2x
+# 1-core.
+smp: build
+	dune exec bench/smp.exe -- --check
+
+# CI smoke: 2-core sequential ≡ parallel digest/trace identity and a
+# 100-shootdown latency check; does not rewrite BENCH_smp.json.
+smp-smoke: build
+	dune exec bench/smp.exe -- --smoke
 
 # Snapshot/fork/replay walkthrough (lz_snap demo).
 snap-demo: build

@@ -126,6 +126,9 @@ let encode = function
   | Wfi -> 0xD503207F
   | Tlbi_vmalle1 -> sys_word ~op1:0 ~crn:8 ~crm:7 ~op2:0 31
   | Tlbi_aside1 r -> check_reg r; sys_word ~op1:0 ~crn:8 ~crm:7 ~op2:2 r
+  | Tlbi_vmalle1is -> sys_word ~op1:0 ~crn:8 ~crm:3 ~op2:0 31
+  | Tlbi_vae1is r -> check_reg r; sys_word ~op1:0 ~crn:8 ~crm:3 ~op2:1 r
+  | Tlbi_aside1is r -> check_reg r; sys_word ~op1:0 ~crn:8 ~crm:3 ~op2:2 r
   | At_s1e1r r -> check_reg r; sys_word ~op1:0 ~crn:7 ~crm:8 ~op2:0 r
   | Dc_civac r -> check_reg r; sys_word ~op1:3 ~crn:7 ~crm:14 ~op2:1 r
   | Ic_iallu -> sys_word ~op1:0 ~crn:7 ~crm:5 ~op2:0 31
@@ -170,6 +173,9 @@ let decode_system w =
       match (op1, crn, crm, op2) with
       | 0, 8, 7, 0 -> Tlbi_vmalle1
       | 0, 8, 7, 2 -> Tlbi_aside1 rt
+      | 0, 8, 3, 0 -> Tlbi_vmalle1is
+      | 0, 8, 3, 1 -> Tlbi_vae1is rt
+      | 0, 8, 3, 2 -> Tlbi_aside1is rt
       | 0, 7, 8, 0 -> At_s1e1r rt
       | 3, 7, 14, 1 -> Dc_civac rt
       | 0, 7, 5, 0 when rt = 31 -> Ic_iallu

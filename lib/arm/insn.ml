@@ -53,6 +53,9 @@ type t =
   | Nop
   | Tlbi_vmalle1
   | Tlbi_aside1 of reg
+  | Tlbi_vmalle1is
+  | Tlbi_vae1is of reg
+  | Tlbi_aside1is of reg
   | At_s1e1r of reg
   | Dc_civac of reg
   | Ic_iallu
@@ -132,6 +135,9 @@ let pp ppf = function
   | Nop -> Format.pp_print_string ppf "nop"
   | Tlbi_vmalle1 -> Format.pp_print_string ppf "tlbi vmalle1"
   | Tlbi_aside1 r -> Format.fprintf ppf "tlbi aside1, x%d" r
+  | Tlbi_vmalle1is -> Format.pp_print_string ppf "tlbi vmalle1is"
+  | Tlbi_vae1is r -> Format.fprintf ppf "tlbi vae1is, x%d" r
+  | Tlbi_aside1is r -> Format.fprintf ppf "tlbi aside1is, x%d" r
   | At_s1e1r r -> Format.fprintf ppf "at s1e1r, x%d" r
   | Dc_civac r -> Format.fprintf ppf "dc civac, x%d" r
   | Ic_iallu -> Format.pp_print_string ppf "ic iallu"

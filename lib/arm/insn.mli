@@ -71,6 +71,11 @@ type t =
   | Nop
   | Tlbi_vmalle1
   | Tlbi_aside1 of reg
+  | Tlbi_vmalle1is
+      (** inner-shareable: local flush plus cross-core shootdown. *)
+  | Tlbi_vae1is of reg
+      (** VA in bits 43:0 (page number), ASID in 63:48. *)
+  | Tlbi_aside1is of reg
   | At_s1e1r of reg
   | Dc_civac of reg
   | Ic_iallu

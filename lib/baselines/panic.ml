@@ -80,6 +80,7 @@ let run ?(max_insns = 10_000_000) t =
       | None -> (
           match stop with
           | Core.Limit -> Faulted "instruction limit"
+          | Core.Stall -> assert false (* no shootdown hook here *)
           | Core.Trap_el1 (Core.Ec_brk code) -> Exited code
           | Core.Trap_el1 cls -> (
               match

@@ -18,6 +18,15 @@ type stop =
   | Trap_el2 of exception_class
   | Trap_el1 of exception_class
   | Limit
+  | Stall
+
+(* Cross-core TLB maintenance broadcast (inner-shareable TLBI). The
+   payload carries everything a remote core needs to repeat the flush
+   against its own TLB. *)
+type shootdown =
+  | Sd_vmalle1 of int (* vmid *)
+  | Sd_vae1 of { vmid : int; va : int }
+  | Sd_aside1 of { vmid : int; asid : int }
 
 type t = {
   regs : int array;
@@ -45,6 +54,15 @@ type t = {
      per-boundary overhead is one null check and delivery never
      happens, so existing workloads are untouched. *)
   mutable irqc : Lz_irq.Irq.t option;
+  (* SMP plumbing. [on_shootdown] is invoked by the inner-shareable
+     TLBI executors after the local flush; the SMP driver's hook
+     stages the remote requests and sets [stall], which the boundary
+     poll reports as a [Stall] stop — DVM-style completion wait. With
+     no hook installed (every single-core machine) IS TLBI degrades
+     to the local flush, which is architecturally exact on a
+     uniprocessor. *)
+  mutable on_shootdown : (shootdown -> unit) option;
+  mutable stall : bool;
 }
 
 (* LZ_SLOW_PATH=1 forces the original un-cached path everywhere, for
@@ -72,7 +90,9 @@ let create ?(route_el1_to_harness = true) ?fast ?blocks phys tlb cost el =
     fp;
     tracer = None;
     pmu = None;
-    irqc = None }
+    irqc = None;
+    on_shootdown = None;
+    stall = false }
 
 let set_tracer t tr =
   t.tracer <- tr;
@@ -487,8 +507,13 @@ let poll_irq t iv =
     | None -> None
     | Some intid -> take_irq t intid
 
+(* The stall check precedes IRQ delivery and ignores DAIF: a core
+   waiting on DVM completion is paused by the fabric, not by an
+   architectural mask. The flag is cleared by the SMP driver when the
+   last remote acknowledge arrives. *)
 let maybe_irq t =
-  match t.irqc with None -> None | Some iv -> poll_irq t iv
+  if t.stall then Some Stall
+  else match t.irqc with None -> None | Some iv -> poll_irq t iv
 
 (* Default end-of-interrupt quiescing for OCaml-modelled handlers: if
    the acked source's level line is still asserted after the handler
@@ -797,6 +822,9 @@ let current_vmid t =
   if stage2_active t then Mmu.ttbr_asid (Sysreg.read t.sys Sysreg.VTTBR_EL2)
   else 0
 
+let broadcast_shootdown t sd =
+  match t.on_shootdown with Some f -> f sd | None -> ()
+
 let exec_tlbi t insn ~ret =
   if t.pstate.el = Pstate.EL0 then
     raise (Exc (Ec_undef (Encoding.encode insn), ret));
@@ -808,6 +836,21 @@ let exec_tlbi t insn ~ret =
   | Insn.Tlbi_aside1 r ->
       let asid = (reg t r lsr 48) land 0x3FFF in
       Tlb.flush_asid t.tlb ~vmid:(current_vmid t) ~asid
+  | Insn.Tlbi_vmalle1is ->
+      let vmid = current_vmid t in
+      Tlb.flush_vmid t.tlb vmid;
+      broadcast_shootdown t (Sd_vmalle1 vmid)
+  | Insn.Tlbi_vae1is r ->
+      (* VA[55:12] in operand bits 43:0 (the page number). *)
+      let va = (reg t r land 0xFFF_FFFF_FFFF) * 4096 in
+      let vmid = current_vmid t in
+      Tlb.flush_va t.tlb ~vmid ~va;
+      broadcast_shootdown t (Sd_vae1 { vmid; va })
+  | Insn.Tlbi_aside1is r ->
+      let asid = (reg t r lsr 48) land 0x3FFF in
+      let vmid = current_vmid t in
+      Tlb.flush_asid t.tlb ~vmid ~asid;
+      broadcast_shootdown t (Sd_aside1 { vmid; asid })
   | _ -> assert false
 
 let check_watchpoints t ~va ~ret =
@@ -925,7 +968,8 @@ let exec t insn ~pc_cur ~next =
   | Insn.Nop ->
       charge t t.cost.insn_base;
       t.pc <- next
-  | Insn.Tlbi_vmalle1 | Insn.Tlbi_aside1 _ ->
+  | Insn.Tlbi_vmalle1 | Insn.Tlbi_aside1 _ | Insn.Tlbi_vmalle1is
+  | Insn.Tlbi_vae1is _ | Insn.Tlbi_aside1is _ ->
       exec_tlbi t insn ~ret:ret_here;
       t.pc <- next
   | Insn.At_s1e1r _ | Insn.Dc_civac _ ->
@@ -1368,3 +1412,39 @@ let pp_stop ppf = function
   | Trap_el2 c -> Format.fprintf ppf "trap->EL2 (%a)" pp_class c
   | Trap_el1 c -> Format.fprintf ppf "trap->EL1 (%a)" pp_class c
   | Limit -> Format.pp_print_string ppf "instruction limit"
+  | Stall -> Format.pp_print_string ppf "DVM completion stall"
+
+(* ------------------------------------------------------------------ *)
+(* Task context save/restore — what the multi-core scheduler migrates
+   when a task moves between cores. Only per-task architectural state
+   travels: registers, PC, stack pointers, PSTATE (as an SPSR word)
+   and the system-register file. The TLB, PMU, fast-path caches and
+   interrupt fabric stay with the core, exactly as on hardware. *)
+
+type context = {
+  c_regs : int array;
+  c_pc : int;
+  c_sp_el0 : int;
+  c_sp_el1 : int;
+  c_spsr : int;
+  c_sys : Sysreg.file;
+}
+
+let save_context t =
+  { c_regs = Array.copy t.regs;
+    c_pc = t.pc;
+    c_sp_el0 = t.sp_el0;
+    c_sp_el1 = t.sp_el1;
+    c_spsr = Pstate.to_spsr t.pstate;
+    c_sys = Sysreg.copy_file t.sys }
+
+let load_context t c =
+  Array.blit c.c_regs 0 t.regs 0 31;
+  t.pc <- c.c_pc;
+  t.sp_el0 <- c.c_sp_el0;
+  t.sp_el1 <- c.c_sp_el1;
+  Pstate.of_spsr t.pstate c.c_spsr;
+  (* restore_file bumps the MMU/debug generations forward, so the
+     memoized translation context and watchpoint-armed flag
+     revalidate against the incoming task's registers. *)
+  Sysreg.restore_file ~src:c.c_sys ~dst:t.sys

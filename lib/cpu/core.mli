@@ -34,6 +34,18 @@ type stop =
   | Trap_el1 of exception_class
       (** only when [route_el1_to_harness] is true. *)
   | Limit  (** instruction budget exhausted. *)
+  | Stall
+      (** the core is paused waiting for DVM completion of an
+          inner-shareable TLBI broadcast ({!t.stall}); only the SMP
+          machine driver resumes it. Never reported with no
+          {!t.on_shootdown} hook installed. *)
+
+type shootdown =
+  | Sd_vmalle1 of int  (** flush a whole VMID. *)
+  | Sd_vae1 of { vmid : int; va : int }
+  | Sd_aside1 of { vmid : int; asid : int }
+      (** cross-core TLB-maintenance payloads of the [*IS] TLBI
+          encodings, as handed to {!t.on_shootdown}. *)
 
 type t = {
   regs : int array;  (** x0..x30. *)
@@ -52,7 +64,22 @@ type t = {
   mutable tracer : Lz_trace.Trace.t option;  (** see {!set_tracer}. *)
   mutable pmu : Lz_arm.Pmu.t option;  (** see {!attach_pmu}. *)
   mutable irqc : Lz_irq.Irq.t option;  (** see {!attach_irq}. *)
+  mutable on_shootdown : (shootdown -> unit) option;
+      (** invoked by IS-TLBI executors after the local flush; the SMP
+          driver stages remote flush requests here. [None] (the
+          default) makes IS TLBI purely local — exact uniprocessor
+          semantics. *)
+  mutable stall : bool;
+      (** DVM completion wait: while set, every boundary poll reports
+          {!Stall} instead of running. Set by the SMP driver's
+          [on_shootdown] hook, cleared when all remote acks are in. *)
 }
+
+val broadcast_shootdown : t -> shootdown -> unit
+(** Hand a TLB-maintenance broadcast to the core's {!t.on_shootdown}
+    hook, if any. Used by the IS-TLBI executors and by OCaml-modelled
+    kernel paths (munmap/mprotect) that stand in for a core executing
+    the instruction. *)
 
 val create :
   ?route_el1_to_harness:bool ->
@@ -194,3 +221,20 @@ val inject_irq_to_el1 : t -> intid:int -> unit
     handler exactly as a hardware-injected IRQ would. *)
 
 val pp_stop : Format.formatter -> stop -> unit
+
+(** {1 Task context}
+
+    What a multi-core scheduler saves and restores when migrating a
+    task between cores: registers, PC, stack pointers, PSTATE and the
+    system-register file. Per-core structures (TLB, PMU, fast-path
+    caches, interrupt fabric) stay with the core, as on hardware. *)
+
+type context
+
+val save_context : t -> context
+
+val load_context : t -> context -> unit
+(** Install a saved context on (any) core. The sysreg restore bumps
+    the MMU/debug generations forward so memoized translation state
+    revalidates; TLB entries tagged with other ASIDs are untouched
+    (ASID-tagged TLBs need no flush on context switch). *)

@@ -20,9 +20,15 @@ type kind =
   | Pte_poke  (** write a stage-1-aliased last-level table page. *)
   | Irq_storm  (** timer+SGI ticks landed across gate phase markers. *)
   | Churn  (** lz_alloc / lz_map_gate_pgt / lz_free churn, then a switch. *)
+  | Smp_race
+      (** multi-CPU scheduler race: concurrent context switches plus an
+          mprotect-driven TLB shootdown storm, sequential mode. *)
 
 let all_kinds =
-  [| Stream; Gate_stream; Smc_block; Selfmod; Pte_poke; Irq_storm; Churn |]
+  [|
+    Stream; Gate_stream; Smc_block; Selfmod; Pte_poke; Irq_storm; Churn;
+    Smp_race;
+  |]
 
 let kind_name = function
   | Stream -> "stream"
@@ -32,6 +38,7 @@ let kind_name = function
   | Pte_poke -> "pte-poke"
   | Irq_storm -> "irq-storm"
   | Churn -> "churn"
+  | Smp_race -> "smp-race"
 
 let kind_of_name s =
   match s with
@@ -42,6 +49,7 @@ let kind_of_name s =
   | "pte-poke" -> Some Pte_poke
   | "irq-storm" -> Some Irq_storm
   | "churn" -> Some Churn
+  | "smp-race" -> Some Smp_race
   | _ -> None
 
 type t = {
@@ -161,7 +169,12 @@ let default_budget = 4_000
 (* Self-modifying cases can ping-pong the W^X break-before-make (each
    round is two stage-2 faults plus a full page re-scan, three times
    over under the oracle), so they get a tighter budget. *)
-let budget_for = function Selfmod -> 400 | _ -> default_budget
+(* Multi-CPU races need room for the storm task plus two workers to
+   cross several timeslices, so they run longer. *)
+let budget_for = function
+  | Selfmod -> 400
+  | Smp_race -> 12_000
+  | _ -> default_budget
 
 let generate ~domains rng =
   let kind = all_kinds.(Random.State.int rng (Array.length all_kinds)) in

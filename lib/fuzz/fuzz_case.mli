@@ -21,6 +21,11 @@ type kind =
   | Pte_poke  (** write a stage-1-aliased last-level table page. *)
   | Irq_storm  (** timer + SGI ticks landed across gate phase markers. *)
   | Churn  (** lz_alloc / lz_map_gate_pgt / lz_free churn, then a switch. *)
+  | Smp_race
+      (** multi-CPU scheduler race: tasks context-switching and
+          migrating across 2–3 CPUs while one task drives an
+          mprotect-driven TLB shootdown storm; run under the
+          sequential deterministic scheduler loop. *)
 
 val all_kinds : kind array
 val kind_name : kind -> string

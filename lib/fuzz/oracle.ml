@@ -223,6 +223,10 @@ let setup env f (c : Fuzz_case.t) =
         !sites;
       ( List.concat !sites @ Array.to_list c.words @ [ brk_exit ],
         Some (fun () -> ticks := 0) )
+  | Fuzz_case.Smp_race ->
+      (* Dispatched to the dedicated multi-CPU driver by [run_case];
+         never reaches the warm-image path. *)
+      assert false
   | Fuzz_case.Churn ->
       (* Allocate page tables, attach them to high gates, free half —
          then switch through a surviving original gate. The create /
@@ -409,7 +413,241 @@ type result = {
   keys : string list;  (** sorted, distinct coverage keys. *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* smp-race: multi-CPU scheduler races under the sequential
+   deterministic loop.
+
+   A fresh 2–3 CPU machine per engine run (per-CPU TLBs and tracers),
+   three tasks of one shared process round-robining across the CPUs:
+   task 0 drives an mprotect ro/rw storm over four churn pages — every
+   flip is a cross-CPU TLB shootdown — while two workers read (and,
+   payload-permitting, write) the churned pages, hammer a private page
+   and optionally issue syscalls. Context switches, migrations,
+   resched IPIs, timer preemptions and shootdowns must all land at
+   identical instruction boundaries in all three engines. *)
+
+let race_churn_va = 0x600000
+let race_spare_va = 0x604000
+let race_priv_va = 0x610000
+let race_code_va = 0x400000
+
+let storm_program ~gate ~pairs ~munmap_spare =
+  let open Insn in
+  [ Movz (12, pairs, 0);
+    (* loop: churn page k = (x12 + gate) & 3, flip it ro then rw. *)
+    Movz (13, gate land 0xFF, 0);
+    Add (13, 13, Reg 12);
+    Movz (14, 3, 0);
+    And_reg (13, 13, 14);
+    Lsl_imm (13, 13, 12);
+    Movz (15, race_churn_va lsr 16, 16);
+    Add (15, 15, Reg 13);
+    Add (0, 15, Imm 0);
+    Movz (1, 0x1000, 0);
+    Movz (2, 1, 0);
+    Movz (8, Kernel.Nr.mprotect, 0);
+    Svc 0;
+    Add (0, 15, Imm 0);
+    Movz (1, 0x1000, 0);
+    Movz (2, 3, 0);
+    Movz (8, Kernel.Nr.mprotect, 0);
+    Svc 0;
+    Subs (12, 12, Imm 1);
+    Bcond (NE, -4 * 18) ]
+  @ (if munmap_spare then
+       [ Movz (0, race_spare_va lsr 16, 16);
+         Movz (13, race_spare_va land 0xFFFF, 0);
+         Add (0, 0, Reg 13);
+         Movz (1, 0x1000, 0);
+         Movz (8, Kernel.Nr.munmap, 0);
+         Svc 0 ]
+     else [])
+  @ [ Movz (8, Kernel.Nr.exit, 0); Movz (0, 7, 0); Svc 0 ]
+
+let worker_program ~j ~iters ~stores ~syscalls =
+  let open Insn in
+  let body_len = 9 + (if syscalls then 3 else 0) in
+  [ Movz (1, iters, 0);
+    Movz (0, race_churn_va lsr 16, 16);
+    Movz (10, race_priv_va lsr 16, 16);
+    Movz (11, j * 0x1000, 0);
+    Add (10, 10, Reg 11);
+    Movz (9, 0, 0) ]
+  (* loop: read churn page (x9 & 3), write the private page. *)
+  @ [ Movz (13, 3, 0);
+      And_reg (11, 9, 13);
+      Lsl_imm (11, 11, 12);
+      Add (12, 0, Reg 11);
+      Ldr (5, 12, 0) ]
+  @ (if stores then [ Str (9, 12, 0) ] else [ Eor_reg (6, 6, 5) ])
+  @ [ Str (9, 10, 0) ]
+  @ (if syscalls then
+       [ Movz (8, Kernel.Nr.getpid, 0);
+         Svc 0;
+         Movz (0, race_churn_va lsr 16, 16) ]
+     else [])
+  @ [ Add (9, 9, Imm 1);
+      Subs (1, 1, Imm 1);
+      Bcond (NE, -4 * body_len);
+      Movz (8, Kernel.Nr.exit, 0);
+      Movz (0, 50 + j, 0);
+      Svc 0 ]
+
+let kernel_outcome_string = function
+  | Kernel.Exited code -> Printf.sprintf "exited:%d" code
+  | Kernel.Segv why -> "segv:" ^ why
+  | Kernel.Limit_reached -> "limit"
+
+let run_smp_engine cm (c : Fuzz_case.t) engine =
+  let fast, blocks =
+    match engine with
+    | Slow -> (false, false)
+    | Per_insn -> (true, false)
+    | Blocks -> (true, true)
+  in
+  let machine = Machine.create ~cost:cm () in
+  let kernel = Kernel.create machine Kernel.Host_vhe in
+  let proc = Kernel.create_process kernel in
+  for k = 0 to 3 do
+    ignore
+      (Kernel.map_anon kernel proc ~at:(race_churn_va + (k * 0x1000))
+         ~len:0x1000 Vma.rw)
+  done;
+  ignore (Kernel.map_anon kernel proc ~at:race_spare_va ~len:0x1000 Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:race_priv_va ~len:0x2000 Vma.rw);
+  Kernel.populate kernel proc ~start:race_churn_va ~len:0x5000;
+  Kernel.populate kernel proc ~start:race_priv_va ~len:0x2000;
+  let w0 = if Array.length c.words > 0 then c.words.(0) else 0 in
+  let wj j =
+    if Array.length c.words = 0 then 0
+    else c.words.(j mod Array.length c.words)
+  in
+  Kernel.load_program kernel proc ~va:race_code_va
+    (storm_program ~gate:c.gate
+       ~pairs:(1 + (c.param land 7))
+       ~munmap_spare:(w0 land 4 <> 0));
+  let worker_entry j = race_code_va + ((j + 1) * 0x4000) in
+  for j = 0 to 1 do
+    Kernel.load_program kernel proc ~va:(worker_entry j)
+      (worker_program ~j
+         ~iters:(150 + (13 * c.param) + (37 * j))
+         ~stores:(wj j land 1 <> 0)
+         ~syscalls:(wj j land 2 <> 0))
+  done;
+  let ncpus = 2 + (c.gate land 1) in
+  let cores =
+    Array.init ncpus (fun _ ->
+        let tlb = Lz_mem.Tlb.create ~capacity:120 () in
+        Core.create ~route_el1_to_harness:true ~fast ~blocks
+          machine.Machine.phys tlb machine.Machine.cost Pstate.EL0)
+  in
+  let tracers =
+    Array.map
+      (fun core ->
+        let tr = Trace.create ~capacity:16384 () in
+        Core.set_tracer core (Some tr);
+        tr)
+      cores
+  in
+  let sched = Sched.create ~slice:(96 + (2 * c.slice)) kernel in
+  let entries = [| race_code_va; worker_entry 0; worker_entry 1 |] in
+  Array.iteri
+    (fun i entry ->
+      let core = cores.(i mod ncpus) in
+      Sysreg.write core.Core.sys Sysreg.TTBR0_EL1
+        (Lz_mem.Mmu.ttbr_value ~root:proc.Proc.root ~asid:proc.Proc.asid);
+      Sysreg.write core.Core.sys Sysreg.HCR_EL2
+        (Sysreg.Hcr.tge lor Sysreg.Hcr.e2h);
+      core.Core.pc <- entry;
+      core.Core.sp_el0 <- 0x7F0000010000;
+      ignore (Sched.add sched proc core))
+    entries;
+  let outs = Sched.run ~max_insns:c.budget sched in
+  let digest =
+    let b = Buffer.create 1024 in
+    List.iter
+      (fun (tid, o) ->
+        Buffer.add_string b
+          (Printf.sprintf "t%d=%s;" tid (kernel_outcome_string o)))
+      outs;
+    Array.iteri
+      (fun i core ->
+        Buffer.add_string b
+          (Printf.sprintf "c%d:pc=%x,cyc=%d,ins=%d;" i core.Core.pc
+             core.Core.cycles core.Core.insns);
+        for r = 0 to 30 do
+          Buffer.add_string b (Printf.sprintf "%x," (Core.reg core r))
+        done)
+      cores;
+    Buffer.add_string b
+      (Printf.sprintf "sched:p=%d,t=%d,ipi=%d,sd=%d,mig=%d;"
+         sched.Sched.preemptions sched.Sched.ticks sched.Sched.resched_ipis
+         sched.Sched.shootdowns sched.Sched.migrations);
+    List.iter
+      (fun (v : Vma.t) ->
+        let pages = (Vma.end_ v - v.Vma.start) / 4096 in
+        for p = 0 to pages - 1 do
+          let va = v.Vma.start + (p * 4096) in
+          match Proc.mapped_pa proc ~va with
+          | Some pa ->
+              Buffer.add_string b
+                (Printf.sprintf "%x:%s," va
+                   (Digest.to_hex
+                      (Digest.bytes
+                         (Lz_mem.Phys.read_bytes machine.Machine.phys pa
+                            4096))))
+          | None -> Buffer.add_string b (Printf.sprintf "%x:-," va)
+        done)
+      (List.sort
+         (fun (a : Vma.t) b -> compare a.Vma.start b.Vma.start)
+         proc.Proc.vmas);
+    Digest.to_hex (Digest.string (Buffer.contents b))
+  in
+  let outcome =
+    String.concat " "
+      (List.map
+         (fun (tid, o) ->
+           Printf.sprintf "t%d=%s" tid (kernel_outcome_string o))
+         outs)
+  in
+  let ev_json = ref [] and raw_events = ref [] and span_rows = ref [] in
+  Array.iteri
+    (fun i tr ->
+      let evs = Trace.events tr in
+      ev_json :=
+        !ev_json
+        @ List.map
+            (fun e -> Printf.sprintf "%d:%s" i (Trace.event_to_json e))
+            evs;
+      raw_events := !raw_events @ evs;
+      let report =
+        Span.of_trace ~total_cycles:cores.(i).Core.cycles tr
+      in
+      span_rows :=
+        !span_rows
+        @ List.map (fun (r : Span.row) -> r.Span.name) report.Span.rows)
+    tracers;
+  {
+    engine;
+    outcome;
+    digest;
+    cycles = Array.fold_left (fun a core -> a + core.Core.cycles) 0 cores;
+    insns = Array.fold_left (fun a core -> a + core.Core.insns) 0 cores;
+    ev_json = !ev_json;
+    raw_events = !raw_events;
+    span_rows = List.sort_uniq compare !span_rows;
+    fp = Fastpath.stats cores.(0).Core.fp;
+  }
+
+let run_smp_race_case env (c : Fuzz_case.t) =
+  let runs = List.map (run_smp_engine env.cm c) engines in
+  let divergence = first_divergence runs in
+  let blocks_run = List.nth runs (List.length runs - 1) in
+  { runs; divergence; keys = keys_of c blocks_run }
+
 let run_case env (c : Fuzz_case.t) =
+  if c.kind = Fuzz_case.Smp_race then run_smp_race_case env c
+  else begin
   maybe_recycle env;
   env.cases_since_build <- env.cases_since_build + 1;
   Api.next_vmid := vmid_base + 1;
@@ -432,6 +670,7 @@ let run_case env (c : Fuzz_case.t) =
   let divergence = first_divergence runs in
   let blocks_run = List.nth runs (List.length runs - 1) in
   { runs; divergence; keys = keys_of c blocks_run }
+  end
 
 let pp_divergence ppf d =
   Format.fprintf ppf "%s: %s vs %s: %s" d.field (engine_name d.a)

@@ -139,6 +139,7 @@ let run_guest_process ?(max_insns = 50_000_000) t vm (k : Kernel.t)
       budget := !budget - (core.Core.insns - before);
       match stop with
       | Core.Limit -> Kernel.Limit_reached
+      | Core.Stall -> assert false (* no shootdown hook under the hypervisor *)
       | Core.Trap_el1 cls -> (
           match Kernel.service_trap k p core cls ~at:Pstate.EL1 with
           | `Stop o -> o

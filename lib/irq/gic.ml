@@ -32,6 +32,12 @@ type dist = {
   spi_target : int array; (* attached-cpu index *)
   mutable grp_en : bool; (* GICD_CTLR.EnableGrp1 *)
   mutable cpus : cpu list; (* attach order; index = cpu id *)
+  (* SMP sync-quantum mode: cross-core SGIs latch into the target's
+     [staged] array instead of [pending], and become visible only when
+     the barrier calls [publish]. Self-SGIs stay immediate either way
+     (they are core-local and deterministic). Off by default, so
+     single-machine users keep same-boundary delivery. *)
+  mutable staging : bool;
 }
 
 and cpu = {
@@ -42,6 +48,8 @@ and cpu = {
   level : bool array; (* level-sensitive inputs (timer, PMU) *)
   active : bool array;
   prio : int array;
+  staged : bool array; (* cross-core SGIs latched until [publish] *)
+  staged_lock : Mutex.t;
   mutable pmr : int; (* ICC_PMR_EL1; prio must be < pmr to signal *)
   mutable igrpen1 : bool; (* ICC_IGRPEN1_EL1.Enable *)
   mutable bpr1 : int; (* ICC_BPR1_EL1 (stored, not used for grouping) *)
@@ -60,6 +68,7 @@ let create_dist ?(nr_spis = 32) () =
     spi_target = Array.make nr_spis 0;
     grp_en = true;
     cpus = [];
+    staging = false;
   }
 
 let attach_cpu dist =
@@ -72,6 +81,8 @@ let attach_cpu dist =
       level = Array.make nr_local false;
       active = Array.make nr_local false;
       prio = Array.make nr_local idle_priority;
+      staged = Array.make 16 false;
+      staged_lock = Mutex.create ();
       pmr = 0; (* reset: masks everything until software opens it *)
       igrpen1 = false;
       bpr1 = 0;
@@ -82,6 +93,7 @@ let attach_cpu dist =
   cpu
 
 let cpu_dist t = t.dist
+let cpu_id t = t.id
 
 let is_local intid = intid >= 0 && intid < nr_local
 
@@ -228,14 +240,58 @@ let eoi t intid =
   in
   t.ack_stack <- drop t.ack_stack
 
-(* ICC_SGI1R_EL1 write: INTID in bits 27:24, target list in 15:0. *)
+(* Latch an SGI on [target], raised by cpu [t]. Cross-core SGIs stage
+   when the distributor is in sync-quantum mode; a self-SGI is always
+   immediate (it cannot race another core). *)
+let sgi_to t target intid =
+  if target.id = t.id || not t.dist.staging then
+    target.pending.(intid) <- true
+  else begin
+    Mutex.lock target.staged_lock;
+    target.staged.(intid) <- true;
+    Mutex.unlock target.staged_lock
+  end
+
+(* ICC_SGI1R_EL1 write: INTID in bits 27:24, target list in 15:0, and
+   IRM in bit 40 — when set the target list is ignored and the SGI
+   goes to every attached cpu except the sender. *)
 let write_sgi1r t v =
   let intid = (v lsr 24) land 0xF in
-  let targets = v land 0xFFFF in
-  List.iter
-    (fun cpu -> if targets land (1 lsl cpu.id) <> 0 then
-        cpu.pending.(intid) <- true)
-    t.dist.cpus
+  if v land (1 lsl 40) <> 0 then
+    List.iter
+      (fun cpu -> if cpu.id <> t.id then sgi_to t cpu intid)
+      t.dist.cpus
+  else begin
+    let targets = v land 0xFFFF in
+    List.iter
+      (fun cpu -> if targets land (1 lsl cpu.id) <> 0 then
+          sgi_to t cpu intid)
+      t.dist.cpus
+  end
+
+(* Host-side helpers for the SMP machine driver. *)
+
+let set_staging dist on = dist.staging <- on
+
+(* Merge this interface's staged SGIs into its pending latches. Called
+   single-threaded at the sync barrier; the lock only fences against
+   senders still inside [write_sgi1r] on another domain, which cannot
+   happen at a barrier but is cheap to keep honest. *)
+let publish_staged t =
+  Mutex.lock t.staged_lock;
+  for i = 0 to 15 do
+    if t.staged.(i) then begin
+      t.pending.(i) <- true;
+      t.staged.(i) <- false
+    end
+  done;
+  Mutex.unlock t.staged_lock
+
+(* Latch an SGI directly (barrier-time delivery decided by the host
+   driver, e.g. a shootdown request published to a remote core). *)
+let raise_sgi t intid =
+  if intid < 0 || intid > 15 then invalid_arg "Gic.raise_sgi";
+  t.pending.(intid) <- true
 
 let read_pmr t = t.pmr
 let write_pmr t v = t.pmr <- v land 0xFF
@@ -255,16 +311,20 @@ let read_hppir1 t =
    core per machine in this simulator); other interfaces attached to
    the same distributor would see their SPI state rewound too. *)
 
-type state = {
+type banked_state = {
   s_enabled : bool array;
   s_pending : bool array;
   s_level : bool array;
   s_active : bool array;
   s_prio : int array;
+  s_staged : bool array;
   s_pmr : int;
   s_igrpen1 : bool;
   s_bpr1 : int;
   s_ack_stack : (int * int) list;
+}
+
+type dist_state = {
   s_spi_enabled : bool array;
   s_spi_pending : bool array;
   s_spi_active : bool array;
@@ -273,40 +333,56 @@ type state = {
   s_grp_en : bool;
 }
 
-let capture t =
+type state = { s_banked : banked_state; s_dist : dist_state }
+
+let blit_state src dst = Array.blit src 0 dst 0 (Array.length dst)
+
+let capture_banked t =
   { s_enabled = Array.copy t.enabled;
     s_pending = Array.copy t.pending;
     s_level = Array.copy t.level;
     s_active = Array.copy t.active;
     s_prio = Array.copy t.prio;
+    s_staged = Array.copy t.staged;
     s_pmr = t.pmr;
     s_igrpen1 = t.igrpen1;
     s_bpr1 = t.bpr1;
-    s_ack_stack = t.ack_stack;
-    s_spi_enabled = Array.copy t.dist.spi_enabled;
-    s_spi_pending = Array.copy t.dist.spi_pending;
-    s_spi_active = Array.copy t.dist.spi_active;
-    s_spi_prio = Array.copy t.dist.spi_prio;
-    s_spi_target = Array.copy t.dist.spi_target;
-    s_grp_en = t.dist.grp_en }
+    s_ack_stack = t.ack_stack }
 
-let restore t s =
-  let blit src dst = Array.blit src 0 dst 0 (Array.length dst) in
-  blit s.s_enabled t.enabled;
-  blit s.s_pending t.pending;
-  blit s.s_level t.level;
-  blit s.s_active t.active;
-  blit s.s_prio t.prio;
+let restore_banked t s =
+  blit_state s.s_enabled t.enabled;
+  blit_state s.s_pending t.pending;
+  blit_state s.s_level t.level;
+  blit_state s.s_active t.active;
+  blit_state s.s_prio t.prio;
+  blit_state s.s_staged t.staged;
   t.pmr <- s.s_pmr;
   t.igrpen1 <- s.s_igrpen1;
   t.bpr1 <- s.s_bpr1;
-  t.ack_stack <- s.s_ack_stack;
-  blit s.s_spi_enabled t.dist.spi_enabled;
-  blit s.s_spi_pending t.dist.spi_pending;
-  blit s.s_spi_active t.dist.spi_active;
-  blit s.s_spi_prio t.dist.spi_prio;
-  blit s.s_spi_target t.dist.spi_target;
-  t.dist.grp_en <- s.s_grp_en
+  t.ack_stack <- s.s_ack_stack
+
+let capture_dist d =
+  { s_spi_enabled = Array.copy d.spi_enabled;
+    s_spi_pending = Array.copy d.spi_pending;
+    s_spi_active = Array.copy d.spi_active;
+    s_spi_prio = Array.copy d.spi_prio;
+    s_spi_target = Array.copy d.spi_target;
+    s_grp_en = d.grp_en }
+
+let restore_dist d s =
+  blit_state s.s_spi_enabled d.spi_enabled;
+  blit_state s.s_spi_pending d.spi_pending;
+  blit_state s.s_spi_active d.spi_active;
+  blit_state s.s_spi_prio d.spi_prio;
+  blit_state s.s_spi_target d.spi_target;
+  d.grp_en <- s.s_grp_en
+
+let capture t =
+  { s_banked = capture_banked t; s_dist = capture_dist t.dist }
+
+let restore t s =
+  restore_banked t s.s_banked;
+  restore_dist t.dist s.s_dist
 
 let pp_intid ppf intid =
   if intid = spurious then Format.pp_print_string ppf "spurious"

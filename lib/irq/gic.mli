@@ -43,6 +43,10 @@ val attach_cpu : dist -> cpu
 (** Attach a new core's redistributor; cores are numbered in attach
     order (SPI routing targets these ids). *)
 
+val cpu_id : cpu -> int
+(** The interface's attach-order id — the bit position a
+    {!write_sgi1r} target list uses to address it. *)
+
 (** {1 Distributor configuration (host view of the GICD registers)} *)
 
 val set_group_enable : dist -> bool -> unit
@@ -97,7 +101,29 @@ val running_priority : cpu -> int
 
 val write_sgi1r : cpu -> int -> unit
 (** ICC_SGI1R_EL1 write: INTID in bits 27:24, target-list bitmap of
-    attached-cpu ids in bits 15:0. *)
+    attached-cpu ids in bits 15:0, IRM in bit 40 ("all but self"
+    broadcast — the target list is ignored). Cross-core SGIs stage
+    until {!publish_staged} when the distributor is in sync-quantum
+    mode; self-SGIs are always delivered immediately. *)
+
+(** {1 SMP sync-quantum mode}
+
+    With staging on, a cross-core SGI raised during a quantum is
+    latched aside and only becomes pending on the target when the
+    machine driver calls {!publish_staged} at the sync barrier. This
+    makes cross-core signal visibility independent of intra-quantum
+    host scheduling — the keystone of the sequential ≡ parallel
+    determinism argument (DESIGN.md §15). *)
+
+val set_staging : dist -> bool -> unit
+
+val publish_staged : cpu -> unit
+(** Merge this interface's staged SGIs into its pending latches
+    (barrier-time, single-threaded). *)
+
+val raise_sgi : cpu -> int -> unit
+(** Host-side: latch SGI [intid] (0..15) pending directly, bypassing
+    staging — for barrier-time delivery decided by the driver. *)
 
 val read_pmr : cpu -> int
 val write_pmr : cpu -> int -> unit
@@ -110,9 +136,25 @@ val read_hppir1 : cpu -> int
 
 (** {1 Snapshot} *)
 
+type banked_state
+(** One CPU interface's banked SGI/PPI + ICC state (including staged
+    SGI latches). *)
+
+type dist_state
+(** The shared distributor's SPI state. *)
+
 type state
 (** One CPU interface's banked state plus its distributor's SPI
     state. *)
+
+val capture_banked : cpu -> banked_state
+val restore_banked : cpu -> banked_state -> unit
+(** Banked-only capture/restore: what an SMP machine snapshot stores
+    per core (the shared distributor is captured once via
+    {!capture_dist}). *)
+
+val capture_dist : dist -> dist_state
+val restore_dist : dist -> dist_state -> unit
 
 val capture : cpu -> state
 

@@ -119,10 +119,22 @@ let populate t p ~start ~len =
     fault_in_page t p ~va:(Bits.align_down start 4096 + (i * 4096))
   done
 
-let flush_proc_page t ~va =
-  Tlb.flush_va t.machine.Machine.tlb ~vmid:(vmid_of t) ~va
+(* Kernel-side page invalidation, modelling `tlbi vae1is` executed by
+   the core servicing the syscall: flush the invoking core's TLB and
+   broadcast the shootdown to the other cores through its
+   [on_shootdown] hook (a no-op on single-core machines, where the
+   core's TLB is the machine TLB and no hook is installed). Without a
+   core — OCaml-modelled setup paths — flush the machine TLB
+   directly. *)
+let flush_proc_page ?core t ~va =
+  let vmid = vmid_of t in
+  match core with
+  | Some (c : Core.t) ->
+      Tlb.flush_va c.Core.tlb ~vmid ~va;
+      Core.broadcast_shootdown c (Core.Sd_vae1 { vmid; va })
+  | None -> Tlb.flush_va t.machine.Machine.tlb ~vmid ~va
 
-let munmap t (p : Proc.t) ~start ~len =
+let munmap ?core t (p : Proc.t) ~start ~len =
   let phys = t.machine.Machine.phys in
   ignore (Proc.remove_vma_range p ~start ~len);
   let pages = (len + 4095) / 4096 in
@@ -134,10 +146,10 @@ let munmap t (p : Proc.t) ~start ~len =
         Phys.free_frame phys (Bits.align_down w.Stage1.pa 4096);
         (match p.on_unmap with Some f -> f ~va | None -> ())
     | Error _ -> ());
-    flush_proc_page t ~va
+    flush_proc_page ?core t ~va
   done
 
-let mprotect t (p : Proc.t) ~start ~len prot =
+let mprotect ?core t (p : Proc.t) ~start ~len prot =
   let phys = t.machine.Machine.phys in
   (match Proc.find_vma p start with
   | Some vma -> vma.Vma.prot <- prot
@@ -147,7 +159,7 @@ let mprotect t (p : Proc.t) ~start ~len prot =
     let va = Bits.align_down start 4096 + (i * 4096) in
     ignore (Stage1.set_attrs phys ~root:p.root ~va (user_attrs prot));
     (match p.on_protect with Some f -> f ~va ~prot | None -> ());
-    flush_proc_page t ~va
+    flush_proc_page ?core t ~va
   done
 
 let write_user t (p : Proc.t) ~va b =
@@ -308,7 +320,7 @@ let do_syscall t (p : Proc.t) (core : Core.t) =
     with Invalid_argument _ -> ret (-22) (* EINVAL *)
   end
   else if nr = Nr.munmap then begin
-    munmap t p ~start:(arg 0) ~len:(arg 1);
+    munmap ~core t p ~start:(arg 0) ~len:(arg 1);
     ret 0
   end
   else if nr = Nr.mprotect then begin
@@ -318,7 +330,7 @@ let do_syscall t (p : Proc.t) (core : Core.t) =
         w = prot_bits land 2 <> 0;
         x = prot_bits land 4 <> 0 }
     in
-    mprotect t p ~start:(arg 0) ~len:(arg 1) prot;
+    mprotect ~core t p ~start:(arg 0) ~len:(arg 1) prot;
     ret 0
   end
   else if nr = Nr.clock_gettime then ret core.cycles
@@ -414,6 +426,9 @@ let run ?(max_insns = 50_000_000) t (p : Proc.t) (core : Core.t) =
       budget := !budget - (core.insns - before);
       match stop with
       | Core.Limit -> Limit_reached
+      (* Only the SMP machine driver installs a shootdown hook and
+         drives stalled cores; a lone kernel-run core never stalls. *)
+      | Core.Stall -> assert false
       | Core.Trap_el2 cls -> (
           match service_trap t p core cls ~at:Pstate.EL2 with
           | `Stop o -> o

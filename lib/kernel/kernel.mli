@@ -71,9 +71,17 @@ val fault_around_count : t -> Vma.t -> int
 
 val populate : t -> Proc.t -> start:int -> len:int -> unit
 
-val munmap : t -> Proc.t -> start:int -> len:int -> unit
+val munmap : ?core:Lz_cpu.Core.t -> t -> Proc.t -> start:int -> len:int -> unit
+(** Tear down the range: VMAs, page-table entries, frames and TLB
+    entries. With [~core] the TLB invalidation models [tlbi vae1is]
+    executed on that core — its own TLB is flushed and the shootdown
+    is broadcast through its [Core.on_shootdown] hook so an SMP driver
+    can invalidate the remaining cores; without it the machine TLB is
+    flushed directly (single-core setup paths). *)
 
-val mprotect : t -> Proc.t -> start:int -> len:int -> Vma.prot -> unit
+val mprotect :
+  ?core:Lz_cpu.Core.t -> t -> Proc.t -> start:int -> len:int -> Vma.prot -> unit
+(** Change protections in place; [~core] as for {!munmap}. *)
 
 val write_user : t -> Proc.t -> va:int -> Bytes.t -> unit
 (** Write into process memory through the kernel's own mapping,

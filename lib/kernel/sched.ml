@@ -1,46 +1,176 @@
 (* Preemptive round-robin scheduler driven by the per-core generic
-   timer (CNTP) firing PPI 30 through the GIC.
+   timer (CNTP) firing PPI 30 through the GIC — across one or many
+   CPUs.
 
-   Each task owns a simulated core; the scheduler programs a timeslice
-   deadline into the task's timer before resuming it, and the timer
-   interrupt — delivered asynchronously at an instruction boundary by
-   the core's IRQ poll — returns control here, where the task is
-   rotated to the back of the run queue. Everything the kernel's
-   cooperative [Kernel.run] loop does (trap servicing, syscalls,
-   demand paging) happens identically; the only addition is the tick. *)
+   Every core handed to [add] becomes a CPU slot; tasks are no longer
+   wedded to a core but carry their architectural state in a saved
+   {!Core.context} (registers, SPs, PSTATE, the whole sysreg file —
+   TTBR0/ASID included) and migrate freely: a CPU picks the head of
+   the shared ready queue, loads the context, runs a timeslice, and
+   saves the context back on preemption.
+
+   Cross-CPU coordination goes through the interrupt fabric like a
+   real kernel's:
+
+   - Rescheduling is IPI-driven. Enqueuing a runnable task sends the
+     resched SGI (INTID 0) through the enqueuing CPU's ICC_SGI1R_EL1
+     to every idle CPU; an idle CPU only picks up work after
+     acknowledging that SGI at its own CPU interface. Spurious wakeups
+     (two CPUs racing for one task) are possible and harmless, as on
+     real hardware.
+
+   - TLB shootdown is synchronous. Each CPU's core gets an
+     [on_shootdown] hook that applies inner-shareable TLB maintenance
+     (IS TLBIs executed by tasks, and the kernel's munmap/mprotect
+     invalidations) to every other CPU's TLB before the initiating
+     instruction completes — the uniprocessor-exact sequential model
+     of DVM. The staged, stall-based protocol lives in the Lz_smp
+     driver; here determinism comes from the scheduler loop itself
+     being sequential.
+
+   Everything the kernel's cooperative [Kernel.run] loop does (trap
+   servicing, syscalls, demand paging) happens identically; the only
+   additions are the tick, the migration, and the IPIs. *)
 
 open Lz_arm
 open Lz_cpu
 
+let sgi_resched = 0
+
 type task = {
   tid : int;
   proc : Proc.t;
-  core : Core.t;
+  mutable ctx : Core.context;
   mutable outcome : Kernel.outcome option;
   mutable slices : int;
+  mutable migrations : int;
+  mutable last_cpu : int;  (* CPU that last ran the task; -1 = never *)
+}
+
+type cpu = {
+  cid : int;
+  core : Core.t;
+  iv : Lz_irq.Irq.t;
+  mutable current : task option;
 }
 
 type t = {
   kernel : Kernel.t;
   slice : int;
-  mutable queue : task list;
+  mutable cpus : cpu list;  (* attach order; cid = Gic cpu id *)
+  mutable ready : task list;  (* FIFO, head runs next *)
+  mutable tasks : task list;  (* every task ever added *)
   mutable next_tid : int;
   mutable preemptions : int;
   mutable ticks : int;
+  mutable resched_ipis : int;  (* resched SGIs sent *)
+  mutable shootdowns : int;  (* cross-CPU TLB invalidations applied *)
+  mutable migrations : int;
 }
 
 let create ?(slice = 20_000) kernel =
-  { kernel; slice; queue = []; next_tid = 0; preemptions = 0; ticks = 0 }
+  { kernel;
+    slice;
+    cpus = [];
+    ready = [];
+    tasks = [];
+    next_tid = 0;
+    preemptions = 0;
+    ticks = 0;
+    resched_ipis = 0;
+    shootdowns = 0;
+    migrations = 0 }
+
+let apply_shootdown tlb = function
+  | Core.Sd_vmalle1 vmid -> Lz_mem.Tlb.flush_vmid tlb vmid
+  | Core.Sd_vae1 { vmid; va } -> Lz_mem.Tlb.flush_va tlb ~vmid ~va
+  | Core.Sd_aside1 { vmid; asid } ->
+      Lz_mem.Tlb.flush_asid tlb ~vmid ~asid
+
+(* Register [core] as a CPU slot (idempotent). The first CPU's fabric
+   creates the shared distributor; later ones attach to it so SGIs
+   reach each other. *)
+let cpu_of t core =
+  match List.find_opt (fun c -> c.core == core) t.cpus with
+  | Some c -> c
+  | None ->
+      let dist =
+        match t.cpus with
+        | [] -> None
+        | c :: _ -> Some (Lz_irq.Irq.shared_dist c.iv)
+      in
+      let iv = Core.attach_irq ?dist core in
+      Lz_irq.Irq.init iv;
+      Lz_irq.Gic.set_priority iv.Lz_irq.Irq.gic sgi_resched 0x80;
+      Lz_irq.Gic.enable iv.Lz_irq.Irq.gic sgi_resched;
+      let cpu =
+        { cid = Lz_irq.Gic.cpu_id iv.Lz_irq.Irq.gic; core; iv;
+          current = None }
+      in
+      (* Synchronous DVM: IS TLB maintenance initiated on this core
+         (or by the kernel on its behalf) lands on every other CPU's
+         TLB before the instruction completes. *)
+      core.Core.on_shootdown <-
+        Some
+          (fun sd ->
+            List.iter
+              (fun other ->
+                if other != cpu then begin
+                  t.shootdowns <- t.shootdowns + 1;
+                  apply_shootdown other.core.Core.tlb sd
+                end)
+              t.cpus);
+      t.cpus <- t.cpus @ [ cpu ];
+      cpu
 
 let add t proc core =
+  let cpu = cpu_of t core in
+  ignore cpu;
   let task =
-    { tid = t.next_tid; proc; core; outcome = None; slices = 0 }
+    { tid = t.next_tid;
+      proc;
+      ctx = Core.save_context core;
+      outcome = None;
+      slices = 0;
+      migrations = 0;
+      last_cpu = -1 }
   in
   t.next_tid <- t.next_tid + 1;
-  let iv = Core.attach_irq core in
-  Lz_irq.Irq.init iv;
-  t.queue <- t.queue @ [ task ];
+  t.tasks <- t.tasks @ [ task ];
+  t.ready <- t.ready @ [ task ];
   task
+
+(* Send the resched SGI from [from]'s CPU interface to every idle CPU
+   (ICC_SGI1R_EL1 with a target-list bitmap). The sender itself
+   never needs an IPI — it reschedules synchronously. *)
+let kick_idle t (from : cpu) =
+  let targets =
+    List.fold_left
+      (fun acc c ->
+        if c != from && c.current = None then acc lor (1 lsl c.cid)
+        else acc)
+      0 t.cpus
+  in
+  if targets <> 0 then begin
+    t.resched_ipis <- t.resched_ipis + 1;
+    Lz_irq.Gic.write_sgi1r from.iv.Lz_irq.Irq.gic
+      ((sgi_resched lsl 24) lor targets)
+  end
+
+let enqueue t (from : cpu) task =
+  t.ready <- t.ready @ [ task ];
+  kick_idle t from
+
+(* Load [task]'s context onto [cpu] and mark it running. *)
+let dispatch t cpu task =
+  t.ready <- List.filter (fun x -> x != task) t.ready;
+  Core.load_context cpu.core task.ctx;
+  if task.last_cpu >= 0 && task.last_cpu <> cpu.cid then begin
+    task.migrations <- task.migrations + 1;
+    t.migrations <- t.migrations + 1
+  end;
+  task.last_cpu <- cpu.cid;
+  cpu.current <- Some task
 
 let note_preempt (core : Core.t) ~next =
   match Core.tracer core with
@@ -49,14 +179,12 @@ let note_preempt (core : Core.t) ~next =
         (Lz_trace.Trace.Preempt { task = next })
   | None -> ()
 
-(* Resume [task] until its timeslice expires, it exits, or [budget]
-   instructions have retired; returns the stop reason and the number
-   of instructions consumed. *)
-let run_slice t task ~budget =
-  let core = task.core in
-  let iv =
-    match Core.irq core with Some iv -> iv | None -> assert false
-  in
+(* Resume the task on [cpu] until its timeslice expires, it exits, or
+   [budget] instructions have retired; returns the stop reason and the
+   number of instructions consumed. *)
+let run_slice t cpu task ~budget =
+  let core = cpu.core in
+  let iv = cpu.iv in
   task.slices <- task.slices + 1;
   Lz_irq.Timer.program iv.Lz_irq.Irq.timer ~now:core.Core.cycles
     ~slice:t.slice;
@@ -68,6 +196,9 @@ let run_slice t task ~budget =
       let stop = Core.run ~max_insns:(budget - consumed ()) core in
       match stop with
       | Core.Limit -> (`Budget, consumed ())
+      | Core.Stall ->
+          (* The synchronous shootdown hook never stalls a core. *)
+          assert false
       | Core.Trap_el2 cls -> handle cls ~at:Pstate.EL2
       | Core.Trap_el1 cls -> handle cls ~at:Pstate.EL1
     end
@@ -94,7 +225,7 @@ let run_slice t task ~budget =
   in
   let result = loop () in
   (* Disarm the deadline while descheduled: a stale CVAL would fire
-     the instant the task is resumed with a fresh now. *)
+     the instant another task is dispatched here with a fresh now. *)
   Lz_irq.Timer.stop iv.Lz_irq.Irq.timer;
   result
 
@@ -105,30 +236,78 @@ let outcomes t =
         match task.outcome with
         | Some o -> o
         | None -> Kernel.Limit_reached ))
-    (List.sort (fun a b -> compare a.tid b.tid) t.queue)
+    (List.sort (fun a b -> compare a.tid b.tid) t.tasks)
+
+(* An idle CPU only takes work off the ready queue after fielding the
+   resched SGI at its own CPU interface — the IPI wake-up a real idle
+   loop gets out of WFI. Returns true if the CPU dispatched a task. *)
+let idle_poll t cpu =
+  match Lz_irq.Gic.signaled cpu.iv.Lz_irq.Irq.gic with
+  | Some intid when intid = sgi_resched -> (
+      let claimed = Lz_irq.Gic.acknowledge cpu.iv.Lz_irq.Irq.gic in
+      Lz_irq.Gic.eoi cpu.iv.Lz_irq.Irq.gic claimed;
+      match t.ready with
+      | [] -> false (* raced with another CPU: spurious wakeup *)
+      | task :: _ ->
+          dispatch t cpu task;
+          true)
+  | _ -> false
 
 let run ?(max_insns = 50_000_000) t =
   let budget = ref max_insns in
-  let rec sched () =
-    match List.filter (fun task -> task.outcome = None) t.queue with
-    | [] -> outcomes t
-    | runnable when !budget <= 0 ->
-        ignore runnable;
-        outcomes t
-    | task :: rest ->
-        let stop, used = run_slice t task ~budget:!budget in
-        budget := !budget - used;
-        (match stop with
-        | `Tick ->
-            (* Rotate: the preempted task goes to the back. *)
-            t.queue <-
-              List.filter (fun x -> x != task) t.queue @ [ task ];
-            t.preemptions <- t.preemptions + 1;
-            let next = match rest with [] -> task | n :: _ -> n in
-            note_preempt task.core ~next:next.tid
-        | `Exited | `Budget -> ());
-        sched ()
+  (* Initial kick: CPU 0 IPIs every other CPU awake, then dispatches
+     for itself — exactly what secondary-CPU bringup looks like. *)
+  (match t.cpus with
+  | [] -> ()
+  | boot :: _ ->
+      kick_idle t boot;
+      (match t.ready with
+      | task :: _ -> dispatch t boot task
+      | [] -> ()));
+  let live () =
+    List.exists (fun c -> c.current <> None) t.cpus
+    || t.ready <> []
   in
-  (* The scheduler only orders runnable tasks; completed ones keep
-     their outcome. *)
-  sched ()
+  while live () && !budget > 0 do
+    let progressed = ref false in
+    List.iter
+      (fun cpu ->
+        if !budget > 0 then
+          match cpu.current with
+          | None -> if idle_poll t cpu then progressed := true
+          | Some task -> (
+              progressed := true;
+              let stop, used = run_slice t cpu task ~budget:!budget in
+              budget := !budget - used;
+              match stop with
+              | `Tick ->
+                  t.preemptions <- t.preemptions + 1;
+                  task.ctx <- Core.save_context cpu.core;
+                  cpu.current <- None;
+                  enqueue t cpu task;
+                  (match t.ready with
+                  | next :: _ ->
+                      note_preempt cpu.core ~next:next.tid;
+                      dispatch t cpu next
+                  | [] -> ())
+              | `Exited ->
+                  cpu.current <- None;
+                  (match t.ready with
+                  | next :: _ -> dispatch t cpu next
+                  | [] -> ())
+              | `Budget ->
+                  (* Global budget exhausted mid-slice: park the task
+                     so a later [run] call could resume it. *)
+                  task.ctx <- Core.save_context cpu.core))
+      t.cpus;
+    (* Every enqueue IPIs the then-idle CPUs, so a sweep where nobody
+       ran and nobody picked work up means the wakeups were consumed
+       by spurious races. Re-kick rather than spin: the lost-wakeup
+       recovery a real idle loop gets from its periodic resched
+       check. *)
+    if (not !progressed) && t.ready <> [] then
+      match t.cpus with
+      | boot :: _ -> kick_idle t boot
+      | [] -> ()
+  done;
+  outcomes t

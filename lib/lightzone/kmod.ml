@@ -869,6 +869,7 @@ let run ?(max_insns = 50_000_000) t =
           t.traps <- t.traps + 1;
           match stop with
           | Core.Limit -> Limit_reached
+          | Core.Stall -> assert false (* no shootdown hook under Kmod *)
           | Core.Trap_el1 _ ->
               (* Unreachable: the stub handles EL1 vectors. *)
               Terminated "unexpected harness-routed EL1 trap"

@@ -19,10 +19,22 @@ type store = {
   mutable carved : int;  (* slots ever carved from the arena *)
   mutable live_slots : int;
   mutable unshares : int;  (* CoW copies performed *)
+  (* Serializes the allocation slow paths (slot carve/recycle, refs
+     growth, frame handout) when aliased views of one map execute on
+     parallel host domains. The read/write fast paths stay lock-free:
+     array-element accesses cannot tear in OCaml, concurrent accesses
+     to *different* frames touch different indices, and concurrent
+     unsynchronized accesses to the same frame are guest data races
+     the simulator does not try to make deterministic. Growth of the
+     arena/refs/slot_of/gens arrays must not happen during a parallel
+     quantum — [reserve] pre-sizes them. *)
+  lock : Mutex.t;
 }
 
-type t = {
-  store : store;
+(* The frame map, shared by every alias ([alias]) of one view. Slot
+   bindings, allocator state and generation counters live here so all
+   cores of an SMP machine see one coherent physical memory. *)
+type map = {
   (* frame number -> slot, -1 = hole (never-written frame, reads as
      zeroes without consuming a slot). Grown on demand. *)
   mutable slot_of : int array;
@@ -35,13 +47,24 @@ type t = {
      the frame's generation, so any store into a frame (simulated or
      OCaml-modelled) invalidates cached decodes for it. *)
   mutable gens : int array;
+  (* Every view sharing this map (self included): slot-identity
+     changes performed at a barrier (snapshot, restore, clone pinning)
+     must invalidate every view's memo, not just the caller's. *)
+  mutable views : t list;
+}
+
+and t = {
+  store : store;
+  map : map;
   (* 1-entry memo of the last materialized frame touched: [last_base]
      is the word index of its slot. Invalidated whenever the frame's
      identity can change under it — free/zero, CoW unshare, snapshot,
      restore and clone (which change slot sharing) — so a memoized
      base can never alias a slot the frame no longer owns.
      [last_writable] additionally means the slot was unshared
-     (refcount 1) when memoized, so stores may go straight through. *)
+     (refcount 1) when memoized, so stores may go straight through.
+     Private per alias: each core's view keeps its own memo so the
+     hot paths never share mutable host state across domains. *)
   mutable last_n : int;
   mutable last_base : int;
   mutable last_writable : bool;
@@ -65,29 +88,57 @@ type snapshot = {
 let mk_arena slots = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (slots * frame_words)
 
 let create ?(size_mib = 512) () =
-  { store =
-      { arena = mk_arena 1024;
-        refs = Array.make 1024 0;
-        free_slots = [];
-        carved = 0;
-        live_slots = 0;
-        unshares = 0 };
-    slot_of = Array.make 1024 (-1);
-    (* Frame 0 is never allocated so that physical address 0 can act as
-       a "null" table pointer. *)
-    next_frame = 1;
-    free_list = [];
-    max_frames = size_mib * 256;
-    handed_out = 0;
-    gens = Array.make 1024 0;
-    last_n = -1;
-    last_base = -1;
-    last_writable = false }
+  let store =
+    { arena = mk_arena 1024;
+      refs = Array.make 1024 0;
+      free_slots = [];
+      carved = 0;
+      live_slots = 0;
+      unshares = 0;
+      lock = Mutex.create () }
+  in
+  let map =
+    { slot_of = Array.make 1024 (-1);
+      (* Frame 0 is never allocated so that physical address 0 can act
+         as a "null" table pointer. *)
+      next_frame = 1;
+      free_list = [];
+      max_frames = size_mib * 256;
+      handed_out = 0;
+      gens = Array.make 1024 0;
+      views = [] }
+  in
+  let t =
+    { store; map; last_n = -1; last_base = -1; last_writable = false }
+  in
+  map.views <- [ t ];
+  t
 
 let invalidate_memo t =
   t.last_n <- -1;
   t.last_base <- -1;
   t.last_writable <- false
+
+(* Invalidate the memo of every view sharing the map — required by
+   slot-identity changes that other aliases may have memoized
+   (snapshot/clone pinning, restore, frame free). Barrier-time or
+   kernel-path only, never on the access fast path. *)
+let invalidate_all_memos t =
+  List.iter invalidate_memo t.map.views
+
+(* Another view of the same store and frame map: same physical memory,
+   private memo. One per simulated core in an SMP machine, so the hot
+   read/write paths never contend on shared mutable host state. *)
+let alias t =
+  let v =
+    { store = t.store;
+      map = t.map;
+      last_n = -1;
+      last_base = -1;
+      last_writable = false }
+  in
+  t.map.views <- v :: t.map.views;
+  v
 
 (* ------------------------------------------------------------------ *)
 (* Slot management *)
@@ -108,61 +159,96 @@ let grow_store st =
   st.refs <- r
 
 (* [zero] says the caller needs a zeroed slot (hole materialization);
-   unshare copies over every word, so recycled garbage is fine there. *)
+   unshare copies over every word, so recycled garbage is fine there.
+   The carve/recycle bookkeeping is serialized; the zeroing happens
+   outside the lock because the slot is private once refs hits 1. *)
 let alloc_slot st ~zero =
+  Mutex.lock st.lock;
   let slot =
     match st.free_slots with
     | s :: rest ->
         st.free_slots <- rest;
-        if zero then zero_slot st s;
         s
     | [] ->
         if st.carved >= Array.length st.refs then grow_store st;
         let s = st.carved in
         st.carved <- s + 1;
-        if zero then zero_slot st s;
         s
   in
   st.refs.(slot) <- 1;
   st.live_slots <- st.live_slots + 1;
+  Mutex.unlock st.lock;
+  if zero then zero_slot st slot;
   slot
 
+(* Only called from quiescent points (snapshot / restore / clone), so
+   no lock: nothing else mutates refcounts concurrently there. *)
 let incref st slot = st.refs.(slot) <- st.refs.(slot) + 1
 
 let decref st slot =
+  Mutex.lock st.lock;
   let r = st.refs.(slot) - 1 in
   st.refs.(slot) <- r;
   if r = 0 then begin
     st.free_slots <- slot :: st.free_slots;
     st.live_slots <- st.live_slots - 1
-  end
+  end;
+  Mutex.unlock st.lock
 
 (* ------------------------------------------------------------------ *)
 (* Frame map *)
 
-let slot_of t n = if n < Array.length t.slot_of then t.slot_of.(n) else -1
+let slot_of t n =
+  let m = t.map in
+  if n < Array.length m.slot_of then m.slot_of.(n) else -1
 
+(* Growth (array replacement) is serialized under the store lock, but
+   a concurrent element-writer holding the *old* array would still be
+   lost — [reserve] pre-sizes the arrays so growth never happens while
+   parallel domains run. The element store itself is lock-free. *)
 let set_slot t n slot =
-  let len = Array.length t.slot_of in
-  if n >= len then begin
-    let m = Array.make (max (n + 1) (2 * len)) (-1) in
-    Array.blit t.slot_of 0 m 0 len;
-    t.slot_of <- m
+  let m = t.map in
+  if n >= Array.length m.slot_of then begin
+    let st = t.store in
+    Mutex.lock st.lock;
+    let len = Array.length m.slot_of in
+    if n >= len then begin
+      let a = Array.make (max (n + 1) (2 * len)) (-1) in
+      Array.blit m.slot_of 0 a 0 len;
+      m.slot_of <- a
+    end;
+    Mutex.unlock st.lock
   end;
-  t.slot_of.(n) <- slot
+  m.slot_of.(n) <- slot
 
 let bump_gen t n =
-  let len = Array.length t.gens in
-  if n >= len then begin
-    let g = Array.make (max (n + 1) (2 * len)) 0 in
-    Array.blit t.gens 0 g 0 len;
-    t.gens <- g
+  let m = t.map in
+  if n >= Array.length m.gens then begin
+    let st = t.store in
+    Mutex.lock st.lock;
+    let len = Array.length m.gens in
+    if n >= len then begin
+      let g = Array.make (max (n + 1) (2 * len)) 0 in
+      Array.blit m.gens 0 g 0 len;
+      m.gens <- g
+    end;
+    Mutex.unlock st.lock
   end;
-  t.gens.(n) <- t.gens.(n) + 1
+  m.gens.(n) <- m.gens.(n) + 1
 
 let page_gen t pa =
   let n = pa / page_size in
-  if n < Array.length t.gens then t.gens.(n) else 0
+  let gens = t.map.gens in
+  if n < Array.length gens then gens.(n) else 0
+
+(* Drop sibling aliases' memo of frame [n] after its slot binding
+   changed (hole materialization, CoW unshare, free): a sibling core's
+   cached base must not keep aliasing the slot the frame no longer
+   owns. Slow paths only. *)
+let forget_frame t n =
+  List.iter
+    (fun v -> if v != t && v.last_n = n then invalidate_memo v)
+    t.map.views
 
 (* Word base of frame [n]'s slot for reading; -1 when the frame is a
    hole (reads as zero). Shared slots are fine to read. *)
@@ -194,6 +280,7 @@ let rw_base t n =
       if slot < 0 then begin
         let s = alloc_slot st ~zero:true in
         set_slot t n s;
+        forget_frame t n;
         s
       end
       else if st.refs.(slot) > 1 then begin
@@ -204,6 +291,7 @@ let rw_base t n =
         decref st slot;
         st.unshares <- st.unshares + 1;
         set_slot t n s;
+        forget_frame t n;
         s
       end
       else slot
@@ -219,46 +307,90 @@ let rw_base t n =
 (* Allocation *)
 
 let alloc_frame t =
-  t.handed_out <- t.handed_out + 1;
-  match t.free_list with
-  | n :: rest ->
-      t.free_list <- rest;
-      n * page_size
-  | [] ->
-      if t.next_frame >= t.max_frames then
-        failwith "Phys.alloc_frame: physical memory exhausted";
-      let n = t.next_frame in
-      t.next_frame <- n + 1;
-      n * page_size
+  let m = t.map in
+  Mutex.protect t.store.lock (fun () ->
+      m.handed_out <- m.handed_out + 1;
+      match m.free_list with
+      | n :: rest ->
+          m.free_list <- rest;
+          n * page_size
+      | [] ->
+          if m.next_frame >= m.max_frames then
+            failwith "Phys.alloc_frame: physical memory exhausted";
+          let n = m.next_frame in
+          m.next_frame <- n + 1;
+          n * page_size)
 
 let alloc_frames t n =
   if n <= 0 then invalid_arg "Phys.alloc_frames";
-  if t.next_frame + n > t.max_frames then
-    failwith "Phys.alloc_frames: physical memory exhausted";
-  let first = t.next_frame in
-  t.next_frame <- first + n;
-  t.handed_out <- t.handed_out + n;
-  first * page_size
+  let m = t.map in
+  Mutex.protect t.store.lock (fun () ->
+      if m.next_frame + n > m.max_frames then
+        failwith "Phys.alloc_frames: physical memory exhausted";
+      let first = m.next_frame in
+      m.next_frame <- first + n;
+      m.handed_out <- m.handed_out + n;
+      first * page_size)
 
 (* Zero = drop to a hole: the slot (if any) goes back to the store and
-   the frame reads as zeroes again. The memo is invalidated so a
-   cached base can never alias the recycled slot. *)
+   the frame reads as zeroes again. Every alias's memo of the frame is
+   invalidated so a cached base can never alias the recycled slot. *)
 let zero_frame t pa =
   let n = pa / page_size in
   let slot = slot_of t n in
   if slot >= 0 then begin
     decref t.store slot;
-    t.slot_of.(n) <- -1;
+    t.map.slot_of.(n) <- -1;
     if t.last_n = n then invalidate_memo t;
+    forget_frame t n;
     bump_gen t n
   end
 
 let free_frame t pa =
   zero_frame t pa;
-  t.handed_out <- t.handed_out - 1;
-  t.free_list <- (pa / page_size) :: t.free_list
+  let m = t.map in
+  Mutex.protect t.store.lock (fun () ->
+      m.handed_out <- m.handed_out - 1;
+      m.free_list <- (pa / page_size) :: m.free_list)
 
-let allocated_frames t = t.handed_out
+let allocated_frames t = t.map.handed_out
+let high_water t = t.map.next_frame
+
+(* Pre-size every growable array so no array is replaced while aliased
+   views run on parallel host domains: a domain still holding the old
+   array would silently write to memory the swap abandoned. [frames]
+   bounds the highest frame number (and, with CoW headroom folded in
+   by the caller, slot count) the run may touch. Quiescent points
+   only. *)
+let reserve t ~frames =
+  let m = t.map and st = t.store in
+  Mutex.protect st.lock (fun () ->
+      let len = Array.length m.slot_of in
+      if frames > len then begin
+        let a = Array.make frames (-1) in
+        Array.blit m.slot_of 0 a 0 len;
+        m.slot_of <- a
+      end;
+      let glen = Array.length m.gens in
+      if frames > glen then begin
+        let g = Array.make frames 0 in
+        Array.blit m.gens 0 g 0 glen;
+        m.gens <- g
+      end;
+      let slen = Array.length st.refs in
+      if frames > slen then begin
+        let bigger = ref slen in
+        while !bigger < frames do
+          bigger := 2 * !bigger
+        done;
+        let a = mk_arena !bigger in
+        Bigarray.Array1.blit st.arena
+          (Bigarray.Array1.sub a 0 (slen * frame_words));
+        st.arena <- a;
+        let r = Array.make !bigger 0 in
+        Array.blit st.refs 0 r 0 slen;
+        st.refs <- r
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Accessors. All little-endian; 64-bit reads truncate to OCaml's 62
@@ -425,15 +557,16 @@ let write_bytes t pa b =
 (* Snapshot / restore / fork *)
 
 let snapshot t =
-  Array.iter (fun s -> if s >= 0 then incref t.store s) t.slot_of;
-  (* Sharing just went up: a cached writable base may now alias a
-     slot the snapshot also references. *)
-  invalidate_memo t;
+  let m = t.map in
+  Array.iter (fun s -> if s >= 0 then incref t.store s) m.slot_of;
+  (* Sharing just went up: any alias's cached writable base may now
+     alias a slot the snapshot also references. *)
+  invalidate_all_memos t;
   { s_store = t.store;
-    s_slot_of = Array.copy t.slot_of;
-    s_next_frame = t.next_frame;
-    s_free_list = t.free_list;
-    s_handed_out = t.handed_out;
+    s_slot_of = Array.copy m.slot_of;
+    s_next_frame = m.next_frame;
+    s_free_list = m.free_list;
+    s_handed_out = m.handed_out;
     s_live = true }
 
 let check_snapshot t s ~who =
@@ -442,11 +575,12 @@ let check_snapshot t s ~who =
 
 let dirty_pages t s =
   check_snapshot t s ~who:"Phys.dirty_pages";
+  let m = t.map in
   let dirty = ref 0 in
-  let cur_len = Array.length t.slot_of
+  let cur_len = Array.length m.slot_of
   and old_len = Array.length s.s_slot_of in
   for n = 0 to max cur_len old_len - 1 do
-    let cur = if n < cur_len then t.slot_of.(n) else -1 in
+    let cur = if n < cur_len then m.slot_of.(n) else -1 in
     let old = if n < old_len then s.s_slot_of.(n) else -1 in
     if cur <> old then incr dirty
   done;
@@ -454,7 +588,8 @@ let dirty_pages t s =
 
 let restore t s =
   check_snapshot t s ~who:"Phys.restore";
-  let cur_len = Array.length t.slot_of
+  let m = t.map in
+  let cur_len = Array.length m.slot_of
   and old_len = Array.length s.s_slot_of in
   let dirty = ref 0 in
   (* A write after capture always unshares (the snapshot pins every
@@ -466,7 +601,7 @@ let restore t s =
      one. Clean frames were never written — their counters are
      already correct. *)
   for n = 0 to max cur_len old_len - 1 do
-    let cur = if n < cur_len then t.slot_of.(n) else -1 in
+    let cur = if n < cur_len then m.slot_of.(n) else -1 in
     let old = if n < old_len then s.s_slot_of.(n) else -1 in
     if cur <> old then begin
       incr dirty;
@@ -475,15 +610,15 @@ let restore t s =
   done;
   (* Slots shared with the snapshot hold its capture-time reference,
      so dropping the current map can never free one of them. *)
-  Array.iter (fun sl -> if sl >= 0 then decref t.store sl) t.slot_of;
-  let m = Array.make (max cur_len old_len) (-1) in
-  Array.blit s.s_slot_of 0 m 0 old_len;
-  t.slot_of <- m;
-  Array.iter (fun sl -> if sl >= 0 then incref t.store sl) t.slot_of;
-  t.next_frame <- s.s_next_frame;
-  t.free_list <- s.s_free_list;
-  t.handed_out <- s.s_handed_out;
-  invalidate_memo t;
+  Array.iter (fun sl -> if sl >= 0 then decref t.store sl) m.slot_of;
+  let a = Array.make (max cur_len old_len) (-1) in
+  Array.blit s.s_slot_of 0 a 0 old_len;
+  m.slot_of <- a;
+  Array.iter (fun sl -> if sl >= 0 then incref t.store sl) m.slot_of;
+  m.next_frame <- s.s_next_frame;
+  m.free_list <- s.s_free_list;
+  m.handed_out <- s.s_handed_out;
+  invalidate_all_memos t;
   !dirty
 
 let release t s =
@@ -492,18 +627,24 @@ let release t s =
   s.s_live <- false
 
 let cow_clone t =
-  Array.iter (fun s -> if s >= 0 then incref t.store s) t.slot_of;
-  invalidate_memo t;
-  { store = t.store;
-    slot_of = Array.copy t.slot_of;
-    next_frame = t.next_frame;
-    free_list = t.free_list;
-    max_frames = t.max_frames;
-    handed_out = t.handed_out;
-    gens = Array.copy t.gens;
-    last_n = -1;
-    last_base = -1;
-    last_writable = false }
+  let m = t.map in
+  Array.iter (fun s -> if s >= 0 then incref t.store s) m.slot_of;
+  invalidate_all_memos t;
+  let map =
+    { slot_of = Array.copy m.slot_of;
+      next_frame = m.next_frame;
+      free_list = m.free_list;
+      max_frames = m.max_frames;
+      handed_out = m.handed_out;
+      gens = Array.copy m.gens;
+      views = [] }
+  in
+  let v =
+    { store = t.store; map; last_n = -1; last_base = -1;
+      last_writable = false }
+  in
+  map.views <- [ v ];
+  v
 
 (* ------------------------------------------------------------------ *)
 (* Accounting *)
@@ -525,8 +666,8 @@ let stats t =
         incr resident;
         if t.store.refs.(s) > 1 then incr shared
       end)
-    t.slot_of;
-  { allocated = t.handed_out;
+    t.map.slot_of;
+  { allocated = t.map.handed_out;
     resident = !resident;
     shared = !shared;
     private_ = !resident - !shared;

@@ -24,6 +24,22 @@ val create : ?size_mib:int -> unit -> t
     succeed (the address space is sparse), only allocation is
     bounded. *)
 
+val alias : t -> t
+(** Another handle onto the {e same} physical memory: the store and
+    frame map are shared (a write through one alias is visible through
+    all), only the one-entry access memo is private. One alias per
+    simulated core in an SMP machine keeps the hot read/write fast
+    paths free of shared mutable host state; allocator and CoW slow
+    paths are serialized by a store-wide mutex. *)
+
+val reserve : t -> frames:int -> unit
+(** Pre-size every growable internal array to hold at least [frames]
+    frames (and as many slots), so no array is reallocated while
+    aliases execute on parallel host domains — a domain still holding
+    a replaced array would write to memory the swap abandoned. Call
+    from a quiescent point before parallel execution; include CoW
+    headroom in [frames] if snapshots will be live. *)
+
 val alloc_frame : t -> int
 (** Allocate a zeroed 4 KiB frame; returns its physical address.
     Raises [Failure] when physical memory is exhausted. *)
@@ -38,6 +54,10 @@ val free_frame : t -> int -> unit
 val allocated_frames : t -> int
 (** Number of frames currently handed out (for memory-overhead
     accounting, paper Section 9). *)
+
+val high_water : t -> int
+(** One past the highest frame number the bump allocator has ever
+    handed out — the sizing input for {!reserve}. *)
 
 val read8 : t -> int -> int
 val write8 : t -> int -> int -> unit
