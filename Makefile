@@ -1,5 +1,5 @@
 .PHONY: all build test bench bench-smoke fleet fleet-smoke fuzz \
-	fuzz-smoke smp smp-smoke snap-demo trace-demo clean
+	fuzz-smoke smp smp-smoke scale scale-smoke snap-demo trace-demo clean
 
 all: build
 
@@ -58,6 +58,22 @@ smp: build
 # 100-shootdown latency check; does not rewrite BENCH_smp.json.
 smp-smoke: build
 	dune exec bench/smp.exe -- --smoke
+
+# Tenant-scale connection churn: 4096 zones in a 13-bit ASID space,
+# enough alloc/free cycles to force generation rollover, with the
+# per-switch cycle flatness, pgt-id density and zero-allocation
+# gates; writes BENCH_scale.json in the repo root and fails if the
+# top-zone-count MIPS regressed more than 20% against the committed
+# baseline (LZ_BENCH_TOLERANCE overrides).
+scale: build
+	dune exec bench/scale.exe -- --check BENCH_scale.json
+
+# CI variant: 256 zones in a 9-bit space — same rollover, flatness
+# and zero-allocation gates at a fraction of the runtime. Smoke and
+# full mode never compare against each other's baselines (the JSON
+# records its mode).
+scale-smoke: build
+	dune exec bench/scale.exe -- --smoke --check BENCH_scale.json
 
 # Snapshot/fork/replay walkthrough (lz_snap demo).
 snap-demo: build

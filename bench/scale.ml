@@ -1,0 +1,399 @@
+(* Tenant-scale connection-churn benchmark.
+
+   Models a zone-per-tenant server: K long-lived tenant zones stay
+   resident (their tables hold live ASIDs for the whole run) while
+   connections churn — each connection allocates a zone, re-points a
+   gate at it, serves a few request iterations through the gate
+   (switch in, touch the connection's protected scratch page, switch
+   back), and frees the zone. The allocator hands every connection a
+   recycled pgt id and, once the churn has marched through the ASID
+   space, recycled ASIDs under generation rollover — the paths this
+   benchmark exists to keep honest at 4096+ resident zones.
+
+   Sweeps K over 128 / 512 / 2048 / 4096 (smoke: 32 / 128 / 256 with
+   a 9-bit ASID space so rollover still fires) and reports, per K:
+   simulated MIPS over the whole churn (host-side alloc/free included
+   — that is what connection churn costs), gate cost in simulated
+   cycles per switch, and the allocator's rollover/recycle counters.
+   The churn length is sized so every K crosses the ASID space at
+   least once: connections = space - K + slack.
+
+   Gates enforced on every run:
+   - recycle count > 0 at the top K (the bench is pointless without
+     recycling actually exercised);
+   - per-switch cycle cost stays flat-to-logarithmic in K:
+     cycles/switch at the top K must be <= 1.7x the bottom K;
+   - zero allocation on the steady-state switch path: two slices of
+     the same warm zone differing only in switch count must show a
+     marginal Gc minor-words cost of ~0 words per switch (per-insn
+     fast engine, where the engine itself is allocation-free).
+
+   `--check [FILE]` additionally reads the committed BENCH_scale.json
+   before overwriting it and exits 1 if MIPS at the top K regressed
+   more than 20% (LZ_BENCH_TOLERANCE overrides). Baselines from a
+   different mode (smoke vs full) are skipped — not comparable.
+
+   Emits BENCH_scale.json. `--smoke` is the CI variant. *)
+
+module Core = Lz_cpu.Core
+open Lz_kernel
+open Lightzone
+
+let code_va = 0x400000
+let serve_va = 0x600000
+let stack_va = 0x7F0000000000
+
+let now () = Unix.gettimeofday ()
+
+(* Serve loop: x21 = iteration countdown (set by the host before each
+   slice). Each iteration switches through gate 1 into the
+   connection's zone, stores and loads on the protected scratch page,
+   and switches back through gate 0 to the default table — 2 gate
+   passes per iteration. x17/x30 are the gate registers; x0..x2 are
+   scratch. *)
+let build_program () =
+  let b = Builder.create ~base:code_va in
+  let loop = Builder.here b in
+  Builder.switch_gate b ~gate:1;
+  Builder.mov_imm64 b 0 serve_va;
+  Builder.emit b
+    [ Lz_arm.Insn.Movz (1, 0xAB, 0); Lz_arm.Insn.Str (1, 0, 0);
+      Lz_arm.Insn.Ldr (2, 0, 0) ];
+  Builder.switch_gate b ~gate:0;
+  Builder.emit b [ Lz_arm.Insn.Subs (21, 21, Lz_arm.Insn.Imm 1) ];
+  Builder.emit b [ Lz_arm.Insn.Bcond (Lz_arm.Insn.NE, loop - Builder.here b) ];
+  Builder.emit b [ Lz_arm.Insn.Brk 0 ];
+  b
+
+(* One brk-exit slice, then rewind to the loop head so the next
+   connection reruns the same image (the Switch_bench warm-image
+   idiom). *)
+let rewind (t : Kmod.t) =
+  Core.eret_from_el2 t.Kmod.core;
+  t.Kmod.proc.Proc.exit_code <- None;
+  t.Kmod.core.Core.pc <- code_va
+
+let run_slice (t : Kmod.t) ~iters =
+  Core.set_reg t.Kmod.core 21 iters;
+  match Api.run ~max_insns:200_000_000 t with
+  | Kmod.Exited _ -> rewind t
+  | o -> failwith (Format.asprintf "scale: %a" Kmod.pp_outcome o)
+
+(* Build a machine with [zones] resident tenants and the serve image
+   loaded; gate 0 points back at the default table, gate 1 is
+   re-pointed per connection. *)
+let build ~zones ~asid_bits cm =
+  let machine = Machine.create ~cost:cm () in
+  let kernel = Kernel.create machine Kernel.Host_vhe in
+  let proc = Kernel.create_process kernel in
+  ignore (Kernel.map_anon kernel proc ~at:(stack_va - 0x10000) ~len:0x10000
+            Vma.rw);
+  ignore (Kernel.map_anon kernel proc ~at:serve_va ~len:0x1000 Vma.rw);
+  let t =
+    Kmod.enter ~asid_bits ~allow_scalable:true
+      ~san_mode:Sanitizer.Ttbr_mode ~vmid:0x400 ~entry:code_va ~sp:stack_va
+      kernel proc
+  in
+  for _ = 1 to zones do
+    ignore (Api.lz_alloc t)
+  done;
+  Api.lz_map_gate_pgt t ~pgt:0 ~gate:0;
+  Api.load_and_register t (build_program ()) ~va:code_va;
+  t
+
+(* One connection: allocate the tenant zone, point gate 1 at it,
+   serve [iters] request iterations, free it. The pgt id recycles
+   LIFO, so every connection after the first reuses the same id — and
+   with it the scratch page's registry attachment. *)
+let serve_connection t ~first_id ~iters =
+  let id = Api.lz_alloc t in
+  if first_id >= 0 && id <> first_id then
+    failwith "scale: connection id did not recycle";
+  Api.lz_map_gate_pgt t ~pgt:id ~gate:1;
+  if first_id < 0 then
+    Api.lz_prot t ~addr:serve_va ~len:4096 ~pgt:id
+      ~perm:(Perm.read lor Perm.write);
+  run_slice t ~iters;
+  Api.lz_free t id;
+  id
+
+type row = {
+  zones : int;
+  connections : int;
+  switches : int;
+  insns : int;
+  seconds : float;
+  mips : float;
+  cycles_per_switch : float;
+  rollovers : int;
+  recycled : int;
+  pgt_high_water : int;
+}
+
+let churn_row ~zones ~asid_bits ~connections ~iters cm =
+  let t = build ~zones ~asid_bits cm in
+  let core = t.Kmod.core in
+  Core.set_fast core true;
+  Core.set_blocks core true;
+  (* Warm one connection outside the timed window: demand paging of
+     the image, gate registration and the sanitizer scan are setup
+     cost, not churn cost. *)
+  let first_id = serve_connection t ~first_id:(-1) ~iters in
+  let i0 = core.Core.insns and c0 = core.Core.cycles in
+  let t0 = now () in
+  for _ = 1 to connections do
+    ignore (serve_connection t ~first_id ~iters)
+  done;
+  let seconds = now () -. t0 in
+  let insns = core.Core.insns - i0 in
+  let cycles = core.Core.cycles - c0 in
+  let switches = 2 * iters * connections in
+  {
+    zones;
+    connections;
+    switches;
+    insns;
+    seconds;
+    mips = float_of_int insns /. seconds /. 1e6;
+    cycles_per_switch = float_of_int cycles /. float_of_int switches;
+    rollovers = Asid_alloc.rollovers t.Kmod.asids;
+    recycled = Asid_alloc.recycled t.Kmod.asids;
+    pgt_high_water = Zone_tab.high_water t.Kmod.pgts;
+  }
+
+(* Zero-allocation gate: on a warm zone (no churn — the connection
+   stays allocated), two slices that differ only in switch count must
+   cost the same Gc minor words up to a constant. Run on the per-insn
+   fast engine: the superblock engine's trace-tree training is
+   deliberately excluded (block objects are a one-time translation
+   cost, not steady-state), and the slow path is not the shipped
+   configuration. *)
+let zero_alloc_marginal ~asid_bits cm =
+  let t = build ~zones:16 ~asid_bits cm in
+  let core = t.Kmod.core in
+  Core.set_fast core true;
+  Core.set_blocks core false;
+  let id = Api.lz_alloc t in
+  Api.lz_map_gate_pgt t ~pgt:id ~gate:1;
+  Api.lz_prot t ~addr:serve_va ~len:4096 ~pgt:id
+    ~perm:(Perm.read lor Perm.write);
+  run_slice t ~iters:64;
+  (* warm: faults done *)
+  let measure iters =
+    let w0 = Gc.minor_words () in
+    run_slice t ~iters;
+    Gc.minor_words () -. w0
+  in
+  let n1 = 2_000 and n2 = 10_000 in
+  let w1 = measure n1 in
+  let w2 = measure n2 in
+  (w2 -. w1) /. float_of_int (2 * (n2 - n1))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline parsing (same string-scan approach as bench/throughput) *)
+
+let str_index s sub ~from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go (max 0 from)
+
+let number_after s ~from =
+  let n = String.length s in
+  let i = ref from in
+  while
+    !i < n
+    && not (match s.[!i] with '0' .. '9' | '-' | '.' -> true | _ -> false)
+  do
+    incr i
+  done;
+  let j = ref !i in
+  while
+    !j < n
+    && (match s.[!j] with '0' .. '9' | '-' | '.' | 'e' | '+' -> true
+        | _ -> false)
+  do
+    incr j
+  done;
+  if !j > !i then float_of_string_opt (String.sub s !i (!j - !i)) else None
+
+let baseline_top_mips json ~zones =
+  match str_index json (Printf.sprintf "\"zones\": %d" zones) ~from:0 with
+  | None -> None
+  | Some at -> (
+      match str_index json "\"mips\":" ~from:at with
+      | None -> None
+      | Some at -> number_after json ~from:at)
+
+let baseline_mode json =
+  match str_index json "\"mode\":" ~from:0 with
+  | None -> None
+  | Some at -> (
+      match str_index json "\"" ~from:(at + 7) with
+      | None -> None
+      | Some q -> (
+          match str_index json "\"" ~from:(q + 1) with
+          | None -> None
+          | Some q2 -> Some (String.sub json (q + 1) (q2 - q - 1))))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  let smoke = List.mem "--smoke" argv in
+  let check =
+    let rec find = function
+      | "--check" :: path :: _ when String.length path > 0 && path.[0] <> '-'
+        -> Some path
+      | "--check" :: _ -> Some "BENCH_scale.json"
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    find argv
+  in
+  let mode = if smoke then "smoke" else "full" in
+  (* The ASID space is sized to be crossed: big enough to park the
+     largest K live, small enough that the churn reaches rollover at
+     every K. *)
+  let asid_bits = if smoke then 9 else 13 in
+  let space = (1 lsl asid_bits) - 1 in
+  let sweep = if smoke then [ 32; 128; 256 ] else [ 128; 512; 2048; 4096 ] in
+  let slack = if smoke then 64 else 512 in
+  let iters = 8 in
+  let cm = Lz_cpu.Cost_model.cortex_a55 in
+  let baseline =
+    match check with
+    | Some path when Sys.file_exists path -> Some (path, read_file path)
+    | Some path ->
+        Printf.printf "scale: no baseline %s yet, writing one\n%!" path;
+        None
+    | None -> None
+  in
+  let rows =
+    List.map
+      (fun zones ->
+        (* +2 live ASIDs beyond the residents: the default table and
+           the in-flight connection. *)
+        let connections = space - zones + slack in
+        let r = churn_row ~zones ~asid_bits ~connections ~iters cm in
+        Printf.printf
+          "scale: %4d zones   %5d conns   %7d switches   %6.2f MIPS   \
+           %6.1f cyc/switch   %d rollovers   %d recycled   hw %d\n%!"
+          r.zones r.connections r.switches r.mips r.cycles_per_switch
+          r.rollovers r.recycled r.pgt_high_water;
+        r)
+      sweep
+  in
+  let marginal = zero_alloc_marginal ~asid_bits cm in
+  Printf.printf "scale: steady-state switch path: %.4f minor words/switch\n%!"
+    marginal;
+  let json =
+    let item r =
+      Printf.sprintf
+        {|    { "zones": %d, "connections": %d, "switches": %d,
+      "insns": %d, "seconds": %.6f, "mips": %.3f,
+      "cycles_per_switch": %.2f, "rollovers": %d, "recycled": %d,
+      "pgt_high_water": %d }|}
+        r.zones r.connections r.switches r.insns r.seconds r.mips
+        r.cycles_per_switch r.rollovers r.recycled r.pgt_high_water
+    in
+    Printf.sprintf
+      "{\n  \"bench\": \"scale\",\n  \"mode\": %S,\n  \"asid_bits\": %d,\n  \
+       \"serve_iters\": %d,\n  \"zero_alloc_marginal_words_per_switch\": \
+       %.4f,\n  \"rows\": [\n%s\n  ]\n}\n"
+      mode asid_bits iters marginal
+      (String.concat ",\n" (List.map item rows))
+  in
+  let out = open_out "BENCH_scale.json" in
+  output_string out json;
+  close_out out;
+  Printf.printf "wrote BENCH_scale.json\n%!";
+  (* Unconditional gates. *)
+  let failures = ref [] in
+  let top = List.nth rows (List.length rows - 1) in
+  let bottom = List.hd rows in
+  if top.recycled <= 0 then
+    failures :=
+      Printf.sprintf "no ASID recycling at %d zones (recycled = %d)"
+        top.zones top.recycled
+      :: !failures;
+  if top.rollovers <= 0 then
+    failures :=
+      Printf.sprintf "no generation rollover at %d zones" top.zones
+      :: !failures;
+  if top.cycles_per_switch > 1.7 *. bottom.cycles_per_switch then
+    failures :=
+      Printf.sprintf
+        "per-switch cost not flat: %.1f cyc at %d zones vs %.1f at %d \
+         (>1.7x)"
+        top.cycles_per_switch top.zones bottom.cycles_per_switch bottom.zones
+      :: !failures;
+  (* The connection's table recycles one id: the id space must not
+     creep past residents + default + 1. *)
+  if top.pgt_high_water > top.zones + 2 then
+    failures :=
+      Printf.sprintf "pgt id space leaked: high water %d for %d zones"
+        top.pgt_high_water top.zones
+      :: !failures;
+  if marginal > 0.01 then
+    failures :=
+      Printf.sprintf
+        "switch path allocates: %.4f minor words per switch (want 0)"
+        marginal
+      :: !failures;
+  (* Baseline MIPS gate. *)
+  (match baseline with
+  | None -> ()
+  | Some (path, base) -> (
+      match baseline_mode base with
+      | Some m when m <> mode ->
+          Printf.printf
+            "scale: baseline %s is a %s run, this is %s — MIPS check \
+             skipped\n%!"
+            path m mode
+      | _ -> (
+          match baseline_top_mips base ~zones:top.zones with
+          | None ->
+              Printf.printf "scale: %d-zone row not in baseline %s, skipped\n%!"
+                top.zones path
+          | Some m0 ->
+              let tolerance =
+                match Sys.getenv_opt "LZ_BENCH_TOLERANCE" with
+                | Some s -> (
+                    match float_of_string_opt s with
+                    | Some f when f > 0. && f < 1. -> f
+                    | _ ->
+                        Printf.eprintf
+                          "scale: LZ_BENCH_TOLERANCE must be in (0,1), got \
+                           %S\n"
+                          s;
+                        exit 2)
+                | None -> 0.20
+              in
+              if top.mips < (1. -. tolerance) *. m0 then
+                failures :=
+                  Printf.sprintf
+                    "%d-zone MIPS regressed: %.3f vs baseline %.3f (-%.0f%%)"
+                    top.zones top.mips m0
+                    (100. *. (1. -. (top.mips /. m0)))
+                  :: !failures
+              else
+                Printf.printf
+                  "scale: --check ok (%d-zone MIPS %.3f within %.0f%% of \
+                   %.3f)\n%!"
+                  top.zones top.mips (100. *. tolerance) m0)));
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun f -> Printf.eprintf "scale: FAIL: %s\n" f) fs;
+      exit 1

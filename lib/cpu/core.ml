@@ -185,22 +185,44 @@ let mmu_ctx t ~unpriv =
     unpriv }
 
 (* Fast path: [mmu_ctx] reads four system registers and allocates a
-   record; memoize it against the sysreg file's MMU generation.
-   PSTATE.{EL,PAN} can change without a register write, so they are
-   revalidated against the cached record's own fields. Unprivileged
-   (LDTR/STTR) contexts are rare and built fresh. *)
+   record; memoize it against the sysreg file's MMU generation and
+   refresh the same record in place when it moves — a TTBR0 rewrite
+   (every zone-gate transit does two) must not allocate. The [Some]
+   box around the stage-2 root is likewise kept when the root value
+   is unchanged. PSTATE.{EL,PAN} can change without a register write,
+   so they are revalidated against the cached record's own fields.
+   Unprivileged (LDTR/STTR) contexts are rare and built fresh. *)
+let refresh_ctx t (c : Mmu.ctx) =
+  c.Mmu.ttbr0 <- Sysreg.read t.sys Sysreg.TTBR0_EL1;
+  c.Mmu.ttbr1 <- Sysreg.read t.sys Sysreg.TTBR1_EL1;
+  if stage2_active t then begin
+    let vttbr = Sysreg.read t.sys Sysreg.VTTBR_EL2 in
+    c.Mmu.vmid <- Mmu.ttbr_asid vttbr;
+    let root = Mmu.ttbr_root vttbr in
+    match c.Mmu.s2_root with
+    | Some r when r = root -> ()
+    | _ -> c.Mmu.s2_root <- Some root
+  end
+  else begin
+    c.Mmu.vmid <- 0;
+    if c.Mmu.s2_root <> None then c.Mmu.s2_root <- None
+  end
+
 let ctx_of t ~unpriv =
   let fp = t.fp in
   if unpriv || not fp.Fastpath.enabled then mmu_ctx t ~unpriv
   else
     let g = Sysreg.mmu_gen t.sys in
     match fp.Fastpath.ctx with
-    | Some c
-      when fp.Fastpath.ctx_gen = g
-           && c.Mmu.el = t.pstate.el
-           && c.Mmu.pan = t.pstate.pan ->
+    | Some c ->
+        if fp.Fastpath.ctx_gen <> g then begin
+          refresh_ctx t c;
+          fp.Fastpath.ctx_gen <- g
+        end;
+        if c.Mmu.el <> t.pstate.el then c.Mmu.el <- t.pstate.el;
+        if c.Mmu.pan <> t.pstate.pan then c.Mmu.pan <- t.pstate.pan;
         c
-    | _ ->
+    | None ->
         let c = mmu_ctx t ~unpriv:false in
         fp.Fastpath.ctx <- Some c;
         fp.Fastpath.ctx_gen <- g;
@@ -230,13 +252,23 @@ let data_pa t ~unpriv access ~va ~ret =
         try Mmu.entry_pa_exn ctx access ~va e
         with Mmu.Fault f -> raise (Exc (Ec_dabort f, ret)))
     | None -> (
+        (* Full TLB lookup returns the table's preboxed entry, so a
+           hit completes through [entry_pa_exn] without allocating;
+           only a real miss pays the Result-typed walk. Accounting is
+           identical to [Mmu.translate]. *)
         match
-          Mmu.translate ~front:fp.Fastpath.dtlb t.phys t.tlb ctx access ~va
+          Tlb.lookup_front t.tlb fp.Fastpath.dtlb ~vmid:ctx.Mmu.vmid
+            ~asid:(Mmu.va_asid ctx ~va) ~va
         with
-        | Ok ok ->
-            if not ok.tlb_hit then charge t (ok.walk_reads * t.cost.pte_read);
-            ok.pa
-        | Error f -> raise (Exc (Ec_dabort f, ret)))
+        | Some e -> (
+            try Mmu.entry_pa_exn ctx access ~va e
+            with Mmu.Fault f -> raise (Exc (Ec_dabort f, ret)))
+        | None -> (
+            match Mmu.translate_walk t.phys t.tlb ctx access ~va with
+            | Ok ok ->
+                charge t (ok.walk_reads * t.cost.pte_read);
+                ok.pa
+            | Error f -> raise (Exc (Ec_dabort f, ret))))
   end
   else
     match translate t ~unpriv access ~va with
@@ -1015,14 +1047,21 @@ let fetch_pa t ~pc_cur =
         try Mmu.entry_pa_exn ctx Mmu.Exec ~va:pc_cur e
         with Mmu.Fault f -> raise (Exc (Ec_iabort f, pc_cur)))
     | None -> (
+        (* Same allocation-free hit completion as [data_pa]: the full
+           lookup hands back the table's preboxed entry. *)
         match
-          Mmu.translate ~front:fp.Fastpath.itlb t.phys t.tlb ctx Mmu.Exec
-            ~va:pc_cur
+          Tlb.lookup_front t.tlb fp.Fastpath.itlb ~vmid:ctx.Mmu.vmid
+            ~asid:(Mmu.va_asid ctx ~va:pc_cur) ~va:pc_cur
         with
-        | Ok ok ->
-            if not ok.tlb_hit then charge t (ok.walk_reads * t.cost.pte_read);
-            ok.pa
-        | Error f -> raise (Exc (Ec_iabort f, pc_cur)))
+        | Some e -> (
+            try Mmu.entry_pa_exn ctx Mmu.Exec ~va:pc_cur e
+            with Mmu.Fault f -> raise (Exc (Ec_iabort f, pc_cur)))
+        | None -> (
+            match Mmu.translate_walk t.phys t.tlb ctx Mmu.Exec ~va:pc_cur with
+            | Ok ok ->
+                charge t (ok.walk_reads * t.cost.pte_read);
+                ok.pa
+            | Error f -> raise (Exc (Ec_iabort f, pc_cur))))
   end
   else
     match translate t ~unpriv:false Mmu.Exec ~va:pc_cur with

@@ -89,7 +89,11 @@ type t = {
   (* Decoded-instruction cache keyed by physical page number. *)
   dcache : (int, dpage) Hashtbl.t;
   mutable dlast_page : int;
-  mutable dlast : dpage option;
+  (* Valid iff [dlast_page] matches the probed page (initially -1,
+     matching no page). Non-optional so the 1-entry memo refill is a
+     pair of field writes — a [Some] box here is two minor words per
+     code-page change, paid twice per zone-gate transit. *)
+  mutable dlast : dpage;
   (* Bumped whenever cached blocks are dropped wholesale: a chain link
      into a block from an older epoch is never followed. *)
   mutable epoch : int;
@@ -113,6 +117,14 @@ type t = {
    block layer, for three-way differential runs. *)
 let default_blocks = ref (Sys.getenv_opt "LZ_NO_BLOCKS" <> Some "1")
 
+let insns_per_page = Phys.page_size / 4
+
+let empty_dpage () =
+  { dgen = -1;
+    code = Array.make insns_per_page None;
+    blk = Array.make insns_per_page None;
+    bias = Array.make insns_per_page 0 }
+
 let create ~enabled =
   { enabled;
     blocks = enabled && !default_blocks;
@@ -122,7 +134,7 @@ let create ~enabled =
     ctx_gen = -1;
     dcache = Hashtbl.create 64;
     dlast_page = -1;
-    dlast = None;
+    dlast = empty_dpage ();
     epoch = 0;
     wp_gen = -1;
     wp_armed = false;
@@ -157,29 +169,22 @@ let reset t =
   t.wp_gen <- -1;
   t.wp_armed <- false
 
-let insns_per_page = Phys.page_size / 4
-
 let dpage_of t phys ppage =
   let dp =
-    match t.dlast with
-    | Some dp when t.dlast_page = ppage -> dp
-    | _ ->
-        let dp =
-          match Hashtbl.find t.dcache ppage with
-          | dp -> dp
-          | exception Not_found ->
-              let dp =
-                { dgen = -1;
-                  code = Array.make insns_per_page None;
-                  blk = Array.make insns_per_page None;
-                  bias = Array.make insns_per_page 0 }
-              in
-              Hashtbl.add t.dcache ppage dp;
-              dp
-        in
-        t.dlast_page <- ppage;
-        t.dlast <- Some dp;
-        dp
+    if t.dlast_page = ppage then t.dlast
+    else begin
+      let dp =
+        match Hashtbl.find t.dcache ppage with
+        | dp -> dp
+        | exception Not_found ->
+            let dp = empty_dpage () in
+            Hashtbl.add t.dcache ppage dp;
+            dp
+      in
+      t.dlast_page <- ppage;
+      t.dlast <- dp;
+      dp
+    end
   in
   let g = Phys.page_gen phys (ppage * Phys.page_size) in
   if dp.dgen <> g then begin

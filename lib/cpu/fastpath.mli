@@ -80,7 +80,7 @@ type t = {
   mutable ctx_gen : int;
   dcache : (int, dpage) Hashtbl.t;
   mutable dlast_page : int;
-  mutable dlast : dpage option;
+  mutable dlast : dpage;
   mutable epoch : int;
   mutable wp_gen : int;
   mutable wp_armed : bool;

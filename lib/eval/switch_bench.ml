@@ -231,8 +231,8 @@ let zone_digest (t : Kmod.t) =
     (Pstate.to_spsr core.Core.pstate)
     core.Core.insns
     (Sysreg.read core.Core.sys Sysreg.TTBR0_EL1)
-    t.Kmod.next_pgt
-    (Hashtbl.length t.Kmod.pgts);
+    (Zone_tab.high_water t.Kmod.pgts)
+    (Zone_tab.length t.Kmod.pgts);
   let domains =
     match Proc.find_vma t.Kmod.proc domains_va with
     | Some vma -> (vma.Vma.len + 4095) / 4096

@@ -23,11 +23,15 @@ type kind =
   | Smp_race
       (** multi-CPU scheduler race: concurrent context switches plus an
           mprotect-driven TLB shootdown storm, sequential mode. *)
+  | Zone_churn
+      (** tenant-scale churn: interleaved lz_alloc/lz_free so pgt ids
+          and ASIDs recycle within the case, a gate re-pointed at a
+          recycled table, then a switch through it. *)
 
 let all_kinds =
   [|
     Stream; Gate_stream; Smc_block; Selfmod; Pte_poke; Irq_storm; Churn;
-    Smp_race;
+    Smp_race; Zone_churn;
   |]
 
 let kind_name = function
@@ -39,6 +43,7 @@ let kind_name = function
   | Irq_storm -> "irq-storm"
   | Churn -> "churn"
   | Smp_race -> "smp-race"
+  | Zone_churn -> "zone-churn"
 
 let kind_of_name s =
   match s with
@@ -50,6 +55,7 @@ let kind_of_name s =
   | "irq-storm" -> Some Irq_storm
   | "churn" -> Some Churn
   | "smp-race" -> Some Smp_race
+  | "zone-churn" -> Some Zone_churn
   | _ -> None
 
 type t = {

@@ -26,6 +26,10 @@ type kind =
           migrating across 2–3 CPUs while one task drives an
           mprotect-driven TLB shootdown storm; run under the
           sequential deterministic scheduler loop. *)
+  | Zone_churn
+      (** tenant-scale churn: interleaved lz_alloc/lz_free so pgt ids
+          and ASIDs recycle within the case, a gate re-pointed at a
+          recycled table, then a switch through it. *)
 
 val all_kinds : kind array
 val kind_name : kind -> string

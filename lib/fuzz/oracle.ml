@@ -69,6 +69,7 @@ type env = {
 
 let build cm ~domains ~slice_n =
   Api.next_vmid := vmid_base;
+  Api.reset_fork_vmids ();
   let r = Sb.prepare cm ~env:Sb.Host ~domains ~n:slice_n in
   (r.Sb.t, Snapshot.capture r.Sb.t)
 
@@ -173,13 +174,13 @@ let setup env f (c : Fuzz_case.t) =
          mapping of table frames must catch it. *)
       let pgt = 1 + (c.gate mod max 1 env.domains) in
       let dva = warm_domains_va + ((pgt - 1) * 4096) in
-      let tbl = Hashtbl.find f.Kmod.pgts pgt in
+      let tbl = Zone_tab.get f.Kmod.pgts pgt in
       Kmod.set_current_pgt f pgt;
       if not (Lz_table.mapped tbl ~va:dva) then
         Kmod.prefault f ~va:dva ~access:Lz_mem.Mmu.Read;
       (match Lz_table.last_level_table_fake tbl ~va:dva with
       | Some table_fake ->
-          let tbl0 = Hashtbl.find f.Kmod.pgts 0 in
+          let tbl0 = Zone_tab.get f.Kmod.pgts 0 in
           Lz_table.map_page tbl0 ~va:poke_va ~fake_pa:table_fake
             { Lz_mem.Pte.user = false; read_only = false; uxn = true;
               pxn = true; ng = false }
@@ -246,6 +247,38 @@ let setup env f (c : Fuzz_case.t) =
       List.iteri (fun i id -> if i mod 2 = 0 then Kmod.lz_free f id) allocated;
       let site = site_words ~gate:c.gate in
       Kmod.register_gate_entry f ~gate:c.gate
+        ~entry:(scratch_code_va + (4 * List.length site));
+      (site @ Array.to_list c.words @ [ brk_exit ], None)
+  | Fuzz_case.Zone_churn ->
+      (* Tenant-scale churn: rounds of lz_alloc / lz_free that march
+         pgt ids through the free list and back, with a spare gate
+         re-pointed at a table whose id is then freed and reissued.
+         The TTBRTab slot is zeroed at free and refilled (new table,
+         new ASID) at the recycling alloc, and teardown defers its
+         TLB invalidation to ASID-generation rollover — every engine
+         must observe the same recycled table through the gate, with
+         no stale translation leaking into the reissued zone. *)
+      let spare_gates = Gate.max_gates - env.domains in
+      let gate =
+        if spare_gates > 0 then env.domains + (c.gate mod spare_gates)
+        else c.gate
+      in
+      let rounds = 1 + (c.param land 0x7) in
+      for _ = 1 to rounds do
+        let batch = List.init 4 (fun _ -> Kmod.lz_alloc f) in
+        (* Aim the gate at the batch's last table, then free the whole
+           batch — the last-freed id heads the LIFO free list, so the
+           next round (and the final alloc below) reissues exactly the
+           id the gate names. *)
+        (match List.rev batch with
+        | last :: _ -> Kmod.lz_map_gate_pgt f ~pgt:last ~gate
+        | [] -> ());
+        List.iter (fun id -> Kmod.lz_free f id) batch
+      done;
+      let recycled = Kmod.lz_alloc f in
+      Kmod.lz_map_gate_pgt f ~pgt:recycled ~gate;
+      let site = site_words ~gate in
+      Kmod.register_gate_entry f ~gate
         ~entry:(scratch_code_va + (4 * List.length site));
       (site @ Array.to_list c.words @ [ brk_exit ], None)
 
@@ -667,6 +700,10 @@ let run_case env (c : Fuzz_case.t) =
   let base = Snapshot.capture f in
   let runs = List.map (run_one f base tr0 reset c) engines in
   Snapshot.release f base;
+  (* Hand the fork's VMID back: the next case's fork pops the same
+     value the pin would have produced, so recycling keeps the event
+     streams (which carry VMIDs) byte-stable across the campaign. *)
+  Snapshot.retire_fork f;
   let divergence = first_divergence runs in
   let blocks_run = List.nth runs (List.length runs - 1) in
   { runs; divergence; keys = keys_of c blocks_run }

@@ -4,6 +4,27 @@ type t = Kmod.t
    they never collide with ordinary KVM guests (which start at 1). *)
 let next_vmid = ref 0x100
 
+(* Forking (lz_snap) stamps a fresh VMID per fork; a fleet that forks
+   and releases thousands of images must not march the counter through
+   the 16-bit VMID space. Released VMIDs are pooled and handed back
+   LIFO. [Snapshot.release] flushes the VM's TLB context before the
+   VMID reaches the pool, so reuse cannot observe stale translations. *)
+let free_vmids : int list ref = ref []
+
+let alloc_fork_vmid () =
+  match !free_vmids with
+  | v :: rest ->
+      free_vmids := rest;
+      v
+  | [] ->
+      let v = !next_vmid in
+      incr next_vmid;
+      v
+
+let release_vmid v = free_vmids := v :: !free_vmids
+
+let reset_fork_vmids () = free_vmids := []
+
 let lz_enter ?backend ~allow_scalable ~insn_san ~entry ~sp kernel proc =
   let san_mode =
     match insn_san with

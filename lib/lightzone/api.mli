@@ -17,9 +17,22 @@
 type t = Kmod.t
 
 val next_vmid : int ref
-(** The process-global LightZone VMID allocator (starts at 0x100, one
-    per {!lz_enter}, never reused). Exposed so determinism tests that
-    compare two complete runs byte-for-byte can pin it. *)
+(** The process-global LightZone VMID counter (starts at 0x100, one
+    per {!lz_enter}). Exposed so determinism tests that compare two
+    complete runs byte-for-byte can pin it. *)
+
+val alloc_fork_vmid : unit -> int
+(** VMID for a forked machine (lz_snap): a recycled VMID from the
+    release pool if one is available, else the next counter value.
+    The releaser flushed the VM's TLB context, so reuse is safe. *)
+
+val release_vmid : int -> unit
+(** Return a fork's VMID to the pool ([Snapshot.retire_fork]). *)
+
+val reset_fork_vmids : unit -> unit
+(** Empty the release pool — determinism harnesses that pin
+    [next_vmid] call this so a fork can never pop a VMID left over
+    from unrelated earlier activity. *)
 
 val lz_enter :
   ?backend:Kmod.backend ->

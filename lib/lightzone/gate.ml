@@ -7,7 +7,11 @@ let gate_stride = 256
 let max_gates = 256
 let gatetab_base = 0x800001000000
 let ttbrtab_base = 0x800001100000
-let max_pgts = 512
+
+(* 8 bytes per pgt: 8192 ids span 16 contiguous TTBRTab frames, well
+   inside the 1 MiB hole before the next module region. Raised from
+   512 so tenant-per-zone servers can hold 4096+ concurrent zones. *)
+let max_pgts = 8192
 
 let gate_va g =
   if g < 0 || g >= max_gates then invalid_arg "Gate.gate_va";

@@ -15,6 +15,21 @@ type page_prot = {
   mutable pan : bool;          (* user-page overlay: PAN-protected *)
 }
 
+(* Per-process bookkeeping the fault paths consult. Lives behind a
+   [ref] in the module record so threads of one process (which share a
+   record copy) see one registry, while snapshot restore can swap the
+   whole thing in O(1). *)
+type signal_frame = { saved_elr : int; saved_spsr : int; saved_ttbr0 : int }
+
+type shadow = {
+  prot : (int, page_prot) Hashtbl.t;       (* va page -> protection *)
+  mapped_in : (int, int list ref) Hashtbl.t;  (* va page -> pgt ids *)
+  exec_frames : (int, unit) Hashtbl.t;     (* fake ipa -> sanitized+X *)
+  frame_vas : (int, int list ref) Hashtbl.t;  (* fake ipa -> va pages *)
+  mutable sig_pending : int list;          (* handler addresses *)
+  mutable sig_stack : signal_frame list;   (* live signal contexts *)
+}
+
 type t = {
   kernel : Kernel.t;
   proc : Proc.t;
@@ -29,9 +44,12 @@ type t = {
   ttbr1 : Lz_table.t;
   gatetab_pa : int;
   ttbrtab_pa : int;
-  pgts : (int, Lz_table.t) Hashtbl.t;
-  mutable next_pgt : int;
-  mutable next_asid : int;
+  pgts : Lz_table.t Zone_tab.t;
+  asids : Asid_alloc.t;
+  asid_pgt : int array;
+    (* asid -> pgt id + 1 (0 = no live table): the O(1) inverse the
+       fault path uses to resolve TTBR0 to a zone without scanning. *)
+  shadow : shadow ref;
   mutable terminated : string option;
   mutable traps : int;
   mutable syscall_traps : int;
@@ -41,22 +59,7 @@ type t = {
   mutable on_quiescent : (unit -> unit) option;
 }
 
-(* Extra per-module state kept out of the public record. *)
-type signal_frame = { saved_elr : int; saved_spsr : int; saved_ttbr0 : int }
-
-type shadow = {
-  prot : (int, page_prot) Hashtbl.t;       (* va page -> protection *)
-  mapped_in : (int, int list ref) Hashtbl.t;  (* va page -> pgt ids *)
-  exec_frames : (int, unit) Hashtbl.t;     (* fake ipa -> sanitized+X *)
-  frame_vas : (int, int list ref) Hashtbl.t;  (* fake ipa -> va pages *)
-  mutable sig_pending : int list;          (* handler addresses *)
-  mutable sig_stack : signal_frame list;   (* live signal contexts *)
-}
-
-let shadows : (int, shadow) Hashtbl.t = Hashtbl.create 8
-(* keyed by vmid — one LightZone process per VM. *)
-
-let shadow_of t = Hashtbl.find shadows t.vmid
+let shadow_of t = !(t.shadow)
 
 (* Snapshotting the shadow registry: deep-copy so later mutation of
    the live tables (or of a restored machine) can never reach the
@@ -86,13 +89,13 @@ let copy_shadow sh =
 
 type shadow_state = shadow
 
-let capture_shadow t = copy_shadow (shadow_of t)
+let capture_shadow t = copy_shadow !(t.shadow)
 
 (* Install a fresh copy each time, so one captured image can be
    restored repeatedly without the live tables aliasing it. *)
-let restore_shadow t st = Hashtbl.replace shadows t.vmid (copy_shadow st)
+let restore_shadow t st = t.shadow := copy_shadow st
 
-let install_shadow ~vmid st = Hashtbl.replace shadows vmid (copy_shadow st)
+let install_shadow st = ref (copy_shadow st)
 
 let cost t = t.machine.Machine.cost
 
@@ -144,37 +147,68 @@ let build_ttbr1_region t =
     map_module_page t ~va:(Gate.gate_base + (i * 4096))
       ~real:(gate_area + (i * 4096)) ~code:true
   done;
-  (* GateTab and TTBRTab: read-only data. *)
+  (* GateTab and TTBRTab: read-only data. The TTBRTab spans several
+     physically-contiguous frames ([Gate.set_ttbr] indexes it as one
+     flat 8-byte-per-pgt array) so the pgt id space can hold thousands
+     of tenants. *)
   let gatetab = Phys.alloc_frame phys in
-  let ttbrtab = Phys.alloc_frame phys in
+  let ttbrtab_pages = (Gate.max_pgts * 8 + 4095) / 4096 in
+  let ttbrtab = Phys.alloc_frames phys ttbrtab_pages in
   map_module_page t ~va:Gate.gatetab_base ~real:gatetab ~code:false;
-  map_module_page t ~va:Gate.ttbrtab_base ~real:ttbrtab ~code:false;
+  for i = 0 to ttbrtab_pages - 1 do
+    map_module_page t ~va:(Gate.ttbrtab_base + (i * 4096))
+      ~real:(ttbrtab + (i * 4096)) ~code:false
+  done;
   (gatetab, ttbrtab)
 
 (* ------------------------------------------------------------------ *)
 (* Page tables *)
 
 let new_pgt t =
-  let id = t.next_pgt in
-  t.next_pgt <- id + 1;
-  let asid = t.next_asid in
-  t.next_asid <- asid + 1;
+  (* Id recycling keeps the id space dense, so the high-water mark
+     can only grow while every lower id is live: a simple live-count
+     guard bounds ids below the TTBRTab capacity. *)
+  if Zone_tab.length t.pgts >= Gate.max_pgts then
+    invalid_arg "new_pgt: TTBRTab full";
+  let id = Zone_tab.reserve t.pgts in
+  let asid = Asid_alloc.alloc t.asids in
   let tbl =
     Lz_table.create t.machine.Machine.phys t.fake ~s2_root:t.s2_root ~id
       ~asid
   in
-  Hashtbl.replace t.pgts id tbl;
+  Zone_tab.set t.pgts id tbl;
+  t.asid_pgt.(asid) <- id + 1;
   Gate.set_ttbr t.machine.Machine.phys ~ttbrtab_pa:t.ttbrtab_pa ~pgt:id
     ~ttbr:(Lz_table.ttbr tbl);
   id
 
-let pgt_ttbr t id = Lz_table.ttbr (Hashtbl.find t.pgts id)
+let pgt_ttbr t id = Lz_table.ttbr (Zone_tab.get t.pgts id)
 
+(* Resolve TTBR0 to the zone it names in O(1): the ASID field indexes
+   [asid_pgt], and the round-trip TTBR comparison rejects a hostile
+   value that merely reuses a live ASID over a different root. The
+   bounds check matters — a raw TTBR0 can carry any 14-bit ASID while
+   the allocator may be running a narrower space. *)
 let current_pgt t =
   let ttbr0 = Sysreg.read t.core.Core.sys Sysreg.TTBR0_EL1 in
-  Hashtbl.fold
-    (fun id tbl acc -> if Lz_table.ttbr tbl = ttbr0 then Some (id, tbl) else acc)
-    t.pgts None
+  let asid = Mmu.ttbr_asid ttbr0 in
+  if asid >= Array.length t.asid_pgt then None
+  else
+    match t.asid_pgt.(asid) with
+    | 0 -> None
+    | n -> (
+        let id = n - 1 in
+        match Zone_tab.find_opt t.pgts id with
+        | Some tbl when Lz_table.ttbr tbl = ttbr0 -> Some (id, tbl)
+        | _ -> None)
+
+(* Rebuild [asid_pgt] from the live zone table — snapshot restore and
+   machine forking overwrite [pgts] wholesale. *)
+let rebuild_asid_index t =
+  Array.fill t.asid_pgt 0 (Array.length t.asid_pgt) 0;
+  Zone_tab.iteri
+    (fun id tbl -> t.asid_pgt.(tbl.Lz_table.asid) <- id + 1)
+    t.pgts
 
 let unmap_everywhere t ~va =
   let sh = shadow_of t in
@@ -183,7 +217,7 @@ let unmap_everywhere t ~va =
   | Some ids ->
       List.iter
         (fun id ->
-          match Hashtbl.find_opt t.pgts id with
+          match Zone_tab.find_opt t.pgts id with
           | Some tbl -> Lz_table.unmap tbl ~va:page
           | None -> ())
         !ids;
@@ -225,11 +259,11 @@ let install_sync_hooks t =
   t.proc.Proc.on_protect <- Some (fun ~va ~prot:_ -> unmap_everywhere t ~va)
 
 let table_memory_frames t =
-  Hashtbl.fold (fun _ tbl acc -> acc + tbl.Lz_table.table_frames) t.pgts
+  Zone_tab.fold (fun _ tbl acc -> acc + tbl.Lz_table.table_frames) t.pgts
     t.ttbr1.Lz_table.table_frames
 
-let enter ?(backend = Host) ~allow_scalable ~san_mode ~vmid ~entry ~sp kernel
-    (proc : Proc.t) =
+let enter ?(backend = Host) ?(asid_bits = 14) ~allow_scalable ~san_mode
+    ~vmid ~entry ~sp kernel (proc : Proc.t) =
   let machine = kernel.Kernel.machine in
   let phys = machine.Machine.phys in
   let s2_root = Stage2.create_root phys in
@@ -241,18 +275,29 @@ let enter ?(backend = Host) ~allow_scalable ~san_mode ~vmid ~entry ~sp kernel
   let core =
     Machine.new_core ~route_el1_to_harness:false machine Pstate.EL1
   in
+  (* Rollover flush: one whole-VM stage-1 invalidation stands in for
+     TLBI VMALLE1 — the price of recycling the whole dirty ASID pool
+     at once. *)
+  let asids =
+    Asid_alloc.create ~bits:asid_bits
+      ~flush:(fun () -> Tlb.flush_vmid machine.Machine.tlb vmid)
+      ()
+  in
   let t =
     { kernel; proc; core; machine; backend;
       scalable = allow_scalable; san_mode; vmid; s2_root; fake; ttbr1;
       gatetab_pa = 0; ttbrtab_pa = 0;
-      pgts = Hashtbl.create 16; next_pgt = 0; next_asid = 1;
+      pgts = Zone_tab.create ();
+      asids;
+      asid_pgt = Array.make (1 lsl asid_bits) 0;
+      shadow =
+        ref
+          { prot = Hashtbl.create 64; mapped_in = Hashtbl.create 256;
+            exec_frames = Hashtbl.create 64; frame_vas = Hashtbl.create 256;
+            sig_pending = []; sig_stack = [] };
       terminated = None; traps = 0; syscall_traps = 0; fault_traps = 0;
       irq_traps = 0; on_irq = None; on_quiescent = None }
   in
-  Hashtbl.replace shadows vmid
-    { prot = Hashtbl.create 64; mapped_in = Hashtbl.create 256;
-      exec_frames = Hashtbl.create 64; frame_vas = Hashtbl.create 256;
-      sig_pending = []; sig_stack = [] };
   let gatetab_pa, ttbrtab_pa = build_ttbr1_region t in
   let t = { t with gatetab_pa; ttbrtab_pa } in
   let pgt0 = new_pgt t in
@@ -284,16 +329,23 @@ let lz_alloc t =
     invalid_arg "lz_alloc: process entered without allow_scalable";
   new_pgt t
 
+(* Deferred-flush teardown: the freed ASID's stale TLB entries are NOT
+   invalidated here — they are unreachable, because the sanitizer
+   strips raw [msr TTBR0_EL1] from zone code, so the only way a TTBR0
+   value gets installed is through a gate reading the TTBRTab, and the
+   TTBRTab slot is zeroed first. The entries die in bulk at the next
+   ASID-generation rollover, before any reuse. This turns tenant
+   teardown from O(TLB) per connection into O(1). *)
 let lz_free t id =
   if id = 0 then invalid_arg "lz_free: pgt 0 cannot be freed";
-  match Hashtbl.find_opt t.pgts id with
+  match Zone_tab.find_opt t.pgts id with
   | None -> invalid_arg "lz_free: unknown page table"
   | Some tbl ->
-      Hashtbl.remove t.pgts id;
+      Zone_tab.remove t.pgts id;
       Gate.set_ttbr t.machine.Machine.phys ~ttbrtab_pa:t.ttbrtab_pa ~pgt:id
         ~ttbr:0;
-      Tlb.flush_asid t.machine.Machine.tlb ~vmid:t.vmid
-        ~asid:tbl.Lz_table.asid;
+      t.asid_pgt.(tbl.Lz_table.asid) <- 0;
+      Asid_alloc.free t.asids tbl.Lz_table.asid;
       Lz_table.destroy tbl
 
 let lz_prot t ~addr ~len ~pgt ~perm =
@@ -315,7 +367,7 @@ let lz_prot t ~addr ~len ~pgt ~perm =
       record.perm <- perm
     end
     else begin
-      if not (Hashtbl.mem t.pgts pgt) then
+      if not (Zone_tab.mem t.pgts pgt) then
         invalid_arg "lz_prot: unknown page table";
       if not (List.mem pgt record.pgt_ids) then
         record.pgt_ids <- pgt :: record.pgt_ids;
@@ -326,7 +378,7 @@ let lz_prot t ~addr ~len ~pgt ~perm =
   done
 
 let lz_map_gate_pgt t ~pgt ~gate =
-  if not (Hashtbl.mem t.pgts pgt) then
+  if not (Zone_tab.mem t.pgts pgt) then
     invalid_arg "lz_map_gate_pgt: unknown page table";
   Gate.set_gate_pgt t.machine.Machine.phys ~gatetab_pa:t.gatetab_pa ~gate
     ~pgt
@@ -415,7 +467,7 @@ let fault_around_unprotected t ~page ~(vma : Vma.t) =
             Stage2.map_page t.machine.Machine.phys ~root:t.s2_root
               ~ipa:fake ~pa:real s2_rw;
             let installed = ref false in
-            Hashtbl.iter
+            Zone_tab.iteri
               (fun pgt_id tbl ->
                 let already =
                   match Hashtbl.find_opt sh.mapped_in pva with

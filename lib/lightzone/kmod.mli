@@ -26,6 +26,10 @@ type outcome =
   | Terminated of string  (** isolation violation detected. *)
   | Limit_reached
 
+type shadow_state
+(** Deep copy of one process's shadow registry (protection registry,
+    domain membership, sanitized-frame set, signal state). *)
+
 type t = {
   kernel : Lz_kernel.Kernel.t;
   proc : Lz_kernel.Proc.t;
@@ -40,9 +44,12 @@ type t = {
   ttbr1 : Lz_table.t;
   gatetab_pa : int;
   ttbrtab_pa : int;
-  pgts : (int, Lz_table.t) Hashtbl.t;
-  mutable next_pgt : int;
-  mutable next_asid : int;
+  pgts : Lz_table.t Zone_tab.t;
+  asids : Asid_alloc.t;
+  asid_pgt : int array;
+      (** asid -> pgt id + 1 (0 = none): O(1) TTBR0-to-zone
+          resolution on the fault path. *)
+  shadow : shadow_state ref;
   mutable terminated : string option;
   mutable traps : int;
   mutable syscall_traps : int;
@@ -64,6 +71,7 @@ type t = {
 
 val enter :
   ?backend:backend ->
+  ?asid_bits:int ->
   allow_scalable:bool ->
   san_mode:Sanitizer.mode ->
   vmid:int ->
@@ -72,7 +80,10 @@ val enter :
   Lz_kernel.Kernel.t -> Lz_kernel.Proc.t -> t
 (** Put [proc] into LightZone: build the VM, the TTBR1 region and
     pgt 0, and return the module handle whose [core] is ready to run
-    at EL1 from [entry]. The paper's [lz_enter]. *)
+    at EL1 from [entry]. The paper's [lz_enter]. [asid_bits]
+    (default 14, the full TTBR field) narrows the per-VM ASID space —
+    tests and benchmarks pass a small value to force generation
+    rollover quickly. *)
 
 (** {1 The Table 2 API, module side} *)
 
@@ -149,11 +160,8 @@ val table_memory_frames : t -> int
 (** {1 Snapshot support}
 
     The protection registry, domain membership, sanitized-frame set
-    and signal state live in a module-private shadow registry keyed by
-    VMID. Machine snapshots capture and restore it through these. *)
-
-type shadow_state
-(** Deep copy of one process's shadow registry. *)
+    and signal state live behind the record's [shadow] ref. Machine
+    snapshots capture and restore it through these. *)
 
 val capture_shadow : t -> shadow_state
 
@@ -161,9 +169,13 @@ val restore_shadow : t -> shadow_state -> unit
 (** Replaces the live registry with a fresh copy of the captured one
     (the image stays valid for further restores). *)
 
-val install_shadow : vmid:int -> shadow_state -> unit
-(** Install a copy of a captured registry under a {e different} VMID —
-    machine forking, where the fork re-enters under a fresh VMID. *)
+val install_shadow : shadow_state -> shadow_state ref
+(** A fresh live registry holding a copy of a captured one — machine
+    forking, where the fork's record gets its own [shadow] cell. *)
+
+val rebuild_asid_index : t -> unit
+(** Recompute [asid_pgt] from [pgts] — call after snapshot restore or
+    forking replaces the zone table wholesale. *)
 
 val install_sync_hooks : t -> unit
 (** (Re)bind [proc.on_unmap]/[on_protect] to this module handle.

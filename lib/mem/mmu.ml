@@ -13,13 +13,17 @@ type fault = {
   access : access;
 }
 
+(* Mutable so the core's fast path can refresh its memoized context
+   record in place on a TTBR/PSTATE change instead of allocating a
+   fresh record per MSR — zone switches rewrite TTBR0 twice per
+   gate transit, and at tenant-churn rates that allocation shows up. *)
 type ctx = {
-  ttbr0 : int;
-  ttbr1 : int;
-  vmid : int;
-  s2_root : int option;
-  el : Pstate.el;
-  pan : bool;
+  mutable ttbr0 : int;
+  mutable ttbr1 : int;
+  mutable vmid : int;
+  mutable s2_root : int option;
+  mutable el : Pstate.el;
+  mutable pan : bool;
   unpriv : bool;
 }
 
@@ -155,7 +159,14 @@ let entry_pa_exn ctx access ~va (e : Tlb.entry) =
   | _ -> ());
   e.pa_page lor (va land (e.page_bytes - 1))
 
-let translate ?front phys tlb ctx access ~va =
+(* Complete a translation whose TLB lookup already ran and missed:
+   walk, permission-check, refill. Split out of [translate] so the
+   core's allocation-free fast path can pair its own [Tlb.lookup]
+   (which returns the table's preboxed entry) with [entry_pa_exn] on
+   a hit and fall through to this walk only on a real miss — the
+   accounting (one hit/miss per access, walk reads charged only here,
+   refill noted only after an insert) is identical to [translate]. *)
+let translate_walk phys tlb ctx access ~va =
   let ttbr = select_ttbr ctx va in
   let asid = ttbr_asid ttbr in
   let check_and_finish ~pa ~attrs ~s2 ~walk_reads ~tlb_hit =
@@ -167,11 +178,7 @@ let translate ?front phys tlb ctx access ~va =
           fault ~stage:2 ~level:3 ~kind:Permission ~va ~ipa:(-1) ~access
       | _ -> Ok { pa; walk_reads; tlb_hit }
   in
-  match Tlb.lookup ?front tlb ~vmid:ctx.vmid ~asid ~va with
-  | Some e ->
-      let pa = e.pa_page lor (va land (e.page_bytes - 1)) in
-      check_and_finish ~pa ~attrs:e.attrs ~s2:e.s2 ~walk_reads:0 ~tlb_hit:true
-  | None -> (
+  (
       let reads = ref 0 in
       match
         s1_walk phys ~s2_root:ctx.s2_root ~table_ipa:(ttbr_root ttbr)
@@ -224,6 +231,21 @@ let translate ?front phys tlb ctx access ~va =
                       note_refill tlb access
                   | Error _ -> ());
                   r)))
+
+let translate ?front phys tlb ctx access ~va =
+  let asid = va_asid ctx ~va in
+  match Tlb.lookup ?front tlb ~vmid:ctx.vmid ~asid ~va with
+  | Some e -> (
+      let pa = e.pa_page lor (va land (e.page_bytes - 1)) in
+      if
+        not (s1_allows ~el:ctx.el ~pan:ctx.pan ~unpriv:ctx.unpriv e.attrs access)
+      then fault ~stage:1 ~level:3 ~kind:Permission ~va ~ipa:(-1) ~access
+      else
+        match e.s2 with
+        | Some perms when not (s2_allows perms access) ->
+            fault ~stage:2 ~level:3 ~kind:Permission ~va ~ipa:(-1) ~access
+        | _ -> Ok { pa; walk_reads = 0; tlb_hit = true })
+  | None -> translate_walk phys tlb ctx access ~va
 
 let pp_fault ppf f =
   Format.fprintf ppf "stage-%d level-%d %s fault va=0x%x%s (%s)" f.stage

@@ -23,14 +23,17 @@ type fault = {
 }
 
 type ctx = {
-  ttbr0 : int;  (** raw register value: root address + ASID field. *)
-  ttbr1 : int;
-  vmid : int;
-  s2_root : int option;
-  el : Lz_arm.Pstate.el;
-  pan : bool;
+  mutable ttbr0 : int;  (** raw register value: root address + ASID field. *)
+  mutable ttbr1 : int;
+  mutable vmid : int;
+  mutable s2_root : int option;
+  mutable el : Lz_arm.Pstate.el;
+  mutable pan : bool;
   unpriv : bool;  (** LDTR/STTR: access checked as if from EL0. *)
 }
+(** Fields are mutable so a core can refresh its memoized context in
+    place on a TTBR/PSTATE change instead of allocating per MSR; the
+    record is only ever read transiently during a translation. *)
 
 type ok = {
   pa : int;
@@ -55,6 +58,14 @@ val translate :
 (** [?front] threads a 1-entry micro-TLB through the main TLB lookup
     (see {!Tlb.front}); behaviour and hit/miss accounting are
     identical with or without it. *)
+
+val translate_walk :
+  Phys.t -> Tlb.t -> ctx -> access -> va:int -> (ok, fault) result
+(** The miss half of {!translate}: walk, permission-check and refill
+    for a VA whose TLB lookup already ran (and missed, and was
+    accounted). Lets a caller pair {!Tlb.lookup} + {!entry_pa_exn} on
+    hits and fall through here only on real misses, with accounting
+    identical to {!translate}. *)
 
 val va_asid : ctx -> va:int -> int
 (** ASID carried by the TTBR that [va] selects. *)

@@ -16,7 +16,12 @@ let vpn_bits = 36
 let vpn_mask = (1 lsl vpn_bits) - 1
 
 type t = {
-  table : (int, entry) Hashtbl.t;  (* packed key -> entry *)
+  (* The table stores preboxed [Some entry] values so a hit returns
+     the stored box itself: the hot fetch/load/store paths probe this
+     table once per access, and wrapping the entry at lookup time
+     would put one minor-heap allocation on every front-cache miss.
+     [None] is never stored — absence is absence of the key. *)
+  table : (int, entry option) Hashtbl.t;  (* packed key -> Some entry *)
   order : int Queue.t;  (* FIFO of live keys; length = table size *)
   capacity : int;
   mutable hit_count : int;
@@ -115,24 +120,38 @@ let key_vpage k = (k land vpn_mask) lsl 12
 
 (* Entries for 2 MiB blocks are stored under their 2 MiB-aligned vpage;
    lookup probes the 4 KiB page first, then the 2 MiB page. *)
+(* Top-level, not a local closure: [lookup_keyed] sits on the
+   per-instruction fetch path right after an address-space switch
+   (the front caches only ever hold hits for the current and previous
+   page, so the first instruction fetched under a fresh ASID always
+   lands here), and a closure captured per call is a minor-heap
+   allocation per zone transit. *)
+let probe_key t key =
+  (* Returns the stored box — no [Some] construction on a hit. *)
+  match Hashtbl.find t.table key with
+  | r -> r
+  | exception Not_found -> None
+
 let lookup_keyed t ~vmid ~asid ~va =
   set_ctx_pair t ~vmid ~asid;
   let ctx = t.last_ctx and gctx = t.last_gctx in
-  let probe ctx vpage =
-    match Hashtbl.find t.table (pack ~ctx ~vpage) with
-    | e -> Some e
-    | exception Not_found -> None
-  in
-  let try_page vpage =
-    match probe ctx vpage with
+  let vp4 = Lz_arm.Bits.align_down va 4096 in
+  let r4 =
+    match probe_key t (pack ~ctx ~vpage:vp4) with
     | Some _ as r -> r
-    | None -> probe gctx vpage
+    | None -> probe_key t (pack ~ctx:gctx ~vpage:vp4)
   in
-  match try_page (Lz_arm.Bits.align_down va 4096) with
-  | Some _ as r -> r
+  match r4 with
+  | Some _ -> r4
   | None -> (
-      match try_page (Lz_arm.Bits.align_down va (2 * 1024 * 1024)) with
-      | Some e when e.page_bytes > 4096 -> Some e
+      let vp2m = Lz_arm.Bits.align_down va (2 * 1024 * 1024) in
+      let r2m =
+        match probe_key t (pack ~ctx ~vpage:vp2m) with
+        | Some _ as r -> r
+        | None -> probe_key t (pack ~ctx:gctx ~vpage:vp2m)
+      in
+      match r2m with
+      | Some e when e.page_bytes > 4096 -> r2m
       | _ -> None)
 
 (* Front caches hold only *hits*: a valid front entry means "a full
@@ -219,16 +238,23 @@ let fill_front t fr ~vmid ~asid ~va r =
       fr.f_gen <- -1;
       fr.f_entry <- None
 
+(* Non-optional variant for the core's per-access fast paths: passing
+   the front cache as [?front] boxes it in a [Some] at every call
+   site, which is two minor words per front-missing probe — the
+   switch path's dominant allocation once the probes themselves are
+   allocation-free. *)
+let lookup_front t fr ~vmid ~asid ~va =
+  match front_probe t fr ~vmid ~asid ~va with
+  | Some _ as r -> r
+  | None ->
+      let r = lookup_keyed t ~vmid ~asid ~va in
+      fill_front t fr ~vmid ~asid ~va r;
+      account t r
+
 let lookup ?front t ~vmid ~asid ~va =
   match front with
   | None -> account t (lookup_keyed t ~vmid ~asid ~va)
-  | Some fr -> (
-      match front_probe t fr ~vmid ~asid ~va with
-      | Some _ as r -> r
-      | None ->
-          let r = lookup_keyed t ~vmid ~asid ~va in
-          fill_front t fr ~vmid ~asid ~va r;
-          account t r)
+  | Some fr -> lookup_front t fr ~vmid ~asid ~va
 
 let evict_one t =
   match Queue.take_opt t.order with
@@ -250,7 +276,7 @@ let insert t ~vmid ~asid ~va ~global entry =
     if Hashtbl.length t.table >= t.capacity then evict_one t;
     Queue.add key t.order
   end;
-  Hashtbl.replace t.table key entry;
+  Hashtbl.replace t.table key (Some entry);
   t.gen <- t.gen + 1
 
 (* Rebuild the FIFO from the surviving keys, preserving their relative
@@ -320,7 +346,7 @@ let capacity t = t.capacity
    the bump is invisible to hit/miss statistics. *)
 
 type state = {
-  st_table : (int, entry) Hashtbl.t;
+  st_table : (int, entry option) Hashtbl.t;
   st_order : int Queue.t;
   st_hits : int;
   st_misses : int;

@@ -46,9 +46,15 @@ val front_probe : t -> front -> vmid:int -> asid:int -> va:int -> entry option
     front cache is valid for this exact probe, [None] (nothing
     counted) when the caller must fall back to {!lookup}. *)
 
+
 val lookup : ?front:front -> t -> vmid:int -> asid:int -> va:int -> entry option
 (** Increments the hit or miss counter. With [?front], consults and
     refills the given front cache. *)
+
+val lookup_front : t -> front -> vmid:int -> asid:int -> va:int -> entry option
+(** [lookup ~front] without the optional-argument [Some] boxing: the
+    per-instruction fetch/load/store paths call this, keeping a
+    front-cache miss allocation-free. *)
 
 val gen : t -> int
 (** Mutation generation: bumped by every insert, eviction and flush.

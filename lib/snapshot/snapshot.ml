@@ -139,8 +139,9 @@ type t = {
   p_mmap_hint : int;
   p_output : string;
   (* module *)
-  z_next_pgt : int;
-  z_next_asid : int;
+  z_pgt_free : int list;  (* Zone_tab free list, verbatim (LIFO) *)
+  z_pgt_next : int;       (* Zone_tab high-water mark *)
+  z_asids : Asid_alloc.state;
   z_terminated : string option;
   z_traps : int;
   z_syscall_traps : int;
@@ -176,15 +177,16 @@ let capture (z : Kmod.t) =
     p_fault_count = proc.Proc.fault_count;
     p_mmap_hint = proc.Proc.mmap_hint;
     p_output = Buffer.contents proc.Proc.output;
-    z_next_pgt = z.Kmod.next_pgt;
-    z_next_asid = z.Kmod.next_asid;
+    z_pgt_free = Zone_tab.free_ids z.Kmod.pgts;
+    z_pgt_next = Zone_tab.high_water z.Kmod.pgts;
+    z_asids = Asid_alloc.capture z.Kmod.asids;
     z_terminated = z.Kmod.terminated;
     z_traps = z.Kmod.traps;
     z_syscall_traps = z.Kmod.syscall_traps;
     z_fault_traps = z.Kmod.fault_traps;
     z_irq_traps = z.Kmod.irq_traps;
     z_pgts =
-      Hashtbl.fold
+      Zone_tab.fold
         (fun id tbl acc -> (id, tbl, tbl.Lz_table.table_frames) :: acc)
         z.Kmod.pgts [];
     z_ttbr1_frames = z.Kmod.ttbr1.Lz_table.table_frames;
@@ -213,19 +215,25 @@ let restore (z : Kmod.t) s =
   proc.Proc.mmap_hint <- s.p_mmap_hint;
   Buffer.clear proc.Proc.output;
   Buffer.add_string proc.Proc.output s.p_output;
-  z.Kmod.next_pgt <- s.z_next_pgt;
-  z.Kmod.next_asid <- s.z_next_asid;
   z.Kmod.terminated <- s.z_terminated;
   z.Kmod.traps <- s.z_traps;
   z.Kmod.syscall_traps <- s.z_syscall_traps;
   z.Kmod.fault_traps <- s.z_fault_traps;
   z.Kmod.irq_traps <- s.z_irq_traps;
-  Hashtbl.reset z.Kmod.pgts;
-  List.iter
-    (fun (id, tbl, frames) ->
-      tbl.Lz_table.table_frames <- frames;
-      Hashtbl.replace z.Kmod.pgts id tbl)
-    s.z_pgts;
+  (* Exact structural restore: the free list and allocator state come
+     back verbatim so post-restore zone churn recycles the very same
+     ids/ASIDs the captured timeline would have (snapshot
+     transparency). *)
+  Zone_tab.restore_exact z.Kmod.pgts
+    ~slots:
+      (List.map
+         (fun (id, tbl, frames) ->
+           tbl.Lz_table.table_frames <- frames;
+           (id, tbl))
+         s.z_pgts)
+    ~free:s.z_pgt_free ~next:s.z_pgt_next;
+  Asid_alloc.restore z.Kmod.asids s.z_asids;
+  Kmod.rebuild_asid_index z;
   z.Kmod.ttbr1.Lz_table.table_frames <- s.z_ttbr1_frames;
   Fake_phys.restore z.Kmod.fake s.z_fake;
   Kmod.restore_shadow z s.z_shadow;
@@ -244,8 +252,7 @@ let fork (z : Kmod.t) s =
   | Kmod.Host -> ()
   | Kmod.Guest _ ->
       invalid_arg "Snapshot.fork: guest (Lowvisor-backed) zones cannot fork");
-  let vmid = !Api.next_vmid in
-  incr Api.next_vmid;
+  let vmid = Api.alloc_fork_vmid () in
   (* Memory: clone the view (shares every slot), then rewind the clone
      to the image — both steps are O(frame map), no contents move. *)
   let phys = Phys.cow_clone z.Kmod.machine.Machine.phys in
@@ -312,12 +319,19 @@ let fork (z : Kmod.t) s =
   let retable (tbl : Lz_table.t) frames =
     { tbl with Lz_table.phys; fake; table_frames = frames }
   in
-  let pgts = Hashtbl.create 16 in
-  List.iter
-    (fun (id, tbl, frames) -> Hashtbl.replace pgts id (retable tbl frames))
-    s.z_pgts;
+  let pgts =
+    Zone_tab.of_exact
+      ~slots:
+        (List.map (fun (id, tbl, frames) -> (id, retable tbl frames)) s.z_pgts)
+      ~free:s.z_pgt_free ~next:s.z_pgt_next ()
+  in
+  let asids =
+    Asid_alloc.of_state
+      ~bits:(Asid_alloc.state_bits s.z_asids)
+      ~flush:(fun () -> Tlb.flush_vmid tlb vmid)
+      s.z_asids
+  in
   let ttbr1 = retable z.Kmod.ttbr1 s.z_ttbr1_frames in
-  Kmod.install_shadow ~vmid s.z_shadow;
   let z2 =
     {
       z with
@@ -329,8 +343,9 @@ let fork (z : Kmod.t) s =
       fake;
       ttbr1;
       pgts;
-      next_pgt = s.z_next_pgt;
-      next_asid = s.z_next_asid;
+      asids;
+      asid_pgt = Array.make (Array.length z.Kmod.asid_pgt) 0;
+      shadow = Kmod.install_shadow s.z_shadow;
       terminated = s.z_terminated;
       traps = s.z_traps;
       syscall_traps = s.z_syscall_traps;
@@ -340,8 +355,19 @@ let fork (z : Kmod.t) s =
       on_quiescent = None;
     }
   in
+  Kmod.rebuild_asid_index z2;
   Kmod.install_sync_hooks z2;
   z2
+
+(* Retire a fork: flush its VM's TLB context and return the VMID to
+   the fork pool. A fork owns a private machine (its own TLB), so the
+   flush is belt-and-braces; the pooled VMID is what a 4096-fork
+   connection-churn fleet needs — without it the 16-bit VMID space
+   marches to exhaustion. Only call on handles [fork] returned, and
+   only once, after the fork is done running. *)
+let retire_fork (z : Kmod.t) =
+  Tlb.flush_vmid z.Kmod.machine.Machine.tlb z.Kmod.vmid;
+  Api.release_vmid z.Kmod.vmid
 
 (* ------------------------------------------------------------------ *)
 (* Periodic snapshots + deterministic replay *)

@@ -81,7 +81,17 @@ val fork : Lightzone.Kmod.t -> t -> Lightzone.Kmod.t
     [on_irq]/[on_quiescent]/[custom_trap]/[on_tick] hooks are not
     carried over (they close over the source machine); reattach on
     the fork if needed. Raises [Invalid_argument] for Lowvisor-backed
-    (guest) zones. *)
+    (guest) zones.
+
+    VMIDs come from {!Lightzone.Api.alloc_fork_vmid}: recycled from
+    the release pool when available, else fresh from the counter. *)
+
+val retire_fork : Lightzone.Kmod.t -> unit
+(** Return a finished fork's VMID to the pool (flushing its TLB
+    context first). Call once, on handles {!fork} returned, after
+    also {!release}-ing any snapshots taken of the fork — this is
+    what keeps a fork-per-connection fleet from exhausting the VMID
+    space. *)
 
 (** {1 Periodic snapshots and deterministic replay} *)
 

@@ -561,6 +561,101 @@ let test_table_memory_accounting () =
   check_bool "alloc grows table memory" true
     (Kmod.table_memory_frames t > before)
 
+(* ------------------------------------------------------------------ *)
+(* ASID recycling (tenant-scale churn) *)
+
+(* Regression: before generation-based recycling, the module handed
+   out ASIDs from a monotonic counter. A zone-per-connection server
+   that allocates and frees one table per connection marched the
+   counter through the 14-bit space: churn number 16384 composed an
+   out-of-range ASID and [Mmu.ttbr_value] raised [Invalid_argument]
+   ("Mmu.ttbr_value: asid") — and had the value been masked instead,
+   it would have silently aliased a live zone's TLB entries. The churn
+   below crosses that boundary; with the generation allocator it
+   recycles through rollover instead. *)
+let test_asid_wrap_regression () =
+  let _, kernel, proc = fresh () in
+  let t = enter kernel proc in
+  for _ = 1 to 17_000 do
+    let id = Api.lz_alloc t in
+    Api.lz_free t id
+  done;
+  check_bool "crossed the 14-bit ASID space" true
+    (Asid_alloc.rollovers t.Kmod.asids >= 1);
+  check_bool "asids were recycled" true
+    (Asid_alloc.recycled t.Kmod.asids > 0);
+  (* pgt ids recycle through the free list: 17k churned connections
+     never push the id high-water past a handful of slots. *)
+  check_bool "pgt id space stayed dense" true
+    (Zone_tab.high_water t.Kmod.pgts <= 2)
+
+(* Live ASIDs must survive generation rollover: park a zone with
+   protected data, churn enough tables through a deliberately tiny
+   ASID space to force several rollovers, then gate-switch into the
+   parked zone — its ASID is still valid and its data intact. *)
+let test_asid_rollover_preserves_live () =
+  let _, kernel, proc = fresh () in
+  let t =
+    Kmod.enter ~asid_bits:4 ~allow_scalable:true
+      ~san_mode:Sanitizer.Ttbr_mode ~vmid:0x77 ~entry:code_va ~sp:stack_va
+      kernel proc
+  in
+  let pgt1 = Api.lz_alloc t in
+  Api.lz_map_gate_pgt t ~pgt:pgt1 ~gate:0;
+  Api.lz_prot t ~addr:data_va ~len:4096 ~pgt:pgt1
+    ~perm:(Perm.read lor Perm.write);
+  (* 2^4 - 1 = 15 allocatable ASIDs, 2 pinned live: 64 churned
+     connections force several rollovers. *)
+  for _ = 1 to 64 do
+    let id = Api.lz_alloc t in
+    Api.lz_free t id
+  done;
+  check_bool "rollovers forced" true (Asid_alloc.rollovers t.Kmod.asids >= 2);
+  let live_asid = (Zone_tab.get t.Kmod.pgts pgt1).Lz_table.asid in
+  check_bool "parked zone's ASID still live" true
+    (Asid_alloc.is_live t.Kmod.asids live_asid);
+  let b = Builder.create ~base:code_va in
+  Builder.switch_gate b ~gate:0;
+  Builder.mov_imm64 b 0 data_va;
+  Builder.emit b
+    [ Insn.Movz (1, 321, 0); Insn.Str (1, 0, 0); Insn.Ldr (2, 0, 0);
+      Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 0 (Api.run t);
+  check_int "domain data readable after rollovers" 321
+    (Lz_cpu.Core.reg t.Kmod.core 2)
+
+(* A freed table's gate slot is zeroed and its id reissued to the next
+   tenant: a switch through the re-pointed gate must land in the new
+   tenant's table, with the old tenant's protected page unreachable. *)
+let test_pgt_id_recycling_isolates () =
+  let _, kernel, proc = fresh () in
+  let t = enter kernel proc in
+  let pgt1 = Api.lz_alloc t in
+  Api.lz_map_gate_pgt t ~pgt:pgt1 ~gate:0;
+  Api.lz_prot t ~addr:data_va ~len:4096 ~pgt:pgt1
+    ~perm:(Perm.read lor Perm.write);
+  Api.lz_free t pgt1;
+  let pgt2 = Api.lz_alloc t in
+  check_int "id recycled" pgt1 pgt2;
+  Api.lz_map_gate_pgt t ~pgt:pgt2 ~gate:0;
+  Api.lz_prot t ~addr:data2_va ~len:4096 ~pgt:pgt2
+    ~perm:(Perm.read lor Perm.write);
+  (* data_va's registry entry still names the freed tenant: the
+     recycled table (same id) inherits its domain membership by id —
+     the paper's id-scoped registry. Access to the new tenant's page
+     succeeds; the switch itself must pass through the recycled
+     TTBRTab slot. *)
+  let b = Builder.create ~base:code_va in
+  Builder.switch_gate b ~gate:0;
+  Builder.mov_imm64 b 0 data2_va;
+  Builder.emit b
+    [ Insn.Movz (1, 55, 0); Insn.Str (1, 0, 0); Insn.Ldr (2, 0, 0);
+      Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  expect_exit 0 (Api.run t);
+  check_int "recycled tenant's data" 55 (Lz_cpu.Core.reg t.Kmod.core 2)
+
 let () =
   Alcotest.run "lightzone"
     [ ( "sanitizer",
@@ -609,4 +704,11 @@ let () =
       );
       ( "accounting",
         [ Alcotest.test_case "table memory" `Quick
-            test_table_memory_accounting ] ) ]
+            test_table_memory_accounting ] );
+      ( "asid recycling",
+        [ Alcotest.test_case "14-bit wrap regression" `Quick
+            test_asid_wrap_regression;
+          Alcotest.test_case "rollover preserves live zones" `Quick
+            test_asid_rollover_preserves_live;
+          Alcotest.test_case "pgt id recycling isolates" `Quick
+            test_pgt_id_recycling_isolates ] ) ]

@@ -873,6 +873,106 @@ let prop_fault_around_equivalent =
          bit-identical. *)
       o1 = o2 && r1 = r2)
 
+(* ------------------------------------------------------------------ *)
+(* ASID recycling transparency *)
+
+(* The same tenant-churn script runs on two modules: one with a
+   deliberately tiny ASID space — generation rollovers and
+   whole-context flushes fire mid-churn — and a full 14-bit oracle
+   where every table gets a fresh ASID. Recycling must be
+   architecturally invisible: outcome, pc, instruction count, zone
+   data and final registers agree bit-for-bit. Two exclusions, both
+   inherent to what recycling is: the ASID field (bits 48+) is masked
+   out of registers, because gate scratch registers legitimately hold
+   the TTBR value just installed and its ASID differs by construction;
+   cycles and TLB statistics are not digested, because rollover
+   flushes legitimately cost refills. Runs across the fast engines and
+   under preemption slices. *)
+
+let asid_field_mask = lnot (0x3FFF lsl Mmu.asid_shift)
+
+let churn_digest ~asid_bits ~fast ~blocks ~churn ~slice =
+  let machine = Lz_kernel.Machine.create () in
+  let kernel = Lz_kernel.Kernel.create machine Lz_kernel.Kernel.Host_vhe in
+  let proc = Lz_kernel.Kernel.create_process kernel in
+  ignore (Lz_kernel.Kernel.map_anon kernel proc ~at:(stack_va - 0x10000)
+            ~len:0x10000 Lz_kernel.Vma.rw);
+  ignore (Lz_kernel.Kernel.map_anon kernel proc ~at:domains_va ~len:0x2000
+            Lz_kernel.Vma.rw);
+  let t =
+    Kmod.enter ~asid_bits ~allow_scalable:true
+      ~san_mode:Sanitizer.Ttbr_mode ~vmid:0x200 ~entry:code_va ~sp:stack_va
+      kernel proc
+  in
+  let core = t.Kmod.core in
+  Core.set_fast core fast;
+  Core.set_blocks core blocks;
+  (* A long-lived tenant parked across the churn, and one allocated
+     after it — the latter's table carries a recycled ASID in the
+     small space and a fresh one in the oracle. *)
+  let survivor = Api.lz_alloc t in
+  Api.lz_map_gate_pgt t ~pgt:survivor ~gate:0;
+  Api.lz_prot t ~addr:domains_va ~len:4096 ~pgt:survivor
+    ~perm:(Perm.read lor Perm.write);
+  for _ = 1 to churn do
+    let id = Api.lz_alloc t in
+    Api.lz_free t id
+  done;
+  let late = Api.lz_alloc t in
+  Api.lz_map_gate_pgt t ~pgt:late ~gate:1;
+  Api.lz_prot t ~addr:(domains_va + 4096) ~len:4096 ~pgt:late
+    ~perm:(Perm.read lor Perm.write);
+  if slice > 0 then begin
+    let iv = Core.attach_irq core in
+    Lz_irq.Irq.init iv;
+    t.Kmod.on_irq <-
+      Some
+        (fun core intid ->
+          if intid = Lz_irq.Gic.ppi_el1_timer then
+            Lz_irq.Timer.program iv.Lz_irq.Irq.timer ~now:core.Core.cycles
+              ~slice);
+    Lz_irq.Timer.program iv.Lz_irq.Irq.timer ~now:core.Core.cycles ~slice
+  end;
+  let b = Builder.create ~base:code_va in
+  Builder.switch_gate b ~gate:0;
+  Builder.mov_imm64 b 0 domains_va;
+  Builder.emit b
+    (List.concat
+       (List.init 24 (fun i ->
+            [ Insn.Movz (1, 100 + i, 0); Insn.Str (1, 0, 8 * (i mod 8));
+              Insn.Ldr (2, 0, 8 * (i mod 8)) ])));
+  Builder.switch_gate b ~gate:1;
+  Builder.mov_imm64 b 0 (domains_va + 4096);
+  Builder.emit b
+    (List.concat
+       (List.init 8 (fun i ->
+            [ Insn.Movz (3, 500 + i, 0); Insn.Str (3, 0, 8 * i);
+              Insn.Ldr (4, 0, 8 * i) ])));
+  Builder.emit b [ Insn.Brk 0 ];
+  Api.load_and_register t b ~va:code_va;
+  let outcome = Kmod.run t in
+  let regs =
+    Array.init 31 (fun i -> Core.reg core i land asid_field_mask)
+  in
+  ( Format.asprintf "%a" Kmod.pp_outcome outcome, regs, core.Core.pc,
+    core.Core.insns )
+
+let prop_asid_recycling_transparent =
+  QCheck2.Test.make
+    ~name:"lightzone: ASID recycling is architecturally invisible"
+    ~count:6
+    ~print:(fun (churn, (fast, blocks), slice) ->
+      Printf.sprintf "churn=%d fast=%b blocks=%b slice=%d" churn fast blocks
+        slice)
+    QCheck2.Gen.(
+      triple (int_range 20 120)
+        (oneofl [ (false, false); (true, false); (true, true) ])
+        (oneofl [ 0; 0; 53; 131 ]))
+    (fun (churn, (fast, blocks), slice) ->
+      let small = churn_digest ~asid_bits:4 ~fast ~blocks ~churn ~slice in
+      let oracle = churn_digest ~asid_bits:14 ~fast ~blocks ~churn ~slice in
+      small = oracle)
+
 let () =
   Alcotest.run "lz_props"
     [ ( "sanitizer",
@@ -899,4 +999,5 @@ let () =
           q prop_sx_smc_equivalent ] );
       ( "fault-around", [ q prop_fault_around_equivalent ] );
       ( "aes", [ q prop_aes_roundtrip; q prop_aes_cbc_roundtrip ] );
-      ( "lightzone", [ q prop_lz_policy ] ) ]
+      ( "lightzone",
+        [ q prop_lz_policy; q prop_asid_recycling_transparent ] ) ]
